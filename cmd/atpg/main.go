@@ -1,0 +1,69 @@
+// Command atpg builds a test vector set for a .bench netlist: random
+// patterns plus an optional PODEM pass with fault dropping, reporting
+// stuck-at coverage.
+//
+// Usage:
+//
+//	atpg -in ckt.bench -random 4096 -det -o ckt.vec
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dedc/internal/bench"
+	"dedc/internal/tpg"
+)
+
+func main() {
+	in := flag.String("in", "", "input .bench netlist (required)")
+	random := flag.Int("random", 1024, "number of random patterns")
+	det := flag.Bool("det", false, "add PODEM deterministic tests with fault dropping")
+	seed := flag.Int64("seed", 1, "random seed")
+	backtracks := flag.Int("backtracks", 2000, "PODEM backtrack limit per fault")
+	out := flag.String("o", "", "output vector file (default stdout)")
+	flag.Parse()
+
+	if *in == "" {
+		fatalf("-in is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	c, err := bench.Read(f)
+	f.Close()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if c.IsSequential() {
+		fatalf("sequential netlist; scan-convert it first")
+	}
+	res := tpg.BuildVectors(c, tpg.Options{
+		Random:         *random,
+		Seed:           *seed,
+		Deterministic:  *det,
+		BacktrackLimit: *backtracks,
+	})
+	fmt.Fprintf(os.Stderr, "patterns=%d coverage=%.2f%% generated=%d untestable=%d aborted=%d\n",
+		res.N, 100*res.Coverage, res.Generated, res.Untestable, res.Aborted)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tpg.WriteVectors(w, c, res.PI, res.N); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "atpg: "+format+"\n", args...)
+	os.Exit(1)
+}

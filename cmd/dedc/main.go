@@ -1,0 +1,166 @@
+// Command dedc diagnoses and corrects a .bench netlist against a golden
+// specification (DEDC mode) or diagnoses stuck-at faults from a device's
+// responses (fault-diagnosis mode).
+//
+// Usage:
+//
+//	dedc -impl bad.bench -spec good.bench                 # DEDC, write repair to stdout
+//	dedc -impl good.bench -device faulty.bench -stuckat   # all minimal fault tuples
+//	dedc ... -vec ckt.vec                                 # reuse an atpg vector file
+//
+// Sequential netlists are scan-converted automatically (full-scan
+// assumption); both netlists must then agree on flip-flop count.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dedc/internal/bench"
+	"dedc/internal/circuit"
+	"dedc/internal/diagnose"
+	"dedc/internal/fault"
+	"dedc/internal/report"
+	"dedc/internal/scan"
+	"dedc/internal/tpg"
+)
+
+func main() {
+	implPath := flag.String("impl", "", "netlist to diagnose/repair (required)")
+	specPath := flag.String("spec", "", "golden specification netlist (DEDC mode)")
+	devPath := flag.String("device", "", "faulty device netlist (stuck-at mode)")
+	stuckat := flag.Bool("stuckat", false, "run exact stuck-at diagnosis instead of DEDC")
+	vecPath := flag.String("vec", "", "vector file from cmd/atpg (default: generate)")
+	random := flag.Int("random", 2048, "random vectors when generating")
+	det := flag.Bool("det", true, "add deterministic vectors when generating")
+	seed := flag.Int64("seed", 1, "seed for generated vectors")
+	maxErrors := flag.Int("maxerrors", 4, "bound on the correction-set size")
+	certify := flag.Bool("certify", false, "SAT-partition stuck-at tuples into proven equivalence classes")
+	out := flag.String("o", "", "repaired netlist output (DEDC mode; default stdout)")
+	flag.Parse()
+
+	if *implPath == "" {
+		fatalf("-impl is required")
+	}
+	refPath := *specPath
+	if *stuckat {
+		refPath = *devPath
+	}
+	if refPath == "" {
+		fatalf("need -spec (DEDC) or -device with -stuckat")
+	}
+
+	impl := readCircuit(*implPath)
+	ref := readCircuit(refPath)
+	if impl.IsSequential() != ref.IsSequential() {
+		fatalf("one netlist is sequential and the other is not")
+	}
+	if impl.IsSequential() {
+		impl = convert(impl)
+		ref = convert(ref)
+	}
+	if len(impl.PIs) != len(ref.PIs) || len(impl.POs) != len(ref.POs) {
+		fatalf("interface mismatch: %d/%d PIs, %d/%d POs",
+			len(impl.PIs), len(ref.PIs), len(impl.POs), len(ref.POs))
+	}
+
+	var pi [][]uint64
+	var n int
+	if *vecPath == "" {
+		res := tpg.BuildVectors(impl, tpg.Options{Random: *random, Seed: *seed, Deterministic: *det})
+		pi, n = res.PI, res.N
+		fmt.Fprintf(os.Stderr, "dedc: generated %d vectors (%.1f%% stuck-at coverage)\n", n, 100*res.Coverage)
+	} else {
+		f, err := os.Open(*vecPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		pi, n, err = tpg.ReadVectors(f, len(impl.PIs))
+		f.Close()
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+	refOut := diagnose.DeviceOutputs(ref, pi, n)
+
+	start := time.Now()
+	if *stuckat {
+		res := diagnose.DiagnoseStuckAt(impl, refOut, pi, n, diagnose.Options{MaxErrors: *maxErrors})
+		var classes [][]fault.Tuple
+		if *certify && len(res.Tuples) > 1 {
+			var err error
+			classes, err = diagnose.PartitionTuples(impl, res.Tuples, 0)
+			if err != nil {
+				fatalf("%v", err)
+			}
+		}
+		report.StuckAt(os.Stderr, impl, res, classes, time.Since(start))
+		if len(res.Tuples) == 0 {
+			os.Exit(2)
+		}
+		for _, tu := range res.Tuples {
+			for i, ft := range tu {
+				if i > 0 {
+					fmt.Print("  ")
+				}
+				fmt.Printf("%s/%d", ft.Site.Name(impl), b2i(ft.Value))
+			}
+			fmt.Println()
+		}
+		return
+	}
+
+	rep, err := diagnose.Repair(impl, refOut, pi, n, diagnose.Options{MaxErrors: *maxErrors})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	report.Repair(os.Stderr, impl, rep, time.Since(start))
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := bench.Write(w, rep.Repaired); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func readCircuit(path string) *circuit.Circuit {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	c, err := bench.Read(f)
+	if err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	return c
+}
+
+func convert(c *circuit.Circuit) *circuit.Circuit {
+	cv, err := scan.Convert(c)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "dedc: scan-converted %d flip-flops\n", len(cv.DFFs))
+	return cv.Comb
+}
+
+func b2i(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "dedc: "+format+"\n", args...)
+	os.Exit(1)
+}

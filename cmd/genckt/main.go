@@ -1,0 +1,113 @@
+// Command genckt emits generated benchmark circuits in .bench format.
+//
+// Usage:
+//
+//	genckt -list
+//	genckt -ckt c6288* [-o mult.bench]
+//	genckt -kind adder -width 16 [-o adder.bench]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dedc/internal/bench"
+	"dedc/internal/circuit"
+	"dedc/internal/gen"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available benchmark circuits")
+	ckt := flag.String("ckt", "", "benchmark circuit name (see -list)")
+	kind := flag.String("kind", "", "parametric generator: adder|csadder|mult|alu|cmp|ecc|decoder|parity|prio|random")
+	width := flag.Int("width", 8, "width parameter for -kind")
+	seed := flag.Int64("seed", 1, "seed for -kind random")
+	gates := flag.Int("gates", 500, "gate count for -kind random")
+	out := flag.String("o", "", "output file (default stdout)")
+	stats := flag.Bool("stats", false, "print circuit statistics to stderr")
+	flag.Parse()
+
+	if *list {
+		for _, bm := range gen.Suite() {
+			kind := "combinational"
+			if bm.Sequential {
+				kind = "sequential"
+			}
+			fmt.Printf("%-10s %s\n", bm.Name, kind)
+		}
+		for _, bm := range gen.SmallSuite() {
+			fmt.Printf("%-10s small\n", bm.Name)
+		}
+		return
+	}
+
+	var c *circuit.Circuit
+	switch {
+	case *ckt != "":
+		bm, ok := gen.ByName(*ckt)
+		if !ok {
+			fatalf("unknown circuit %q (try -list)", *ckt)
+		}
+		c = bm.Build()
+	case *kind != "":
+		c = build(*kind, *width, *gates, *seed)
+	default:
+		fatalf("one of -list, -ckt or -kind is required")
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := bench.Write(w, c); err != nil {
+		fatalf("%v", err)
+	}
+	if *stats {
+		if c.IsSequential() {
+			fmt.Fprintf(os.Stderr, "gates=%d PIs=%d POs=%d (sequential)\n",
+				c.NumGates(), len(c.PIs), len(c.POs))
+		} else {
+			s := c.Stats()
+			fmt.Fprintf(os.Stderr, "gates=%d PIs=%d POs=%d lines=%d levels=%d\n",
+				s.Gates, s.PIs, s.POs, s.Lines, s.Levels)
+		}
+	}
+}
+
+func build(kind string, width, gates int, seed int64) *circuit.Circuit {
+	switch kind {
+	case "adder":
+		return gen.RippleAdder(width)
+	case "csadder":
+		return gen.CarrySelectAdder(width, 4)
+	case "mult":
+		return gen.ArrayMultiplier(width)
+	case "alu":
+		return gen.Alu(width)
+	case "cmp":
+		return gen.Comparator(width)
+	case "ecc":
+		return gen.ECC(width, false)
+	case "decoder":
+		return gen.Decoder(width)
+	case "parity":
+		return gen.ParityTree(width)
+	case "prio":
+		return gen.PriorityInterrupt(width)
+	case "random":
+		return gen.Random(gen.RandomOptions{PIs: width, Gates: gates, Seed: seed})
+	}
+	fatalf("unknown kind %q", kind)
+	return nil
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "genckt: "+format+"\n", args...)
+	os.Exit(1)
+}

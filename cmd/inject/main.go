@@ -1,0 +1,121 @@
+// Command inject corrupts a .bench netlist with stuck-at faults or design
+// errors and writes the corrupted netlist, printing what was injected.
+//
+// Usage:
+//
+//	inject -in good.bench -faults 2 -seed 7 -o bad.bench
+//	inject -in good.bench -errors 3 -seed 7 -o bad.bench
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"dedc/internal/bench"
+	"dedc/internal/circuit"
+	"dedc/internal/errmodel"
+	"dedc/internal/fault"
+	"dedc/internal/sim"
+)
+
+func main() {
+	in := flag.String("in", "", "input .bench netlist (required)")
+	nFaults := flag.Int("faults", 0, "number of stuck-at faults to inject")
+	nErrors := flag.Int("errors", 0, "number of design errors to inject")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	if *in == "" || (*nFaults == 0) == (*nErrors == 0) {
+		fatalf("need -in plus exactly one of -faults/-errors")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	c, err := bench.Read(f)
+	f.Close()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if c.IsSequential() {
+		fatalf("sequential netlist; scan-convert it first (cmd/dedc does this automatically)")
+	}
+
+	var bad *circuit.Circuit
+	switch {
+	case *nFaults > 0:
+		fs := pickFaults(c, *nFaults, *seed)
+		if fs == nil {
+			fatalf("could not find an observable %d-fault combination", *nFaults)
+		}
+		for _, ft := range fs {
+			fmt.Fprintf(os.Stderr, "injected fault: %s stuck-at-%d\n", ft.Site.Name(c), b2i(ft.Value))
+		}
+		bad = fault.Inject(c, fs...)
+	default:
+		var mods []errmodel.Mod
+		bad, mods, err = errmodel.Inject(c, *nErrors, errmodel.InjectOptions{Seed: *seed})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, m := range mods {
+			fmt.Fprintf(os.Stderr, "injected error: %v\n", m)
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := bench.Write(w, bad); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func pickFaults(c *circuit.Circuit, k int, seed int64) []fault.Fault {
+	rng := rand.New(rand.NewSource(seed))
+	sites := fault.Sites(c)
+	n := 1024
+	pi := sim.RandomPatterns(len(c.PIs), n, seed^0x51ab)
+	goodOut := sim.Outputs(c, sim.Simulate(c, pi, n))
+	for tries := 0; tries < 100; tries++ {
+		seen := map[fault.Site]bool{}
+		var fs []fault.Fault
+		for len(fs) < k {
+			s := sites[rng.Intn(len(sites))]
+			if seen[s] {
+				continue
+			}
+			seen[s] = true
+			fs = append(fs, fault.Fault{Site: s, Value: rng.Intn(2) == 1})
+		}
+		fc := fault.Inject(c, fs...)
+		badOut := sim.Outputs(fc, sim.Simulate(fc, pi, n))
+		for _, w := range sim.DiffMask(goodOut, badOut, n) {
+			if w != 0 {
+				return fs
+			}
+		}
+	}
+	return nil
+}
+
+func b2i(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "inject: "+format+"\n", args...)
+	os.Exit(1)
+}

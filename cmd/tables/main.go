@@ -1,0 +1,90 @@
+// Command tables regenerates the paper's evaluation tables on the
+// ISCAS-like benchmark suite.
+//
+// Usage:
+//
+//	tables -table 1                       # Table 1: stuck-at faults, 1-4 faults
+//	tables -table 2                       # Table 2: design errors, 3-4 errors
+//	tables -table masking                 # §4.1 fault-masking observation
+//	tables -ckts 'c432*,c880*' -trials 10 -vectors 4096
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dedc/internal/experiment"
+	"dedc/internal/gen"
+)
+
+func main() {
+	table := flag.String("table", "1", "which table to regenerate: 1, 2 or masking")
+	ckts := flag.String("ckts", "", "comma-separated circuit names (default: full suite)")
+	trials := flag.Int("trials", 10, "experiments per cell (paper: 10)")
+	vectors := flag.Int("vectors", 2048, "random vectors in V")
+	seed := flag.Int64("seed", 1, "base seed")
+	maxNodes := flag.Int("maxnodes", 0, "node cap per diagnosis run (0 = default)")
+	flag.Parse()
+
+	cfg := experiment.Config{Trials: *trials, Vectors: *vectors, Seed: *seed, MaxNodes: *maxNodes}
+	bms := selectCircuits(*ckts)
+
+	switch *table {
+	case "1":
+		var rows []experiment.Table1Row
+		for _, bm := range bms {
+			fmt.Fprintf(os.Stderr, "tables: running %s...\n", bm.Name)
+			row, err := experiment.RunTable1Row(bm, []int{1, 2, 3, 4}, cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tables: %s: %v\n", bm.Name, err)
+				continue
+			}
+			rows = append(rows, row)
+		}
+		experiment.WriteTable1(os.Stdout, rows)
+	case "2":
+		var rows []experiment.Table2Row
+		for _, bm := range bms {
+			fmt.Fprintf(os.Stderr, "tables: running %s...\n", bm.Name)
+			row, err := experiment.RunTable2Row(bm, []int{3, 4}, cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tables: %s: %v\n", bm.Name, err)
+				continue
+			}
+			rows = append(rows, row)
+		}
+		experiment.WriteTable2(os.Stdout, rows)
+	case "masking":
+		fmt.Printf("%-10s %8s %8s\n", "ckt", "runs", "masked")
+		for _, bm := range bms {
+			rate, runs, err := experiment.FaultMaskingRate(bm, 4, cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tables: %s: %v\n", bm.Name, err)
+				continue
+			}
+			fmt.Printf("%-10s %8d %7.0f%%\n", bm.Name, runs, 100*rate)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "tables: unknown -table %q\n", *table)
+		os.Exit(1)
+	}
+}
+
+func selectCircuits(csv string) []gen.Benchmark {
+	if csv == "" {
+		return gen.Suite()
+	}
+	var out []gen.Benchmark
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		bm, ok := gen.ByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tables: unknown circuit %q\n", name)
+			os.Exit(1)
+		}
+		out = append(out, bm)
+	}
+	return out
+}

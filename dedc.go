@@ -1,0 +1,311 @@
+// Package dedc is a library for incremental diagnosis and correction of
+// multiple faults and design errors in gate-level logic circuits,
+// reproducing Veneris, Liu, Amiri and Abadir, "Incremental Diagnosis and
+// Correction of Multiple Faults and Errors" (DATE 2002).
+//
+// The package bundles everything a user needs end to end:
+//
+//   - netlists (construction, .bench I/O, generators for ISCAS-like
+//     benchmark circuits),
+//   - 64-bit parallel-pattern simulation,
+//   - test vector generation (random + PODEM with fault dropping),
+//   - stuck-at fault and Abadir design-error models with injection,
+//   - the paper's incremental diagnosis/correction engine in two modes:
+//     exact multiple stuck-at fault diagnosis (all minimal equivalent fault
+//     tuples) and first-solution design error correction (DEDC).
+//
+// # Quick start
+//
+//	spec := dedc.Suite()[2].Build()                  // an ISCAS-like circuit
+//	bad, _, _ := dedc.InjectErrors(spec, 2, 1)       // corrupt it
+//	vecs := dedc.BuildVectors(spec, dedc.VectorOptions{Random: 4096})
+//	specOut := dedc.Responses(spec, vecs)
+//	rep, err := dedc.Repair(bad, specOut, vecs, dedc.Options{})
+//
+// See the examples directory for complete programs and DESIGN.md for the
+// paper-to-code map.
+package dedc
+
+import (
+	"io"
+
+	"dedc/internal/bench"
+	"dedc/internal/circuit"
+	"dedc/internal/diagnose"
+	"dedc/internal/equiv"
+	"dedc/internal/errmodel"
+	"dedc/internal/fault"
+	"dedc/internal/gen"
+	"dedc/internal/opt"
+	"dedc/internal/scan"
+	"dedc/internal/sim"
+	"dedc/internal/tpg"
+)
+
+// Core netlist types.
+type (
+	// Circuit is a gate-level netlist.
+	Circuit = circuit.Circuit
+	// Line identifies a net (the output of the gate with the same index).
+	Line = circuit.Line
+	// GateType enumerates the gate library.
+	GateType = circuit.GateType
+	// Gate is a single netlist node.
+	Gate = circuit.Gate
+	// Builder offers fluent circuit construction (adders, XOR trees, ...).
+	Builder = gen.B
+	// Benchmark names a generated ISCAS-like circuit.
+	Benchmark = gen.Benchmark
+)
+
+// Gate types re-exported from the circuit package.
+const (
+	Input  = circuit.Input
+	Const0 = circuit.Const0
+	Const1 = circuit.Const1
+	Buf    = circuit.Buf
+	Not    = circuit.Not
+	And    = circuit.And
+	Nand   = circuit.Nand
+	Or     = circuit.Or
+	Nor    = circuit.Nor
+	Xor    = circuit.Xor
+	Xnor   = circuit.Xnor
+	DFF    = circuit.DFF
+)
+
+// NoLine is the invalid line sentinel.
+const NoLine = circuit.NoLine
+
+// Fault model types.
+type (
+	// Fault is a stuck-at fault at a stem or fanout-branch site.
+	Fault = fault.Fault
+	// Site is a stuck-at fault location.
+	Site = fault.Site
+	// Tuple is a set of faults jointly explaining a behaviour.
+	Tuple = fault.Tuple
+	// Mod is one design-error-model modification (error or correction).
+	Mod = errmodel.Mod
+)
+
+// Diagnosis engine types.
+type (
+	// Options tunes the incremental search.
+	Options = diagnose.Options
+	// Params is one threshold step (h1/h2/h3) of the relaxation schedule.
+	Params = diagnose.Params
+	// Correction is one candidate netlist modification.
+	Correction = diagnose.Correction
+	// StuckAtResult carries all minimal fault tuples plus statistics.
+	StuckAtResult = diagnose.StuckAtResult
+	// RepairResult carries the first valid correction set and the repaired
+	// circuit.
+	RepairResult = diagnose.RepairResult
+	// SearchStats reports nodes, rounds, trials and phase timings.
+	SearchStats = diagnose.Stats
+)
+
+// NewCircuit returns an empty netlist with a capacity hint.
+func NewCircuit(gateCap int) *Circuit { return circuit.New(gateCap) }
+
+// NewBuilder returns a fluent circuit builder.
+func NewBuilder() *Builder { return gen.NewB() }
+
+// ReadBench parses an ISCAS .bench netlist.
+func ReadBench(r io.Reader) (*Circuit, error) { return bench.Read(r) }
+
+// ReadBenchString parses a .bench netlist from a string.
+func ReadBenchString(s string) (*Circuit, error) { return bench.ReadString(s) }
+
+// WriteBench serializes a netlist in .bench format.
+func WriteBench(w io.Writer, c *Circuit) error { return bench.Write(w, c) }
+
+// Suite returns the ISCAS-like benchmark circuits used by the experiment
+// harness (c432*…c7552*, s1196*…s9234*).
+func Suite() []Benchmark { return gen.Suite() }
+
+// BenchmarkByName looks up a benchmark from Suite or the small test suite.
+func BenchmarkByName(name string) (Benchmark, bool) { return gen.ByName(name) }
+
+// Parametric circuit generators re-exported from the benchmark suite.
+var (
+	// RippleAdder builds an n-bit ripple-carry adder.
+	RippleAdder = gen.RippleAdder
+	// CarrySelectAdder builds an n-bit carry-select adder.
+	CarrySelectAdder = gen.CarrySelectAdder
+	// ArrayMultiplier builds an n×n array multiplier (c6288-like at n=16).
+	ArrayMultiplier = gen.ArrayMultiplier
+	// WallaceMultiplier builds an n×n Wallace-tree multiplier.
+	WallaceMultiplier = gen.WallaceMultiplier
+	// Alu builds an n-bit four-function ALU.
+	Alu = gen.Alu
+	// Comparator builds an n-bit magnitude comparator.
+	Comparator = gen.Comparator
+	// ECC builds a single-error-correcting network over n data bits.
+	ECC = gen.ECC
+	// Decoder builds an n-to-2^n decoder with enable.
+	Decoder = gen.Decoder
+	// ParityTree builds an n-input parity checker.
+	ParityTree = gen.ParityTree
+	// PriorityInterrupt builds a c432-like interrupt controller.
+	PriorityInterrupt = gen.PriorityInterrupt
+	// LFSR builds an n-bit linear feedback shift register (sequential).
+	LFSR = gen.LFSR
+	// Counter builds an n-bit synchronous up-counter (sequential).
+	Counter = gen.Counter
+)
+
+// Vectors is a test vector set: one packed row per primary input.
+type Vectors struct {
+	PI [][]uint64
+	N  int
+}
+
+// VectorOptions configures BuildVectors.
+type VectorOptions struct {
+	// Random is the number of random patterns (default 1024; the paper uses
+	// 6,000–10,000).
+	Random int
+	// Seed makes the set reproducible.
+	Seed int64
+	// Deterministic adds a PODEM test for every collapsed stuck-at fault the
+	// random patterns miss.
+	Deterministic bool
+}
+
+// BuildVectors produces the vector set V the diagnosis consumes.
+func BuildVectors(c *Circuit, o VectorOptions) Vectors {
+	res := tpg.BuildVectors(c, tpg.Options{Random: o.Random, Seed: o.Seed, Deterministic: o.Deterministic})
+	return Vectors{PI: res.PI, N: res.N}
+}
+
+// RandomVectors returns n purely random patterns.
+func RandomVectors(c *Circuit, n int, seed int64) Vectors {
+	return Vectors{PI: sim.RandomPatterns(len(c.PIs), n, seed), N: n}
+}
+
+// Responses simulates a circuit over the vectors and returns its primary
+// output rows — the observable behaviour of a device or specification.
+func Responses(c *Circuit, v Vectors) [][]uint64 {
+	return diagnose.DeviceOutputs(c, v.PI, v.N)
+}
+
+// Equivalent reports whether two circuits agree on the vector set.
+func Equivalent(a, b *Circuit, v Vectors) bool {
+	return sim.Equivalent(a, b, v.PI, v.N)
+}
+
+// FaultSites enumerates every stuck-at fault site (stems and branches).
+func FaultSites(c *Circuit) []Site { return fault.Sites(c) }
+
+// InjectFaults returns a copy of c with the stuck-at faults inserted.
+func InjectFaults(c *Circuit, fs ...Fault) *Circuit { return fault.Inject(c, fs...) }
+
+// InjectErrors returns a copy of c corrupted with k observable design
+// errors drawn from the Campenhout-style distribution, plus the injected
+// modifications.
+func InjectErrors(c *Circuit, k int, seed int64) (*Circuit, []Mod, error) {
+	return errmodel.Inject(c, k, errmodel.InjectOptions{Seed: seed})
+}
+
+// DiagnoseStuckAt runs exact multiple stuck-at diagnosis: every
+// minimal-size fault tuple whose injection reproduces deviceOut.
+func DiagnoseStuckAt(netlist *Circuit, deviceOut [][]uint64, v Vectors, o Options) *StuckAtResult {
+	return diagnose.DiagnoseStuckAt(netlist, deviceOut, v.PI, v.N, o)
+}
+
+// Repair runs design error diagnosis and correction: the first correction
+// set making impl match specOut, plus the rectified netlist.
+func Repair(impl *Circuit, specOut [][]uint64, v Vectors, o Options) (*RepairResult, error) {
+	return diagnose.Repair(impl, specOut, v.PI, v.N, o)
+}
+
+// Optimize returns an area-optimized, functionally equivalent copy
+// (constant folding, sweeping, structural hashing, dead gate removal).
+func Optimize(c *Circuit) (*Circuit, error) { return opt.Optimize(c) }
+
+// Bridge is a non-feedback wired-AND/OR bridging fault between two nets —
+// the "other physical fault" extension the paper names as future work.
+type Bridge = fault.Bridge
+
+// Bridge kinds.
+const (
+	WiredAnd = fault.WiredAnd
+	WiredOr  = fault.WiredOr
+)
+
+// InjectBridge returns a copy of c with the bridging fault inserted.
+func InjectBridge(c *Circuit, b Bridge) (*Circuit, error) { return fault.InjectBridge(c, b) }
+
+// DiagnosePhysical runs exact diagnosis over the composite physical fault
+// model (stuck-at + bridging shorts against maxPartners sampled partner
+// nets) and returns raw correction-set solutions.
+func DiagnosePhysical(netlist *Circuit, deviceOut [][]uint64, v Vectors, maxPartners int, o Options) *diagnose.Result {
+	return diagnose.DiagnosePhysical(netlist, deviceOut, v.PI, v.N, maxPartners, o)
+}
+
+// Unroll time-frame-expands a (non-scan) sequential circuit over the given
+// number of frames, giving it combinational meaning over input sequences.
+func Unroll(c *Circuit, frames int) (*Circuit, error) {
+	u, err := scan.Unroll(c, frames)
+	if err != nil {
+		return nil, err
+	}
+	return u.Comb, nil
+}
+
+// Distinguish SAT-checks two fault tuples: a distinguishing input vector,
+// or a proof that the two faulty machines are functionally identical.
+func Distinguish(c *Circuit, a, b Tuple, maxConflicts int64) (vector []bool, equivalent bool, err error) {
+	return diagnose.Distinguish(c, a, b, maxConflicts)
+}
+
+// PartitionTuples groups fault tuples into proven-equivalent classes —
+// the certified form of the paper's "equivalent fault classes".
+func PartitionTuples(c *Circuit, tuples []Tuple, maxConflicts int64) ([][]Tuple, error) {
+	return diagnose.PartitionTuples(c, tuples, maxConflicts)
+}
+
+// AdaptiveResult extends a stuck-at diagnosis with certified equivalence
+// classes and adaptive-pattern bookkeeping.
+type AdaptiveResult = diagnose.AdaptiveResult
+
+// DiagnoseAdaptive runs exact stuck-at diagnosis with adaptive diagnostic
+// pattern generation: SAT-generated distinguishing vectors are applied to
+// the (simulable) device and folded into V until every surviving tuple is
+// provably equivalent — perfect diagnostic resolution.
+func DiagnoseAdaptive(netlist, device *Circuit, v Vectors, o Options) (*AdaptiveResult, error) {
+	return diagnose.DiagnoseAdaptive(netlist, device, v.PI, v.N, o, 0, 0)
+}
+
+// EquivResult is a SAT equivalence verdict with counterexample.
+type EquivResult = equiv.Result
+
+// ProveEquivalent SAT-checks two combinational circuits: a proof of
+// equivalence, or a counterexample input. maxConflicts bounds the search
+// (0 = unlimited).
+func ProveEquivalent(a, b *Circuit, maxConflicts int64) (*EquivResult, error) {
+	return equiv.Check(a, b, equiv.Options{MaxConflicts: maxConflicts})
+}
+
+// ProvenResult is the outcome of the counterexample-guided repair loop.
+type ProvenResult = diagnose.ProvenResult
+
+// RepairProven runs DEDC in a counterexample-guided loop: repair on V,
+// SAT-check against the specification circuit, fold any counterexample back
+// into V and retry — returning a formally certified repair.
+func RepairProven(impl, spec *Circuit, v Vectors, o Options) (*ProvenResult, error) {
+	return diagnose.RepairProven(impl, spec, v.PI, v.N, o, 0, 0)
+}
+
+// ScanConvert returns the full-scan combinational view of a sequential
+// circuit: DFF outputs become pseudo primary inputs, DFF data inputs pseudo
+// primary outputs.
+func ScanConvert(c *Circuit) (*Circuit, error) {
+	cv, err := scan.Convert(c)
+	if err != nil {
+		return nil, err
+	}
+	return cv.Comb, nil
+}

@@ -1,0 +1,111 @@
+package dedc
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFacadeEndToEndDEDC exercises the public API exactly as the README
+// quick start describes.
+func TestFacadeEndToEndDEDC(t *testing.T) {
+	bm, ok := BenchmarkByName("alu4")
+	if !ok {
+		t.Fatal("alu4 missing")
+	}
+	spec := bm.Build()
+	bad, mods, err := InjectErrors(spec, 2, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mods) != 2 {
+		t.Fatalf("injected %d errors", len(mods))
+	}
+	vecs := BuildVectors(spec, VectorOptions{Random: 512, Seed: 1, Deterministic: true})
+	specOut := Responses(spec, vecs)
+	rep, err := Repair(bad, specOut, vecs, Options{MaxErrors: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equivalent(spec, rep.Repaired, RandomVectors(spec, 2048, 5)) {
+		t.Fatal("repair diverges on fresh vectors")
+	}
+}
+
+func TestFacadeEndToEndStuckAt(t *testing.T) {
+	bm, _ := BenchmarkByName("mult4")
+	c := bm.Build()
+	oc, err := Optimize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := FaultSites(oc)
+	ft := Fault{Site: sites[7], Value: true}
+	device := InjectFaults(oc, ft)
+	vecs := BuildVectors(oc, VectorOptions{Random: 512, Seed: 2})
+	devOut := Responses(device, vecs)
+	res := DiagnoseStuckAt(oc, devOut, vecs, Options{MaxErrors: 2})
+	if len(res.Tuples) == 0 {
+		t.Fatal("no tuples")
+	}
+	found := false
+	for _, tu := range res.Tuples {
+		if len(tu) == 1 && tu[0] == ft {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("actual fault not among tuples %v", res.Tuples)
+	}
+}
+
+func TestFacadeBenchRoundTrip(t *testing.T) {
+	b := NewBuilder()
+	x := b.PI("x")
+	y := b.PI("y")
+	b.POName(b.Nand(x, y), "z")
+	c := b.Done()
+	var sb strings.Builder
+	if err := WriteBench(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ReadBenchString(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equivalent(c, c2, RandomVectors(c, 64, 3)) {
+		t.Fatal("round trip changed function")
+	}
+}
+
+func TestFacadeScanConvert(t *testing.T) {
+	src := `
+INPUT(a)
+OUTPUT(q)
+q = DFF(d)
+d = NAND(a, q)
+`
+	c, err := ReadBenchString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comb, err := ScanConvert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comb.IsSequential() {
+		t.Fatal("still sequential")
+	}
+	if len(comb.PIs) != 2 {
+		t.Fatalf("PIs = %d, want 2", len(comb.PIs))
+	}
+}
+
+func TestFacadeSuite(t *testing.T) {
+	s := Suite()
+	if len(s) != 15 {
+		t.Fatalf("suite size %d", len(s))
+	}
+	if _, ok := BenchmarkByName("c6288*"); !ok {
+		t.Fatal("c6288* missing")
+	}
+}

@@ -1,0 +1,69 @@
+// Multiplier debugging example (Table 2 style): the paper highlights the
+// 16x16 array multiplier c6288 as "a traditionally hard to diagnose and
+// correct circuit". This example corrupts an array multiplier with three
+// design errors and rectifies it, printing the per-phase statistics the
+// paper's Table 2 reports.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"dedc"
+)
+
+func main() {
+	width := flag.Int("width", 8, "multiplier operand width (16 = c6288 scale)")
+	errors := flag.Int("errors", 3, "design errors to inject")
+	flag.Parse()
+
+	spec := mustMult(*width)
+	fmt.Printf("%dx%d array multiplier: %d gates, %d lines\n",
+		*width, *width, spec.NumGates(), spec.LineCount())
+
+	impl, mods, err := dedc.InjectErrors(spec, *errors, 2002)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("injected %d design errors:\n", len(mods))
+	for _, m := range mods {
+		fmt.Printf("  %v\n", m)
+	}
+
+	vecs := dedc.BuildVectors(spec, dedc.VectorOptions{Random: 4096, Seed: 5, Deterministic: true})
+	specOut := dedc.Responses(spec, vecs)
+
+	start := time.Now()
+	rep, err := dedc.Repair(impl, specOut, vecs, dedc.Options{MaxErrors: *errors + 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := time.Since(start)
+
+	fmt.Printf("\nrectified in %v:\n", total)
+	for _, c := range rep.Corrections {
+		fmt.Printf("  %v\n", c)
+	}
+	st := rep.Stats
+	fmt.Printf("decision tree: %d nodes, %d rounds, schedule %v\n", st.Nodes, st.Rounds, st.Schedule)
+	fmt.Printf("diagnosis time %v, correction time %v, %d corrections trialed, %d screened out by Theorem 1\n",
+		st.DiagTime, st.CorrTime, st.Trials, st.Screened)
+
+	if !dedc.Equivalent(spec, rep.Repaired, dedc.RandomVectors(spec, 4096, 77)) {
+		log.Fatal("repair diverges on fresh vectors")
+	}
+	fmt.Println("repair verified on 4096 fresh vectors")
+}
+
+func mustMult(width int) *dedc.Circuit {
+	// The suite names the 16-bit instance c6288*; other widths come from the
+	// parametric generator exposed through cmd/genckt. Here we inline the
+	// builder equivalent for arbitrary width.
+	bm, ok := dedc.BenchmarkByName("c6288*")
+	if width == 16 && ok {
+		return bm.Build()
+	}
+	return dedc.ArrayMultiplier(width)
+}

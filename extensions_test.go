@@ -1,0 +1,131 @@
+package dedc
+
+import (
+	"testing"
+)
+
+func TestFacadeProveEquivalent(t *testing.T) {
+	a := RippleAdder(4)
+	b := CarrySelectAdder(4, 2)
+	res, err := ProveEquivalent(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent {
+		t.Fatal("adders not proven equivalent")
+	}
+	bad, _, err := InjectErrors(a, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = ProveEquivalent(a, bad, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Equivalent {
+		t.Fatal("erroneous circuit proven equivalent")
+	}
+	if len(res.Counterexample) != len(a.PIs) {
+		t.Fatal("counterexample missing")
+	}
+}
+
+func TestFacadeRepairProven(t *testing.T) {
+	spec := Alu(4)
+	bad, _, err := InjectErrors(spec, 1, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliberately weak vector set: the CEGAR loop has to earn its keep.
+	vecs := RandomVectors(spec, 32, 4)
+	res, err := RepairProven(bad, spec, vecs, Options{MaxErrors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Proven {
+		t.Fatalf("repair not proven (iterations %d)", res.Iterations)
+	}
+	eq, err := ProveEquivalent(res.Repaired, spec, 0)
+	if err != nil || !eq.Equivalent {
+		t.Fatal("final repair fails independent certification")
+	}
+}
+
+func TestFacadeBridgeDiagnosis(t *testing.T) {
+	c := Alu(4)
+	br := Bridge{A: c.PIs[0], B: c.PIs[4], Kind: WiredAnd}
+	device, err := InjectBridge(c, br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := BuildVectors(c, VectorOptions{Random: 512, Seed: 6})
+	devOut := Responses(device, vecs)
+	res := DiagnosePhysical(c, devOut, vecs, c.NumLines(), Options{MaxErrors: 2})
+	if len(res.Solutions) == 0 {
+		t.Fatal("bridge behaviour unexplained")
+	}
+	for _, s := range res.Solutions {
+		fixed := c.Clone()
+		for _, corr := range s.Corrections {
+			if err := corr.Apply(fixed); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !Equivalent(fixed, device, vecs) {
+			t.Fatalf("solution %v does not reproduce the device", s.Corrections)
+		}
+	}
+}
+
+func TestFacadeAdaptiveDiagnosis(t *testing.T) {
+	c, err := Optimize(Alu(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := FaultSites(c)
+	ft := Fault{Site: sites[10], Value: true}
+	device := InjectFaults(c, ft)
+	vecs := RandomVectors(c, 32, 3)
+	res, err := DiagnoseAdaptive(c, device, vecs, Options{MaxErrors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) == 0 {
+		t.Skip("fault unobservable on the weak set")
+	}
+	if len(res.Classes) != 1 {
+		t.Fatalf("%d classes remain after adaptive refinement", len(res.Classes))
+	}
+	// Partition + Distinguish round trip.
+	classes, err := PartitionTuples(c, res.Tuples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 1 {
+		t.Fatal("partition disagrees with adaptive result")
+	}
+}
+
+func TestFacadeUnroll(t *testing.T) {
+	src := `
+INPUT(en)
+OUTPUT(q)
+q = DFF(d)
+d = XOR(q, en)
+`
+	c, err := ReadBenchString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := Unroll(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.IsSequential() {
+		t.Fatal("unrolled circuit still sequential")
+	}
+	// 3 frames of 1 PI + 1 initial state = 4 PIs.
+	if len(u.PIs) != 4 {
+		t.Fatalf("PIs = %d, want 4", len(u.PIs))
+	}
+}

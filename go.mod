@@ -1,0 +1,3 @@
+module dedc
+
+go 1.22

@@ -1,0 +1,163 @@
+package baseline
+
+import (
+	"sort"
+
+	"dedc/internal/circuit"
+	"dedc/internal/fault"
+	"dedc/internal/sim"
+)
+
+// Dictionary is a precomputed single-fault diagnosis dictionary — the
+// classical cause–effect alternative ([9], [11] in the paper) that the
+// incremental method competes with. Two granularities are stored:
+//
+//   - the pass/fail signature (which vectors fail), the compact form
+//     shipped to testers, and
+//   - a hash of the full primary-output response, which restores most of
+//     the full-response dictionary's resolution at a fraction of the size.
+type Dictionary struct {
+	Faults []fault.Fault
+	// passFail[i] is fault i's failing-vector mask.
+	passFail [][]uint64
+	// fullHash[i] fingerprints fault i's complete PO response.
+	fullHash []uint64
+	n        int
+	w        int
+}
+
+// BuildDictionary fault-simulates every given fault and stores its
+// signatures. Fault order is preserved.
+func BuildDictionary(c *circuit.Circuit, faults []fault.Fault, pi [][]uint64, n int) *Dictionary {
+	e := sim.NewEngine(c, pi, n)
+	w := sim.Words(n)
+	d := &Dictionary{
+		Faults:   faults,
+		passFail: make([][]uint64, len(faults)),
+		fullHash: make([]uint64, len(faults)),
+		n:        n,
+		w:        w,
+	}
+	poIdx := make(map[circuit.Line]int, len(c.POs))
+	for i, po := range c.POs {
+		poIdx[po] = i
+	}
+	tail := sim.TailMask(n)
+	for i, f := range faults {
+		var changed []circuit.Line
+		if f.IsStem() {
+			changed = e.Trial(f.Line, e.ConstRow(f.Value))
+		} else {
+			g := &c.Gates[f.Reader]
+			changed = e.TrialEvalPins(f.Reader, g.Type, g.Fanin, map[int][]uint64{f.Pin: e.ConstRow(f.Value)})
+		}
+		mask := make([]uint64, w)
+		h := uint64(1469598103934665603) // FNV offset basis
+		// Hash PO diffs in PO order for a canonical fingerprint.
+		type poDiff struct {
+			idx  int
+			line circuit.Line
+		}
+		var diffs []poDiff
+		for _, l := range changed {
+			if idx, ok := poIdx[l]; ok {
+				diffs = append(diffs, poDiff{idx, l})
+			}
+		}
+		sort.Slice(diffs, func(a, b int) bool { return diffs[a].idx < diffs[b].idx })
+		for _, pd := range diffs {
+			tv, base := e.TrialVal(pd.line), e.BaseVal(pd.line)
+			for j := 0; j < w; j++ {
+				dw := tv[j] ^ base[j]
+				if j == w-1 {
+					dw &= tail
+				}
+				mask[j] |= dw
+				if dw != 0 {
+					h ^= uint64(pd.idx)<<32 ^ uint64(j)
+					h *= 1099511628211
+					h ^= dw
+					h *= 1099511628211
+				}
+			}
+		}
+		d.passFail[i] = mask
+		d.fullHash[i] = h
+	}
+	return d
+}
+
+// signatureOf computes the observed device signatures relative to the
+// fault-free machine.
+func (d *Dictionary) signatureOf(c *circuit.Circuit, deviceOut [][]uint64, pi [][]uint64) (mask []uint64, hash uint64) {
+	good := sim.Simulate(c, pi, d.n)
+	tail := sim.TailMask(d.n)
+	mask = make([]uint64, d.w)
+	hash = uint64(1469598103934665603)
+	for i, po := range c.POs {
+		row := good[po]
+		for j := 0; j < d.w; j++ {
+			dw := row[j] ^ deviceOut[i][j]
+			if j == d.w-1 {
+				dw &= tail
+			}
+			mask[j] |= dw
+			if dw != 0 {
+				hash ^= uint64(i)<<32 ^ uint64(j)
+				hash *= 1099511628211
+				hash ^= dw
+				hash *= 1099511628211
+			}
+		}
+	}
+	return mask, hash
+}
+
+// LookupFull returns the faults whose complete response fingerprint
+// matches the device observation — full-response dictionary resolution.
+func (d *Dictionary) LookupFull(c *circuit.Circuit, deviceOut [][]uint64, pi [][]uint64) []fault.Fault {
+	_, h := d.signatureOf(c, deviceOut, pi)
+	var out []fault.Fault
+	for i := range d.Faults {
+		if d.fullHash[i] == h {
+			out = append(out, d.Faults[i])
+		}
+	}
+	return out
+}
+
+// LookupPassFail returns the faults whose failing-vector set matches the
+// device observation — the coarser pass/fail dictionary.
+func (d *Dictionary) LookupPassFail(c *circuit.Circuit, deviceOut [][]uint64, pi [][]uint64) []fault.Fault {
+	mask, _ := d.signatureOf(c, deviceOut, pi)
+	var out []fault.Fault
+	for i := range d.Faults {
+		same := true
+		for j := 0; j < d.w; j++ {
+			if d.passFail[i][j] != mask[j] {
+				same = false
+				break
+			}
+		}
+		if same {
+			out = append(out, d.Faults[i])
+		}
+	}
+	return out
+}
+
+// Resolution summarizes dictionary ambiguity: the number of distinct
+// full-response classes and the size of the largest class — the classical
+// measure of diagnostic resolution.
+func (d *Dictionary) Resolution() (classes, largest int) {
+	counts := map[uint64]int{}
+	for _, h := range d.fullHash {
+		counts[h]++
+	}
+	for _, n := range counts {
+		if n > largest {
+			largest = n
+		}
+	}
+	return len(counts), largest
+}

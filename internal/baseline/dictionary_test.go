@@ -1,0 +1,110 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"dedc/internal/fault"
+	"dedc/internal/gen"
+	"dedc/internal/sim"
+)
+
+func TestDictionaryFindsInjectedFault(t *testing.T) {
+	c := gen.Alu(4)
+	n := 512
+	pi := sim.RandomPatterns(len(c.PIs), n, 7)
+	faults := fault.AllFaults(c)
+	d := BuildDictionary(c, faults, pi, n)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 15; trial++ {
+		ft := faults[rng.Intn(len(faults))]
+		device := fault.Inject(c, ft)
+		devOut := sim.Outputs(device, sim.Simulate(device, pi, n))
+		full := d.LookupFull(c, devOut, pi)
+		foundFull := false
+		for _, m := range full {
+			if m == ft {
+				foundFull = true
+			}
+		}
+		if !foundFull {
+			t.Fatalf("full-response lookup missed injected fault %v", ft)
+		}
+		pf := d.LookupPassFail(c, devOut, pi)
+		if len(pf) < len(full) {
+			t.Fatalf("pass/fail lookup (%d) narrower than full-response (%d)", len(pf), len(full))
+		}
+	}
+}
+
+func TestDictionaryFullMatchesAreBehavioral(t *testing.T) {
+	// Any fault the full-response lookup returns must really reproduce the
+	// device on the vector set (hash collisions would break this).
+	c := gen.ECC(8, false)
+	n := 384
+	pi := sim.RandomPatterns(len(c.PIs), n, 9)
+	faults := fault.AllFaults(c)
+	d := BuildDictionary(c, faults, pi, n)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		ft := faults[rng.Intn(len(faults))]
+		device := fault.Inject(c, ft)
+		devOut := sim.Outputs(device, sim.Simulate(device, pi, n))
+		for _, m := range d.LookupFull(c, devOut, pi) {
+			mc := fault.Inject(c, m)
+			mOut := sim.Outputs(mc, sim.Simulate(mc, pi, n))
+			for _, w := range sim.DiffMask(mOut, devOut, n) {
+				if w != 0 {
+					t.Fatalf("full-response match %v does not reproduce device of %v", m, ft)
+				}
+			}
+		}
+	}
+}
+
+func TestDictionaryResolution(t *testing.T) {
+	c := gen.Alu(4)
+	n := 512
+	pi := sim.RandomPatterns(len(c.PIs), n, 2)
+	reps, _ := fault.Collapse(c)
+	d := BuildDictionary(c, reps, pi, n)
+	classes, largest := d.Resolution()
+	if classes < 2 || largest < 1 {
+		t.Fatalf("degenerate resolution: %d classes, largest %d", classes, largest)
+	}
+	// Collapsed representatives should be mostly distinguishable: classes
+	// should be a large fraction of the fault count.
+	if classes*2 < len(reps) {
+		t.Fatalf("resolution too low: %d classes for %d faults", classes, len(reps))
+	}
+}
+
+func TestDictionaryAgreesWithSingleFaultMatches(t *testing.T) {
+	// The dictionary's full-response lookup and the direct trial-based
+	// matcher must return the same set.
+	c := gen.Random(gen.RandomOptions{PIs: 6, Gates: 50, Seed: 12})
+	n := 256
+	pi := sim.RandomPatterns(len(c.PIs), n, 4)
+	faults := fault.AllFaults(c)
+	d := BuildDictionary(c, faults, pi, n)
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 8; trial++ {
+		ft := faults[rng.Intn(len(faults))]
+		device := fault.Inject(c, ft)
+		devOut := sim.Outputs(device, sim.Simulate(device, pi, n))
+		dict := d.LookupFull(c, devOut, pi)
+		direct := SingleFaultMatches(c, devOut, pi, n)
+		if len(dict) != len(direct) {
+			t.Fatalf("dictionary %d matches vs direct %d", len(dict), len(direct))
+		}
+		dm := map[fault.Fault]bool{}
+		for _, f := range dict {
+			dm[f] = true
+		}
+		for _, f := range direct {
+			if !dm[f] {
+				t.Fatalf("direct match %v missing from dictionary", f)
+			}
+		}
+	}
+}

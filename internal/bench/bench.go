@@ -1,0 +1,265 @@
+// Package bench reads and writes the ISCAS ".bench" netlist format, the
+// lingua franca of the ISCAS'85/'89 benchmark suites the paper evaluates on:
+//
+//	# comment
+//	INPUT(G1)
+//	OUTPUT(G17)
+//	G10 = NAND(G1, G3)
+//	G11 = NOT(G10)
+//	G12 = DFF(G11)
+//
+// Gate names may be referenced before they are defined; the reader resolves
+// forward references in a second pass. The writer emits gates in topological
+// order so its output is always readable by single-pass tools.
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"dedc/internal/circuit"
+)
+
+var typeByName = map[string]circuit.GateType{
+	"BUF":    circuit.Buf,
+	"BUFF":   circuit.Buf,
+	"NOT":    circuit.Not,
+	"INV":    circuit.Not,
+	"AND":    circuit.And,
+	"NAND":   circuit.Nand,
+	"OR":     circuit.Or,
+	"NOR":    circuit.Nor,
+	"XOR":    circuit.Xor,
+	"XNOR":   circuit.Xnor,
+	"DFF":    circuit.DFF,
+	"CONST0": circuit.Const0,
+	"CONST1": circuit.Const1,
+}
+
+var nameByType = map[circuit.GateType]string{
+	circuit.Buf:    "BUF",
+	circuit.Not:    "NOT",
+	circuit.And:    "AND",
+	circuit.Nand:   "NAND",
+	circuit.Or:     "OR",
+	circuit.Nor:    "NOR",
+	circuit.Xor:    "XOR",
+	circuit.Xnor:   "XNOR",
+	circuit.DFF:    "DFF",
+	circuit.Const0: "CONST0",
+	circuit.Const1: "CONST1",
+}
+
+// ParseError reports a syntax or semantic problem with a .bench source.
+type ParseError struct {
+	LineNo int
+	Msg    string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("bench: line %d: %s", e.LineNo, e.Msg)
+}
+
+type rawGate struct {
+	name   string
+	typ    string
+	fanin  []string
+	lineNo int
+}
+
+// Read parses a .bench netlist.
+func Read(r io.Reader) (*circuit.Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+
+	var inputs, outputs []string
+	var gates []rawGate
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		switch {
+		case matchDirective(line, "INPUT"):
+			name, err := directiveArg(line, "INPUT", lineNo)
+			if err != nil {
+				return nil, err
+			}
+			inputs = append(inputs, name)
+		case matchDirective(line, "OUTPUT"):
+			name, err := directiveArg(line, "OUTPUT", lineNo)
+			if err != nil {
+				return nil, err
+			}
+			outputs = append(outputs, name)
+		default:
+			g, err := parseAssignment(line, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			gates = append(gates, g)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	return build(inputs, outputs, gates)
+}
+
+// ReadString parses a .bench netlist from a string.
+func ReadString(s string) (*circuit.Circuit, error) {
+	return Read(strings.NewReader(s))
+}
+
+func matchDirective(line, kw string) bool {
+	return len(line) > len(kw) && strings.EqualFold(line[:len(kw)], kw) &&
+		strings.HasPrefix(strings.TrimSpace(line[len(kw):]), "(")
+}
+
+func directiveArg(line, kw string, lineNo int) (string, error) {
+	rest := strings.TrimSpace(line[len(kw):])
+	if !strings.HasPrefix(rest, "(") || !strings.HasSuffix(rest, ")") {
+		return "", &ParseError{lineNo, fmt.Sprintf("malformed %s directive %q", kw, line)}
+	}
+	name := strings.TrimSpace(rest[1 : len(rest)-1])
+	if name == "" {
+		return "", &ParseError{lineNo, fmt.Sprintf("empty name in %s directive", kw)}
+	}
+	return name, nil
+}
+
+func parseAssignment(line string, lineNo int) (rawGate, error) {
+	eq := strings.IndexByte(line, '=')
+	if eq < 0 {
+		return rawGate{}, &ParseError{lineNo, fmt.Sprintf("expected assignment, got %q", line)}
+	}
+	name := strings.TrimSpace(line[:eq])
+	rhs := strings.TrimSpace(line[eq+1:])
+	open := strings.IndexByte(rhs, '(')
+	if open < 0 || !strings.HasSuffix(rhs, ")") {
+		return rawGate{}, &ParseError{lineNo, fmt.Sprintf("malformed gate expression %q", rhs)}
+	}
+	typ := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+	if _, ok := typeByName[typ]; !ok {
+		return rawGate{}, &ParseError{lineNo, fmt.Sprintf("unknown gate type %q", typ)}
+	}
+	argStr := strings.TrimSpace(rhs[open+1 : len(rhs)-1])
+	var fanin []string
+	if argStr != "" {
+		for _, a := range strings.Split(argStr, ",") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				return rawGate{}, &ParseError{lineNo, "empty fanin name"}
+			}
+			fanin = append(fanin, a)
+		}
+	}
+	if name == "" {
+		return rawGate{}, &ParseError{lineNo, "empty gate name"}
+	}
+	return rawGate{name: name, typ: typ, fanin: fanin, lineNo: lineNo}, nil
+}
+
+func build(inputs, outputs []string, gates []rawGate) (*circuit.Circuit, error) {
+	c := circuit.New(len(inputs) + len(gates))
+	byName := make(map[string]circuit.Line, len(inputs)+len(gates))
+	for _, name := range inputs {
+		if _, dup := byName[name]; dup {
+			return nil, fmt.Errorf("bench: duplicate definition of %q", name)
+		}
+		byName[name] = c.AddPI(name)
+	}
+	// First pass: create every gate with empty fanin so forward references
+	// resolve; second pass: connect.
+	for _, g := range gates {
+		if _, dup := byName[g.name]; dup {
+			return nil, &ParseError{g.lineNo, fmt.Sprintf("duplicate definition of %q", g.name)}
+		}
+		byName[g.name] = c.AddNamedGate(g.name, typeByName[g.typ])
+	}
+	for _, g := range gates {
+		l := byName[g.name]
+		for _, fn := range g.fanin {
+			src, ok := byName[fn]
+			if !ok {
+				return nil, &ParseError{g.lineNo, fmt.Sprintf("undefined signal %q", fn)}
+			}
+			c.AppendFanin(l, src)
+		}
+	}
+	for _, name := range outputs {
+		l, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("bench: OUTPUT references undefined signal %q", name)
+		}
+		c.MarkPO(l)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Write emits the circuit in .bench format. Gates appear in topological
+// order (DFF feedback handled by cutting state elements for ordering only).
+func Write(w io.Writer, c *circuit.Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d gates\n", len(c.PIs), len(c.POs), c.NumGates()-len(c.PIs))
+	for _, pi := range c.PIs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.Name(pi))
+	}
+	for _, po := range c.POs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Name(po))
+	}
+	for _, l := range writeOrder(c) {
+		g := &c.Gates[l]
+		if g.Type == circuit.Input {
+			continue
+		}
+		tn, ok := nameByType[g.Type]
+		if !ok {
+			return fmt.Errorf("bench: cannot serialize gate type %s", g.Type)
+		}
+		names := make([]string, len(g.Fanin))
+		for i, f := range g.Fanin {
+			names[i] = c.Name(f)
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", c.Name(l), tn, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}
+
+// WriteString renders the circuit to a string.
+func WriteString(c *circuit.Circuit) (string, error) {
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+// writeOrder returns a topological order that tolerates DFF feedback by
+// ordering against a state-cut view of the circuit.
+func writeOrder(c *circuit.Circuit) []circuit.Line {
+	if !c.IsSequential() {
+		return c.Topo()
+	}
+	cut := c.Clone()
+	for i := range cut.Gates {
+		if cut.Gates[i].Type == circuit.DFF {
+			cut.Gates[i].Fanin = nil
+		}
+	}
+	// DFFs order as sources in the cut view, which single-pass readers of
+	// sequential .bench files must tolerate anyway (feedback makes a strict
+	// def-before-use order impossible).
+	return cut.Topo()
+}

@@ -1,0 +1,311 @@
+package bench
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dedc/internal/circuit"
+	"dedc/internal/sim"
+)
+
+const c17 = `
+# c17 — the classic 6-NAND ISCAS'85 warm-up circuit
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+`
+
+func TestReadC17(t *testing.T) {
+	c, err := ReadString(c17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.PIs) != 5 || len(c.POs) != 2 {
+		t.Fatalf("PIs=%d POs=%d, want 5/2", len(c.PIs), len(c.POs))
+	}
+	if c.NumGates() != 11 {
+		t.Fatalf("gates = %d, want 11", c.NumGates())
+	}
+	for i := 5; i < 11; i++ {
+		if c.Gates[i].Type != circuit.Nand {
+			t.Fatalf("gate %d type = %s, want NAND", i, c.Gates[i].Type)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadC17Function(t *testing.T) {
+	c, err := ReadString(c17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With all inputs 0, every first-level NAND is 1, so 22 = NAND(1,1) = 0?
+	// Compute a couple of spot values against hand evaluation.
+	pi, n := sim.ExhaustivePatterns(5)
+	val := sim.Simulate(c, pi, n)
+	get := func(name string, pat int) bool {
+		for i := range c.Gates {
+			if c.Name(circuit.Line(i)) == name {
+				return val[i][pat/64]>>(pat%64)&1 == 1
+			}
+		}
+		t.Fatalf("no line %q", name)
+		return false
+	}
+	// Pattern 0: all inputs 0. 10=NAND(0,0)=1, 16=NAND(0,1)=1, 22=NAND(1,1)=0.
+	if get("22", 0) != false {
+		t.Error("22 at all-zero inputs should be 0")
+	}
+	// 19=NAND(11=1, 7=0)=1, 23=NAND(16=1,19=1)=0.
+	if get("23", 0) != false {
+		t.Error("23 at all-zero inputs should be 0")
+	}
+	// Pattern 31: all inputs 1. 10=NAND(1,1)=0? inputs are named 1,2,3,6,7:
+	// PI order is 1,2,3,6,7 → pattern 31 sets all. 10=NAND(1,3)=0, 11=0,
+	// 16=NAND(1,0)=1, 19=NAND(0,1)=1, 22=NAND(0,1)=1, 23=NAND(1,1)=0.
+	if get("22", 31) != true {
+		t.Error("22 at all-one inputs should be 1")
+	}
+	if get("23", 31) != false {
+		t.Error("23 at all-one inputs should be 0")
+	}
+}
+
+func TestForwardReferences(t *testing.T) {
+	src := `
+INPUT(a)
+OUTPUT(y)
+y = AND(m, a)
+m = NOT(a)
+`
+	c, err := ReadString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// y = a AND NOT a == 0 always.
+	pi, n := sim.ExhaustivePatterns(1)
+	val := sim.Simulate(c, pi, n)
+	if sim.Popcount(val[c.POs[0]], n) != 0 {
+		t.Error("a AND NOT a should be constant 0")
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := "  INPUT( a )  # trailing comment\n#whole line\n\nOUTPUT(b)\nb = NOT(a)  \n"
+	c, err := ReadString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.PIs) != 1 || len(c.POs) != 1 || c.NumGates() != 2 {
+		t.Fatalf("unexpected structure: %+v", c.Stats())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown gate", "INPUT(a)\nb = FROB(a)\nOUTPUT(b)\n"},
+		{"missing paren", "INPUT(a)\nb = NOT a\nOUTPUT(b)\n"},
+		{"undefined fanin", "INPUT(a)\nb = NOT(zz)\nOUTPUT(b)\n"},
+		{"undefined output", "INPUT(a)\nb = NOT(a)\nOUTPUT(q)\n"},
+		{"duplicate def", "INPUT(a)\nb = NOT(a)\nb = BUF(a)\nOUTPUT(b)\n"},
+		{"empty fanin", "INPUT(a)\nb = AND(a,)\nOUTPUT(b)\n"},
+		{"bad arity", "INPUT(a)\nb = AND(a)\nOUTPUT(b)\n"},
+		{"no assignment", "INPUT(a)\njunk line\n"},
+		{"empty input name", "INPUT()\n"},
+		{"combinational cycle", "INPUT(a)\nx = AND(a, y)\ny = BUF(x)\nOUTPUT(y)\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ReadString(tc.src); err == nil {
+			t.Errorf("%s: parse accepted invalid input", tc.name)
+		}
+	}
+}
+
+func TestSequentialFeedbackAccepted(t *testing.T) {
+	src := `
+INPUT(a)
+OUTPUT(q)
+q = DFF(d)
+d = XOR(a, q)
+`
+	c, err := ReadString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsSequential() {
+		t.Fatal("DFF circuit not sequential")
+	}
+}
+
+func TestWriteReadRoundTripC17(t *testing.T) {
+	c, err := ReadString(c17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := WriteString(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ReadString(s)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, s)
+	}
+	if !circuit.NameEqual(c, c2) {
+		t.Fatalf("round trip not name-equal:\n%s", s)
+	}
+}
+
+func TestWriteSequentialRoundTrip(t *testing.T) {
+	src := `
+INPUT(a)
+OUTPUT(q)
+q = DFF(d)
+d = NAND(a, q)
+`
+	c, err := ReadString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := WriteString(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ReadString(s)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, s)
+	}
+	if !circuit.NameEqual(c, c2) {
+		t.Fatal("sequential round trip not name-equal")
+	}
+}
+
+func TestWriterRejectsInputTypeOnly(t *testing.T) {
+	c := circuit.New(2)
+	a := c.AddPI("a")
+	g := c.AddGate(circuit.Buf, a)
+	c.MarkPO(g)
+	if _, err := WriteString(c); err != nil {
+		t.Fatalf("writer rejected valid circuit: %v", err)
+	}
+}
+
+func randomNamedCircuit(rng *rand.Rand, nPI, nGate int) *circuit.Circuit {
+	c := circuit.New(nPI + nGate)
+	for i := 0; i < nPI; i++ {
+		c.AddPI("in" + string(rune('a'+i)))
+	}
+	types := []circuit.GateType{circuit.Buf, circuit.Not, circuit.And, circuit.Nand,
+		circuit.Or, circuit.Nor, circuit.Xor, circuit.Xnor}
+	for i := 0; i < nGate; i++ {
+		tt := types[rng.Intn(len(types))]
+		n := tt.MinFanin()
+		if tt.MaxFanin() < 0 {
+			n += rng.Intn(3)
+		}
+		fanin := make([]circuit.Line, n)
+		for j := range fanin {
+			fanin[j] = circuit.Line(rng.Intn(c.NumLines()))
+		}
+		l := c.AddGate(tt, fanin...)
+		c.Gates[l].Name = "g" + itoa(i)
+	}
+	fo := c.Fanout()
+	for l := 0; l < c.NumLines(); l++ {
+		if len(fo[l]) == 0 {
+			c.MarkPO(circuit.Line(l))
+		}
+	}
+	return c
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}
+
+func TestPropertyRoundTripPreservesFunction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomNamedCircuit(rng, 4, 25)
+		s, err := WriteString(c)
+		if err != nil {
+			return false
+		}
+		c2, err := ReadString(s)
+		if err != nil {
+			return false
+		}
+		if !circuit.NameEqual(c, c2) {
+			return false
+		}
+		// Same PI names must map positionally (writer preserves PI order).
+		return sim.EquivalentExhaustive(c, c2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterTopologicalOrder(t *testing.T) {
+	c, err := ReadString(c17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := WriteString(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defined := map[string]bool{}
+	for _, line := range strings.Split(s, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "INPUT(") {
+			defined[line[6:len(line)-1]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "OUTPUT(") {
+			continue
+		}
+		parts := strings.SplitN(line, "=", 2)
+		name := strings.TrimSpace(parts[0])
+		rhs := strings.TrimSpace(parts[1])
+		open := strings.IndexByte(rhs, '(')
+		for _, a := range strings.Split(rhs[open+1:len(rhs)-1], ",") {
+			if !defined[strings.TrimSpace(a)] {
+				t.Fatalf("gate %s uses %s before definition", name, strings.TrimSpace(a))
+			}
+		}
+		defined[name] = true
+	}
+}

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"dedc/internal/circuit"
+)
+
+// FuzzRead exercises the .bench parser on arbitrary input: it must never
+// panic, and anything it accepts must be a valid circuit that survives a
+// write/read round trip.
+func FuzzRead(f *testing.F) {
+	f.Add(c17)
+	f.Add("INPUT(a)\nOUTPUT(b)\nb = NOT(a)\n")
+	f.Add("INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = NAND(a, q)\n")
+	f.Add("# empty\n")
+	f.Add("b = AND(a, a)\n")
+	f.Add("INPUT(a)\nOUTPUT(a)\n")
+	f.Add("INPUT()\n")
+	f.Add("x = XOR(x)\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ReadString(src)
+		if err != nil {
+			return
+		}
+		if verr := c.Validate(); verr != nil {
+			t.Fatalf("parser accepted invalid circuit: %v\ninput: %q", verr, src)
+		}
+		out, werr := WriteString(c)
+		if werr != nil {
+			// Writer only rejects unnameable gate types, which the parser
+			// cannot produce.
+			t.Fatalf("round-trip write failed: %v", werr)
+		}
+		c2, rerr := ReadString(out)
+		if rerr != nil {
+			t.Fatalf("reparse of own output failed: %v\n%s", rerr, out)
+		}
+		if !circuit.NameEqual(c, c2) {
+			t.Fatalf("round trip not name-equal for input %q", src)
+		}
+	})
+}
+
+// FuzzDirectiveEdgeCases locks in whitespace/comment tolerance.
+func FuzzDirectiveEdgeCases(f *testing.F) {
+	f.Add("a", "b")
+	f.Fuzz(func(t *testing.T, in, out string) {
+		if strings.ContainsAny(in+out, "(),=# \t\r\n") || in == "" || out == "" || in == out {
+			t.Skip()
+		}
+		src := "INPUT(" + in + ")\nOUTPUT(" + out + ")\n" + out + " = NOT(" + in + ")\n"
+		c, err := ReadString(src)
+		if err != nil {
+			t.Fatalf("well-formed source rejected: %v\n%q", err, src)
+		}
+		if len(c.PIs) != 1 || len(c.POs) != 1 {
+			t.Fatal("structure wrong")
+		}
+	})
+}

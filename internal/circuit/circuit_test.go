@@ -1,0 +1,437 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// buildSmall returns the two-error example circuit shape of the paper's
+// Fig. 1: two lines merging in a gate G.
+func buildSmall(t *testing.T) (*Circuit, Line, Line, Line) {
+	t.Helper()
+	c := New(8)
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	d := c.AddPI("d")
+	l1 := c.AddNamedGate("l1", And, a, b)
+	l2 := c.AddNamedGate("l2", Or, b, d)
+	g := c.AddNamedGate("G", Nand, l1, l2)
+	c.MarkPO(g)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return c, l1, l2, g
+}
+
+func TestAddGateAssignsSequentialLines(t *testing.T) {
+	c := New(4)
+	if got := c.AddPI("x"); got != 0 {
+		t.Fatalf("first line = %d, want 0", got)
+	}
+	if got := c.AddPI("y"); got != 1 {
+		t.Fatalf("second line = %d, want 1", got)
+	}
+	if got := c.AddGate(And, 0, 1); got != 2 {
+		t.Fatalf("third line = %d, want 2", got)
+	}
+	if len(c.PIs) != 2 {
+		t.Fatalf("PIs = %v, want 2 entries", c.PIs)
+	}
+}
+
+func TestMarkPODeduplicates(t *testing.T) {
+	c := New(2)
+	x := c.AddPI("x")
+	c.MarkPO(x)
+	c.MarkPO(x)
+	if len(c.POs) != 1 {
+		t.Fatalf("POs = %v, want a single entry", c.POs)
+	}
+}
+
+func TestTopoRespectsDependencies(t *testing.T) {
+	c, _, _, _ := buildSmall(t)
+	pos := make(map[Line]int)
+	for i, l := range c.Topo() {
+		pos[l] = i
+	}
+	for i, g := range c.Gates {
+		for _, f := range g.Fanin {
+			if pos[f] >= pos[Line(i)] {
+				t.Fatalf("fanin %d not before gate %d in topo order", f, i)
+			}
+		}
+	}
+}
+
+func TestTopoDeterministic(t *testing.T) {
+	c, _, _, _ := buildSmall(t)
+	a := append([]Line(nil), c.Topo()...)
+	c.invalidate()
+	b := c.Topo()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("topo order not deterministic at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestLevels(t *testing.T) {
+	c, l1, l2, g := buildSmall(t)
+	lv := c.Levels()
+	for _, pi := range c.PIs {
+		if lv[pi] != 0 {
+			t.Fatalf("PI level = %d, want 0", lv[pi])
+		}
+	}
+	if lv[l1] != 1 || lv[l2] != 1 {
+		t.Fatalf("internal levels = %d,%d, want 1,1", lv[l1], lv[l2])
+	}
+	if lv[g] != 2 {
+		t.Fatalf("output level = %d, want 2", lv[g])
+	}
+	if c.Depth() != 2 {
+		t.Fatalf("Depth = %d, want 2", c.Depth())
+	}
+}
+
+func TestFanout(t *testing.T) {
+	c, l1, l2, g := buildSmall(t)
+	fo := c.Fanout()
+	// b feeds both l1 and l2.
+	b := c.PIs[1]
+	if len(fo[b]) != 2 {
+		t.Fatalf("fanout(b) = %v, want 2 readers", fo[b])
+	}
+	if len(fo[l1]) != 1 || fo[l1][0] != g {
+		t.Fatalf("fanout(l1) = %v, want [G]", fo[l1])
+	}
+	if len(fo[l2]) != 1 || fo[l2][0] != g {
+		t.Fatalf("fanout(l2) = %v, want [G]", fo[l2])
+	}
+	if len(fo[g]) != 0 {
+		t.Fatalf("fanout(G) = %v, want none", fo[g])
+	}
+}
+
+func TestFanoutCountsDuplicatePins(t *testing.T) {
+	c := New(2)
+	x := c.AddPI("x")
+	g := c.AddGate(And, x, x)
+	c.MarkPO(g)
+	if got := c.FanoutCount(x); got != 2 {
+		t.Fatalf("FanoutCount = %d, want 2 (one per pin)", got)
+	}
+}
+
+func TestFanoutCone(t *testing.T) {
+	c, l1, _, g := buildSmall(t)
+	cone := c.FanoutCone(l1)
+	if len(cone) != 2 || cone[0] != l1 || cone[1] != g {
+		t.Fatalf("FanoutCone(l1) = %v, want [l1 G]", cone)
+	}
+	b := c.PIs[1]
+	cone = c.FanoutCone(b)
+	if len(cone) != 4 {
+		t.Fatalf("FanoutCone(b) = %v, want 4 lines", cone)
+	}
+}
+
+func TestFaninCone(t *testing.T) {
+	c, l1, _, g := buildSmall(t)
+	cone := c.FaninCone(g)
+	if len(cone) != 6 {
+		t.Fatalf("FaninCone(G) = %v, want all 6 lines", cone)
+	}
+	cone = c.FaninCone(l1)
+	if len(cone) != 3 {
+		t.Fatalf("FaninCone(l1) = %v, want [a b l1]", cone)
+	}
+}
+
+func TestConeOutputs(t *testing.T) {
+	c, l1, _, g := buildSmall(t)
+	pos := c.ConeOutputs(l1)
+	if len(pos) != 1 || pos[0] != g {
+		t.Fatalf("ConeOutputs(l1) = %v, want [G]", pos)
+	}
+}
+
+func TestLineCount(t *testing.T) {
+	c, _, _, _ := buildSmall(t)
+	// Stems: 6. Only b fans out to 2 pins, contributing 2 branch lines.
+	if got := c.LineCount(); got != 8 {
+		t.Fatalf("LineCount = %d, want 8", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c, l1, _, _ := buildSmall(t)
+	nc := c.Clone()
+	if !StructuralEqual(c, nc) {
+		t.Fatal("clone not structurally equal")
+	}
+	nc.SetType(l1, Or)
+	if c.Type(l1) == Or {
+		t.Fatal("mutating clone affected original type")
+	}
+	nc.SetFanin(l1, 0, nc.PIs[2])
+	if c.Fanin(l1)[0] == c.PIs[2] {
+		t.Fatal("mutating clone affected original fanin")
+	}
+}
+
+func TestMutatorsInvalidateDerivedData(t *testing.T) {
+	c, l1, _, g := buildSmall(t)
+	_ = c.Topo()
+	_ = c.Levels()
+	c.AppendFanin(g, c.PIs[0])
+	if got := len(c.Fanout()[c.PIs[0]]); got != 2 {
+		t.Fatalf("fanout after AppendFanin = %d, want 2", got)
+	}
+	c.RemoveFanin(g, 2)
+	if got := len(c.Fanout()[c.PIs[0]]); got != 1 {
+		t.Fatalf("fanout after RemoveFanin = %d, want 1", got)
+	}
+	_ = l1
+}
+
+func TestValidateCatchesBadArity(t *testing.T) {
+	c := New(2)
+	x := c.AddPI("x")
+	g := c.AddGate(And, x) // AND with a single input is illegal
+	c.MarkPO(g)
+	if err := c.Validate(); err == nil {
+		t.Fatal("Validate accepted a 1-input AND")
+	}
+}
+
+func TestValidateCatchesCycle(t *testing.T) {
+	c := New(3)
+	x := c.AddPI("x")
+	g1 := c.AddGate(And, x, x) // placeholder fanin, patched below
+	g2 := c.AddGate(Or, g1, x)
+	c.Gates[g1].Fanin[1] = g2 // creates a cycle g1 -> g2 -> g1
+	c.MarkPO(g2)
+	if err := c.Validate(); err == nil {
+		t.Fatal("Validate accepted a cyclic netlist")
+	}
+}
+
+func TestValidateCatchesOutOfRange(t *testing.T) {
+	c := New(2)
+	x := c.AddPI("x")
+	g := c.AddGate(Buf, x)
+	c.Gates[g].Fanin[0] = 99
+	c.MarkPO(g)
+	if err := c.Validate(); err == nil {
+		t.Fatal("Validate accepted out-of-range fanin")
+	}
+}
+
+func TestGateTypeProperties(t *testing.T) {
+	cases := []struct {
+		t      GateType
+		ctrl   bool
+		ctrlV  bool
+		invert bool
+	}{
+		{And, true, false, false},
+		{Nand, true, false, true},
+		{Or, true, true, false},
+		{Nor, true, true, true},
+		{Buf, true, false, false},
+		{Not, true, false, true},
+		{Xor, false, false, false},
+		{Xnor, false, false, true},
+	}
+	for _, tc := range cases {
+		v, ok := tc.t.ControllingValue()
+		if ok != tc.ctrl {
+			t.Errorf("%s: HasControlling = %v, want %v", tc.t, ok, tc.ctrl)
+		}
+		if ok && tc.t != Buf && tc.t != Not && v != tc.ctrlV {
+			t.Errorf("%s: controlling value = %v, want %v", tc.t, v, tc.ctrlV)
+		}
+		if tc.t.Inverting() != tc.invert {
+			t.Errorf("%s: Inverting = %v, want %v", tc.t, tc.t.Inverting(), tc.invert)
+		}
+	}
+}
+
+func TestInversionOfIsInvolution(t *testing.T) {
+	for tt := GateType(0); tt < numGateTypes; tt++ {
+		inv, ok := tt.InversionOf()
+		if !ok {
+			continue
+		}
+		back, ok2 := inv.InversionOf()
+		if !ok2 || back != tt {
+			t.Errorf("%s: inversion not an involution (got %s -> %s)", tt, inv, back)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	c, _, _, _ := buildSmall(t)
+	s := c.Stats()
+	if s.Gates != 6 || s.PIs != 3 || s.POs != 1 || s.Lines != 8 || s.Levels != 2 || s.DFFs != 0 {
+		t.Fatalf("Stats = %+v", s)
+	}
+	if c.IsSequential() {
+		t.Fatal("combinational circuit reported sequential")
+	}
+}
+
+func TestSequentialDetection(t *testing.T) {
+	c := New(3)
+	x := c.AddPI("x")
+	d := c.AddGate(DFF, x)
+	c.MarkPO(d)
+	if !c.IsSequential() {
+		t.Fatal("DFF circuit not reported sequential")
+	}
+	if c.Stats().DFFs != 1 {
+		t.Fatalf("DFFs = %d, want 1", c.Stats().DFFs)
+	}
+}
+
+// randomDAG builds a random valid combinational circuit for property tests.
+func randomDAG(rng *rand.Rand, nPI, nGate int) *Circuit {
+	c := New(nPI + nGate)
+	for i := 0; i < nPI; i++ {
+		c.AddPI("")
+	}
+	types := []GateType{Buf, Not, And, Nand, Or, Nor, Xor, Xnor}
+	for i := 0; i < nGate; i++ {
+		tt := types[rng.Intn(len(types))]
+		n := tt.MinFanin()
+		if tt.MaxFanin() < 0 {
+			n += rng.Intn(3)
+		}
+		fanin := make([]Line, n)
+		for j := range fanin {
+			fanin[j] = Line(rng.Intn(len(c.Gates)))
+		}
+		c.AddGate(tt, fanin...)
+	}
+	// Mark all sink lines as POs so nothing dangles.
+	fo := c.Fanout()
+	for l := range c.Gates {
+		if len(fo[l]) == 0 {
+			c.MarkPO(Line(l))
+		}
+	}
+	return c
+}
+
+func TestRandomDAGsValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		c := randomDAG(rng, 2+rng.Intn(6), 1+rng.Intn(40))
+		if err := c.Validate(); err != nil {
+			t.Fatalf("random DAG %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestPropertyTopoIsPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomDAG(rng, 3, 30)
+		topo := c.Topo()
+		if len(topo) != c.NumLines() {
+			return false
+		}
+		seen := make(map[Line]bool)
+		for _, l := range topo {
+			if seen[l] {
+				return false
+			}
+			seen[l] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyLevelsMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomDAG(rng, 3, 30)
+		lv := c.Levels()
+		for i, g := range c.Gates {
+			for _, fin := range g.Fanin {
+				if lv[fin] >= lv[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyConesConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomDAG(rng, 3, 25)
+		l := Line(rng.Intn(c.NumLines()))
+		// l is in the fanin cone of x iff x is in the fanout cone of l.
+		inFanout := make(map[Line]bool)
+		for _, x := range c.FanoutCone(l) {
+			inFanout[x] = true
+		}
+		for x := Line(0); int(x) < c.NumLines(); x++ {
+			inFanin := false
+			for _, y := range c.FaninCone(x) {
+				if y == l {
+					inFanin = true
+					break
+				}
+			}
+			if inFanin != inFanout[x] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNameFallback(t *testing.T) {
+	c := New(1)
+	l := c.AddGate(Input)
+	c.PIs = c.PIs[:1]
+	if got := c.Name(l); got != "n0" {
+		t.Fatalf("Name = %q, want n0", got)
+	}
+	c.Gates[l].Name = "alpha"
+	if got := c.Name(l); got != "alpha" {
+		t.Fatalf("Name = %q, want alpha", got)
+	}
+}
+
+func TestStructuralEqualDetectsDifferences(t *testing.T) {
+	a, l1, _, _ := buildSmall(t)
+	b := a.Clone()
+	if !StructuralEqual(a, b) {
+		t.Fatal("identical clones reported unequal")
+	}
+	b.SetType(l1, Or)
+	if StructuralEqual(a, b) {
+		t.Fatal("type change not detected")
+	}
+	b = a.Clone()
+	b.SetFanin(l1, 0, b.PIs[2])
+	if StructuralEqual(a, b) {
+		t.Fatal("fanin change not detected")
+	}
+}

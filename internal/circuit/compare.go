@@ -1,0 +1,71 @@
+package circuit
+
+// StructuralEqual reports whether two circuits are identical up to gate
+// indices: same gate count, same types, same fanin connections (by index and
+// pin order), same PI and PO lists. Names are ignored so that generated and
+// parsed circuits can be compared.
+func StructuralEqual(a, b *Circuit) bool {
+	if len(a.Gates) != len(b.Gates) || len(a.PIs) != len(b.PIs) || len(a.POs) != len(b.POs) {
+		return false
+	}
+	for i := range a.Gates {
+		ga, gb := a.Gates[i], b.Gates[i]
+		if ga.Type != gb.Type || len(ga.Fanin) != len(gb.Fanin) {
+			return false
+		}
+		for p := range ga.Fanin {
+			if ga.Fanin[p] != gb.Fanin[p] {
+				return false
+			}
+		}
+	}
+	for i := range a.PIs {
+		if a.PIs[i] != b.PIs[i] {
+			return false
+		}
+	}
+	for i := range a.POs {
+		if a.POs[i] != b.POs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// NameEqual reports whether two circuits have the same named structure: the
+// gates are matched by name rather than index. It is the right comparison
+// after a .bench round trip, where gate ordering may legally differ.
+func NameEqual(a, b *Circuit) bool {
+	if len(a.Gates) != len(b.Gates) || len(a.PIs) != len(b.PIs) || len(a.POs) != len(b.POs) {
+		return false
+	}
+	bByName := make(map[string]Line, len(b.Gates))
+	for i := range b.Gates {
+		bByName[b.Name(Line(i))] = Line(i)
+	}
+	for i := range a.Gates {
+		bl, ok := bByName[a.Name(Line(i))]
+		if !ok {
+			return false
+		}
+		ga, gb := a.Gates[i], b.Gates[bl]
+		if ga.Type != gb.Type || len(ga.Fanin) != len(gb.Fanin) {
+			return false
+		}
+		for p := range ga.Fanin {
+			if b.Name(gb.Fanin[p]) != a.Name(ga.Fanin[p]) {
+				return false
+			}
+		}
+	}
+	poSet := make(map[string]bool, len(b.POs))
+	for _, po := range b.POs {
+		poSet[b.Name(po)] = true
+	}
+	for _, po := range a.POs {
+		if !poSet[a.Name(po)] {
+			return false
+		}
+	}
+	return true
+}

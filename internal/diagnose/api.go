@@ -1,0 +1,128 @@
+package diagnose
+
+import (
+	"fmt"
+
+	"dedc/internal/circuit"
+	"dedc/internal/fault"
+	"dedc/internal/sim"
+)
+
+// DeviceOutputs simulates a reference circuit (the faulty device or the
+// golden specification) over the vectors and returns deep copies of its PO
+// rows — the only information the diagnosis algorithm consumes about it.
+func DeviceOutputs(ref *circuit.Circuit, pi [][]uint64, n int) [][]uint64 {
+	val := sim.Simulate(ref, pi, n)
+	out := make([][]uint64, len(ref.POs))
+	for i, po := range ref.POs {
+		out[i] = append([]uint64(nil), val[po]...)
+	}
+	return out
+}
+
+// StuckAtResult is the Table-1 form of a diagnosis: all minimal-size fault
+// tuples explaining the device behaviour, plus search statistics.
+type StuckAtResult struct {
+	Tuples []fault.Tuple
+	Stats  Stats
+}
+
+// DiagnoseStuckAt runs exact multiple stuck-at diagnosis: find every
+// minimal-size set of stuck-at faults whose injection into the fault-free
+// netlist reproduces deviceOut on all vectors.
+func DiagnoseStuckAt(netlist *circuit.Circuit, deviceOut [][]uint64, pi [][]uint64, n int, opt Options) *StuckAtResult {
+	opt.Exact = true
+	res := Run(netlist, deviceOut, pi, n, StuckAtModel{}, opt)
+	out := &StuckAtResult{Stats: res.Stats}
+	for _, s := range res.Solutions {
+		var t fault.Tuple
+		ok := true
+		for _, c := range s.Corrections {
+			f, isFault := CorrectionFault(c)
+			if !isFault {
+				ok = false
+				break
+			}
+			t = append(t, f)
+		}
+		if ok {
+			out.Tuples = append(out.Tuples, t.Canon())
+		}
+	}
+	return out
+}
+
+// DiagnosePhysical runs exact diagnosis over a composite physical fault
+// model — stuck-at faults plus non-feedback bridging faults between the
+// suspects and maxPartners sampled partner nets. It demonstrates the
+// paper's extension point: "the algorithm can be adapted to other faults by
+// adopting a suitable fault model in the correction stage". Solutions are
+// returned as raw correction sets (a mix of StuckAtCorrection and
+// BridgeCorrection values).
+func DiagnosePhysical(netlist *circuit.Circuit, deviceOut [][]uint64, pi [][]uint64, n int, maxPartners int, opt Options) *Result {
+	opt.Exact = true
+	model := ModelSet{StuckAtModel{}, NewBridgeModel(netlist, maxPartners, 1)}
+	return Run(netlist, deviceOut, pi, n, model, opt)
+}
+
+// RepairResult is the DEDC form: the first valid correction set and the
+// rectified circuit.
+type RepairResult struct {
+	Corrections []Correction
+	Repaired    *circuit.Circuit
+	Stats       Stats
+}
+
+// Repair runs DEDC: find a set of design-error-model corrections that makes
+// the implementation match specOut on all vectors, and return the corrected
+// netlist. A nil result means the search failed within its resource bounds.
+func Repair(impl *circuit.Circuit, specOut [][]uint64, pi [][]uint64, n int, opt Options) (*RepairResult, error) {
+	opt.Exact = false
+	model := NewErrorModel(impl, 0, 1)
+	res := Run(impl, specOut, pi, n, model, opt)
+	if len(res.Solutions) == 0 {
+		return nil, fmt.Errorf("diagnose: no valid correction set found (nodes=%d, schedule=%v)",
+			res.Stats.Nodes, res.Stats.Schedule)
+	}
+	sol := res.Solutions[0]
+	fixed := impl.Clone()
+	for _, c := range sol.Corrections {
+		if err := c.Apply(fixed); err != nil {
+			return nil, fmt.Errorf("diagnose: replaying solution: %w", err)
+		}
+	}
+	return &RepairResult{Corrections: sol.Corrections, Repaired: fixed, Stats: res.Stats}, nil
+}
+
+// AuditRoot expands only the root decision-tree node under the given
+// thresholds and returns its ranked correction list — the hook used by the
+// §3.2 audits ("valid corrections rank in the top 5% of their node") and the
+// ablation benches.
+func AuditRoot(netlist *circuit.Circuit, specOut [][]uint64, pi [][]uint64, n int, model Model, opt Options, p Params) []RankedCorrection {
+	opt = opt.defaults()
+	r := &runState{
+		base:    netlist,
+		specOut: specOut,
+		pi:      pi,
+		n:       n,
+		w:       sim.Words(n),
+		model:   model,
+		opt:     opt,
+		params:  p,
+		res:     &Result{},
+	}
+	return r.expand(nil).cands
+}
+
+// Verify checks that a circuit reproduces the reference outputs on the
+// vector set.
+func Verify(c *circuit.Circuit, refOut [][]uint64, pi [][]uint64, n int) bool {
+	out := DeviceOutputs(c, pi, n)
+	m := sim.DiffMask(out, refOut, n)
+	for _, w := range m {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}

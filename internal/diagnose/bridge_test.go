@@ -1,0 +1,124 @@
+package diagnose
+
+import (
+	"testing"
+
+	"dedc/internal/circuit"
+	"dedc/internal/fault"
+	"dedc/internal/gen"
+	"dedc/internal/tpg"
+)
+
+func TestBridgeModelEnumerate(t *testing.T) {
+	c := gen.Alu(4)
+	m := NewBridgeModel(c, 16, 1)
+	if len(m.Partners) == 0 {
+		t.Fatal("no partners sampled")
+	}
+	l := circuit.Line(40)
+	for _, corr := range m.Enumerate(c, l) {
+		bc, ok := corr.(BridgeCorrection)
+		if !ok {
+			t.Fatalf("unexpected correction type %T", corr)
+		}
+		if err := fault.CheckBridge(c, bc.Br); err != nil {
+			t.Fatalf("enumerated illegal bridge %v: %v", bc.Br, err)
+		}
+		if bc.Br.A != l && bc.Br.B != l {
+			t.Fatalf("bridge %v does not involve suspect line", bc.Br)
+		}
+	}
+}
+
+func TestBridgeCorrectionApplyMatchesTrial(t *testing.T) {
+	c := gen.Alu(4)
+	vecs := tpg.BuildVectors(c, tpg.Options{Random: 256, Seed: 3})
+	br := fault.Bridge{A: c.PIs[0], B: c.PIs[5], Kind: fault.WiredAnd}
+	if err := fault.CheckBridge(c, br); err != nil {
+		t.Fatal(err)
+	}
+	bc := BridgeCorrection{Br: br}
+	applied := c.Clone()
+	if err := bc.Apply(applied); err != nil {
+		t.Fatal(err)
+	}
+	if err := applied.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The applied circuit must differ from the original (observable short).
+	if Verify(applied, DeviceOutputs(c, vecs.PI, vecs.N), vecs.PI, vecs.N) {
+		t.Skip("bridge unobservable on this sample; nothing to check")
+	}
+}
+
+func TestDiagnosePhysicalFindsBridge(t *testing.T) {
+	c := gen.Alu(4)
+	vecs := tpg.BuildVectors(c, tpg.Options{Random: 768, Seed: 4, Deterministic: true})
+	// Device suffers a wired-AND short between two internal nets.
+	var br fault.Bridge
+	found := false
+	for a := circuit.Line(20); int(a) < c.NumLines() && !found; a++ {
+		for b := a + 5; int(b) < c.NumLines(); b += 7 {
+			cand := fault.Bridge{A: a, B: b, Kind: fault.WiredAnd}
+			if fault.CheckBridge(c, cand) == nil {
+				device, err := fault.InjectBridge(c, cand)
+				if err != nil {
+					continue
+				}
+				devOut := DeviceOutputs(device, vecs.PI, vecs.N)
+				if !Verify(c, devOut, vecs.PI, vecs.N) {
+					br = cand
+					found = true
+					break
+				}
+			}
+		}
+	}
+	if !found {
+		t.Skip("no observable bridge found in scan")
+	}
+	device, _ := fault.InjectBridge(c, br)
+	devOut := DeviceOutputs(device, vecs.PI, vecs.N)
+
+	// Diagnose with the composite stuck-at + bridge model; the partner
+	// sample must include the actual partner, so use a generous cap.
+	opt := Options{MaxErrors: 2}
+	model := ModelSet{StuckAtModel{}, NewBridgeModel(c, c.NumLines(), 1)}
+	res := Run(c, devOut, vecs.PI, vecs.N, model, opt)
+	res.Solutions = append([]Solution(nil), res.Solutions...)
+	if len(res.Solutions) == 0 {
+		t.Fatalf("no explanation found for bridge %v (stats %+v)", br, res.Stats)
+	}
+	// Every solution must reproduce the device; the actual bridge should be
+	// among them (or an equivalent explanation).
+	sawBridge := false
+	for _, s := range res.Solutions {
+		fixed := c.Clone()
+		for _, corr := range s.Corrections {
+			if err := corr.Apply(fixed); err != nil {
+				t.Fatal(err)
+			}
+			if bc, ok := corr.(BridgeCorrection); ok && bc.Br.Canon() == br.Canon() {
+				sawBridge = true
+			}
+		}
+		if !Verify(fixed, devOut, vecs.PI, vecs.N) {
+			t.Fatalf("solution %v does not explain the device", s.Corrections)
+		}
+	}
+	if !sawBridge {
+		t.Logf("actual bridge %v not among %d solutions (equivalents only) — acceptable but noted",
+			br, len(res.Solutions))
+	}
+}
+
+func TestModelSetConcatenates(t *testing.T) {
+	c := gen.Alu(2)
+	ms := ModelSet{StuckAtModel{}, NewBridgeModel(c, 8, 2)}
+	l := circuit.Line(20)
+	nStuck := len(StuckAtModel{}.Enumerate(c, l))
+	nAll := len(ms.Enumerate(c, l))
+	if nAll <= nStuck {
+		t.Fatalf("composite model did not add candidates: %d vs %d", nAll, nStuck)
+	}
+}

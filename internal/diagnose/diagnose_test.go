@@ -1,0 +1,404 @@
+package diagnose
+
+import (
+	"math/rand"
+	"testing"
+
+	"dedc/internal/baseline"
+	"dedc/internal/circuit"
+	"dedc/internal/fault"
+	"dedc/internal/gen"
+	"dedc/internal/sim"
+	"dedc/internal/tpg"
+)
+
+// pickDetectedFaults draws k distinct random faults whose joint injection is
+// observable on the vectors; returns nil if none found.
+func pickDetectedFaults(c *circuit.Circuit, k int, pi [][]uint64, n int, seed int64) []fault.Fault {
+	rng := rand.New(rand.NewSource(seed))
+	sites := fault.Sites(c)
+	for tries := 0; tries < 50; tries++ {
+		seen := map[fault.Site]bool{}
+		var fs []fault.Fault
+		for len(fs) < k {
+			s := sites[rng.Intn(len(sites))]
+			if seen[s] {
+				continue
+			}
+			seen[s] = true
+			fs = append(fs, fault.Fault{Site: s, Value: rng.Intn(2) == 1})
+		}
+		device := fault.Inject(c, fs...)
+		good := sim.Outputs(c, sim.Simulate(c, pi, n))
+		bad := sim.Outputs(device, sim.Simulate(device, pi, n))
+		diff := sim.DiffMask(good, bad, n)
+		for _, w := range diff {
+			if w != 0 {
+				return fs
+			}
+		}
+	}
+	return nil
+}
+
+func TestMultipleStuckAtDiagnosis(t *testing.T) {
+	c := gen.Alu(4)
+	vecs := tpg.BuildVectors(c, tpg.Options{Random: 512, Seed: 4, Deterministic: true})
+	for k := 1; k <= 3; k++ {
+		fs := pickDetectedFaults(c, k, vecs.PI, vecs.N, int64(k)*17)
+		if fs == nil {
+			t.Fatalf("k=%d: no observable fault set", k)
+		}
+		device := fault.Inject(c, fs...)
+		devOut := DeviceOutputs(device, vecs.PI, vecs.N)
+		res := DiagnoseStuckAt(c, devOut, vecs.PI, vecs.N, Options{MaxErrors: k + 1})
+		if len(res.Tuples) == 0 {
+			t.Fatalf("k=%d: no tuples (stats %+v)", k, res.Stats)
+		}
+		for _, tu := range res.Tuples {
+			fc := fault.Inject(c, tu...)
+			if !Verify(fc, devOut, vecs.PI, vecs.N) {
+				t.Fatalf("k=%d: tuple %v does not explain behaviour", k, tu)
+			}
+		}
+	}
+}
+
+func TestExactnessAgainstBruteForce(t *testing.T) {
+	// On small circuits with screens disabled, the incremental exact mode
+	// must return exactly the minimal tuples brute force finds.
+	for trial := 0; trial < 6; trial++ {
+		c := gen.Random(gen.RandomOptions{PIs: 5, Gates: 18, Seed: int64(trial) + 50})
+		n := 192
+		pi := sim.RandomPatterns(len(c.PIs), n, int64(trial)+9)
+		k := 1 + trial%2
+		fs := pickDetectedFaults(c, k, pi, n, int64(trial)*3+1)
+		if fs == nil {
+			continue
+		}
+		device := fault.Inject(c, fs...)
+		devOut := DeviceOutputs(device, pi, n)
+		want := baseline.BruteForceTuples(c, devOut, pi, n, k)
+		got := DiagnoseStuckAt(c, devOut, pi, n, Options{
+			MaxErrors:             k,
+			Schedule:              []Params{{0, 0, 0}},
+			PathTraceKeep:         1.0,
+			MinKeep:               1 << 20,
+			MaxSuspects:           1 << 20,
+			MaxCorrectionsPerNode: 1 << 20,
+			MaxNodes:              1 << 20,
+			MaxRounds:             1 << 10,
+		})
+		wantSet := map[string]bool{}
+		for _, tu := range want {
+			wantSet[tu.Key()] = true
+		}
+		gotSet := map[string]bool{}
+		for _, tu := range got.Tuples {
+			gotSet[tu.Key()] = true
+		}
+		for key := range wantSet {
+			if !gotSet[key] {
+				t.Fatalf("trial %d (k=%d): brute-force tuple %s missed by incremental search (got %d, want %d)",
+					trial, k, key, len(gotSet), len(wantSet))
+			}
+		}
+		for key := range gotSet {
+			if !wantSet[key] {
+				t.Fatalf("trial %d: incremental search returned non-minimal or wrong tuple %s", trial, key)
+			}
+		}
+	}
+}
+
+func TestRepairMultipleDesignErrors(t *testing.T) {
+	spec := gen.Alu(4)
+	vecs := tpg.BuildVectors(spec, tpg.Options{Random: 768, Seed: 6, Deterministic: true})
+	specOut := DeviceOutputs(spec, vecs.PI, vecs.N)
+	for k := 1; k <= 3; k++ {
+		bad, mods, err := injectK(spec, k, int64(k)*101)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		rep, err := Repair(bad, specOut, vecs.PI, vecs.N, Options{MaxErrors: k + 1})
+		if err != nil {
+			t.Fatalf("k=%d (injected %v): %v", k, mods, err)
+		}
+		if !Verify(rep.Repaired, specOut, vecs.PI, vecs.N) {
+			t.Fatalf("k=%d: repair does not match spec on V", k)
+		}
+		if len(rep.Corrections) > k+1 {
+			t.Fatalf("k=%d: solution size %d exceeds bound", k, len(rep.Corrections))
+		}
+	}
+}
+
+func TestRepairProducesValidNetlist(t *testing.T) {
+	spec := gen.ECC(8, false)
+	vecs := tpg.BuildVectors(spec, tpg.Options{Random: 512, Seed: 8})
+	specOut := DeviceOutputs(spec, vecs.PI, vecs.N)
+	bad, _, err := injectK(spec, 2, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Repair(bad, specOut, vecs.PI, vecs.N, Options{MaxErrors: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Repaired.Validate(); err != nil {
+		t.Fatalf("repaired netlist invalid: %v", err)
+	}
+}
+
+func TestHeuristic3MergingErrors(t *testing.T) {
+	// Fig. 1 scenario: the effects of two wrong-wire errors merge in gate G
+	// (the only observable point). Correcting either error alone creates
+	// NEW failing vectors on patterns where the two errors previously
+	// masked each other, and no single correction at G can recover the
+	// missing support, so the strict 1/1/1 schedule step finds nothing; the
+	// relaxed schedule must accept a locally unattractive correction first.
+	// PIs in order: a b c d e f (lines 0..5).
+	build := func(src1, src2 circuit.Line) *circuit.Circuit {
+		c := circuit.New(12)
+		a := c.AddPI("a")
+		c.AddPI("b")
+		c.AddPI("c")
+		d := c.AddPI("d")
+		c.AddPI("e")
+		c.AddPI("f")
+		l1 := c.AddNamedGate("l1", circuit.And, a, src1)
+		l2 := c.AddNamedGate("l2", circuit.Or, d, src2)
+		c.MarkPO(c.AddNamedGate("G", circuit.And, l1, l2))
+		return c
+	}
+	spec := build(1, 4) // l1 = AND(a,b), l2 = OR(d,e)
+	impl := build(2, 5) // wrong wires: l1 = AND(a,c), l2 = OR(d,f)
+	pi, n := sim.ExhaustivePatterns(6)
+	specOut := DeviceOutputs(spec, pi, n)
+
+	// Strict step only: no solution.
+	strict := Options{MaxErrors: 2, Schedule: []Params{{1, 1, 1}}}
+	if _, err := Repair(impl.Clone(), specOut, pi, n, strict); err == nil {
+		t.Fatal("strict 1/1/1 schedule should fail on merging errors")
+	}
+	// Full schedule: solves.
+	rep, err := Repair(impl, specOut, pi, n, Options{MaxErrors: 2})
+	if err != nil {
+		t.Fatalf("relaxed schedule failed: %v", err)
+	}
+	if !Verify(rep.Repaired, specOut, pi, n) {
+		t.Fatal("repair wrong")
+	}
+	if rep.Stats.Schedule == (Params{1, 1, 1}) {
+		t.Fatal("stats claim strict schedule succeeded")
+	}
+	if len(rep.Corrections) != 2 {
+		t.Fatalf("expected a 2-correction solution, got %v", rep.Corrections)
+	}
+}
+
+func TestValidCorrectionRank(t *testing.T) {
+	// §3.2 audit: for single injected errors, some fully rectifying
+	// correction ranks in the top 5% of the root node's list.
+	spec := gen.Alu(4)
+	vecs := tpg.BuildVectors(spec, tpg.Options{Random: 512, Seed: 10})
+	specOut := DeviceOutputs(spec, vecs.PI, vecs.N)
+	okCount, trials := 0, 0
+	for seed := int64(0); seed < 8; seed++ {
+		bad, _, err := injectOne(spec, seed+200)
+		if err != nil {
+			continue
+		}
+		model := NewErrorModel(bad, 0, 1)
+		cands := AuditRoot(bad, specOut, vecs.PI, vecs.N, model, Options{}, Params{0.3, 0.5, 0.85})
+		if len(cands) == 0 {
+			continue
+		}
+		trials++
+		// Find the best-ranked correction that fully fixes all failing
+		// vectors without creating new ones.
+		limit := len(cands) / 20
+		if limit < 3 {
+			limit = 3
+		}
+		for i, rc := range cands {
+			if rc.H1Score > 0.999 && rc.NewFails == 0 {
+				if i < limit {
+					okCount++
+				}
+				break
+			}
+		}
+	}
+	if trials == 0 {
+		t.Skip("no auditable injections")
+	}
+	if okCount*2 < trials {
+		t.Fatalf("valid corrections ranked in top 5%% only %d/%d times", okCount, trials)
+	}
+}
+
+func TestDecisionTreeGrowthBound(t *testing.T) {
+	// Fig. 2: the tree at most doubles per round, so nodes <= 2^rounds.
+	spec := gen.Alu(4)
+	vecs := tpg.BuildVectors(spec, tpg.Options{Random: 512, Seed: 12})
+	specOut := DeviceOutputs(spec, vecs.PI, vecs.N)
+	bad, _, err := injectK(spec, 2, 303)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{MaxErrors: 3, Schedule: []Params{{0.3, 0.5, 0.85}}}
+	model := NewErrorModel(bad, 0, 1)
+	res := Run(bad, specOut, vecs.PI, vecs.N, model, opt)
+	if len(res.Solutions) == 0 {
+		t.Skipf("no solution at this schedule step; stats %+v", res.Stats)
+	}
+	if res.Stats.Rounds > 0 && res.Stats.Nodes > 1<<uint(res.Stats.Rounds) {
+		t.Fatalf("nodes %d exceed 2^rounds (%d rounds)", res.Stats.Nodes, res.Stats.Rounds)
+	}
+}
+
+func TestTraversalPoliciesAllSolve(t *testing.T) {
+	spec := gen.Alu(4)
+	vecs := tpg.BuildVectors(spec, tpg.Options{Random: 512, Seed: 14})
+	specOut := DeviceOutputs(spec, vecs.PI, vecs.N)
+	bad, _, err := injectK(spec, 2, 404)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []Policy{PolicyRounds, PolicyDFS, PolicyBFS} {
+		rep, err := Repair(bad.Clone(), specOut, vecs.PI, vecs.N, Options{MaxErrors: 3, Policy: pol})
+		if err != nil {
+			t.Fatalf("policy %d failed: %v", pol, err)
+		}
+		if !Verify(rep.Repaired, specOut, vecs.PI, vecs.N) {
+			t.Fatalf("policy %d produced a wrong repair", pol)
+		}
+	}
+}
+
+func TestScheduleReportsStrictStepForSingleError(t *testing.T) {
+	// A lone easy error should be solved in the strictest schedule step.
+	spec := gen.RippleAdder(4)
+	vecs := tpg.BuildVectors(spec, tpg.Options{Random: 512, Seed: 16})
+	specOut := DeviceOutputs(spec, vecs.PI, vecs.N)
+	var solved bool
+	for seed := int64(0); seed < 6 && !solved; seed++ {
+		bad, mods, err := injectOne(spec, 600+seed)
+		if err != nil {
+			continue
+		}
+		if mods[0].Kind.String() == "rm-wire" {
+			continue // missing-wire errors legitimately need relaxed steps
+		}
+		rep, err := Repair(bad, specOut, vecs.PI, vecs.N, Options{MaxErrors: 2})
+		if err != nil {
+			continue
+		}
+		if rep.Stats.Schedule == (Params{1, 1, 1}) {
+			solved = true
+		}
+	}
+	if !solved {
+		t.Fatal("no single-error case solved at the strict schedule step")
+	}
+}
+
+func TestRepairFailsOnImpossibleReference(t *testing.T) {
+	impl := gen.RippleAdder(3)
+	n := 128
+	pi := sim.RandomPatterns(len(impl.PIs), n, 1)
+	// Reference outputs are random noise: no small correction set exists.
+	ref := sim.RandomPatterns(len(impl.POs), n, 2)
+	_, err := Repair(impl, ref, pi, n, Options{MaxErrors: 1, MaxNodes: 64, MaxRounds: 4})
+	if err == nil {
+		t.Fatal("repair claimed success on random reference outputs")
+	}
+}
+
+func TestAlreadyCorrectCircuit(t *testing.T) {
+	c := gen.RippleAdder(3)
+	n := 128
+	pi := sim.RandomPatterns(len(c.PIs), n, 3)
+	out := DeviceOutputs(c, pi, n)
+	res := Run(c, out, pi, n, StuckAtModel{}, Options{})
+	if len(res.Solutions) != 1 || len(res.Solutions[0].Corrections) != 0 {
+		t.Fatalf("expected one empty solution, got %+v", res.Solutions)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.defaults()
+	if o.MaxErrors != 4 || o.MaxRounds != 12 || o.MaxNodes != 4096 {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+	if o.PathTraceKeep != 0.15 || o.MinKeep != 10 || o.MaxCorrectionsPerNode != 256 {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+	if len(o.Schedule) != 6 {
+		t.Fatalf("default schedule has %d steps", len(o.Schedule))
+	}
+}
+
+func TestStuckAtModelEnumerate(t *testing.T) {
+	c := circuit.New(8)
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	g1 := c.AddGate(circuit.And, a, b)
+	g2 := c.AddGate(circuit.Or, g1, a)
+	g3 := c.AddGate(circuit.Nand, g1, b)
+	c.MarkPO(g2)
+	c.MarkPO(g3)
+	// g1 feeds two gates: 2 stem + 4 branch corrections.
+	corrs := StuckAtModel{}.Enumerate(c, g1)
+	if len(corrs) != 6 {
+		t.Fatalf("corrections at g1 = %d, want 6", len(corrs))
+	}
+	// a feeds g1 and g2: 2 stem + 4 branch.
+	corrs = StuckAtModel{}.Enumerate(c, a)
+	if len(corrs) != 6 {
+		t.Fatalf("corrections at a = %d, want 6", len(corrs))
+	}
+	// g2 has a single reader (PO): stem only.
+	corrs = StuckAtModel{}.Enumerate(c, g2)
+	if len(corrs) != 2 {
+		t.Fatalf("corrections at g2 = %d, want 2", len(corrs))
+	}
+}
+
+func TestStuckAtCorrectionTrialEqualsApply(t *testing.T) {
+	c := gen.Alu(4)
+	n := 256
+	pi := sim.RandomPatterns(len(c.PIs), n, 5)
+	e := sim.NewEngine(c, pi, n)
+	rng := rand.New(rand.NewSource(8))
+	sites := fault.Sites(c)
+	for trial := 0; trial < 20; trial++ {
+		f := fault.Fault{Site: sites[rng.Intn(len(sites))], Value: rng.Intn(2) == 1}
+		sc := StuckAtCorrection{F: f}
+		buf := make([]uint64, e.W)
+		sc.NewValues(e, buf)
+		e.Trial(sc.Target(), buf)
+		applied := c.Clone()
+		if err := sc.Apply(applied); err != nil {
+			t.Fatal(err)
+		}
+		ref := sim.Simulate(applied, pi, n)
+		for l := 0; l < c.NumLines(); l++ {
+			if f.IsStem() && circuit.Line(l) == f.Line {
+				continue // the stem gate itself was structurally replaced
+			}
+			if !sim.EqualRows(e.TrialVal(circuit.Line(l)), ref[l], n) {
+				t.Fatalf("fault %v: trial and apply disagree on line %d", f, l)
+			}
+		}
+	}
+}
+
+func TestSetKeyOrderIndependent(t *testing.T) {
+	f1 := StuckAtCorrection{F: fault.Fault{Site: fault.Site{Line: 3, Reader: circuit.NoLine}, Value: true}}
+	f2 := StuckAtCorrection{F: fault.Fault{Site: fault.Site{Line: 7, Reader: circuit.NoLine}, Value: false}}
+	if setKey([]Correction{f1, f2}) != setKey([]Correction{f2, f1}) {
+		t.Fatal("set key depends on order")
+	}
+}

@@ -1,0 +1,197 @@
+package diagnose
+
+import (
+	"math/rand"
+	"testing"
+
+	"dedc/internal/fault"
+	"dedc/internal/gen"
+	"dedc/internal/opt"
+	"dedc/internal/sim"
+	"dedc/internal/tpg"
+)
+
+func TestDistinguishEquivalentFaults(t *testing.T) {
+	// Collapse-equivalent faults must be proven equivalent; structurally
+	// unrelated faults must be distinguished with a real vector.
+	c := gen.Alu(4)
+	_, class := fault.Collapse(c)
+	var rep, member fault.Fault
+	found := false
+	for f, r := range class {
+		if f != r {
+			rep, member = r, f
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no collapse pair")
+	}
+	_, eq, err := Distinguish(c, fault.Tuple{rep}, fault.Tuple{member}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatalf("collapse-equivalent pair %v / %v not proven equivalent", rep, member)
+	}
+}
+
+func TestDistinguishDifferentFaults(t *testing.T) {
+	c := gen.Alu(4)
+	sites := fault.Sites(c)
+	a := fault.Tuple{{Site: sites[0], Value: true}}
+	b := fault.Tuple{{Site: sites[len(sites)/2], Value: false}}
+	vec, eq, err := Distinguish(c, a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Skip("sampled faults happen to be equivalent")
+	}
+	// The vector must actually drive the two faulty machines apart.
+	pi := make([][]uint64, len(c.PIs))
+	for i, v := range vec {
+		pi[i] = make([]uint64, 1)
+		if v {
+			pi[i][0] = 1
+		}
+	}
+	ca := fault.Inject(c, a...)
+	cb := fault.Inject(c, b...)
+	oa := DeviceOutputs(ca, pi, 1)
+	ob := DeviceOutputs(cb, pi, 1)
+	if sim.DiffMask(oa, ob, 1)[0] == 0 {
+		t.Fatal("distinguishing vector does not distinguish")
+	}
+}
+
+func TestPartitionTuples(t *testing.T) {
+	c := gen.Alu(4)
+	_, class := fault.Collapse(c)
+	// Build a tuple list with two members of one class plus one outsider.
+	var rep, member fault.Fault
+	found := false
+	for f, r := range class {
+		if f != r {
+			rep, member = r, f
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no collapse pair")
+	}
+	outsider := fault.Fault{Site: fault.Site{Line: c.PIs[0], Reader: -1}, Value: true}
+	tuples := []fault.Tuple{{rep}, {member}, {outsider}}
+	classes, err := PartitionTuples(c, tuples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) < 1 || len(classes) > 3 {
+		t.Fatalf("classes = %d", len(classes))
+	}
+	// rep and member must share a class.
+	for _, cl := range classes {
+		hasRep, hasMember := false, false
+		for _, tu := range cl {
+			if tu[0] == rep {
+				hasRep = true
+			}
+			if tu[0] == member {
+				hasMember = true
+			}
+		}
+		if hasRep != hasMember {
+			t.Fatal("collapse pair split across classes")
+		}
+	}
+}
+
+func TestDiagnoseAdaptiveImprovesResolution(t *testing.T) {
+	// Start from a WEAK vector set so spurious candidates survive; the
+	// adaptive loop must refine V until all returned tuples are provably
+	// equivalent — perfect diagnostic resolution.
+	c, err := opt.Optimize(gen.Alu(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	sites := fault.Sites(c)
+	checked := 0
+	for tries := 0; tries < 10 && checked < 3; tries++ {
+		ft := fault.Fault{Site: sites[rng.Intn(len(sites))], Value: rng.Intn(2) == 1}
+		device := fault.Inject(c, ft)
+		pi := sim.RandomPatterns(len(c.PIs), 24, rng.Int63()) // weak V
+		devOut := DeviceOutputs(device, pi, 24)
+		static := DiagnoseStuckAt(c, devOut, pi, 24, Options{MaxErrors: 1})
+		if len(static.Tuples) == 0 {
+			continue // fault unobserved on the weak set
+		}
+		res, err := DiagnoseAdaptive(c, device, pi, 24, Options{MaxErrors: 1}, 24, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checked++
+		if len(res.Tuples) == 0 {
+			t.Fatal("adaptive loop lost the explanation")
+		}
+		// All surviving tuples must be pairwise equivalent (single class).
+		if len(res.Classes) != 1 {
+			t.Fatalf("adaptive diagnosis left %d non-equivalent classes", len(res.Classes))
+		}
+		// And the actual fault must be among them (it always explains).
+		found := false
+		for _, tu := range res.Tuples {
+			if len(tu) == 1 && tu[0] == ft {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("actual fault %v missing from adaptive result %v", ft, res.Tuples)
+		}
+		if res.AddedVectors > 0 && len(res.Tuples) > len(static.Tuples) {
+			t.Fatalf("resolution got worse: %d -> %d", len(static.Tuples), len(res.Tuples))
+		}
+	}
+	if checked == 0 {
+		t.Skip("no observable faults in sample")
+	}
+}
+
+func TestExplainsDevice(t *testing.T) {
+	c := gen.Alu(4)
+	vecs := tpg.BuildVectors(c, tpg.Options{Random: 256, Seed: 2})
+	sites := fault.Sites(c)
+	ft := fault.Fault{Site: sites[3], Value: true}
+	device := fault.Inject(c, ft)
+	devOut := DeviceOutputs(device, vecs.PI, vecs.N)
+	if !ExplainsDevice(c, fault.Tuple{ft}, devOut, vecs.PI, vecs.N) {
+		t.Fatal("actual fault does not explain its own device")
+	}
+	other := fault.Fault{Site: sites[40], Value: false}
+	if ExplainsDevice(c, fault.Tuple{other}, devOut, vecs.PI, vecs.N) {
+		t.Skip("coincidentally equivalent; nothing to assert")
+	}
+}
+
+func TestCollapseSoundnessCertifiedBySAT(t *testing.T) {
+	// Every structural collapse class member must be PROVEN functionally
+	// equivalent to its representative — the SAT checker certifies the
+	// fault-collapsing rules (this test caught a real over-merge through
+	// PO-observable stems).
+	c := gen.Alu(4)
+	_, class := fault.Collapse(c)
+	for f, r := range class {
+		if f == r {
+			continue
+		}
+		_, eq, err := Distinguish(c, fault.Tuple{f}, fault.Tuple{r}, 200000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Fatalf("collapse merged non-equivalent faults %v and %v", f, r)
+		}
+	}
+}

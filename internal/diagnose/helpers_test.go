@@ -1,0 +1,16 @@
+package diagnose
+
+import (
+	"dedc/internal/circuit"
+	"dedc/internal/errmodel"
+)
+
+// injectOne corrupts c with a single observable design error.
+func injectOne(c *circuit.Circuit, seed int64) (*circuit.Circuit, []errmodel.Mod, error) {
+	return errmodel.Inject(c, 1, errmodel.InjectOptions{Seed: seed})
+}
+
+// injectK corrupts c with k observable design errors.
+func injectK(c *circuit.Circuit, k int, seed int64) (*circuit.Circuit, []errmodel.Mod, error) {
+	return errmodel.Inject(c, k, errmodel.InjectOptions{Seed: seed})
+}

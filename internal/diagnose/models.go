@@ -1,0 +1,166 @@
+package diagnose
+
+import (
+	"math/rand"
+
+	"dedc/internal/circuit"
+	"dedc/internal/errmodel"
+	"dedc/internal/fault"
+	"dedc/internal/sim"
+)
+
+// StuckAtCorrection adapts a stuck-at fault to the Correction interface:
+// in the fault-diagnosis direction, "correcting" the netlist means injecting
+// the fault that the device suffers from.
+type StuckAtCorrection struct {
+	F fault.Fault
+}
+
+// Target returns the line whose function changes: the stem itself, or the
+// reading gate for a branch fault.
+func (s StuckAtCorrection) Target() circuit.Line {
+	if s.F.IsStem() {
+		return s.F.Line
+	}
+	return s.F.Reader
+}
+
+// NewValues writes the target row under the fault.
+func (s StuckAtCorrection) NewValues(e *sim.Engine, dst []uint64) {
+	if s.F.IsStem() {
+		copy(dst, e.ConstRow(s.F.Value))
+		return
+	}
+	g := &e.C.Gates[s.F.Reader]
+	e.EvalCandidatePins(dst, g.Type, g.Fanin, map[int][]uint64{s.F.Pin: e.ConstRow(s.F.Value)})
+}
+
+// Apply injects the fault into the netlist.
+func (s StuckAtCorrection) Apply(c *circuit.Circuit) error {
+	fault.InjectInto(c, s.F)
+	return nil
+}
+
+func (s StuckAtCorrection) String() string { return s.F.String() }
+
+// StuckAtModel enumerates stuck-at corrections: both polarities on the
+// candidate stem and on each of its fanout branches.
+type StuckAtModel struct{}
+
+// Enumerate implements Model.
+func (StuckAtModel) Enumerate(c *circuit.Circuit, l circuit.Line) []Correction {
+	t := c.Gates[l].Type
+	if t == circuit.Const0 || t == circuit.Const1 {
+		return nil
+	}
+	var out []Correction
+	add := func(f fault.Fault) { out = append(out, StuckAtCorrection{F: f}) }
+	stem := fault.Site{Line: l, Reader: circuit.NoLine}
+	add(fault.Fault{Site: stem, Value: false})
+	add(fault.Fault{Site: stem, Value: true})
+	fo := c.Fanout()
+	if len(fo[l]) > 1 {
+		seen := map[[2]int32]bool{}
+		for _, r := range fo[l] {
+			for p, f := range c.Gates[r].Fanin {
+				if f != l {
+					continue
+				}
+				key := [2]int32{int32(r), int32(p)}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				br := fault.Site{Line: l, Reader: r, Pin: p}
+				add(fault.Fault{Site: br, Value: false})
+				add(fault.Fault{Site: br, Value: true})
+			}
+		}
+	}
+	return out
+}
+
+// modCorrection adapts errmodel.Mod to the Correction interface.
+type modCorrection struct {
+	m errmodel.Mod
+}
+
+func (mc modCorrection) Target() circuit.Line                  { return mc.m.Target() }
+func (mc modCorrection) NewValues(e *sim.Engine, dst []uint64) { mc.m.NewValues(e, dst) }
+func (mc modCorrection) Apply(c *circuit.Circuit) error        { return mc.m.Apply(c) }
+func (mc modCorrection) String() string                        { return mc.m.String() }
+
+// Mod returns the underlying design-error-model modification.
+func (mc modCorrection) Mod() errmodel.Mod { return mc.m }
+
+// ErrorModel enumerates design-error-model corrections. Following the paper
+// ("the algorithm exhaustively compiles a list of corrections from the
+// design error model"), wire-source candidates for missing/wrong-wire
+// corrections default to every line in the circuit — the Theorem-1 screen
+// disposes of unsuitable sources with one cheap gate evaluation each. A
+// sampling cap exists as a performance knob for very large netlists.
+type ErrorModel struct {
+	// WireSources holds the candidate source lines for wire corrections.
+	WireSources []circuit.Line
+}
+
+// NewErrorModel builds the correction model. maxSources <= 0 keeps every
+// line as a wire-source candidate (the exhaustive default); a positive cap
+// keeps all PIs plus a seeded sample of internal lines.
+func NewErrorModel(c *circuit.Circuit, maxSources int, seed int64) *ErrorModel {
+	em := &ErrorModel{}
+	if maxSources <= 0 {
+		em.WireSources = make([]circuit.Line, c.NumLines())
+		for i := range em.WireSources {
+			em.WireSources[i] = circuit.Line(i)
+		}
+		return em
+	}
+	for _, pi := range c.PIs {
+		em.WireSources = append(em.WireSources, pi)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(c.NumLines())
+	for _, i := range perm {
+		if len(em.WireSources) >= maxSources {
+			break
+		}
+		l := circuit.Line(i)
+		t := c.Gates[l].Type
+		if t == circuit.Input || t == circuit.Const0 || t == circuit.Const1 {
+			continue
+		}
+		em.WireSources = append(em.WireSources, l)
+	}
+	if len(em.WireSources) > maxSources {
+		em.WireSources = em.WireSources[:maxSources]
+	}
+	return em
+}
+
+// Enumerate implements Model.
+func (em *ErrorModel) Enumerate(c *circuit.Circuit, l circuit.Line) []Correction {
+	mods := errmodel.Enumerate(c, l, em.WireSources)
+	out := make([]Correction, len(mods))
+	for i, m := range mods {
+		out[i] = modCorrection{m: m}
+	}
+	return out
+}
+
+// CorrectionMod extracts the errmodel.Mod from a Correction produced by an
+// ErrorModel, with ok=false for stuck-at corrections.
+func CorrectionMod(c Correction) (errmodel.Mod, bool) {
+	if mc, ok := c.(modCorrection); ok {
+		return mc.Mod(), true
+	}
+	return errmodel.Mod{}, false
+}
+
+// CorrectionFault extracts the fault from a stuck-at Correction.
+func CorrectionFault(c Correction) (fault.Fault, bool) {
+	if sc, ok := c.(StuckAtCorrection); ok {
+		return sc.F, true
+	}
+	return fault.Fault{}, false
+}

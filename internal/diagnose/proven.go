@@ -1,0 +1,84 @@
+package diagnose
+
+import (
+	"fmt"
+
+	"dedc/internal/circuit"
+	"dedc/internal/equiv"
+	"dedc/internal/sim"
+)
+
+// ProvenResult is the outcome of the counterexample-guided repair loop.
+type ProvenResult struct {
+	*RepairResult
+	// Proven is set when the final repair was SAT-certified equivalent to
+	// the specification (not merely matching on the vector set).
+	Proven bool
+	// Iterations counts repair rounds (1 = the first repair already proved).
+	Iterations int
+	// AddedVectors counts counterexamples folded back into V.
+	AddedVectors int
+}
+
+// RepairProven runs DEDC with formal certification: repair on the vector
+// set, then SAT-check the repaired netlist against the specification
+// circuit. A counterexample becomes a new vector in V and the loop repeats —
+// the classic counterexample-guided refinement that upgrades the paper's
+// simulation-based method into a proof-producing one. maxIters bounds the
+// loop; satConflicts bounds each proof attempt (0 = unlimited).
+func RepairProven(impl, spec *circuit.Circuit, pi [][]uint64, n int, opt Options, maxIters int, satConflicts int64) (*ProvenResult, error) {
+	if maxIters <= 0 {
+		maxIters = 64
+	}
+	curPI, curN := pi, n
+	res := &ProvenResult{}
+	for iter := 1; iter <= maxIters; iter++ {
+		res.Iterations = iter
+		specOut := DeviceOutputs(spec, curPI, curN)
+		rep, err := Repair(impl, specOut, curPI, curN, opt)
+		if err != nil {
+			return nil, fmt.Errorf("diagnose: iteration %d: %w", iter, err)
+		}
+		res.RepairResult = rep
+		eq, err := equiv.Check(rep.Repaired, spec, equiv.Options{MaxConflicts: satConflicts})
+		if err != nil {
+			return nil, err
+		}
+		if eq.Aborted {
+			return res, nil // repaired on V, proof inconclusive
+		}
+		if eq.Equivalent {
+			res.Proven = true
+			return res, nil
+		}
+		// Fold the distinguishing input back into V, along with a few
+		// single-bit perturbations of it — neighbours of a counterexample
+		// often separate further near-miss repairs and save whole
+		// refinement rounds.
+		curPI, curN = AppendPattern(curPI, curN, eq.Counterexample)
+		res.AddedVectors++
+		for i := 0; i < len(eq.Counterexample) && i < 8; i++ {
+			nb := append([]bool(nil), eq.Counterexample...)
+			nb[(iter*7+i*13)%len(nb)] = !nb[(iter*7+i*13)%len(nb)]
+			curPI, curN = AppendPattern(curPI, curN, nb)
+			res.AddedVectors++
+		}
+	}
+	return res, nil
+}
+
+// AppendPattern extends a packed vector set with one additional pattern.
+func AppendPattern(pi [][]uint64, n int, bits []bool) ([][]uint64, int) {
+	newN := n + 1
+	w := sim.Words(newN)
+	out := make([][]uint64, len(pi))
+	for i := range pi {
+		row := make([]uint64, w)
+		copy(row, pi[i])
+		if bits[i] {
+			row[n/64] |= 1 << (uint(n) % 64)
+		}
+		out[i] = row
+	}
+	return out, newN
+}

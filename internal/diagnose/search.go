@@ -1,0 +1,556 @@
+package diagnose
+
+import (
+	"math/bits"
+	"sort"
+	"strings"
+	"time"
+
+	"dedc/internal/circuit"
+	"dedc/internal/pathtrace"
+	"dedc/internal/sim"
+)
+
+// Run rectifies netlist against the reference primary-output responses
+// specOut (rows in netlist PO order) over the n patterns in pi, drawing
+// corrections from model. The netlist itself is not modified.
+func Run(netlist *circuit.Circuit, specOut [][]uint64, pi [][]uint64, n int, model Model, opt Options) *Result {
+	opt = opt.defaults()
+	r := &runState{
+		base:    netlist,
+		specOut: specOut,
+		pi:      pi,
+		n:       n,
+		w:       sim.Words(n),
+		model:   model,
+		opt:     opt,
+		res:     &Result{},
+	}
+	if opt.TimeBudget > 0 {
+		r.deadline = time.Now().Add(opt.TimeBudget)
+	}
+	for _, p := range opt.Schedule {
+		if r.expired() {
+			break
+		}
+		r.params = p
+		r.res.Stats.Schedule = p
+		r.seen = map[string]bool{}
+		r.minDepth = 0
+		r.search()
+		if len(r.res.Solutions) > 0 {
+			break
+		}
+	}
+	r.finish()
+	return r.res
+}
+
+type runState struct {
+	base    *circuit.Circuit
+	specOut [][]uint64
+	pi      [][]uint64
+	n, w    int
+	model   Model
+	opt     Options
+	params  Params
+	res     *Result
+
+	seen     map[string]bool
+	minDepth int       // smallest solution size found so far (0 = none)
+	deadline time.Time // zero = unlimited
+
+	// Scratch buffers reused across node expansions.
+	forced  []uint64
+	cand    []uint64
+	orBad   []uint64
+	isPOrow map[circuit.Line]int // line -> PO index
+}
+
+type node struct {
+	corrs []Correction
+	cands []RankedCorrection
+	next  int
+	fails int
+}
+
+// search runs one schedule step's traversal under the configured policy.
+func (r *runState) search() {
+	root := r.expand(nil)
+	r.res.Stats.Nodes++
+	if root.fails == 0 {
+		r.record(nil)
+		return
+	}
+	switch r.opt.Policy {
+	case PolicyDFS:
+		r.searchDFS(root)
+		return
+	case PolicyBFS:
+		r.searchBFS(root)
+		return
+	}
+	frontier := []*node{root}
+	nodesThisStep := 1
+	for round := 1; round <= r.opt.MaxRounds && len(frontier) > 0; round++ {
+		r.res.Stats.Rounds = round
+		if r.expired() {
+			return
+		}
+		if !r.opt.Exact && len(r.res.Solutions) > 0 {
+			return
+		}
+		snapshot := frontier
+		frontier = frontier[:0:0]
+		for _, nd := range snapshot {
+			if r.expired() {
+				return
+			}
+			if r.minDepth > 0 && len(nd.corrs)+1 > r.minDepth {
+				continue // cannot yield a minimal-size solution anymore
+			}
+			for nd.next < len(nd.cands) {
+				rc := nd.cands[nd.next]
+				nd.next++
+				corrs := append(append([]Correction(nil), nd.corrs...), rc.C)
+				key := setKey(corrs)
+				if r.seen[key] {
+					continue
+				}
+				r.seen[key] = true
+				child := r.expand(corrs)
+				r.res.Stats.Nodes++
+				nodesThisStep++
+				if child.fails == 0 {
+					r.record(corrs)
+					if !r.opt.Exact {
+						return
+					}
+				} else if len(child.corrs) < r.maxDepth() {
+					frontier = append(frontier, child)
+				}
+				break
+			}
+			if nd.next < len(nd.cands) {
+				frontier = append(frontier, nd)
+			}
+			if nodesThisStep >= r.opt.MaxNodes {
+				return
+			}
+		}
+	}
+}
+
+// searchDFS greedily follows best-ranked corrections depth first with
+// chronological backtracking — the pure-DFS ablation of §3.3.
+func (r *runState) searchDFS(root *node) {
+	stack := []*node{root}
+	nodesThisStep := 1
+	for len(stack) > 0 && nodesThisStep < r.opt.MaxNodes {
+		if r.expired() {
+			return
+		}
+		if !r.opt.Exact && len(r.res.Solutions) > 0 {
+			return
+		}
+		nd := stack[len(stack)-1]
+		if r.minDepth > 0 && len(nd.corrs)+1 > r.minDepth {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		child := (*node)(nil)
+		for nd.next < len(nd.cands) {
+			rc := nd.cands[nd.next]
+			nd.next++
+			corrs := append(append([]Correction(nil), nd.corrs...), rc.C)
+			key := setKey(corrs)
+			if r.seen[key] {
+				continue
+			}
+			r.seen[key] = true
+			child = r.expand(corrs)
+			r.res.Stats.Nodes++
+			nodesThisStep++
+			break
+		}
+		if child == nil {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		if child.fails == 0 {
+			r.record(child.corrs)
+			if !r.opt.Exact {
+				return
+			}
+			continue
+		}
+		if len(child.corrs) < r.maxDepth() {
+			stack = append(stack, child)
+		}
+	}
+}
+
+// searchBFS expands every candidate of every node level by level — the
+// naive-BFS ablation of §3.3.
+func (r *runState) searchBFS(root *node) {
+	queue := []*node{root}
+	nodesThisStep := 1
+	for len(queue) > 0 && nodesThisStep < r.opt.MaxNodes {
+		if r.expired() {
+			return
+		}
+		if !r.opt.Exact && len(r.res.Solutions) > 0 {
+			return
+		}
+		nd := queue[0]
+		queue = queue[1:]
+		if r.minDepth > 0 && len(nd.corrs)+1 > r.minDepth {
+			continue
+		}
+		for nd.next < len(nd.cands) && nodesThisStep < r.opt.MaxNodes {
+			rc := nd.cands[nd.next]
+			nd.next++
+			corrs := append(append([]Correction(nil), nd.corrs...), rc.C)
+			key := setKey(corrs)
+			if r.seen[key] {
+				continue
+			}
+			r.seen[key] = true
+			child := r.expand(corrs)
+			r.res.Stats.Nodes++
+			nodesThisStep++
+			if child.fails == 0 {
+				r.record(corrs)
+				if !r.opt.Exact {
+					return
+				}
+				continue
+			}
+			if len(child.corrs) < r.maxDepth() {
+				queue = append(queue, child)
+			}
+		}
+	}
+}
+
+// expired reports whether the wall-clock budget has run out.
+func (r *runState) expired() bool {
+	return !r.deadline.IsZero() && time.Now().After(r.deadline)
+}
+
+// maxDepth is the current tuple-size bound: MaxErrors, tightened to the
+// minimal solution size in exact mode.
+func (r *runState) maxDepth() int {
+	if r.opt.Exact && r.minDepth > 0 && r.minDepth < r.opt.MaxErrors {
+		return r.minDepth
+	}
+	return r.opt.MaxErrors
+}
+
+func (r *runState) record(corrs []Correction) {
+	r.res.Solutions = append(r.res.Solutions, Solution{Corrections: corrs})
+	if r.minDepth == 0 || len(corrs) < r.minDepth {
+		r.minDepth = len(corrs)
+	}
+}
+
+// finish deduplicates solutions and, in exact mode, keeps only the
+// minimal-cardinality ones.
+func (r *runState) finish() {
+	sols := r.res.Solutions
+	if len(sols) == 0 {
+		return
+	}
+	minSize := len(sols[0].Corrections)
+	for _, s := range sols {
+		if len(s.Corrections) < minSize {
+			minSize = len(s.Corrections)
+		}
+	}
+	seen := map[string]bool{}
+	var out []Solution
+	for _, s := range sols {
+		if r.opt.Exact && len(s.Corrections) > minSize {
+			continue
+		}
+		k := setKey(s.Corrections)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, s)
+	}
+	r.res.Solutions = out
+}
+
+func setKey(corrs []Correction) string {
+	ss := make([]string, len(corrs))
+	for i, c := range corrs {
+		ss[i] = c.String()
+	}
+	sort.Strings(ss)
+	return strings.Join(ss, "|")
+}
+
+// expand materializes the netlist with the given corrections applied,
+// simulates it, and computes the node's ranked correction candidates via the
+// paper's two-step diagnosis and screened correction procedure.
+func (r *runState) expand(corrs []Correction) *node {
+	nd := &node{corrs: corrs}
+	ckt := r.base.Clone()
+	for _, c := range corrs {
+		if err := c.Apply(ckt); err != nil {
+			// A correction that replays illegally yields a dead node.
+			nd.fails = r.n + 1
+			return nd
+		}
+	}
+	e := sim.NewEngine(ckt, r.pi, r.n)
+	if r.forced == nil || len(r.forced) < e.W {
+		r.forced = make([]uint64, e.W)
+		r.cand = make([]uint64, e.W)
+		r.orBad = make([]uint64, e.W)
+	}
+
+	// Failing-vector bookkeeping.
+	failMask := make([]uint64, e.W)
+	diff := make([][]uint64, len(ckt.POs))
+	errBits := 0
+	for i, po := range ckt.POs {
+		d := make([]uint64, e.W)
+		row := e.BaseVal(po)
+		for w := 0; w < e.W; w++ {
+			d[w] = row[w] ^ r.specOut[i][w]
+		}
+		d[e.W-1] &= sim.TailMask(r.n)
+		diff[i] = d
+		errBits += popcount(d)
+		for w := 0; w < e.W; w++ {
+			failMask[w] |= d[w]
+		}
+	}
+	nd.fails = popcount(failMask)
+	if nd.fails == 0 {
+		return nd
+	}
+	if len(corrs) >= r.maxDepth() {
+		return nd // depth limit: no candidates needed
+	}
+	poIndex := make(map[circuit.Line]int, len(ckt.POs))
+	for i, po := range ckt.POs {
+		poIndex[po] = i
+	}
+	passCount := r.n - nd.fails
+
+	// --- Diagnosis: path trace, then heuristic 1. ---
+	t0 := time.Now()
+	var suspects []circuit.Line
+	if r.opt.DisablePathTrace {
+		for l := 0; l < ckt.NumLines(); l++ {
+			suspects = append(suspects, circuit.Line(l))
+		}
+	} else {
+		pt := pathtrace.Trace(ckt, e.Values(), r.specOut, r.n)
+		suspects = pt.Top(r.opt.PathTraceKeep, r.opt.MinKeep)
+		// Theorem-1 pigeonhole widening: under the current (relaxed)
+		// assumption that a single error need only explain an H1 fraction of
+		// the failing behaviour, every line marked on at least H1·Fail
+		// traces is a legitimate suspect even when the top-percentage cut
+		// dropped it — with multiple errors the highest path-trace counts
+		// concentrate on downstream reconvergence regions, not the error
+		// sites themselves.
+		if r.params.H1 < 1 {
+			seen := make(map[circuit.Line]bool, len(suspects))
+			for _, l := range suspects {
+				seen[l] = true
+			}
+			for _, l := range pt.AboveFraction(r.params.H1) {
+				if !seen[l] {
+					suspects = append(suspects, l)
+				}
+			}
+		}
+	}
+
+	type scoredLine struct {
+		l         circuit.Line
+		rectified int
+	}
+	var lines []scoredLine
+	for _, l := range suspects {
+		// Invert the line's Verr bit-list (its values on failing vectors)
+		// and propagate: the maximum effect any modification of l can have.
+		row := e.BaseVal(l)
+		for w := 0; w < e.W; w++ {
+			r.forced[w] = row[w] ^ failMask[w]
+		}
+		changed := e.Trial(l, r.forced[:e.W])
+		rect := 0
+		for _, x := range changed {
+			if i, ok := poIndex[x]; ok {
+				rect += r.rectifiedBits(e, x, diff[i], i)
+			}
+		}
+		if float64(rect) >= r.params.H1*float64(errBits)-1e-9 {
+			lines = append(lines, scoredLine{l, rect})
+		}
+	}
+	sort.Slice(lines, func(i, j int) bool {
+		if lines[i].rectified != lines[j].rectified {
+			return lines[i].rectified > lines[j].rectified
+		}
+		return lines[i].l < lines[j].l
+	})
+	if len(lines) > r.opt.MaxSuspects {
+		lines = lines[:r.opt.MaxSuspects]
+	}
+	r.res.Stats.DiagTime += time.Since(t0)
+
+	// --- Correction: enumerate, screen (h2 then h3), rank. ---
+	t1 := time.Now()
+	var cands []RankedCorrection
+	vRatio := float64(nd.fails) / float64(r.n)
+	for _, sl := range lines {
+		for _, corr := range r.model.Enumerate(ckt, sl.l) {
+			target := corr.Target()
+			corr.NewValues(e, r.cand[:e.W])
+			// Theorem-1 screen: the correction must complement at least
+			// h2·|Verr| bits of the target's erroneous bit-list.
+			base := e.BaseVal(target)
+			comp := 0
+			for w := 0; w < e.W; w++ {
+				comp += bits.OnesCount64((r.cand[w] ^ base[w]) & failMask[w])
+			}
+			if float64(comp) < r.params.H2*float64(nd.fails)-1e-9 {
+				r.res.Stats.Screened++
+				continue
+			}
+			// Full trial for the Vcorr screen and the ranking metrics.
+			// Multi-target corrections (bridging faults) force the same
+			// candidate row onto every affected net at once.
+			var changed []circuit.Line
+			if mt, ok := corr.(interface{ Targets() []circuit.Line }); ok {
+				targets := mt.Targets()
+				rows := make([][]uint64, len(targets))
+				for i := range rows {
+					rows[i] = r.cand[:e.W]
+				}
+				changed = e.TrialMulti(targets, rows)
+			} else {
+				changed = e.Trial(target, r.cand[:e.W])
+			}
+			if len(changed) == 0 {
+				continue
+			}
+			r.res.Stats.Trials++
+			rect, newFails := 0, 0
+			for w := 0; w < e.W; w++ {
+				r.orBad[w] = 0
+			}
+			for _, x := range changed {
+				i, ok := poIndex[x]
+				if !ok {
+					continue
+				}
+				rect += r.rectifiedBits(e, x, diff[i], i)
+				tv := e.TrialVal(x)
+				for w := 0; w < e.W; w++ {
+					r.orBad[w] |= (tv[w] ^ r.specOut[i][w]) &^ failMask[w]
+				}
+			}
+			r.orBad[e.W-1] &= sim.TailMask(r.n)
+			newFails = popcount(r.orBad[:e.W])
+			if float64(newFails) > (1-r.params.H3)*float64(passCount)+1e-9 {
+				continue
+			}
+			// h1score blends the two readings of "erroneous primary outputs
+			// rectified": the fraction of erroneous output bits corrected
+			// and the fraction of failing vectors fully fixed. The vector
+			// term is what makes corrections that complete a repair outrank
+			// partial bit-chasers (the paper's iteration goal is reducing
+			// the number of erroneous vectors).
+			fixes := r.fixedVectors(e, changed, diff, failMask, poIndex)
+			h1s := 0.0
+			if errBits > 0 {
+				h1s = float64(rect) / float64(errBits) / 2
+			}
+			h1s += float64(fixes) / float64(nd.fails) / 2
+			h3s := 1.0
+			if passCount > 0 {
+				h3s = 1 - float64(newFails)/float64(passCount)
+			}
+			cands = append(cands, RankedCorrection{
+				C:        corr,
+				Rank:     (1-vRatio)*h3s + vRatio*h1s,
+				H1Score:  h1s,
+				H3Score:  h3s,
+				NewFails: newFails,
+				Fixes:    fixes,
+			})
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].Rank != cands[j].Rank {
+			return cands[i].Rank > cands[j].Rank
+		}
+		return cands[i].C.String() < cands[j].C.String()
+	})
+	if len(cands) > r.opt.MaxCorrectionsPerNode {
+		cands = cands[:r.opt.MaxCorrectionsPerNode]
+	}
+	nd.cands = cands
+	r.res.Stats.CorrTime += time.Since(t1)
+	return nd
+}
+
+// rectifiedBits counts erroneous bits of PO x (diff row d) that the current
+// trial turns correct.
+func (r *runState) rectifiedBits(e *sim.Engine, x circuit.Line, d []uint64, poIdx int) int {
+	tv := e.TrialVal(x)
+	spec := r.specOut[poIdx]
+	rect := 0
+	for w := 0; w < e.W; w++ {
+		rect += bits.OnesCount64(d[w] &^ (tv[w] ^ spec[w]))
+	}
+	return rect
+}
+
+// fixedVectors counts failing vectors that the current trial fully
+// rectifies (all POs correct).
+func (r *runState) fixedVectors(e *sim.Engine, changed []circuit.Line, diff [][]uint64, failMask []uint64, poIndex map[circuit.Line]int) int {
+	changedPO := map[int]bool{}
+	for _, x := range changed {
+		if i, ok := poIndex[x]; ok {
+			changedPO[i] = true
+		}
+	}
+	// stillBad = OR over POs of their post-trial diff.
+	still := make([]uint64, e.W)
+	for i := range diff {
+		if changedPO[i] {
+			tv := e.TrialVal(e.C.POs[i])
+			spec := r.specOut[i]
+			for w := 0; w < e.W; w++ {
+				still[w] |= tv[w] ^ spec[w]
+			}
+		} else {
+			d := diff[i]
+			for w := 0; w < e.W; w++ {
+				still[w] |= d[w]
+			}
+		}
+	}
+	fixed := 0
+	for w := 0; w < e.W; w++ {
+		fixed += bits.OnesCount64(failMask[w] &^ still[w])
+	}
+	return fixed
+}
+
+func popcount(row []uint64) int {
+	t := 0
+	for _, x := range row {
+		t += bits.OnesCount64(x)
+	}
+	return t
+}

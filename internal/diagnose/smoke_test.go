@@ -1,0 +1,64 @@
+package diagnose
+
+import (
+	"testing"
+
+	"dedc/internal/fault"
+	"dedc/internal/gen"
+	"dedc/internal/sim"
+	"dedc/internal/tpg"
+)
+
+func TestSmokeSingleStuckAt(t *testing.T) {
+	c := gen.Alu(4)
+	vecs := tpg.BuildVectors(c, tpg.Options{Random: 512, Seed: 1, Deterministic: true})
+	sites := fault.Sites(c)
+	ft := fault.Fault{Site: sites[20], Value: true}
+	device := fault.Inject(c, ft)
+	devOut := DeviceOutputs(device, vecs.PI, vecs.N)
+	res := DiagnoseStuckAt(c, devOut, vecs.PI, vecs.N, Options{MaxErrors: 2})
+	if len(res.Tuples) == 0 {
+		t.Fatalf("no tuples found for %v (stats %+v)", ft, res.Stats)
+	}
+	found := false
+	for _, tu := range res.Tuples {
+		t.Logf("tuple: %v", tu)
+		if len(tu) == 1 && tu[0] == ft {
+			found = true
+		}
+		// Every returned tuple must actually explain the behaviour.
+		fc := fault.Inject(c, tu...)
+		if !Verify(fc, devOut, vecs.PI, vecs.N) {
+			t.Fatalf("tuple %v does not explain device behaviour", tu)
+		}
+	}
+	if !found {
+		t.Fatalf("actual fault %v not among %d tuples", ft, len(res.Tuples))
+	}
+}
+
+func TestSmokeSingleDesignError(t *testing.T) {
+	spec := gen.Alu(4)
+	impl := spec.Clone()
+	// Corrupt: change one gate type.
+	bad, mods, err := injectOne(impl, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("injected: %v", mods)
+	vecs := tpg.BuildVectors(spec, tpg.Options{Random: 512, Seed: 2, Deterministic: true})
+	specOut := DeviceOutputs(spec, vecs.PI, vecs.N)
+	rep, err := Repair(bad, specOut, vecs.PI, vecs.N, Options{MaxErrors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("corrections: %v (stats %+v)", rep.Corrections, rep.Stats)
+	if !Verify(rep.Repaired, specOut, vecs.PI, vecs.N) {
+		t.Fatal("repaired circuit does not match specification on V")
+	}
+	// And on fresh vectors.
+	fresh := sim.RandomPatterns(len(spec.PIs), 2048, 777)
+	if !sim.Equivalent(spec, rep.Repaired, fresh, 2048) {
+		t.Fatal("repaired circuit diverges on fresh vectors")
+	}
+}

@@ -1,0 +1,191 @@
+// Package equiv implements SAT-based formal equivalence checking of
+// combinational netlists: the two circuits are Tseitin-encoded into CNF, a
+// miter ORs the XORs of corresponding outputs, and a SAT solver decides
+// whether any input distinguishes them. A Sat verdict yields a
+// counterexample input vector; Unsat is a proof of equivalence.
+//
+// This is the library's formal upgrade over vector-based Equivalent checks:
+// diagnose.RepairProven uses it in a counterexample-guided loop.
+package equiv
+
+import (
+	"fmt"
+
+	"dedc/internal/circuit"
+	"dedc/internal/sat"
+)
+
+// Result is an equivalence verdict.
+type Result struct {
+	Equivalent bool
+	// Counterexample assigns each PI (by position) a distinguishing value
+	// when Equivalent is false.
+	Counterexample []bool
+	// Aborted is set when the solver hit its conflict budget (verdict
+	// unreliable: treated as "not proven").
+	Aborted bool
+
+	Conflicts int64
+	Decisions int64
+}
+
+// Options bounds the SAT search.
+type Options struct {
+	// MaxConflicts aborts the proof attempt (0 = unlimited).
+	MaxConflicts int64
+}
+
+// Check decides whether circuits a and b are functionally equivalent. Both
+// must be combinational with equal PI and PO counts (positional
+// correspondence, as everywhere in this library).
+func Check(a, b *circuit.Circuit, opt Options) (*Result, error) {
+	if a.IsSequential() || b.IsSequential() {
+		return nil, fmt.Errorf("equiv: sequential circuits; scan-convert or unroll first")
+	}
+	if len(a.PIs) != len(b.PIs) {
+		return nil, fmt.Errorf("equiv: PI counts differ (%d vs %d)", len(a.PIs), len(b.PIs))
+	}
+	if len(a.POs) != len(b.POs) {
+		return nil, fmt.Errorf("equiv: PO counts differ (%d vs %d)", len(a.POs), len(b.POs))
+	}
+	s := sat.NewSolver(0)
+	// Shared PI variables.
+	piVars := make([]int, len(a.PIs))
+	for i := range piVars {
+		piVars[i] = s.NewVar()
+	}
+	va := encode(s, a, piVars)
+	vb := encode(s, b, piVars)
+
+	// Miter: OR over outputs of (a_po XOR b_po) must be true.
+	var diffs []sat.Lit
+	for i := range a.POs {
+		la := va[a.POs[i]]
+		lb := vb[b.POs[i]]
+		d := s.NewVar()
+		dl := sat.MkLit(d, true)
+		// d <-> la XOR lb
+		s.AddClause(dl.Neg(), la, lb)
+		s.AddClause(dl.Neg(), la.Neg(), lb.Neg())
+		s.AddClause(dl, la, lb.Neg())
+		s.AddClause(dl, la.Neg(), lb)
+		diffs = append(diffs, dl)
+	}
+	if !s.AddClause(diffs...) {
+		// Trivially no difference possible.
+		return &Result{Equivalent: true}, nil
+	}
+	s.MaxConflicts = opt.MaxConflicts
+	st := s.Solve()
+	res := &Result{Conflicts: s.Conflicts, Decisions: s.Decisions}
+	switch st {
+	case sat.Unsat:
+		res.Equivalent = true
+	case sat.Sat:
+		res.Counterexample = make([]bool, len(piVars))
+		for i, v := range piVars {
+			res.Counterexample[i] = s.Value(v)
+		}
+	default:
+		res.Aborted = true
+	}
+	return res, nil
+}
+
+// encode Tseitin-encodes the circuit into the solver, returning one literal
+// per line. piVars supplies shared input variables (positional).
+func encode(s *sat.Solver, c *circuit.Circuit, piVars []int) []sat.Lit {
+	lits := make([]sat.Lit, c.NumLines())
+	piIdx := map[circuit.Line]int{}
+	for i, pi := range c.PIs {
+		piIdx[pi] = i
+	}
+	var constTrue sat.Lit = -1
+	getTrue := func() sat.Lit {
+		if constTrue == -1 {
+			v := s.NewVar()
+			constTrue = sat.MkLit(v, true)
+			s.AddClause(constTrue)
+		}
+		return constTrue
+	}
+	for _, l := range c.Topo() {
+		g := &c.Gates[l]
+		switch g.Type {
+		case circuit.Input:
+			lits[l] = sat.MkLit(piVars[piIdx[l]], true)
+			continue
+		case circuit.Const0:
+			lits[l] = getTrue().Neg()
+			continue
+		case circuit.Const1:
+			lits[l] = getTrue()
+			continue
+		case circuit.Buf, circuit.DFF:
+			lits[l] = lits[g.Fanin[0]]
+			continue
+		case circuit.Not:
+			lits[l] = lits[g.Fanin[0]].Neg()
+			continue
+		}
+		out := sat.MkLit(s.NewVar(), true)
+		ins := make([]sat.Lit, len(g.Fanin))
+		for i, f := range g.Fanin {
+			ins[i] = lits[f]
+		}
+		switch g.Type {
+		case circuit.And, circuit.Nand:
+			o := out
+			if g.Type == circuit.Nand {
+				o = out.Neg()
+			}
+			// o <-> AND(ins)
+			long := make([]sat.Lit, 0, len(ins)+1)
+			long = append(long, o)
+			for _, in := range ins {
+				s.AddClause(o.Neg(), in) // o -> in
+				long = append(long, in.Neg())
+			}
+			s.AddClause(long...) // all ins -> o
+		case circuit.Or, circuit.Nor:
+			o := out
+			if g.Type == circuit.Nor {
+				o = out.Neg()
+			}
+			long := make([]sat.Lit, 0, len(ins)+1)
+			long = append(long, o.Neg())
+			for _, in := range ins {
+				s.AddClause(o, in.Neg()) // in -> o
+				long = append(long, in)
+			}
+			s.AddClause(long...) // o -> some in
+		case circuit.Xor, circuit.Xnor:
+			// Chain binary XORs.
+			acc := ins[0]
+			for i := 1; i < len(ins); i++ {
+				var t sat.Lit
+				if i == len(ins)-1 {
+					t = out
+					if g.Type == circuit.Xnor {
+						t = out.Neg()
+					}
+				} else {
+					t = sat.MkLit(s.NewVar(), true)
+				}
+				b := ins[i]
+				// t <-> acc XOR b
+				s.AddClause(t.Neg(), acc, b)
+				s.AddClause(t.Neg(), acc.Neg(), b.Neg())
+				s.AddClause(t, acc, b.Neg())
+				s.AddClause(t, acc.Neg(), b)
+				acc = t
+			}
+			lits[l] = out
+			continue
+		default:
+			panic("equiv: cannot encode gate type " + g.Type.String())
+		}
+		lits[l] = out
+	}
+	return lits
+}

@@ -1,0 +1,174 @@
+package errmodel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dedc/internal/circuit"
+	"dedc/internal/sim"
+)
+
+// Distribution assigns selection weights to injected error kinds. The
+// default approximates the design-error frequency study of Campenhout,
+// Hayes and Mudge [2] that the paper draws its error types from: wire
+// errors and gate substitutions dominate, inverter errors are rarer.
+type Distribution map[Kind]int
+
+// DefaultDistribution is the weight table used by the Table 2 experiments.
+func DefaultDistribution() Distribution {
+	return Distribution{
+		GateReplace:  30,
+		ReplaceWire:  25,
+		RemoveWire:   15, // a removed wire == "missing input wire" error
+		AddWire:      10, // an added wire == "extra input wire" error
+		ToggleOutInv: 15, // extra/missing output inverter
+		ToggleInInv:  5,  // extra/missing input inverter
+	}
+}
+
+func (d Distribution) sample(rng *rand.Rand) Kind {
+	total := 0
+	for _, w := range d {
+		total += w
+	}
+	r := rng.Intn(total)
+	for k := Kind(0); k < numKinds; k++ {
+		if w, ok := d[k]; ok {
+			if r < w {
+				return k
+			}
+			r -= w
+		}
+	}
+	panic("errmodel: empty distribution")
+}
+
+// InjectOptions controls random error injection.
+type InjectOptions struct {
+	Seed int64
+	// Dist selects error kinds; nil means DefaultDistribution.
+	Dist Distribution
+	// CheckPatterns/N drive the observability requirement: each injected
+	// error must change at least one primary output on these patterns, in
+	// the presence of the previously injected errors (the paper's "all
+	// errors considered are observable"). When CheckPatterns is nil, 512
+	// random patterns are generated from Seed.
+	CheckPatterns [][]uint64
+	N             int
+	// MaxTries bounds the rejection sampling per error (default 200).
+	MaxTries int
+}
+
+// Inject returns a copy of c corrupted with k design errors drawn from the
+// distribution, plus the injected modifications in order. Every error is
+// individually observable at injection time.
+func Inject(c *circuit.Circuit, k int, opt InjectOptions) (*circuit.Circuit, []Mod, error) {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	dist := opt.Dist
+	if dist == nil {
+		dist = DefaultDistribution()
+	}
+	if opt.MaxTries == 0 {
+		opt.MaxTries = 200
+	}
+	pats, n := opt.CheckPatterns, opt.N
+	if pats == nil {
+		n = 512
+		pats = sim.RandomPatterns(len(c.PIs), n, opt.Seed^0x9e3779b9)
+	}
+
+	cur := c.Clone()
+	curOut := outputsCopy(cur, pats, n)
+	var mods []Mod
+	for e := 0; e < k; e++ {
+		injected := false
+		for try := 0; try < opt.MaxTries; try++ {
+			m, ok := randomMod(cur, rng, dist)
+			if !ok {
+				continue
+			}
+			next := cur.Clone()
+			if err := m.Apply(next); err != nil {
+				continue
+			}
+			if err := next.Validate(); err != nil {
+				continue
+			}
+			nextOut := outputsCopy(next, pats, n)
+			if !outputsDiffer(curOut, nextOut, n) {
+				continue // unobservable in the current context
+			}
+			cur, curOut = next, nextOut
+			mods = append(mods, m)
+			injected = true
+			break
+		}
+		if !injected {
+			return nil, nil, fmt.Errorf("errmodel: could not inject observable error %d of %d", e+1, k)
+		}
+	}
+	return cur, mods, nil
+}
+
+func outputsCopy(c *circuit.Circuit, pats [][]uint64, n int) [][]uint64 {
+	val := sim.Simulate(c, pats, n)
+	out := make([][]uint64, len(c.POs))
+	for i, po := range c.POs {
+		out[i] = append([]uint64(nil), val[po]...)
+	}
+	return out
+}
+
+func outputsDiffer(a, b [][]uint64, n int) bool {
+	m := sim.DiffMask(a, b, n)
+	for _, w := range m {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// randomMod draws one candidate modification of the requested distribution
+// over uniformly chosen target gates. ok is false when the drawn kind has no
+// legal instantiation at the drawn target.
+func randomMod(c *circuit.Circuit, rng *rand.Rand, dist Distribution) (Mod, bool) {
+	kind := dist.sample(rng)
+	// Pick a modifiable target gate.
+	l := circuit.Line(rng.Intn(c.NumLines()))
+	g := &c.Gates[l]
+	switch g.Type {
+	case circuit.Input, circuit.Const0, circuit.Const1, circuit.DFF:
+		return Mod{}, false
+	}
+	m := Mod{Kind: kind, Line: l}
+	switch kind {
+	case GateReplace:
+		var cands []circuit.GateType
+		switch {
+		case len(g.Fanin) == 1:
+			cands = replacementSingle
+		case len(g.Fanin) == 2:
+			cands = replacementPair
+		default:
+			cands = replacementMulti
+		}
+		m.NewType = cands[rng.Intn(len(cands))]
+		if m.NewType == g.Type {
+			return Mod{}, false
+		}
+	case ToggleInInv, RemoveWire, ReplaceWire:
+		if len(g.Fanin) == 0 {
+			return Mod{}, false
+		}
+		m.Pin = rng.Intn(len(g.Fanin))
+	}
+	switch kind {
+	case AddWire, ReplaceWire:
+		m.Src = circuit.Line(rng.Intn(c.NumLines()))
+	}
+	if err := m.Check(c); err != nil {
+		return Mod{}, false
+	}
+	return m, true
+}

@@ -1,0 +1,127 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"dedc/internal/circuit"
+	"dedc/internal/gen"
+)
+
+func fastCfg() Config {
+	return Config{Trials: 2, Vectors: 512, Seed: 1}
+}
+
+func TestPrepareCombinational(t *testing.T) {
+	bm, _ := gen.ByName("alu4")
+	c, vecs, err := Prepare(bm, true, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.IsSequential() {
+		t.Fatal("combinational prep produced sequential circuit")
+	}
+	if vecs.N < 512 {
+		t.Fatalf("vector count %d", vecs.N)
+	}
+}
+
+func seqSmall() *circuit.Circuit {
+	return gen.RandomSequential(gen.RandomOptions{PIs: 8, Gates: 80, Seed: 42}, 6)
+}
+
+func TestRunTable1RowSmall(t *testing.T) {
+	bm, _ := gen.ByName("alu4")
+	row, err := RunTable1Row(bm, []int{1, 2}, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Lines == 0 {
+		t.Fatal("line count missing")
+	}
+	if len(row.Cells) != 2 {
+		t.Fatalf("cells = %d", len(row.Cells))
+	}
+	for _, c := range row.Cells {
+		if c.Runs == 0 {
+			t.Fatalf("no runs for %d faults", c.Faults)
+		}
+		if c.Failed == c.Runs {
+			t.Fatalf("every %d-fault run failed", c.Faults)
+		}
+		if c.AvgTuples < 1 {
+			t.Fatalf("avg tuples %.2f < 1", c.AvgTuples)
+		}
+		if c.AvgSites < c.AvgTuples && c.Faults == 1 {
+			t.Fatalf("single-fault sites (%.1f) below tuples (%.1f)", c.AvgSites, c.AvgTuples)
+		}
+	}
+}
+
+func TestRunTable2RowSmall(t *testing.T) {
+	bm, _ := gen.ByName("alu4")
+	row, err := RunTable2Row(bm, []int{2}, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := row.Cells[0]
+	if cell.Runs == 0 {
+		t.Fatal("no runs")
+	}
+	if cell.Failed == cell.Runs {
+		t.Fatal("all repairs failed")
+	}
+	if cell.Nodes < 1 {
+		t.Fatalf("avg nodes %.1f", cell.Nodes)
+	}
+	if cell.Total == 0 {
+		t.Fatal("no total time recorded")
+	}
+}
+
+func TestFaultMaskingRate(t *testing.T) {
+	bm, _ := gen.ByName("rnd300")
+	rate, runs, err := FaultMaskingRate(bm, 3, Config{Trials: 3, Vectors: 512, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs == 0 {
+		t.Skip("no explainable runs")
+	}
+	if rate < 0 || rate > 1 {
+		t.Fatalf("rate %v out of range", rate)
+	}
+}
+
+func TestWriteTables(t *testing.T) {
+	bm, _ := gen.ByName("mult4")
+	row1, err := RunTable1Row(bm, []int{1}, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	WriteTable1(&sb, []Table1Row{row1})
+	if !strings.Contains(sb.String(), "mult4") || !strings.Contains(sb.String(), "#tuples") {
+		t.Fatalf("table 1 rendering wrong:\n%s", sb.String())
+	}
+	row2, err := RunTable2Row(bm, []int{1}, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	WriteTable2(&sb, []Table2Row{row2})
+	if !strings.Contains(sb.String(), "nodes") {
+		t.Fatalf("table 2 rendering wrong:\n%s", sb.String())
+	}
+}
+
+func TestSequentialBenchmarkPrepares(t *testing.T) {
+	bm := gen.Benchmark{Name: "seqsmall", Sequential: true, Build: seqSmall}
+	c, _, err := Prepare(bm, true, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.IsSequential() {
+		t.Fatal("scan conversion did not happen")
+	}
+}

@@ -1,0 +1,24 @@
+package experiment
+
+import (
+	"os"
+	"testing"
+
+	"dedc/internal/gen"
+)
+
+// TestMaskingVectorSensitivity probes how the measured fault-masking rate
+// depends on |V| (run manually: DEDC_SCALE=1).
+func TestMaskingVectorSensitivity(t *testing.T) {
+	if os.Getenv("DEDC_SCALE") == "" {
+		t.Skip("set DEDC_SCALE=1")
+	}
+	bm, _ := gen.ByName("s1196*")
+	for _, n := range []int{1024, 4096, 8192} {
+		rate, runs, err := FaultMaskingRate(bm, 4, Config{Trials: 6, Vectors: n, Seed: 2, Deterministic: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("vectors=%d: masking %.0f%% of %d runs", n, 100*rate, runs)
+	}
+}

@@ -1,0 +1,148 @@
+package fault
+
+import (
+	"fmt"
+
+	"dedc/internal/circuit"
+)
+
+// BridgeKind selects the wired behaviour of a two-net short.
+type BridgeKind uint8
+
+// Bridge kinds: the classic zero-dominant (wired-AND) and one-dominant
+// (wired-OR) models.
+const (
+	WiredAnd BridgeKind = iota
+	WiredOr
+)
+
+// String names the kind.
+func (k BridgeKind) String() string {
+	if k == WiredAnd {
+		return "wand"
+	}
+	return "wor"
+}
+
+// Bridge is a non-feedback bridging fault between nets A and B: every
+// reader of either net observes the wired function of both. The paper lists
+// the extension to other physical fault models as future work; bridges are
+// the canonical example (its reference [12] is a bridging-fault diagnosis
+// paper).
+type Bridge struct {
+	A, B circuit.Line
+	Kind BridgeKind
+}
+
+// String renders the bridge, e.g. "wand(L3,L7)".
+func (b Bridge) String() string {
+	return fmt.Sprintf("%s(L%d,L%d)", b.Kind, int(b.A), int(b.B))
+}
+
+// Canon returns the bridge with A < B for set comparisons.
+func (b Bridge) Canon() Bridge {
+	if b.B < b.A {
+		b.A, b.B = b.B, b.A
+	}
+	return b
+}
+
+// gateType returns the wired gate type.
+func (b Bridge) gateType() circuit.GateType {
+	if b.Kind == WiredAnd {
+		return circuit.And
+	}
+	return circuit.Or
+}
+
+// CheckBridge verifies a bridge is injectable: distinct nets, neither
+// driven by a constant, and no combinational feedback (neither net in the
+// other's fanout cone).
+func CheckBridge(c *circuit.Circuit, b Bridge) error {
+	if b.A == b.B {
+		return fmt.Errorf("fault: bridge requires two distinct nets")
+	}
+	for _, l := range []circuit.Line{b.A, b.B} {
+		if l < 0 || int(l) >= c.NumLines() {
+			return fmt.Errorf("fault: bridge net %d out of range", l)
+		}
+		t := c.Gates[l].Type
+		if t == circuit.Const0 || t == circuit.Const1 {
+			return fmt.Errorf("fault: cannot bridge a constant net")
+		}
+	}
+	if inCone(c, b.A, b.B) || inCone(c, b.B, b.A) {
+		return fmt.Errorf("fault: feedback bridge between L%d and L%d not supported", b.A, b.B)
+	}
+	return nil
+}
+
+func inCone(c *circuit.Circuit, from, to circuit.Line) bool {
+	fo := c.Fanout()
+	seen := map[circuit.Line]bool{from: true}
+	stack := []circuit.Line{from}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, r := range fo[x] {
+			if r == to {
+				return true
+			}
+			if !seen[r] {
+				seen[r] = true
+				stack = append(stack, r)
+			}
+		}
+	}
+	return false
+}
+
+// InjectBridge returns a copy of c with the bridge inserted: a wired
+// AND/OR gate reading both nets, with every other reader (and PO slot) of
+// either net re-pointed at it.
+func InjectBridge(c *circuit.Circuit, b Bridge) (*circuit.Circuit, error) {
+	if err := CheckBridge(c, b); err != nil {
+		return nil, err
+	}
+	nc := c.Clone()
+	InjectBridgeInto(nc, b)
+	return nc, nil
+}
+
+// InjectBridgeInto inserts the bridge into c itself (the mutating form used
+// when a bridge plays the role of a correction). The caller must have
+// validated with CheckBridge.
+func InjectBridgeInto(c *circuit.Circuit, b Bridge) {
+	w := c.AddGate(b.gateType(), b.A, b.B)
+	for i := range c.Gates {
+		if circuit.Line(i) == w {
+			continue
+		}
+		for p, f := range c.Gates[i].Fanin {
+			if f == b.A || f == b.B {
+				c.SetFanin(circuit.Line(i), p, w)
+			}
+		}
+	}
+	for i, po := range c.POs {
+		if po == b.A || po == b.B {
+			c.POs[i] = w
+		}
+	}
+}
+
+// BridgeValues computes the wired value rows both nets present to their
+// readers, given the fault-free rows of A and B.
+func (b Bridge) BridgeValues(valA, valB []uint64, w int) []uint64 {
+	out := make([]uint64, w)
+	if b.Kind == WiredAnd {
+		for i := 0; i < w; i++ {
+			out[i] = valA[i] & valB[i]
+		}
+	} else {
+		for i := 0; i < w; i++ {
+			out[i] = valA[i] | valB[i]
+		}
+	}
+	return out
+}

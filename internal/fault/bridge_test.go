@@ -1,0 +1,142 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dedc/internal/circuit"
+	"dedc/internal/gen"
+	"dedc/internal/sim"
+)
+
+func TestCheckBridgeRejections(t *testing.T) {
+	c := circuit.New(8)
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	k := c.AddGate(circuit.Const1)
+	g1 := c.AddGate(circuit.And, a, b)
+	g2 := c.AddGate(circuit.Or, g1, k)
+	c.MarkPO(g2)
+	cases := []struct {
+		name string
+		br   Bridge
+	}{
+		{"self", Bridge{A: a, B: a}},
+		{"const", Bridge{A: a, B: k}},
+		{"feedback forward", Bridge{A: g1, B: g2}},
+		{"feedback backward", Bridge{A: g2, B: g1}},
+		{"feedback from PI", Bridge{A: a, B: g1}},
+		{"out of range", Bridge{A: a, B: 99}},
+	}
+	for _, tc := range cases {
+		if err := CheckBridge(c, tc.br); err == nil {
+			t.Errorf("%s: accepted %v", tc.name, tc.br)
+		}
+	}
+	// Two independent PIs are bridgeable.
+	if err := CheckBridge(c, Bridge{A: a, B: b}); err != nil {
+		t.Fatalf("legal bridge rejected: %v", err)
+	}
+}
+
+func TestInjectBridgeWiredAnd(t *testing.T) {
+	// out1 = BUF(a), out2 = BUF(b); bridging a,b wired-AND makes both
+	// outputs a AND b.
+	c := circuit.New(6)
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	c.MarkPO(c.AddGate(circuit.Buf, a))
+	c.MarkPO(c.AddGate(circuit.Buf, b))
+	fc, err := InjectBridge(c, Bridge{A: a, B: b, Kind: WiredAnd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pi, n := sim.ExhaustivePatterns(2)
+	val := sim.Simulate(fc, pi, n)
+	for _, po := range fc.POs {
+		if val[po][0]&0xf != 0b1000 {
+			t.Fatalf("PO under wired-AND = %04b, want 1000", val[po][0]&0xf)
+		}
+	}
+}
+
+func TestInjectBridgeWiredOrPOs(t *testing.T) {
+	// Bridged nets that are POs themselves must expose the wired value.
+	c := circuit.New(6)
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	c.MarkPO(a)
+	c.MarkPO(b)
+	fc, err := InjectBridge(c, Bridge{A: a, B: b, Kind: WiredOr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, n := sim.ExhaustivePatterns(2)
+	val := sim.Simulate(fc, pi, n)
+	for _, po := range fc.POs {
+		if val[po][0]&0xf != 0b1110 {
+			t.Fatalf("PO under wired-OR = %04b, want 1110", val[po][0]&0xf)
+		}
+	}
+}
+
+func TestBridgeTrialMatchesInjection(t *testing.T) {
+	// Forcing the wired rows onto both nets with TrialMulti must reproduce
+	// the injected bridge's primary output behaviour exactly.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := gen.Random(gen.RandomOptions{PIs: 6, Gates: 40, Seed: seed})
+		n := 192
+		pi := sim.RandomPatterns(len(c.PIs), n, rng.Int63())
+		e := sim.NewEngine(c, pi, n)
+		for tries := 0; tries < 20; tries++ {
+			br := Bridge{
+				A:    circuit.Line(rng.Intn(c.NumLines())),
+				B:    circuit.Line(rng.Intn(c.NumLines())),
+				Kind: BridgeKind(rng.Intn(2)),
+			}
+			if CheckBridge(c, br) != nil {
+				continue
+			}
+			wired := br.BridgeValues(e.BaseVal(br.A), e.BaseVal(br.B), e.W)
+			e.TrialMulti([]circuit.Line{br.A, br.B}, [][]uint64{wired, wired})
+			fc, err := InjectBridge(c, br)
+			if err != nil {
+				return false
+			}
+			ref := sim.Simulate(fc, pi, n)
+			for i, po := range c.POs {
+				if !sim.EqualRows(e.TrialVal(po), ref[fc.POs[i]], n) {
+					return false
+				}
+			}
+			return true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBridgeCanon(t *testing.T) {
+	b := Bridge{A: 7, B: 3, Kind: WiredOr}.Canon()
+	if b.A != 3 || b.B != 7 {
+		t.Fatalf("Canon = %v", b)
+	}
+}
+
+func TestBridgeValues(t *testing.T) {
+	va := []uint64{0b0101}
+	vb := []uint64{0b0011}
+	if got := (Bridge{Kind: WiredAnd}).BridgeValues(va, vb, 1); got[0] != 0b0001 {
+		t.Fatalf("wired-AND = %04b", got[0])
+	}
+	if got := (Bridge{Kind: WiredOr}).BridgeValues(va, vb, 1); got[0] != 0b0111 {
+		t.Fatalf("wired-OR = %04b", got[0])
+	}
+}

@@ -1,0 +1,106 @@
+package fault
+
+import "dedc/internal/circuit"
+
+// Collapse performs classical structural equivalence collapsing over the
+// full fault universe of c and returns one representative per equivalence
+// class plus the class map. The rules are the textbook ones:
+//
+//   - BUF/DFF: input s-a-v ≡ output s-a-v; NOT: input s-a-v ≡ output s-a-v̄.
+//   - AND: any input s-a-0 ≡ output s-a-0 (NAND: ≡ output s-a-1).
+//   - OR: any input s-a-1 ≡ output s-a-1 (NOR: ≡ output s-a-0).
+//
+// The "input" fault of pin p reading stem f is the branch site (f, g, p)
+// when f has fanout > 1 and the stem site of f otherwise — matching the
+// site enumeration of Sites.
+func Collapse(c *circuit.Circuit) (reps []Fault, class map[Fault]Fault) {
+	faults := AllFaults(c)
+	idx := make(map[Fault]int, len(faults))
+	for i, f := range faults {
+		idx[f] = i
+	}
+	parent := make([]int, len(faults))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b Fault) {
+		ia, oka := idx[a]
+		ib, okb := idx[b]
+		if !oka || !okb {
+			return
+		}
+		ra, rb := find(ia), find(ib)
+		if ra != rb {
+			// Prefer the smaller index (earlier site) as representative so
+			// results are deterministic.
+			if ra < rb {
+				parent[rb] = ra
+			} else {
+				parent[ra] = rb
+			}
+		}
+	}
+	fo := c.Fanout()
+	isPO := make(map[circuit.Line]bool, len(c.POs))
+	for _, po := range c.POs {
+		isPO[po] = true
+	}
+	inputFault := func(g circuit.Line, pin int, v bool) Fault {
+		f := c.Gates[g].Fanin[pin]
+		if len(fo[f]) > 1 {
+			return Fault{Site: Site{Line: f, Reader: g, Pin: pin}, Value: v}
+		}
+		if isPO[f] {
+			// The stem is directly observable as a primary output, so a
+			// fault on it is NOT equivalent to a fault past the reading
+			// gate; returning a site outside the fault universe makes the
+			// union a no-op.
+			return Fault{Site: Site{Line: f, Reader: g, Pin: pin}, Value: v}
+		}
+		return Fault{Site: Site{Line: f, Reader: circuit.NoLine}, Value: v}
+	}
+	for i := range c.Gates {
+		g := circuit.Line(i)
+		t := c.Gates[i].Type
+		out := func(v bool) Fault {
+			return Fault{Site: Site{Line: g, Reader: circuit.NoLine}, Value: v}
+		}
+		switch t {
+		case circuit.Buf, circuit.DFF:
+			union(inputFault(g, 0, false), out(false))
+			union(inputFault(g, 0, true), out(true))
+		case circuit.Not:
+			union(inputFault(g, 0, false), out(true))
+			union(inputFault(g, 0, true), out(false))
+		case circuit.And, circuit.Nand:
+			ov := t == circuit.Nand // input s-a-0 forces output to 0 (AND) / 1 (NAND)
+			for p := range c.Gates[i].Fanin {
+				union(inputFault(g, p, false), out(ov))
+			}
+		case circuit.Or, circuit.Nor:
+			ov := t != circuit.Nor
+			for p := range c.Gates[i].Fanin {
+				union(inputFault(g, p, true), out(ov))
+			}
+		}
+	}
+	class = make(map[Fault]Fault, len(faults))
+	seen := make(map[int]bool)
+	for i, f := range faults {
+		r := find(i)
+		class[f] = faults[r]
+		if !seen[r] {
+			seen[r] = true
+			reps = append(reps, faults[r])
+		}
+	}
+	return reps, class
+}

@@ -1,0 +1,326 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dedc/internal/circuit"
+	"dedc/internal/gen"
+	"dedc/internal/sim"
+)
+
+func c17() *circuit.Circuit {
+	c := circuit.New(11)
+	g1 := c.AddPI("1")
+	g2 := c.AddPI("2")
+	g3 := c.AddPI("3")
+	g6 := c.AddPI("6")
+	g7 := c.AddPI("7")
+	n10 := c.AddNamedGate("10", circuit.Nand, g1, g3)
+	n11 := c.AddNamedGate("11", circuit.Nand, g3, g6)
+	n16 := c.AddNamedGate("16", circuit.Nand, g2, n11)
+	n19 := c.AddNamedGate("19", circuit.Nand, n11, g7)
+	c.MarkPO(c.AddNamedGate("22", circuit.Nand, n10, n16))
+	c.MarkPO(c.AddNamedGate("23", circuit.Nand, n16, n19))
+	return c
+}
+
+func TestSitesEnumeration(t *testing.T) {
+	c := c17()
+	sites := Sites(c)
+	// Stems: 11. Branch sites: stems with fanout > 1 are 3 (feeds 10,11),
+	// 11 (feeds 16,19) and 16 (feeds 22,23) — 2 branches each.
+	stems, branches := 0, 0
+	for _, s := range sites {
+		if s.IsStem() {
+			stems++
+		} else {
+			branches++
+		}
+	}
+	if stems != 11 || branches != 6 {
+		t.Fatalf("stems=%d branches=%d, want 11/6", stems, branches)
+	}
+	if got := len(AllFaults(c)); got != 2*len(sites) {
+		t.Fatalf("AllFaults = %d, want %d", got, 2*len(sites))
+	}
+}
+
+func TestSitesSkipConstants(t *testing.T) {
+	c := circuit.New(3)
+	x := c.AddPI("x")
+	k := c.AddGate(circuit.Const1)
+	c.MarkPO(c.AddGate(circuit.And, x, k))
+	for _, s := range Sites(c) {
+		if s.IsStem() && s.Line == k {
+			t.Fatal("constant gate enumerated as fault site")
+		}
+	}
+}
+
+func TestInjectStemFault(t *testing.T) {
+	c := c17()
+	var n10 circuit.Line
+	for i := range c.Gates {
+		if c.Gates[i].Name == "10" {
+			n10 = circuit.Line(i)
+		}
+	}
+	f := Fault{Site: Site{Line: n10, Reader: circuit.NoLine}, Value: false}
+	fc := Inject(c, f)
+	if err := fc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The stem's readers must now see a constant 0.
+	reader := fc.Fanin(fc.POs[0])[0]
+	if fc.Gates[reader].Type != circuit.Const0 {
+		t.Fatalf("reader pin type = %s, want CONST0", fc.Gates[reader].Type)
+	}
+	// With line 10 stuck at 0, output 22 = NAND(0, x) = 1 always.
+	pi, n := sim.ExhaustivePatterns(5)
+	val := sim.Simulate(fc, pi, n)
+	if got := sim.Popcount(val[fc.POs[0]], n); got != n {
+		t.Fatalf("PO 22 should be constant 1 under 10/0, got %d of %d ones", got, n)
+	}
+}
+
+func TestInjectBranchFaultAffectsOnlyOneReader(t *testing.T) {
+	c := c17()
+	// Fault the branch of line 11 feeding gate 16 only: gate 19 still sees
+	// the true value of 11.
+	var n11, n16 circuit.Line
+	for i := range c.Gates {
+		switch c.Gates[i].Name {
+		case "11":
+			n11 = circuit.Line(i)
+		case "16":
+			n16 = circuit.Line(i)
+		}
+	}
+	f := Fault{Site: Site{Line: n11, Reader: n16, Pin: 1}, Value: true}
+	fc := Inject(c, f)
+	if err := fc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pi, n := sim.ExhaustivePatterns(5)
+	vg := sim.Simulate(c, pi, n)
+	vf := sim.Simulate(fc, pi, n)
+	// Line 11 itself keeps its fault-free values in the faulty copy.
+	if !sim.EqualRows(vg[n11], vf[n11], n) {
+		t.Fatal("branch fault altered the stem value")
+	}
+	// Gate 16 now computes NAND(2, 1) — differs somewhere.
+	if sim.EqualRows(vg[n16], vf[n16], n) {
+		t.Fatal("branch fault had no effect on the faulted reader")
+	}
+}
+
+func TestInjectPIFaultKeepsPICompatibility(t *testing.T) {
+	c := c17()
+	f := Fault{Site: Site{Line: c.PIs[2], Reader: circuit.NoLine}, Value: true}
+	fc := Inject(c, f)
+	if err := fc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fc.PIs) != len(c.PIs) {
+		t.Fatalf("PI count changed: %d vs %d", len(fc.PIs), len(c.PIs))
+	}
+	// Behaviour equals forcing PI 3 to 1: compare against simulating the
+	// good circuit with that input column overridden.
+	pi, n := sim.ExhaustivePatterns(5)
+	vf := sim.Simulate(fc, pi, n)
+	forced := make([][]uint64, len(pi))
+	for i := range pi {
+		forced[i] = append([]uint64(nil), pi[i]...)
+	}
+	for i := range forced[2] {
+		forced[2][i] = ^uint64(0)
+	}
+	vg := sim.Simulate(c, forced, n)
+	for i, po := range c.POs {
+		if !sim.EqualRows(vg[po], vf[fc.POs[i]], n) {
+			t.Fatal("PI stem fault behaviour mismatch")
+		}
+	}
+}
+
+func TestInjectMultipleFaults(t *testing.T) {
+	c := c17()
+	faults := []Fault{
+		{Site: Site{Line: 5, Reader: circuit.NoLine}, Value: false},
+		{Site: Site{Line: 7, Reader: circuit.NoLine}, Value: true},
+	}
+	fc := Inject(c, faults...)
+	if err := fc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Each faulted stem's readers must have been redirected to constants.
+	for _, f := range faults {
+		for i := range fc.Gates {
+			for _, fin := range fc.Gates[i].Fanin {
+				if fin == f.Line {
+					t.Fatalf("line %d still read after stem fault injection", f.Line)
+				}
+			}
+		}
+	}
+	pi, n := sim.ExhaustivePatterns(5)
+	good := sim.Outputs(c, sim.Simulate(c, pi, n))
+	bad := sim.Outputs(fc, sim.Simulate(fc, pi, n))
+	differs := false
+	for _, w := range sim.DiffMask(good, bad, n) {
+		if w != 0 {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("double stem fault unobservable on exhaustive patterns")
+	}
+}
+
+func TestInjectDoesNotMutateOriginal(t *testing.T) {
+	c := c17()
+	orig := c.Clone()
+	_ = Inject(c, Fault{Site: Site{Line: 6, Reader: circuit.NoLine}, Value: true})
+	if !circuit.StructuralEqual(c, orig) {
+		t.Fatal("Inject mutated its input circuit")
+	}
+}
+
+func TestDetectedMatchesInjectionSimulation(t *testing.T) {
+	// Property: the trial-based Detected agrees with brute-force inject +
+	// compare on every fault.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := gen.Random(gen.RandomOptions{PIs: 6, Gates: 40, Seed: seed})
+		n := 128
+		pi := sim.RandomPatterns(len(c.PIs), n, rng.Int63())
+		faults := AllFaults(c)
+		if len(faults) > 60 {
+			faults = faults[:60]
+		}
+		det := Detected(c, faults, pi, n)
+		goodOut := sim.Outputs(c, sim.Simulate(c, pi, n))
+		for i, ft := range faults {
+			fc := Inject(c, ft)
+			badOut := sim.Outputs(fc, sim.Simulate(fc, pi, n))
+			diff := sim.DiffMask(goodOut, badOut, n)
+			brute := false
+			for _, wrd := range diff {
+				if wrd != 0 {
+					brute = true
+					break
+				}
+			}
+			if brute != det[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	if got := Coverage([]bool{true, false, true, true}); got != 0.75 {
+		t.Fatalf("Coverage = %v, want 0.75", got)
+	}
+	if got := Coverage(nil); got != 0 {
+		t.Fatalf("Coverage(nil) = %v, want 0", got)
+	}
+}
+
+func TestTupleCanonAndKey(t *testing.T) {
+	a := Fault{Site: Site{Line: 5, Reader: circuit.NoLine}, Value: true}
+	b := Fault{Site: Site{Line: 3, Reader: circuit.NoLine}, Value: false}
+	t1 := Tuple{a, b}
+	t2 := Tuple{b, a}
+	if t1.Key() != t2.Key() {
+		t.Fatal("tuple key not order-independent")
+	}
+	t1.Canon()
+	if t1[0].Line != 3 {
+		t.Fatal("Canon did not sort by line")
+	}
+}
+
+func TestDistinctSites(t *testing.T) {
+	s1 := Site{Line: 3, Reader: circuit.NoLine}
+	s2 := Site{Line: 5, Reader: circuit.NoLine}
+	tuples := []Tuple{
+		{{Site: s1, Value: true}, {Site: s2, Value: false}},
+		{{Site: s1, Value: false}, {Site: s2, Value: false}},
+	}
+	if got := DistinctSites(tuples); got != 2 {
+		t.Fatalf("DistinctSites = %d, want 2", got)
+	}
+}
+
+func TestCollapseClassesBehaviorallyEquivalent(t *testing.T) {
+	// Every member of a collapse class must produce the identical faulty
+	// behaviour, not merely both-detected.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 8; trial++ {
+		c := gen.Random(gen.RandomOptions{PIs: 5, Gates: 30, Seed: int64(trial) + 100})
+		n := 256
+		pi := sim.RandomPatterns(len(c.PIs), n, rng.Int63())
+		_, class := Collapse(c)
+		// Group members by representative.
+		groups := map[Fault][]Fault{}
+		for f, r := range class {
+			groups[r] = append(groups[r], f)
+		}
+		for rep, members := range groups {
+			if len(members) < 2 {
+				continue
+			}
+			repOut := sim.Outputs(nil2(c, rep), sim.Simulate(nil2(c, rep), pi, n))
+			for _, m := range members {
+				mc := nil2(c, m)
+				mOut := sim.Outputs(mc, sim.Simulate(mc, pi, n))
+				d := sim.DiffMask(repOut, mOut, n)
+				for _, wrd := range d {
+					if wrd != 0 {
+						t.Fatalf("collapse class of %v: member %v behaves differently", rep, m)
+					}
+				}
+			}
+		}
+	}
+}
+
+func nil2(c *circuit.Circuit, f Fault) *circuit.Circuit { return Inject(c, f) }
+
+func TestCollapseReducesFaultCount(t *testing.T) {
+	c := gen.Alu(4)
+	all := AllFaults(c)
+	reps, class := Collapse(c)
+	if len(reps) >= len(all) {
+		t.Fatalf("collapse did not reduce: %d reps of %d faults", len(reps), len(all))
+	}
+	if len(class) != len(all) {
+		t.Fatalf("class map covers %d of %d faults", len(class), len(all))
+	}
+	// Representatives map to themselves.
+	for _, r := range reps {
+		if class[r] != r {
+			t.Fatalf("representative %v maps to %v", r, class[r])
+		}
+	}
+}
+
+func TestCollapseInverterChain(t *testing.T) {
+	// x -> NOT -> NOT -> PO: all six stem faults collapse to two classes.
+	c := circuit.New(3)
+	x := c.AddPI("x")
+	n1 := c.AddGate(circuit.Not, x)
+	n2 := c.AddGate(circuit.Not, n1)
+	c.MarkPO(n2)
+	reps, _ := Collapse(c)
+	if len(reps) != 2 {
+		t.Fatalf("inverter chain collapsed to %d classes, want 2", len(reps))
+	}
+}

@@ -1,0 +1,317 @@
+package gen
+
+import (
+	"fmt"
+
+	"dedc/internal/circuit"
+)
+
+// RippleAdder builds an n-bit ripple-carry adder: inputs a0..a(n-1),
+// b0..b(n-1), cin; outputs s0..s(n-1), cout.
+func RippleAdder(n int) *circuit.Circuit {
+	b := NewB()
+	as := make([]circuit.Line, n)
+	bs := make([]circuit.Line, n)
+	for i := 0; i < n; i++ {
+		as[i] = b.PI(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		bs[i] = b.PI(fmt.Sprintf("b%d", i))
+	}
+	carry := b.PI("cin")
+	for i := 0; i < n; i++ {
+		var sum circuit.Line
+		sum, carry = b.FullAdder(as[i], bs[i], carry)
+		b.POName(sum, fmt.Sprintf("s%d", i))
+	}
+	b.POName(carry, "cout")
+	return b.Done()
+}
+
+// CarrySelectAdder builds an n-bit carry-select adder with the given block
+// size: each block is computed twice (cin=0 and cin=1) and muxed. More gates
+// and more reconvergent fanout than the ripple adder — a useful stress shape
+// for diagnosis.
+func CarrySelectAdder(n, block int) *circuit.Circuit {
+	if block < 1 {
+		block = 4
+	}
+	b := NewB()
+	as := make([]circuit.Line, n)
+	bs := make([]circuit.Line, n)
+	for i := 0; i < n; i++ {
+		as[i] = b.PI(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		bs[i] = b.PI(fmt.Sprintf("b%d", i))
+	}
+	carry := b.PI("cin")
+	for lo := 0; lo < n; lo += block {
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		// Version with cin=0: a half adder in the first position.
+		sum0 := make([]circuit.Line, hi-lo)
+		s, c0 := b.HalfAdder(as[lo], bs[lo])
+		sum0[0] = s
+		for i := lo + 1; i < hi; i++ {
+			sum0[i-lo], c0 = b.FullAdder(as[i], bs[i], c0)
+		}
+		// Version with cin=1: first position is a full adder with the
+		// constant folded: sum = XNOR(a,b), carry = OR(a,b).
+		sum1 := make([]circuit.Line, hi-lo)
+		sum1[0] = b.Xnor2(as[lo], bs[lo])
+		c1 := b.Or(as[lo], bs[lo])
+		for i := lo + 1; i < hi; i++ {
+			sum1[i-lo], c1 = b.FullAdder(as[i], bs[i], c1)
+		}
+		for i := lo; i < hi; i++ {
+			b.POName(b.Mux(carry, sum0[i-lo], sum1[i-lo]), fmt.Sprintf("s%d", i))
+		}
+		carry = b.Mux(carry, c0, c1)
+	}
+	b.POName(carry, "cout")
+	return b.Done()
+}
+
+// ArrayMultiplier builds an n×n unsigned array multiplier (c6288-like at
+// n=16): partial products from AND gates, reduced by ripple rows of
+// half/full adders built from NAND-based XORs. Outputs p0..p(2n-1).
+func ArrayMultiplier(n int) *circuit.Circuit {
+	b := NewB()
+	as := make([]circuit.Line, n)
+	bs := make([]circuit.Line, n)
+	for i := 0; i < n; i++ {
+		as[i] = b.PI(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		bs[i] = b.PI(fmt.Sprintf("b%d", i))
+	}
+	// pp[j] holds the pending addends of weight j (one spare column so the
+	// reduction never writes out of range).
+	pp := make([][]circuit.Line, 2*n+2)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			pp[i+j] = append(pp[i+j], b.And(as[i], bs[j]))
+		}
+	}
+	// Column-wise carry-save reduction followed by the final ripple pass:
+	// a classic array-multiplier reduction that keeps the netlist regular.
+	for w := 0; w <= 2*n; w++ {
+		for len(pp[w]) > 2 {
+			s, c := b.FullAdder(pp[w][0], pp[w][1], pp[w][2])
+			pp[w] = append(pp[w][3:], s)
+			pp[w+1] = append(pp[w+1], c)
+		}
+	}
+	carry := circuit.NoLine
+	for w := 0; w < len(pp); w++ {
+		var s circuit.Line
+		switch {
+		case len(pp[w]) == 0:
+			if carry == circuit.NoLine {
+				continue
+			}
+			s, carry = carry, circuit.NoLine
+		case len(pp[w]) == 1 && carry == circuit.NoLine:
+			s = pp[w][0]
+		case len(pp[w]) == 1:
+			s, carry = b.HalfAdder(pp[w][0], carry)
+		case carry == circuit.NoLine:
+			s, carry = b.HalfAdder(pp[w][0], pp[w][1])
+		default:
+			s, carry = b.FullAdder(pp[w][0], pp[w][1], carry)
+		}
+		if w < 2*n {
+			b.POName(s, fmt.Sprintf("p%d", w))
+		} else {
+			// The product fits in 2n bits, so any spill line is constant 0;
+			// keeping it observable avoids dead logic in the netlist.
+			b.POName(s, fmt.Sprintf("ovf%d", w-2*n))
+		}
+	}
+	if carry != circuit.NoLine {
+		b.POName(carry, "ovfc")
+	}
+	return b.Done()
+}
+
+// WallaceMultiplier builds an n×n unsigned multiplier with a Wallace-tree
+// reduction: all partial products of a column are reduced in parallel
+// rounds of (3,2) and (2,2) counters, with one final ripple pass. The same
+// function as ArrayMultiplier through a very different structure — the
+// classic equivalence-checking workload pair.
+func WallaceMultiplier(n int) *circuit.Circuit {
+	b := NewB()
+	as := make([]circuit.Line, n)
+	bs := make([]circuit.Line, n)
+	for i := 0; i < n; i++ {
+		as[i] = b.PI(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		bs[i] = b.PI(fmt.Sprintf("b%d", i))
+	}
+	cols := make([][]circuit.Line, 2*n+2)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			cols[i+j] = append(cols[i+j], b.And(as[i], bs[j]))
+		}
+	}
+	// Wallace rounds: within each round, every column is reduced in
+	// parallel — take triples into full adders and leftover pairs into half
+	// adders, deferring carries to the next round.
+	for !reduced(cols) {
+		next := make([][]circuit.Line, len(cols))
+		for w := range cols {
+			items := cols[w]
+			i := 0
+			for ; i+2 < len(items); i += 3 {
+				s, c := b.FullAdder(items[i], items[i+1], items[i+2])
+				next[w] = append(next[w], s)
+				next[w+1] = append(next[w+1], c)
+			}
+			if i+1 < len(items) {
+				s, c := b.HalfAdder(items[i], items[i+1])
+				next[w] = append(next[w], s)
+				next[w+1] = append(next[w+1], c)
+			} else if i < len(items) {
+				next[w] = append(next[w], items[i])
+			}
+		}
+		cols = next
+	}
+	// Final carry-propagate pass over the ≤2-deep columns.
+	carry := circuit.NoLine
+	for w := 0; w < len(cols); w++ {
+		var s circuit.Line
+		switch {
+		case len(cols[w]) == 0:
+			if carry == circuit.NoLine {
+				continue
+			}
+			s, carry = carry, circuit.NoLine
+		case len(cols[w]) == 1 && carry == circuit.NoLine:
+			s = cols[w][0]
+		case len(cols[w]) == 1:
+			s, carry = b.HalfAdder(cols[w][0], carry)
+		case carry == circuit.NoLine:
+			s, carry = b.HalfAdder(cols[w][0], cols[w][1])
+		default:
+			s, carry = b.FullAdder(cols[w][0], cols[w][1], carry)
+		}
+		if w < 2*n {
+			b.POName(s, fmt.Sprintf("p%d", w))
+		} else {
+			b.POName(s, fmt.Sprintf("ovf%d", w-2*n))
+		}
+	}
+	if carry != circuit.NoLine {
+		b.POName(carry, "ovfc")
+	}
+	return b.Done()
+}
+
+func reduced(cols [][]circuit.Line) bool {
+	for _, c := range cols {
+		if len(c) > 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// ALU operation encodings for the Alu generator, selected by two control
+// inputs op1,op0: 00=ADD, 01=AND, 10=OR, 11=XOR.
+const (
+	AluOpAdd = 0
+	AluOpAnd = 1
+	AluOpOr  = 2
+	AluOpXor = 3
+)
+
+// Alu builds an n-bit four-function ALU (c880/c3540-like shapes): two data
+// words, a carry-in, two op-select lines; outputs r0..r(n-1), carry-out and
+// a zero flag. Result selection uses AND/OR mux trees, giving the heavy
+// reconvergence typical of the ISCAS ALU circuits.
+func Alu(n int) *circuit.Circuit {
+	b := NewB()
+	as := make([]circuit.Line, n)
+	bs := make([]circuit.Line, n)
+	for i := 0; i < n; i++ {
+		as[i] = b.PI(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		bs[i] = b.PI(fmt.Sprintf("b%d", i))
+	}
+	cin := b.PI("cin")
+	op0 := b.PI("op0")
+	op1 := b.PI("op1")
+
+	// One-hot op decode.
+	nop0, nop1 := b.Not(op0), b.Not(op1)
+	isAdd := b.And(nop1, nop0)
+	isAnd := b.And(nop1, op0)
+	isOr := b.And(op1, nop0)
+	isXor := b.And(op1, op0)
+
+	carry := cin
+	sums := make([]circuit.Line, n)
+	for i := 0; i < n; i++ {
+		sums[i], carry = b.FullAdder(as[i], bs[i], carry)
+	}
+	results := make([]circuit.Line, n)
+	for i := 0; i < n; i++ {
+		andI := b.And(as[i], bs[i])
+		orI := b.Or(as[i], bs[i])
+		xorI := b.Xor2(as[i], bs[i])
+		results[i] = b.Or(
+			b.And(isAdd, sums[i]),
+			b.And(isAnd, andI),
+			b.And(isOr, orI),
+			b.And(isXor, xorI),
+		)
+		b.POName(results[i], fmt.Sprintf("r%d", i))
+	}
+	b.POName(b.And(isAdd, carry), "cout")
+	b.POName(b.Nor(results...), "zero")
+	return b.Done()
+}
+
+// Comparator builds an n-bit magnitude comparator with outputs eq, lt, gt.
+func Comparator(n int) *circuit.Circuit {
+	b := NewB()
+	as := make([]circuit.Line, n)
+	bs := make([]circuit.Line, n)
+	for i := 0; i < n; i++ {
+		as[i] = b.PI(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		bs[i] = b.PI(fmt.Sprintf("b%d", i))
+	}
+	eqBits := make([]circuit.Line, n)
+	for i := 0; i < n; i++ {
+		eqBits[i] = b.Xnor2(as[i], bs[i])
+	}
+	// lt = OR over i of (a_i < b_i AND all higher bits equal).
+	var ltTerms, gtTerms []circuit.Line
+	for i := n - 1; i >= 0; i-- {
+		higherEq := make([]circuit.Line, 0, n-i)
+		for j := i + 1; j < n; j++ {
+			higherEq = append(higherEq, eqBits[j])
+		}
+		ltBit := b.And(b.Not(as[i]), bs[i])
+		gtBit := b.And(as[i], b.Not(bs[i]))
+		if len(higherEq) > 0 {
+			ltTerms = append(ltTerms, b.And(append([]circuit.Line{ltBit}, higherEq...)...))
+			gtTerms = append(gtTerms, b.And(append([]circuit.Line{gtBit}, higherEq...)...))
+		} else {
+			ltTerms = append(ltTerms, ltBit)
+			gtTerms = append(gtTerms, gtBit)
+		}
+	}
+	b.POName(b.And(eqBits...), "eq")
+	b.POName(b.Or(ltTerms...), "lt")
+	b.POName(b.Or(gtTerms...), "gt")
+	return b.Done()
+}

@@ -1,0 +1,99 @@
+package gen
+
+import (
+	"fmt"
+
+	"dedc/internal/circuit"
+)
+
+// hammingPositions returns, for an n-data-bit extended Hamming layout, the
+// number of check bits and, for each check bit c, the data-bit indices it
+// covers. The layout is the textbook one: data bits occupy the non-power-of-
+// two codeword positions 3,5,6,7,9,... and check bit c covers every codeword
+// position with bit c set.
+func hammingPositions(n int) (nCheck int, cover [][]int) {
+	nCheck = 1
+	for (1 << nCheck) < n+nCheck+1 {
+		nCheck++
+	}
+	cover = make([][]int, nCheck)
+	pos := 3
+	for d := 0; d < n; d++ {
+		for pos&(pos-1) == 0 { // skip power-of-two positions
+			pos++
+		}
+		for c := 0; c < nCheck; c++ {
+			if pos&(1<<c) != 0 {
+				cover[c] = append(cover[c], d)
+			}
+		}
+		pos++
+	}
+	return nCheck, cover
+}
+
+// dataPosition returns the codeword position of data bit d in the layout of
+// hammingPositions.
+func dataPosition(d int) int {
+	pos := 3
+	for {
+		for pos&(pos-1) == 0 {
+			pos++
+		}
+		if d == 0 {
+			return pos
+		}
+		d--
+		pos++
+	}
+}
+
+// ECC builds a single-error-correcting network over n data bits
+// (c499/c1355-like at n=32): inputs are the received data bits d0..d(n-1)
+// and received check bits c0..c(k-1); the circuit recomputes the syndrome,
+// decodes it, and outputs the corrected data bits o0..o(n-1) plus an
+// error-detected flag. XORs follow the builder's expansion rule, so with
+// useXorGates=false the network is the NAND-heavy shape the paper's
+// heuristic-3 discussion targets.
+func ECC(n int, useXorGates bool) *circuit.Circuit {
+	b := NewB()
+	b.UseXorGates = useXorGates
+	nCheck, cover := hammingPositions(n)
+	data := make([]circuit.Line, n)
+	for i := range data {
+		data[i] = b.PI(fmt.Sprintf("d%d", i))
+	}
+	check := make([]circuit.Line, nCheck)
+	for c := range check {
+		check[c] = b.PI(fmt.Sprintf("c%d", c))
+	}
+	// Syndrome bit c = received check bit XOR parity of covered data bits.
+	syn := make([]circuit.Line, nCheck)
+	for c := 0; c < nCheck; c++ {
+		xs := []circuit.Line{check[c]}
+		for _, d := range cover[c] {
+			xs = append(xs, data[d])
+		}
+		syn[c] = b.XorTree(xs...)
+	}
+	nsyn := make([]circuit.Line, nCheck)
+	for c := range syn {
+		nsyn[c] = b.Not(syn[c])
+	}
+	// Correct each data bit: flip when the syndrome equals its position.
+	for d := 0; d < n; d++ {
+		pos := dataPosition(d)
+		term := make([]circuit.Line, nCheck)
+		for c := 0; c < nCheck; c++ {
+			if pos&(1<<c) != 0 {
+				term[c] = syn[c]
+			} else {
+				term[c] = nsyn[c]
+			}
+		}
+		hit := b.And(term...)
+		b.POName(b.Xor2(data[d], hit), fmt.Sprintf("o%d", d))
+	}
+	b.POName(b.Or(syn...), "err")
+	return b.Done()
+}

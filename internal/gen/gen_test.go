@@ -1,0 +1,555 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"dedc/internal/circuit"
+	"dedc/internal/sim"
+)
+
+// evalOnce simulates a single input assignment (by PI name) and returns the
+// value of every named line.
+func evalOnce(t *testing.T, c *circuit.Circuit, assign map[string]bool) map[string]bool {
+	t.Helper()
+	pi := make([][]uint64, len(c.PIs))
+	for i, p := range c.PIs {
+		v, ok := assign[c.Name(p)]
+		if !ok {
+			t.Fatalf("missing assignment for PI %s", c.Name(p))
+		}
+		if v {
+			pi[i] = []uint64{1}
+		} else {
+			pi[i] = []uint64{0}
+		}
+	}
+	val := sim.Simulate(c, pi, 1)
+	out := make(map[string]bool)
+	for l := 0; l < c.NumLines(); l++ {
+		out[c.Name(circuit.Line(l))] = val[l][0]&1 == 1
+	}
+	return out
+}
+
+func bitsOf(v uint64, n int, prefix string, into map[string]bool) {
+	for i := 0; i < n; i++ {
+		into[prefix+itoa(i)] = v>>uint(i)&1 == 1
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}
+
+func wordOf(vals map[string]bool, n int, prefix string) uint64 {
+	var v uint64
+	for i := 0; i < n; i++ {
+		if vals[prefix+itoa(i)] {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+func TestRippleAdderAdds(t *testing.T) {
+	const n = 8
+	c := RippleAdder(n)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		a := rng.Uint64() & 0xff
+		b := rng.Uint64() & 0xff
+		cin := rng.Uint64() & 1
+		assign := map[string]bool{"cin": cin == 1}
+		bitsOf(a, n, "a", assign)
+		bitsOf(b, n, "b", assign)
+		vals := evalOnce(t, c, assign)
+		got := wordOf(vals, n, "s")
+		if vals["cout"] {
+			got |= 1 << n
+		}
+		if want := a + b + cin; got != want {
+			t.Fatalf("%d + %d + %d = %d, circuit says %d", a, b, cin, want, got)
+		}
+	}
+}
+
+func TestCarrySelectEquivalentToRipple(t *testing.T) {
+	const n = 6
+	ra := RippleAdder(n)
+	cs := CarrySelectAdder(n, 3)
+	if len(ra.PIs) != len(cs.PIs) {
+		t.Fatalf("PI counts differ: %d vs %d", len(ra.PIs), len(cs.PIs))
+	}
+	// PI orders coincide (a0.., b0.., cin); exhaustive equivalence.
+	if !sim.EquivalentExhaustive(ra, cs) {
+		t.Fatal("carry-select adder disagrees with ripple adder")
+	}
+}
+
+func TestArrayMultiplierMultiplies(t *testing.T) {
+	const n = 4
+	c := ArrayMultiplier(n)
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			assign := map[string]bool{}
+			bitsOf(a, n, "a", assign)
+			bitsOf(b, n, "b", assign)
+			vals := evalOnce(t, c, assign)
+			got := wordOf(vals, 2*n, "p")
+			if got != a*b {
+				t.Fatalf("%d * %d = %d, circuit says %d", a, b, a*b, got)
+			}
+		}
+	}
+}
+
+func TestArrayMultiplierLarge(t *testing.T) {
+	const n = 16
+	c := ArrayMultiplier(n)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		a := rng.Uint64() & 0xffff
+		b := rng.Uint64() & 0xffff
+		assign := map[string]bool{}
+		bitsOf(a, n, "a", assign)
+		bitsOf(b, n, "b", assign)
+		vals := evalOnce(t, c, assign)
+		if got := wordOf(vals, 2*n, "p"); got != a*b {
+			t.Fatalf("%d * %d = %d, circuit says %d", a, b, a*b, got)
+		}
+	}
+}
+
+func TestAluOperations(t *testing.T) {
+	const n = 6
+	c := Alu(n)
+	mask := uint64(1<<n - 1)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 80; trial++ {
+		a := rng.Uint64() & mask
+		b := rng.Uint64() & mask
+		cin := rng.Uint64() & 1
+		op := rng.Intn(4)
+		assign := map[string]bool{
+			"cin": cin == 1,
+			"op0": op&1 == 1,
+			"op1": op&2 == 2,
+		}
+		bitsOf(a, n, "a", assign)
+		bitsOf(b, n, "b", assign)
+		vals := evalOnce(t, c, assign)
+		got := wordOf(vals, n, "r")
+		var want uint64
+		switch op {
+		case AluOpAdd:
+			want = (a + b + cin) & mask
+		case AluOpAnd:
+			want = a & b
+		case AluOpOr:
+			want = a | b
+		case AluOpXor:
+			want = a ^ b
+		}
+		if got != want {
+			t.Fatalf("op %d: a=%d b=%d cin=%d: want %d, got %d", op, a, b, cin, want, got)
+		}
+		if op == AluOpAdd {
+			wantCout := (a+b+cin)>>n&1 == 1
+			if vals["cout"] != wantCout {
+				t.Fatalf("cout: want %v", wantCout)
+			}
+		}
+		if vals["zero"] != (got == 0) {
+			t.Fatalf("zero flag wrong for result %d", got)
+		}
+	}
+}
+
+func TestComparator(t *testing.T) {
+	const n = 4
+	c := Comparator(n)
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			assign := map[string]bool{}
+			bitsOf(a, n, "a", assign)
+			bitsOf(b, n, "b", assign)
+			vals := evalOnce(t, c, assign)
+			if vals["eq"] != (a == b) || vals["lt"] != (a < b) || vals["gt"] != (a > b) {
+				t.Fatalf("compare(%d,%d): eq=%v lt=%v gt=%v", a, b, vals["eq"], vals["lt"], vals["gt"])
+			}
+		}
+	}
+}
+
+func TestDecoderOneHot(t *testing.T) {
+	const n = 3
+	c := Decoder(n)
+	for en := 0; en < 2; en++ {
+		for s := uint64(0); s < 8; s++ {
+			assign := map[string]bool{"en": en == 1}
+			bitsOf(s, n, "s", assign)
+			vals := evalOnce(t, c, assign)
+			for v := uint64(0); v < 8; v++ {
+				want := en == 1 && v == s
+				if vals["y"+itoa(int(v))] != want {
+					t.Fatalf("decoder(en=%d, s=%d): y%d = %v, want %v", en, s, v, vals["y"+itoa(int(v))], want)
+				}
+			}
+		}
+	}
+}
+
+func TestParityTree(t *testing.T) {
+	const n = 5
+	c := ParityTree(n)
+	for v := uint64(0); v < 32; v++ {
+		assign := map[string]bool{}
+		bitsOf(v, n, "x", assign)
+		vals := evalOnce(t, c, assign)
+		want := false
+		for i := 0; i < n; i++ {
+			if v>>uint(i)&1 == 1 {
+				want = !want
+			}
+		}
+		if vals["parity"] != want {
+			t.Fatalf("parity(%05b) = %v, want %v", v, vals["parity"], want)
+		}
+	}
+}
+
+func TestPriorityInterrupt(t *testing.T) {
+	const ch = 5
+	c := PriorityInterrupt(ch)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		req := rng.Uint64() & (1<<ch - 1)
+		msk := rng.Uint64() & (1<<ch - 1)
+		assign := map[string]bool{}
+		bitsOf(req, ch, "req", assign)
+		bitsOf(msk, ch, "msk", assign)
+		vals := evalOnce(t, c, assign)
+		act := req &^ msk
+		granted := -1
+		for i := 0; i < ch; i++ {
+			if act>>uint(i)&1 == 1 {
+				granted = i
+				break
+			}
+		}
+		for i := 0; i < ch; i++ {
+			if vals["gnt"+itoa(i)] != (i == granted) {
+				t.Fatalf("req=%05b msk=%05b: gnt%d = %v, want %v", req, msk, i, vals["gnt"+itoa(i)], i == granted)
+			}
+		}
+		if vals["any"] != (granted >= 0) {
+			t.Fatalf("any = %v with act=%05b", vals["any"], act)
+		}
+		if granted >= 0 {
+			bits := 3 // ceil(log2(5))
+			for bit := 0; bit < bits; bit++ {
+				if vals["idx"+itoa(bit)] != (granted>>uint(bit)&1 == 1) {
+					t.Fatalf("idx%d wrong for granted=%d", bit, granted)
+				}
+			}
+		}
+	}
+}
+
+// eccReference mirrors the circuit's correction rule on scalars.
+func eccReference(n int, data, check uint64) (out uint64, errFlag bool) {
+	nCheck, cover := hammingPositions(n)
+	syn := uint64(0)
+	for c := 0; c < nCheck; c++ {
+		p := check >> uint(c) & 1
+		for _, d := range cover[c] {
+			p ^= data >> uint(d) & 1
+		}
+		syn |= p << uint(c)
+	}
+	out = data
+	for d := 0; d < n; d++ {
+		if syn == uint64(dataPosition(d)) {
+			out ^= 1 << uint(d)
+		}
+	}
+	return out, syn != 0
+}
+
+func TestECCAgainstReference(t *testing.T) {
+	for _, useXor := range []bool{true, false} {
+		const n = 4
+		c := ECC(n, useXor)
+		nCheck, _ := hammingPositions(n)
+		for data := uint64(0); data < 1<<n; data++ {
+			for check := uint64(0); check < 1<<nCheck; check++ {
+				assign := map[string]bool{}
+				bitsOf(data, n, "d", assign)
+				bitsOf(check, nCheck, "c", assign)
+				vals := evalOnce(t, c, assign)
+				wantOut, wantErr := eccReference(n, data, check)
+				if got := wordOf(vals, n, "o"); got != wantOut {
+					t.Fatalf("useXor=%v d=%04b c=%03b: out=%04b want %04b", useXor, data, check, got, wantOut)
+				}
+				if vals["err"] != wantErr {
+					t.Fatalf("useXor=%v d=%04b c=%03b: err=%v want %v", useXor, data, check, vals["err"], wantErr)
+				}
+			}
+		}
+	}
+}
+
+func TestECCCorrectsSingleDataError(t *testing.T) {
+	const n = 8
+	c := ECC(n, false)
+	nCheck, cover := hammingPositions(n)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		data := rng.Uint64() & (1<<n - 1)
+		// Encode: check bit c = parity of covered data bits.
+		check := uint64(0)
+		for cb := 0; cb < nCheck; cb++ {
+			p := uint64(0)
+			for _, d := range cover[cb] {
+				p ^= data >> uint(d) & 1
+			}
+			check |= p << uint(cb)
+		}
+		flip := rng.Intn(n)
+		corrupted := data ^ 1<<uint(flip)
+		assign := map[string]bool{}
+		bitsOf(corrupted, n, "d", assign)
+		bitsOf(check, nCheck, "c", assign)
+		vals := evalOnce(t, c, assign)
+		if got := wordOf(vals, n, "o"); got != data {
+			t.Fatalf("single-bit error at %d not corrected: got %08b want %08b", flip, got, data)
+		}
+		if !vals["err"] {
+			t.Fatal("err flag not raised on corrupted word")
+		}
+	}
+}
+
+func TestXorExpansionMatchesXorGate(t *testing.T) {
+	bn := NewB()
+	a := bn.PI("a")
+	b2 := bn.PI("b")
+	bn.POName(bn.Xor2(a, b2), "y")
+	nandVersion := bn.Done()
+
+	bx := NewB()
+	bx.UseXorGates = true
+	a = bx.PI("a")
+	b2 = bx.PI("b")
+	bx.POName(bx.Xor2(a, b2), "y")
+	xorVersion := bx.Done()
+
+	if !sim.EquivalentExhaustive(nandVersion, xorVersion) {
+		t.Fatal("NAND-based XOR disagrees with XOR gate")
+	}
+	for _, g := range nandVersion.Gates {
+		if g.Type == circuit.Xor || g.Type == circuit.Xnor {
+			t.Fatal("NAND expansion contains a real XOR gate")
+		}
+	}
+}
+
+func TestRandomDeterministicAndValid(t *testing.T) {
+	opt := RandomOptions{PIs: 10, Gates: 200, Seed: 77}
+	c1 := Random(opt)
+	c2 := Random(opt)
+	if !circuit.StructuralEqual(c1, c2) {
+		t.Fatal("Random not deterministic for equal seeds")
+	}
+	if err := c1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c3 := Random(RandomOptions{PIs: 10, Gates: 200, Seed: 78})
+	if circuit.StructuralEqual(c1, c3) {
+		t.Fatal("different seeds produced identical circuits")
+	}
+}
+
+func TestRandomAllPIsUsedAllLinesObservable(t *testing.T) {
+	c := Random(RandomOptions{PIs: 12, Gates: 150, Seed: 3})
+	fo := c.Fanout()
+	for _, pi := range c.PIs {
+		if len(fo[pi]) == 0 {
+			t.Fatalf("PI %s unused", c.Name(pi))
+		}
+	}
+	poSet := map[circuit.Line]bool{}
+	for _, po := range c.POs {
+		poSet[po] = true
+	}
+	for l := 0; l < c.NumLines(); l++ {
+		if len(fo[l]) == 0 && !poSet[circuit.Line(l)] {
+			t.Fatalf("line %d dangles unobserved", l)
+		}
+	}
+}
+
+func TestRandomSequentialHasFeedback(t *testing.T) {
+	c := RandomSequential(RandomOptions{PIs: 8, Gates: 100, Seed: 11}, 6)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	nFF := 0
+	for i := range c.Gates {
+		if c.Gates[i].Type == circuit.DFF {
+			nFF++
+		}
+	}
+	if nFF != 6 {
+		t.Fatalf("DFF count = %d, want 6", nFF)
+	}
+	// Feedback: at least one DFF's data input depends on some DFF output.
+	// Walk back from each DFF's fanin through combinational gates.
+	dependsOnFF := false
+	for i := range c.Gates {
+		if c.Gates[i].Type != circuit.DFF {
+			continue
+		}
+		seen := map[circuit.Line]bool{}
+		stack := []circuit.Line{c.Gates[i].Fanin[0]}
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[x] {
+				continue
+			}
+			seen[x] = true
+			if c.Gates[x].Type == circuit.DFF {
+				dependsOnFF = true
+				break
+			}
+			stack = append(stack, c.Gates[x].Fanin...)
+		}
+		if dependsOnFF {
+			break
+		}
+	}
+	if !dependsOnFF {
+		t.Fatal("no state feedback generated")
+	}
+}
+
+func TestSuiteBuildsAndValidates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite construction in -short mode")
+	}
+	for _, bm := range Suite() {
+		c := bm.Build()
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", bm.Name, err)
+			continue
+		}
+		if bm.Sequential != c.IsSequential() {
+			t.Errorf("%s: Sequential flag mismatch", bm.Name)
+		}
+		if !bm.Sequential {
+			st := c.Stats()
+			if st.Lines < 100 {
+				t.Errorf("%s: suspiciously small (%d lines)", bm.Name, st.Lines)
+			}
+		}
+	}
+}
+
+func TestSmallSuiteBuilds(t *testing.T) {
+	for _, bm := range SmallSuite() {
+		c := bm.Build()
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", bm.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("c6288*"); !ok {
+		t.Fatal("c6288* not found")
+	}
+	if _, ok := ByName("alu4"); !ok {
+		t.Fatal("alu4 not found")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("nonexistent benchmark found")
+	}
+}
+
+func TestSuiteDeterministic(t *testing.T) {
+	a, _ := ByName("c880*")
+	b, _ := ByName("c880*")
+	if !circuit.StructuralEqual(a.Build(), b.Build()) {
+		t.Fatal("suite circuit construction not deterministic")
+	}
+}
+
+func TestWallaceMultiplierMultiplies(t *testing.T) {
+	const n = 4
+	c := WallaceMultiplier(n)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			assign := map[string]bool{}
+			bitsOf(a, n, "a", assign)
+			bitsOf(b, n, "b", assign)
+			vals := evalOnce(t, c, assign)
+			if got := wordOf(vals, 2*n, "p"); got != a*b {
+				t.Fatalf("%d * %d = %d, circuit says %d", a, b, a*b, got)
+			}
+		}
+	}
+}
+
+func TestWallaceShallowerThanArray(t *testing.T) {
+	// The point of the Wallace tree: logarithmic reduction depth.
+	w := WallaceMultiplier(8)
+	a := ArrayMultiplier(8)
+	if w.Depth() >= a.Depth() {
+		t.Fatalf("Wallace depth %d not below array depth %d", w.Depth(), a.Depth())
+	}
+}
+
+func TestWallaceEquivalentToArrayOnVectors(t *testing.T) {
+	w := WallaceMultiplier(6)
+	a := ArrayMultiplier(6)
+	// PO counts can differ by overflow padding lines; compare the 2n
+	// product bits by name through simulation.
+	n := 2048
+	pw := sim.RandomPatterns(len(w.PIs), n, 5)
+	vw := sim.Simulate(w, pw, n)
+	va := sim.Simulate(a, pw, n)
+	name2line := func(c *circuit.Circuit) map[string]circuit.Line {
+		m := map[string]circuit.Line{}
+		for i := range c.Gates {
+			m[c.Name(circuit.Line(i))] = circuit.Line(i)
+		}
+		return m
+	}
+	mw, ma := name2line(w), name2line(a)
+	for i := 0; i < 12; i++ {
+		pn := "p" + itoa(i)
+		lw, okw := mw[pn]
+		la, oka := ma[pn]
+		if !okw || !oka {
+			t.Fatalf("product bit %s missing", pn)
+		}
+		if !sim.EqualRows(vw[lw], va[la], n) {
+			t.Fatalf("product bit %s differs", pn)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package gen
+
+import (
+	"fmt"
+
+	"dedc/internal/circuit"
+)
+
+// Decoder builds an n-to-2^n one-hot decoder with an enable input.
+func Decoder(n int) *circuit.Circuit {
+	b := NewB()
+	sel := make([]circuit.Line, n)
+	for i := range sel {
+		sel[i] = b.PI(fmt.Sprintf("s%d", i))
+	}
+	en := b.PI("en")
+	nsel := make([]circuit.Line, n)
+	for i := range sel {
+		nsel[i] = b.Not(sel[i])
+	}
+	for v := 0; v < 1<<n; v++ {
+		term := make([]circuit.Line, 0, n+1)
+		term = append(term, en)
+		for i := 0; i < n; i++ {
+			if v&(1<<i) != 0 {
+				term = append(term, sel[i])
+			} else {
+				term = append(term, nsel[i])
+			}
+		}
+		b.POName(b.And(term...), fmt.Sprintf("y%d", v))
+	}
+	return b.Done()
+}
+
+// ParityTree builds an n-input odd-parity checker from NAND-based XORs.
+func ParityTree(n int) *circuit.Circuit {
+	b := NewB()
+	xs := make([]circuit.Line, n)
+	for i := range xs {
+		xs[i] = b.PI(fmt.Sprintf("x%d", i))
+	}
+	b.POName(b.XorTree(xs...), "parity")
+	return b.Done()
+}
+
+// PriorityInterrupt builds a c432-like interrupt controller: channels
+// request-and-mask pairs grouped in banks, a priority chain across banks,
+// and per-channel grant outputs. channels is the number of request inputs.
+func PriorityInterrupt(channels int) *circuit.Circuit {
+	b := NewB()
+	req := make([]circuit.Line, channels)
+	msk := make([]circuit.Line, channels)
+	for i := 0; i < channels; i++ {
+		req[i] = b.PI(fmt.Sprintf("req%d", i))
+	}
+	for i := 0; i < channels; i++ {
+		msk[i] = b.PI(fmt.Sprintf("msk%d", i))
+	}
+	// Active request per channel.
+	act := make([]circuit.Line, channels)
+	for i := 0; i < channels; i++ {
+		act[i] = b.And(req[i], b.Not(msk[i]))
+	}
+	// Grant chain: channel i granted iff active and no lower-index channel
+	// is active. Built as a NOR/AND cascade mirroring the NOR-heavy
+	// structure of c432.
+	grants := make([]circuit.Line, channels)
+	noneBefore := circuit.NoLine
+	for i := 0; i < channels; i++ {
+		if i == 0 {
+			grants[i] = b.Buf(act[i])
+			noneBefore = b.Not(act[0])
+		} else {
+			grants[i] = b.And(act[i], noneBefore)
+			noneBefore = b.And(noneBefore, b.Not(act[i]))
+		}
+		b.POName(grants[i], fmt.Sprintf("gnt%d", i))
+	}
+	// Encoded index of the granted channel, plus an any-grant output. The
+	// grants feed both the POs and the encoder: reconvergent fanout on
+	// purpose, the property that makes this shape interesting for diagnosis.
+	bitsNeeded := 1
+	for (1 << bitsNeeded) < channels {
+		bitsNeeded++
+	}
+	for bit := 0; bit < bitsNeeded; bit++ {
+		var terms []circuit.Line
+		for i := 0; i < channels; i++ {
+			if i&(1<<bit) != 0 {
+				terms = append(terms, grants[i])
+			}
+		}
+		if len(terms) == 0 {
+			continue
+		}
+		b.POName(b.Or(terms...), fmt.Sprintf("idx%d", bit))
+	}
+	b.POName(b.Or(act...), "any")
+	return b.Done()
+}

@@ -1,0 +1,159 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dedc/internal/circuit"
+)
+
+// RandomOptions controls Random circuit generation.
+type RandomOptions struct {
+	PIs      int // number of primary inputs
+	Gates    int // number of logic gates (excluding PIs)
+	Seed     int64
+	MaxFanin int     // maximum gate fanin (default 4)
+	Locality float64 // 0..1, bias toward recently created fanins (default 0.7)
+}
+
+// Random builds a seeded random combinational netlist with the NAND/NOR-
+// heavy gate mix of the ISCAS suites. Every sink line becomes a primary
+// output, so all logic is observable; every PI feeds at least one gate.
+func Random(opt RandomOptions) *circuit.Circuit {
+	if opt.MaxFanin <= 0 {
+		opt.MaxFanin = 4
+	}
+	if opt.Locality == 0 {
+		opt.Locality = 0.7
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	c := circuit.New(opt.PIs + opt.Gates)
+	for i := 0; i < opt.PIs; i++ {
+		c.AddPI(fmt.Sprintf("pi%d", i))
+	}
+	// Gate mix approximating ISCAS'85 statistics: inverter-rich, NAND/NOR
+	// dominated. Weights sum to 100.
+	pick := func() circuit.GateType {
+		r := rng.Intn(100)
+		switch {
+		case r < 18:
+			return circuit.Not
+		case r < 23:
+			return circuit.Buf
+		case r < 38:
+			return circuit.And
+		case r < 63:
+			return circuit.Nand
+		case r < 76:
+			return circuit.Or
+		default:
+			return circuit.Nor
+		}
+	}
+	pickFanin := func(limit int) circuit.Line {
+		if rng.Float64() < opt.Locality {
+			// Geometric-ish window over the most recent quarter.
+			win := limit / 4
+			if win < 4 {
+				win = limit
+			}
+			return circuit.Line(limit - 1 - rng.Intn(win))
+		}
+		return circuit.Line(rng.Intn(limit))
+	}
+	for i := 0; i < opt.Gates; i++ {
+		tt := pick()
+		nf := 1
+		if tt.MaxFanin() < 0 {
+			nf = 2
+			for nf < opt.MaxFanin && rng.Float64() < 0.3 {
+				nf++
+			}
+		}
+		fanin := make([]circuit.Line, 0, nf)
+		for len(fanin) < nf {
+			cand := pickFanin(c.NumLines())
+			dup := false
+			for _, f := range fanin {
+				if f == cand {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				fanin = append(fanin, cand)
+			} else if c.NumLines() <= nf {
+				fanin = append(fanin, cand) // tiny circuits may need repeats
+			}
+		}
+		c.AddNamedGate(fmt.Sprintf("g%d", i), tt, fanin...)
+	}
+	// Any unused PI gets a consumer so the whole input space matters.
+	fo := c.Fanout()
+	var unused []circuit.Line
+	for _, pi := range c.PIs {
+		if len(fo[pi]) == 0 {
+			unused = append(unused, pi)
+		}
+	}
+	for len(unused) > 0 {
+		k := len(unused)
+		if k == 1 {
+			// Pair with a random existing line.
+			other := circuit.Line(rng.Intn(c.NumLines()))
+			c.AddNamedGate(fmt.Sprintf("gpi%d", c.NumLines()), circuit.Nand, unused[0], other)
+			unused = nil
+			break
+		}
+		c.AddNamedGate(fmt.Sprintf("gpi%d", c.NumLines()), circuit.Nand, unused[0], unused[1])
+		unused = unused[2:]
+	}
+	fo = c.Fanout()
+	for l := 0; l < c.NumLines(); l++ {
+		if len(fo[l]) == 0 {
+			c.MarkPO(circuit.Line(l))
+		}
+	}
+	return c
+}
+
+// RandomSequential builds a random sequential circuit: a Random
+// combinational core plus nFF D flip-flops with genuine state feedback —
+// each flip-flop's data input is a next-state gate that mixes flip-flop
+// outputs with core lines. Intended for the full-scan experiments via
+// package scan; the result is sequentially valid but has no combinational
+// meaning until converted.
+func RandomSequential(opt RandomOptions, nFF int) *circuit.Circuit {
+	c := Random(opt)
+	rng := rand.New(rand.NewSource(opt.Seed ^ 0x5eaf))
+	coreLines := c.NumLines()
+	// Add the flip-flops with placeholder data inputs.
+	ffs := make([]circuit.Line, nFF)
+	for i := range ffs {
+		ffs[i] = c.AddNamedGate(fmt.Sprintf("ff%d", i), circuit.DFF, circuit.Line(rng.Intn(coreLines)))
+	}
+	// Next-state and output logic reading the flip-flops.
+	mixed := make([]circuit.Line, 0, 2*nFF)
+	types := []circuit.GateType{circuit.And, circuit.Nand, circuit.Or, circuit.Nor}
+	for i := 0; i < 2*nFF; i++ {
+		tt := types[rng.Intn(len(types))]
+		a := ffs[rng.Intn(nFF)]
+		bl := circuit.Line(rng.Intn(coreLines))
+		if rng.Intn(2) == 0 && len(mixed) > 0 {
+			bl = mixed[rng.Intn(len(mixed))]
+		}
+		mixed = append(mixed, c.AddNamedGate(fmt.Sprintf("ns%d", i), tt, a, bl))
+	}
+	// Re-point each flip-flop's data input into the mixed logic: feedback.
+	for i := range ffs {
+		c.SetFanin(ffs[i], 0, mixed[rng.Intn(len(mixed))])
+	}
+	// Everything without a reader becomes an observable output.
+	fo := c.Fanout()
+	for l := 0; l < c.NumLines(); l++ {
+		if len(fo[l]) == 0 {
+			c.MarkPO(circuit.Line(l))
+		}
+	}
+	return c
+}

@@ -1,0 +1,96 @@
+package gen
+
+import (
+	"fmt"
+
+	"dedc/internal/circuit"
+)
+
+// LFSR builds an n-bit Fibonacci linear feedback shift register with the
+// given tap positions (bit indices into the state, 0 = output end): the
+// feedback bit is the XOR (NAND-expanded) of the tapped bits, shifted in at
+// the top while everything shifts down. One enable input gates the shift;
+// the state bits are observable outputs. A structured sequential workload
+// for the scan and time-frame-expansion machinery.
+func LFSR(n int, taps []int) *circuit.Circuit {
+	if n < 2 {
+		panic("gen: LFSR needs at least 2 bits")
+	}
+	for _, t := range taps {
+		if t < 0 || t >= n {
+			panic("gen: LFSR tap out of range")
+		}
+	}
+	b := NewB()
+	en := b.PI("en")
+	nen := b.Not(en)
+	// Flip-flops with placeholder data inputs (patched after the
+	// combinational next-state logic exists).
+	ffs := make([]circuit.Line, n)
+	for i := range ffs {
+		ffs[i] = b.C.AddNamedGate(fmt.Sprintf("q%d", i), circuit.DFF, en)
+	}
+	tapLines := make([]circuit.Line, 0, len(taps))
+	for _, t := range taps {
+		tapLines = append(tapLines, ffs[t])
+	}
+	feedback := b.XorTree(tapLines...)
+	// next[i] = en ? shifted : hold.
+	for i := 0; i < n; i++ {
+		var shifted circuit.Line
+		if i == n-1 {
+			shifted = feedback
+		} else {
+			shifted = ffs[i+1]
+		}
+		next := b.Or(b.And(en, shifted), b.And(nen, ffs[i]))
+		b.C.SetFanin(ffs[i], 0, next)
+	}
+	for i := 0; i < n; i++ {
+		b.PO(ffs[i])
+	}
+	c := b.C
+	if err := c.Validate(); err != nil {
+		panic("gen: LFSR invalid: " + err.Error())
+	}
+	return c
+}
+
+// Counter builds an n-bit synchronous binary up-counter with enable: state
+// increments when en is 1, holds otherwise; a terminal-count output goes
+// high when all bits are 1. Built from half-adder chains in the NAND-XOR
+// style.
+func Counter(n int) *circuit.Circuit {
+	if n < 1 {
+		panic("gen: Counter needs at least 1 bit")
+	}
+	b := NewB()
+	en := b.PI("en")
+	nen := b.Not(en)
+	ffs := make([]circuit.Line, n)
+	for i := range ffs {
+		ffs[i] = b.C.AddNamedGate(fmt.Sprintf("q%d", i), circuit.DFF, en)
+	}
+	carry := circuit.NoLine
+	for i := 0; i < n; i++ {
+		var sum circuit.Line
+		if i == 0 {
+			// Bit 0 toggles: sum = NOT q0, carry = q0.
+			sum = b.Not(ffs[0])
+			carry = b.Buf(ffs[0])
+		} else {
+			sum, carry = b.HalfAdder(ffs[i], carry)
+		}
+		next := b.Or(b.And(en, sum), b.And(nen, ffs[i]))
+		b.C.SetFanin(ffs[i], 0, next)
+	}
+	for i := 0; i < n; i++ {
+		b.PO(ffs[i])
+	}
+	b.POName(b.And(ffs...), "tc")
+	c := b.C
+	if err := c.Validate(); err != nil {
+		panic("gen: Counter invalid: " + err.Error())
+	}
+	return c
+}

@@ -1,0 +1,137 @@
+package gen
+
+import (
+	"testing"
+
+	"dedc/internal/circuit"
+	"dedc/internal/scan"
+)
+
+// stepSeq drives one clock cycle through the scan reference stepper.
+func stepSeq(t *testing.T, c *circuit.Circuit, piVals []bool, state []bool) ([]bool, []bool) {
+	t.Helper()
+	cv, err := scan.Convert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cv.StepReference(piVals, state)
+}
+
+func TestCounterCounts(t *testing.T) {
+	const n = 4
+	c := Counter(n)
+	cv, err := scan.Convert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := make([]bool, n)
+	val := 0
+	for cycle := 0; cycle < 25; cycle++ {
+		en := cycle%3 != 0 // mixed enable pattern
+		po, next := cv.StepReference([]bool{en}, state)
+		// Outputs expose the current state plus terminal count.
+		got := 0
+		for i := 0; i < n; i++ {
+			if po[i] {
+				got |= 1 << i
+			}
+		}
+		if got != val {
+			t.Fatalf("cycle %d: state %d, want %d", cycle, got, val)
+		}
+		if po[n] != (val == (1<<n)-1) {
+			t.Fatalf("cycle %d: terminal count wrong for state %d", cycle, val)
+		}
+		if en {
+			val = (val + 1) % (1 << n)
+		}
+		state = next
+	}
+}
+
+func TestCounterHoldsWithoutEnable(t *testing.T) {
+	c := Counter(3)
+	cv, err := scan.Convert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := []bool{true, false, true}
+	_, next := cv.StepReference([]bool{false}, state)
+	for i := range state {
+		if next[i] != state[i] {
+			t.Fatal("counter changed state with enable low")
+		}
+	}
+}
+
+func TestLFSRSequence(t *testing.T) {
+	// 4-bit maximal LFSR with taps {0,1} (x^4 + x^3 + 1 style): from a
+	// nonzero seed the state must cycle through 15 distinct values.
+	c := LFSR(4, []int{0, 1})
+	cv, err := scan.Convert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := []bool{true, false, false, false}
+	seen := map[int]bool{}
+	for cycle := 0; cycle < 15; cycle++ {
+		v := 0
+		for i, b := range state {
+			if b {
+				v |= 1 << i
+			}
+		}
+		if seen[v] {
+			t.Fatalf("state %d repeated at cycle %d (period < 15)", v, cycle)
+		}
+		seen[v] = true
+		_, state = cv.StepReference([]bool{true}, state)
+	}
+	if len(seen) != 15 {
+		t.Fatalf("visited %d states, want 15", len(seen))
+	}
+}
+
+func TestLFSRHoldsWithoutEnable(t *testing.T) {
+	c := LFSR(4, []int{0, 1})
+	state := []bool{true, true, false, true}
+	_, next := stepSeq(t, c, []bool{false}, state)
+	for i := range state {
+		if next[i] != state[i] {
+			t.Fatal("LFSR shifted with enable low")
+		}
+	}
+}
+
+func TestLFSRUnrollMatchesStepper(t *testing.T) {
+	c := LFSR(4, []int{0, 1})
+	u, err := scan.Unroll(c, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Comb.IsSequential() {
+		t.Fatal("unrolled LFSR still sequential")
+	}
+	// Functional check is covered structurally by the generic unroll tests;
+	// here just confirm interface shape: 5 frames × 1 PI + 4 init state.
+	if len(u.Comb.PIs) != 9 {
+		t.Fatalf("PIs = %d, want 9", len(u.Comb.PIs))
+	}
+}
+
+func TestSeqGeneratorsPanicOnBadArgs(t *testing.T) {
+	for _, f := range []func(){
+		func() { LFSR(1, []int{0}) },
+		func() { LFSR(4, []int{9}) },
+		func() { Counter(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic on invalid arguments")
+				}
+			}()
+			f()
+		}()
+	}
+}

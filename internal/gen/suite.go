@@ -1,0 +1,181 @@
+package gen
+
+import (
+	"fmt"
+
+	"dedc/internal/circuit"
+)
+
+// AdderCmp builds a combined n-bit adder + magnitude comparator + parity
+// network over shared inputs (c2670/c7552-like mixes of arithmetic and
+// random control logic).
+func AdderCmp(n int) *circuit.Circuit {
+	b := NewB()
+	as := make([]circuit.Line, n)
+	bs := make([]circuit.Line, n)
+	for i := 0; i < n; i++ {
+		as[i] = b.PI(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		bs[i] = b.PI(fmt.Sprintf("b%d", i))
+	}
+	cin := b.PI("cin")
+
+	carry := cin
+	sums := make([]circuit.Line, n)
+	for i := 0; i < n; i++ {
+		sums[i], carry = b.FullAdder(as[i], bs[i], carry)
+		b.POName(sums[i], fmt.Sprintf("s%d", i))
+	}
+	b.POName(carry, "cout")
+
+	eqBits := make([]circuit.Line, n)
+	for i := 0; i < n; i++ {
+		eqBits[i] = b.Xnor2(as[i], bs[i])
+	}
+	// Prefix-equal chain reused by both lt and gt terms.
+	prefEq := make([]circuit.Line, n) // prefEq[i] = all bits above i equal
+	for i := n - 1; i >= 0; i-- {
+		if i == n-1 {
+			prefEq[i] = circuit.NoLine
+		} else if i == n-2 {
+			prefEq[i] = b.Buf(eqBits[n-1])
+		} else {
+			prefEq[i] = b.And(prefEq[i+1], eqBits[i+1])
+		}
+	}
+	var ltTerms, gtTerms []circuit.Line
+	for i := n - 1; i >= 0; i-- {
+		ltBit := b.And(b.Not(as[i]), bs[i])
+		gtBit := b.And(as[i], b.Not(bs[i]))
+		if prefEq[i] == circuit.NoLine {
+			ltTerms = append(ltTerms, ltBit)
+			gtTerms = append(gtTerms, gtBit)
+		} else {
+			ltTerms = append(ltTerms, b.And(ltBit, prefEq[i]))
+			gtTerms = append(gtTerms, b.And(gtBit, prefEq[i]))
+		}
+	}
+	b.POName(b.And(eqBits...), "eq")
+	b.POName(b.Or(ltTerms...), "lt")
+	b.POName(b.Or(gtTerms...), "gt")
+	b.POName(b.XorTree(sums...), "par")
+	return b.Done()
+}
+
+// DualAlu builds two n-bit ALUs sharing operands with a selected, muxed
+// result (c5315-like): sel chooses between independent op codes.
+func DualAlu(n int) *circuit.Circuit {
+	b := NewB()
+	as := make([]circuit.Line, n)
+	bs := make([]circuit.Line, n)
+	for i := 0; i < n; i++ {
+		as[i] = b.PI(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		bs[i] = b.PI(fmt.Sprintf("b%d", i))
+	}
+	cin := b.PI("cin")
+	opA0, opA1 := b.PI("opA0"), b.PI("opA1")
+	opB0, opB1 := b.PI("opB0"), b.PI("opB1")
+	sel := b.PI("sel")
+
+	buildCore := func(op0, op1 circuit.Line) ([]circuit.Line, circuit.Line) {
+		nop0, nop1 := b.Not(op0), b.Not(op1)
+		isAdd := b.And(nop1, nop0)
+		isAnd := b.And(nop1, op0)
+		isOr := b.And(op1, nop0)
+		isXor := b.And(op1, op0)
+		carry := cin
+		res := make([]circuit.Line, n)
+		for i := 0; i < n; i++ {
+			var sum circuit.Line
+			sum, carry = b.FullAdder(as[i], bs[i], carry)
+			res[i] = b.Or(
+				b.And(isAdd, sum),
+				b.And(isAnd, b.And(as[i], bs[i])),
+				b.And(isOr, b.Or(as[i], bs[i])),
+				b.And(isXor, b.Xor2(as[i], bs[i])),
+			)
+		}
+		return res, b.And(isAdd, carry)
+	}
+	resA, coutA := buildCore(opA0, opA1)
+	resB, coutB := buildCore(opB0, opB1)
+	for i := 0; i < n; i++ {
+		b.POName(b.Mux(sel, resA[i], resB[i]), fmt.Sprintf("r%d", i))
+	}
+	b.POName(b.Mux(sel, coutA, coutB), "cout")
+	return b.Done()
+}
+
+// Benchmark names a circuit used by the experiment harness. Sizes are
+// comparable to the similarly named ISCAS'85/'89 circuits; see DESIGN.md for
+// the substitution rationale.
+type Benchmark struct {
+	Name       string
+	Sequential bool
+	Build      func() *circuit.Circuit
+}
+
+// Suite returns the ISCAS-like benchmark set used to regenerate the paper's
+// Tables 1 and 2. Construction is deterministic.
+func Suite() []Benchmark {
+	return []Benchmark{
+		{Name: "c432*", Build: func() *circuit.Circuit { return PriorityInterrupt(48) }},
+		{Name: "c499*", Build: func() *circuit.Circuit { return ECC(32, true) }},
+		{Name: "c880*", Build: func() *circuit.Circuit { return Alu(12) }},
+		{Name: "c1355*", Build: func() *circuit.Circuit { return ECC(32, false) }},
+		{Name: "c1908*", Build: func() *circuit.Circuit { return ECC(48, false) }},
+		{Name: "c2670*", Build: func() *circuit.Circuit { return AdderCmp(32) }},
+		{Name: "c3540*", Build: func() *circuit.Circuit { return Alu(32) }},
+		{Name: "c5315*", Build: func() *circuit.Circuit { return DualAlu(24) }},
+		{Name: "c6288*", Build: func() *circuit.Circuit { return ArrayMultiplier(16) }},
+		{Name: "c7552*", Build: func() *circuit.Circuit { return AdderCmp(64) }},
+		{Name: "s1196*", Sequential: true, Build: func() *circuit.Circuit {
+			return RandomSequential(RandomOptions{PIs: 14, Gates: 529, Seed: 1196}, 18)
+		}},
+		{Name: "s1238*", Sequential: true, Build: func() *circuit.Circuit {
+			return RandomSequential(RandomOptions{PIs: 14, Gates: 508, Seed: 1238}, 18)
+		}},
+		{Name: "s1423*", Sequential: true, Build: func() *circuit.Circuit {
+			return RandomSequential(RandomOptions{PIs: 17, Gates: 657, Seed: 1423}, 74)
+		}},
+		{Name: "s5378*", Sequential: true, Build: func() *circuit.Circuit {
+			return RandomSequential(RandomOptions{PIs: 35, Gates: 2779, Seed: 5378}, 179)
+		}},
+		{Name: "s9234*", Sequential: true, Build: func() *circuit.Circuit {
+			return RandomSequential(RandomOptions{PIs: 36, Gates: 5597, Seed: 9234}, 211)
+		}},
+	}
+}
+
+// SmallSuite returns a fast subset with reduced widths, used by the unit and
+// integration tests where full benchmark sizes would dominate runtimes.
+func SmallSuite() []Benchmark {
+	return []Benchmark{
+		{Name: "prio12", Build: func() *circuit.Circuit { return PriorityInterrupt(12) }},
+		{Name: "ecc8", Build: func() *circuit.Circuit { return ECC(8, false) }},
+		{Name: "alu4", Build: func() *circuit.Circuit { return Alu(4) }},
+		{Name: "mult4", Build: func() *circuit.Circuit { return ArrayMultiplier(4) }},
+		{Name: "addcmp8", Build: func() *circuit.Circuit { return AdderCmp(8) }},
+		{Name: "rnd300", Build: func() *circuit.Circuit {
+			return Random(RandomOptions{PIs: 16, Gates: 300, Seed: 300})
+		}},
+	}
+}
+
+// ByName returns the named benchmark from Suite or SmallSuite.
+func ByName(name string) (Benchmark, bool) {
+	for _, bm := range Suite() {
+		if bm.Name == name {
+			return bm, true
+		}
+	}
+	for _, bm := range SmallSuite() {
+		if bm.Name == name {
+			return bm, true
+		}
+	}
+	return Benchmark{}, false
+}

@@ -1,0 +1,326 @@
+// Package opt implements the combinational area optimizer used to
+// preprocess circuits for the stuck-at experiments (the paper optimizes the
+// ISCAS circuits for area first so that diagnosis resolution is exact).
+// Passes: constant folding, buffer and double-inverter sweeping, duplicate
+// and complementary fanin simplification, structural hashing, and dead gate
+// elimination. Functionality, PI order and PO order are preserved.
+package opt
+
+import (
+	"fmt"
+	"sort"
+
+	"dedc/internal/circuit"
+)
+
+// Optimize returns an area-optimized copy of c. The input is not modified.
+// Sequential circuits are rejected (optimize the scan-converted view
+// instead).
+func Optimize(c *circuit.Circuit) (*circuit.Circuit, error) {
+	if c.IsSequential() {
+		return nil, fmt.Errorf("opt: sequential circuit; convert with package scan first")
+	}
+	cur := c
+	for i := 0; i < 8; i++ {
+		next, changed := rewrite(cur)
+		cur = next
+		if !changed {
+			break
+		}
+	}
+	return cur, nil
+}
+
+// rewriter carries the state of one rewrite pass.
+type rewriter struct {
+	src    *circuit.Circuit
+	dst    *circuit.Circuit
+	remap  []circuit.Line // src line -> dst line
+	hash   map[string]circuit.Line
+	const0 circuit.Line
+	const1 circuit.Line
+	// changed tracks whether anything beyond verbatim copying happened.
+	changed bool
+}
+
+func rewrite(src *circuit.Circuit) (*circuit.Circuit, bool) {
+	r := &rewriter{
+		src:    src,
+		dst:    circuit.New(src.NumLines()),
+		remap:  make([]circuit.Line, src.NumLines()),
+		hash:   make(map[string]circuit.Line),
+		const0: circuit.NoLine,
+		const1: circuit.NoLine,
+	}
+	for i := range r.remap {
+		r.remap[i] = circuit.NoLine
+	}
+	for _, l := range src.Topo() {
+		r.remap[l] = r.emit(l)
+	}
+	// Preserve PO count and order; duplicate targets get a buffer so each PO
+	// remains a distinct line.
+	used := map[circuit.Line]bool{}
+	for _, po := range src.POs {
+		t := r.remap[po]
+		if used[t] {
+			t = r.dst.AddGate(circuit.Buf, t)
+			r.changed = true
+		}
+		used[t] = true
+		if r.dst.Gates[t].Name == "" {
+			r.dst.Gates[t].Name = src.Name(po)
+		}
+		r.dst.MarkPO(t)
+	}
+	out, pruned := prune(r.dst)
+	return out, r.changed || pruned
+}
+
+func (r *rewriter) getConst(v bool) circuit.Line {
+	if v {
+		if r.const1 == circuit.NoLine {
+			r.const1 = r.dst.AddGate(circuit.Const1)
+		}
+		return r.const1
+	}
+	if r.const0 == circuit.NoLine {
+		r.const0 = r.dst.AddGate(circuit.Const0)
+	}
+	return r.const0
+}
+
+// notOf returns a line computing NOT x in dst, collapsing double negation.
+func (r *rewriter) notOf(x circuit.Line) circuit.Line {
+	g := &r.dst.Gates[x]
+	switch g.Type {
+	case circuit.Not:
+		return g.Fanin[0]
+	case circuit.Const0:
+		return r.getConst(true)
+	case circuit.Const1:
+		return r.getConst(false)
+	}
+	return r.hashed(circuit.Not, []circuit.Line{x})
+}
+
+// hashed creates (or reuses) a gate in dst keyed by type and fanins; AND,
+// OR, NAND, NOR, XOR and XNOR fanins are sorted for commutativity.
+func (r *rewriter) hashed(t circuit.GateType, fanin []circuit.Line) circuit.Line {
+	key := keyOf(t, fanin)
+	if l, ok := r.hash[key]; ok {
+		r.changed = true
+		return l
+	}
+	l := r.dst.AddGate(t, fanin...)
+	r.hash[key] = l
+	return l
+}
+
+func keyOf(t circuit.GateType, fanin []circuit.Line) string {
+	fs := append([]circuit.Line(nil), fanin...)
+	switch t {
+	case circuit.And, circuit.Or, circuit.Nand, circuit.Nor, circuit.Xor, circuit.Xnor:
+		sort.Slice(fs, func(i, j int) bool { return fs[i] < fs[j] })
+	}
+	b := make([]byte, 0, 4+8*len(fs))
+	b = append(b, byte(t))
+	for _, f := range fs {
+		b = append(b, byte(f), byte(f>>8), byte(f>>16), byte(f>>24))
+	}
+	return string(b)
+}
+
+// emit rewrites one source gate into dst and returns the target line.
+func (r *rewriter) emit(l circuit.Line) circuit.Line {
+	g := &r.src.Gates[l]
+	switch g.Type {
+	case circuit.Input:
+		nl := r.dst.AddPI(r.src.Name(l))
+		return nl
+	case circuit.Const0:
+		return r.getConst(false)
+	case circuit.Const1:
+		return r.getConst(true)
+	case circuit.DFF:
+		return r.dst.AddNamedGate(g.Name, circuit.DFF, r.remap[g.Fanin[0]])
+	}
+	fin := make([]circuit.Line, len(g.Fanin))
+	for i, f := range g.Fanin {
+		fin[i] = r.remap[f]
+	}
+	switch g.Type {
+	case circuit.Buf:
+		r.changed = true
+		return fin[0]
+	case circuit.Not:
+		return r.notOf(fin[0])
+	case circuit.And, circuit.Nand, circuit.Or, circuit.Nor:
+		return r.emitAndOr(g.Type, fin)
+	case circuit.Xor, circuit.Xnor:
+		return r.emitXor(g.Type, fin)
+	}
+	panic("opt: unexpected gate type " + g.Type.String())
+}
+
+func (r *rewriter) emitAndOr(t circuit.GateType, fin []circuit.Line) circuit.Line {
+	// Work in the AND/OR core; apply output inversion at the end.
+	invertOut := t == circuit.Nand || t == circuit.Nor
+	isAnd := t == circuit.And || t == circuit.Nand
+	ctrl := !isAnd // controlling constant: 0 for AND, 1 for OR
+
+	kept := fin[:0]
+	seen := map[circuit.Line]bool{}
+	for _, f := range fin {
+		fg := r.dst.Gates[f].Type
+		if fg == circuit.Const0 || fg == circuit.Const1 {
+			v := fg == circuit.Const1
+			if v == ctrl {
+				// Controlling constant: the whole gate is constant.
+				r.changed = true
+				return r.constOut(ctrl != invertOut)
+			}
+			r.changed = true
+			continue // identity constant dropped
+		}
+		if seen[f] {
+			r.changed = true
+			continue
+		}
+		seen[f] = true
+		kept = append(kept, f)
+	}
+	// x together with NOT x forces the controlling outcome.
+	for _, f := range kept {
+		if r.dst.Gates[f].Type == circuit.Not && seen[r.dst.Gates[f].Fanin[0]] {
+			r.changed = true
+			return r.constOut(ctrl != invertOut)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		// Empty AND is 1, empty OR is 0.
+		r.changed = true
+		return r.constOut(isAnd != invertOut)
+	case 1:
+		r.changed = true
+		if invertOut {
+			return r.notOf(kept[0])
+		}
+		return kept[0]
+	}
+	core := circuit.And
+	if !isAnd {
+		core = circuit.Or
+	}
+	if invertOut {
+		core, _ = core.InversionOf()
+	}
+	return r.hashed(core, kept)
+}
+
+func (r *rewriter) constOut(v bool) circuit.Line { return r.getConst(v) }
+
+func (r *rewriter) emitXor(t circuit.GateType, fin []circuit.Line) circuit.Line {
+	inv := t == circuit.Xnor
+	var kept []circuit.Line
+	count := map[circuit.Line]int{}
+	for _, f := range fin {
+		fg := r.dst.Gates[f].Type
+		switch fg {
+		case circuit.Const0:
+			r.changed = true
+			continue
+		case circuit.Const1:
+			r.changed = true
+			inv = !inv
+			continue
+		}
+		count[f]++
+	}
+	for _, f := range fin {
+		n, ok := count[f]
+		if !ok || n < 0 {
+			continue
+		}
+		if n > 1 {
+			r.changed = true // pairs cancel
+		}
+		if n%2 == 1 {
+			kept = append(kept, f)
+		}
+		count[f] = -1 // consumed
+	}
+	switch len(kept) {
+	case 0:
+		r.changed = true
+		return r.constOut(inv)
+	case 1:
+		r.changed = true
+		if inv {
+			return r.notOf(kept[0])
+		}
+		return kept[0]
+	}
+	core := circuit.Xor
+	if inv {
+		core = circuit.Xnor
+	}
+	return r.hashed(core, kept)
+}
+
+// prune removes gates unreachable from the POs (PIs are always kept, in
+// order, to preserve the interface).
+func prune(c *circuit.Circuit) (*circuit.Circuit, bool) {
+	keep := make([]bool, c.NumLines())
+	var stack []circuit.Line
+	for _, po := range c.POs {
+		if !keep[po] {
+			keep[po] = true
+			stack = append(stack, po)
+		}
+	}
+	for len(stack) > 0 {
+		l := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, f := range c.Gates[l].Fanin {
+			if !keep[f] {
+				keep[f] = true
+				stack = append(stack, f)
+			}
+		}
+	}
+	for _, pi := range c.PIs {
+		keep[pi] = true
+	}
+	dropped := false
+	for l := 0; l < c.NumLines(); l++ {
+		if !keep[l] {
+			dropped = true
+			break
+		}
+	}
+	if !dropped {
+		return c, false
+	}
+	nc := circuit.New(c.NumLines())
+	remap := make([]circuit.Line, c.NumLines())
+	for i := range remap {
+		remap[i] = circuit.NoLine
+	}
+	for _, l := range c.Topo() {
+		if !keep[l] {
+			continue
+		}
+		g := &c.Gates[l]
+		fin := make([]circuit.Line, len(g.Fanin))
+		for i, f := range g.Fanin {
+			fin[i] = remap[f]
+		}
+		remap[l] = nc.AddNamedGate(g.Name, g.Type, fin...)
+	}
+	for _, po := range c.POs {
+		nc.MarkPO(remap[po])
+	}
+	return nc, true
+}

@@ -1,0 +1,276 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dedc/internal/circuit"
+	"dedc/internal/gen"
+	"dedc/internal/sim"
+)
+
+func mustOptimize(t *testing.T, c *circuit.Circuit) *circuit.Circuit {
+	t.Helper()
+	oc, err := Optimize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := oc.Validate(); err != nil {
+		t.Fatalf("optimized circuit invalid: %v", err)
+	}
+	return oc
+}
+
+func TestOptimizePreservesInterface(t *testing.T) {
+	c := gen.Alu(4)
+	oc := mustOptimize(t, c)
+	if len(oc.PIs) != len(c.PIs) || len(oc.POs) != len(c.POs) {
+		t.Fatalf("interface changed: %d/%d PIs, %d/%d POs",
+			len(oc.PIs), len(c.PIs), len(oc.POs), len(c.POs))
+	}
+	for i := range c.PIs {
+		if oc.Name(oc.PIs[i]) != c.Name(c.PIs[i]) {
+			t.Fatalf("PI %d renamed: %s vs %s", i, oc.Name(oc.PIs[i]), c.Name(c.PIs[i]))
+		}
+	}
+}
+
+func TestOptimizeEquivalentOnGenerators(t *testing.T) {
+	cases := []*circuit.Circuit{
+		gen.RippleAdder(4),
+		gen.CarrySelectAdder(6, 3),
+		gen.Alu(4),
+		gen.Comparator(4),
+		gen.ECC(4, false),
+		gen.ArrayMultiplier(4),
+	}
+	for i, c := range cases {
+		oc := mustOptimize(t, c)
+		n := 1024
+		pi := sim.RandomPatterns(len(c.PIs), n, int64(i+1))
+		if !sim.Equivalent(c, oc, pi, n) {
+			t.Fatalf("case %d: optimization changed function", i)
+		}
+		if oc.NumGates() > c.NumGates() {
+			t.Fatalf("case %d: gate count grew %d -> %d", i, c.NumGates(), oc.NumGates())
+		}
+	}
+}
+
+func TestOptimizePropertyEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		c := gen.Random(gen.RandomOptions{PIs: 6, Gates: 80, Seed: seed})
+		oc, err := Optimize(c)
+		if err != nil || oc.Validate() != nil {
+			return false
+		}
+		return sim.EquivalentExhaustive(c, oc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	c := circuit.New(8)
+	a := c.AddPI("a")
+	k1 := c.AddGate(circuit.Const1)
+	k0 := c.AddGate(circuit.Const0)
+	g1 := c.AddGate(circuit.And, a, k1) // = a
+	g2 := c.AddGate(circuit.Or, g1, k0) // = a
+	c.MarkPO(g2)
+	oc := mustOptimize(t, c)
+	// Result should be a buffer-free pass-through: PO is the PI itself.
+	if oc.POs[0] != oc.PIs[0] {
+		t.Fatalf("constant folding left structure: PO=%d PI=%d gates=%d", oc.POs[0], oc.PIs[0], oc.NumGates())
+	}
+}
+
+func TestControllingConstant(t *testing.T) {
+	c := circuit.New(6)
+	a := c.AddPI("a")
+	k0 := c.AddGate(circuit.Const0)
+	g := c.AddGate(circuit.And, a, k0) // = 0
+	c.MarkPO(g)
+	oc := mustOptimize(t, c)
+	if oc.Gates[oc.POs[0]].Type != circuit.Const0 {
+		t.Fatalf("AND with 0 not folded to CONST0, got %s", oc.Gates[oc.POs[0]].Type)
+	}
+}
+
+func TestDoubleInverterSweep(t *testing.T) {
+	c := circuit.New(6)
+	a := c.AddPI("a")
+	n1 := c.AddGate(circuit.Not, a)
+	n2 := c.AddGate(circuit.Not, n1)
+	c.MarkPO(n2)
+	oc := mustOptimize(t, c)
+	if oc.POs[0] != oc.PIs[0] {
+		t.Fatal("double inverter not swept")
+	}
+}
+
+func TestComplementaryInputs(t *testing.T) {
+	c := circuit.New(6)
+	a := c.AddPI("a")
+	na := c.AddGate(circuit.Not, a)
+	g := c.AddGate(circuit.And, a, na)
+	c.MarkPO(g)
+	oc := mustOptimize(t, c)
+	if oc.Gates[oc.POs[0]].Type != circuit.Const0 {
+		t.Fatalf("a AND NOT a not folded to 0, got %s", oc.Gates[oc.POs[0]].Type)
+	}
+	// OR version folds to 1.
+	c2 := circuit.New(6)
+	a = c2.AddPI("a")
+	na = c2.AddGate(circuit.Not, a)
+	g = c2.AddGate(circuit.Or, a, na)
+	c2.MarkPO(g)
+	oc2 := mustOptimize(t, c2)
+	if oc2.Gates[oc2.POs[0]].Type != circuit.Const1 {
+		t.Fatalf("a OR NOT a not folded to 1, got %s", oc2.Gates[oc2.POs[0]].Type)
+	}
+}
+
+func TestDuplicateInputs(t *testing.T) {
+	c := circuit.New(6)
+	a := c.AddPI("a")
+	g := c.AddGate(circuit.And, a, a)
+	c.MarkPO(g)
+	oc := mustOptimize(t, c)
+	if oc.POs[0] != oc.PIs[0] {
+		t.Fatal("a AND a not simplified to a")
+	}
+}
+
+func TestXorCancellation(t *testing.T) {
+	c := circuit.New(8)
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	g := c.AddGate(circuit.Xor, a, b, a) // = b
+	c.MarkPO(g)
+	oc := mustOptimize(t, c)
+	if oc.POs[0] != oc.PIs[1] {
+		t.Fatal("XOR(a,b,a) not simplified to b")
+	}
+	// Four copies cancel to constant 0.
+	c2 := circuit.New(8)
+	a = c2.AddPI("a")
+	g = c2.AddGate(circuit.Xor, a, a, a, a)
+	c2.MarkPO(g)
+	oc2 := mustOptimize(t, c2)
+	if oc2.Gates[oc2.POs[0]].Type != circuit.Const0 {
+		t.Fatalf("XOR(a,a,a,a) = %s, want CONST0", oc2.Gates[oc2.POs[0]].Type)
+	}
+}
+
+func TestXnorWithConstant(t *testing.T) {
+	c := circuit.New(8)
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	k1 := c.AddGate(circuit.Const1)
+	g := c.AddGate(circuit.Xnor, a, b, k1) // = XOR(a,b)
+	c.MarkPO(g)
+	oc := mustOptimize(t, c)
+	if oc.Gates[oc.POs[0]].Type != circuit.Xor {
+		t.Fatalf("XNOR(a,b,1) = %s, want XOR", oc.Gates[oc.POs[0]].Type)
+	}
+	if !sim.EquivalentExhaustive(c, oc) {
+		t.Fatal("fold changed function")
+	}
+}
+
+func TestStructuralHashing(t *testing.T) {
+	c := circuit.New(10)
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	g1 := c.AddGate(circuit.And, a, b)
+	g2 := c.AddGate(circuit.And, b, a) // commutatively identical
+	o := c.AddGate(circuit.Or, g1, g2) // = g1
+	c.MarkPO(o)
+	oc := mustOptimize(t, c)
+	// g1 and g2 merge; OR(x,x) simplifies; the PO should be a single AND.
+	if oc.Gates[oc.POs[0]].Type != circuit.And {
+		t.Fatalf("PO gate = %s, want AND", oc.Gates[oc.POs[0]].Type)
+	}
+	nAnd := 0
+	for _, g := range oc.Gates {
+		if g.Type == circuit.And {
+			nAnd++
+		}
+	}
+	if nAnd != 1 {
+		t.Fatalf("%d AND gates remain, want 1", nAnd)
+	}
+}
+
+func TestDeadGateRemoval(t *testing.T) {
+	c := circuit.New(8)
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	g1 := c.AddGate(circuit.And, a, b)
+	c.AddGate(circuit.Or, a, b) // dead
+	c.MarkPO(g1)
+	oc := mustOptimize(t, c)
+	for _, g := range oc.Gates {
+		if g.Type == circuit.Or {
+			t.Fatal("dead OR gate survived")
+		}
+	}
+	if len(oc.PIs) != 2 {
+		t.Fatal("PIs must survive pruning")
+	}
+}
+
+func TestDuplicatePOsPreserved(t *testing.T) {
+	c := circuit.New(6)
+	a := c.AddPI("a")
+	b1 := c.AddGate(circuit.Buf, a)
+	b2 := c.AddGate(circuit.Buf, a)
+	c.MarkPO(b1)
+	c.MarkPO(b2)
+	oc := mustOptimize(t, c)
+	if len(oc.POs) != 2 {
+		t.Fatalf("PO count = %d, want 2", len(oc.POs))
+	}
+	if oc.POs[0] == oc.POs[1] {
+		t.Fatal("POs collapsed onto one line")
+	}
+	if !sim.EquivalentExhaustive(c, oc) {
+		t.Fatal("function changed")
+	}
+}
+
+func TestOptimizeRejectsSequential(t *testing.T) {
+	c := circuit.New(4)
+	a := c.AddPI("a")
+	d := c.AddGate(circuit.DFF, a)
+	c.MarkPO(d)
+	if _, err := Optimize(c); err == nil {
+		t.Fatal("sequential circuit accepted")
+	}
+}
+
+func TestOptimizeReachesFixpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 5; i++ {
+		c := gen.Random(gen.RandomOptions{PIs: 8, Gates: 120, Seed: rng.Int63()})
+		o1 := mustOptimize(t, c)
+		o2 := mustOptimize(t, o1)
+		if o2.NumGates() != o1.NumGates() {
+			t.Fatalf("second optimization changed size: %d -> %d", o1.NumGates(), o2.NumGates())
+		}
+	}
+}
+
+func TestOptimizeRemovesRedundancy(t *testing.T) {
+	// The generated circuits carry redundancy (the paper's unoptimized
+	// versions); the optimizer should shave a measurable amount from the
+	// ECC's NAND expansion.
+	c := gen.ECC(8, false)
+	oc := mustOptimize(t, c)
+	if oc.NumGates() >= c.NumGates() {
+		t.Fatalf("no reduction: %d -> %d", c.NumGates(), oc.NumGates())
+	}
+}

@@ -1,0 +1,172 @@
+// Package pathtrace implements the path-trace line-marking procedure of
+// Venkataraman and Fuchs that the paper uses as its first diagnosis step.
+// For each failing vector, tracing starts at every erroneous primary output
+// and walks backward: at a gate with at least one controlling-value input it
+// follows all controlling inputs; otherwise it follows all inputs; BUF/NOT
+// inputs always count as controlling. The procedure is linear per vector and
+// marks at least one line from every set of lines where valid corrections
+// exist — for a single fault, the actual fault site is marked on every
+// failing vector.
+package pathtrace
+
+import (
+	"sort"
+
+	"dedc/internal/circuit"
+	"dedc/internal/sim"
+)
+
+// Result aggregates path-trace marks over all failing vectors.
+type Result struct {
+	// Counts[l] is the number of failing vectors whose trace marked line l.
+	Counts []int32
+	// Fail is the number of failing vectors processed.
+	Fail int
+}
+
+// Trace runs path-trace over the first n patterns. val is the simulated
+// value matrix of the circuit being diagnosed; specOut holds the expected
+// (device/specification) primary output rows in circuit PO order. A vector
+// fails when any PO row disagrees with specOut.
+func Trace(c *circuit.Circuit, val [][]uint64, specOut [][]uint64, n int) *Result {
+	res := &Result{Counts: make([]int32, c.NumLines())}
+	visited := make([]int32, c.NumLines())
+	for i := range visited {
+		visited[i] = -1
+	}
+	stack := make([]circuit.Line, 0, 128)
+	bit := func(row []uint64, v int) bool { return row[v/64]>>(uint(v)%64)&1 == 1 }
+
+	for v := 0; v < n; v++ {
+		failing := false
+		for i, po := range c.POs {
+			if bit(val[po], v) != bit(specOut[i], v) {
+				failing = true
+				break
+			}
+		}
+		if !failing {
+			continue
+		}
+		vid := int32(res.Fail)
+		res.Fail++
+		stack = stack[:0]
+		for i, po := range c.POs {
+			if bit(val[po], v) != bit(specOut[i], v) && visited[po] != vid {
+				visited[po] = vid
+				res.Counts[po]++
+				stack = append(stack, po)
+			}
+		}
+		for len(stack) > 0 {
+			l := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			g := &c.Gates[l]
+			if g.Type == circuit.Input || g.Type == circuit.Const0 || g.Type == circuit.Const1 {
+				continue
+			}
+			push := func(f circuit.Line) {
+				if visited[f] != vid {
+					visited[f] = vid
+					res.Counts[f]++
+					stack = append(stack, f)
+				}
+			}
+			cv, hasCtrl := g.Type.ControllingValue()
+			if g.Type == circuit.Buf || g.Type == circuit.Not || g.Type == circuit.DFF {
+				push(g.Fanin[0])
+				continue
+			}
+			traced := false
+			if hasCtrl {
+				for _, f := range g.Fanin {
+					if bit(val[f], v) == cv {
+						push(f)
+						traced = true
+					}
+				}
+			}
+			if !traced {
+				for _, f := range g.Fanin {
+					push(f)
+				}
+			}
+		}
+	}
+	return res
+}
+
+// TraceAgainst is a convenience wrapper: it simulates c over pi and traces
+// against the provided specification outputs.
+func TraceAgainst(c *circuit.Circuit, pi [][]uint64, specOut [][]uint64, n int) *Result {
+	val := sim.Simulate(c, pi, n)
+	return Trace(c, val, specOut, n)
+}
+
+// Top returns the lines with the highest mark counts, keeping the given
+// fraction (the paper keeps the top 5–20%) of the lines with nonzero counts,
+// and always at least minKeep lines when that many were marked. The kept set
+// extends through ties: every line with the same count as the last kept line
+// also qualifies (all lines on a single error's sensitized paths carry the
+// same count, and cutting among them would drop the error site
+// arbitrarily). The result is sorted by descending count, then line index.
+func (r *Result) Top(frac float64, minKeep int) []circuit.Line {
+	type lc struct {
+		l circuit.Line
+		c int32
+	}
+	var marked []lc
+	for l, cnt := range r.Counts {
+		if cnt > 0 {
+			marked = append(marked, lc{circuit.Line(l), cnt})
+		}
+	}
+	sort.Slice(marked, func(i, j int) bool {
+		if marked[i].c != marked[j].c {
+			return marked[i].c > marked[j].c
+		}
+		return marked[i].l < marked[j].l
+	})
+	keep := int(float64(len(marked)) * frac)
+	if keep < minKeep {
+		keep = minKeep
+	}
+	if keep > len(marked) {
+		keep = len(marked)
+	}
+	for keep > 0 && keep < len(marked) && marked[keep].c == marked[keep-1].c {
+		keep++
+	}
+	out := make([]circuit.Line, keep)
+	for i := 0; i < keep; i++ {
+		out[i] = marked[i].l
+	}
+	return out
+}
+
+// AboveFraction returns every line marked on at least frac·Fail of the
+// failing-vector traces. By the pigeonhole argument behind the paper's
+// Theorem 1, with N active errors some error line is marked on at least
+// Fail/N traces, so diagnosing under an assumed error count N keeps lines
+// with frac = 1/N.
+func (r *Result) AboveFraction(frac float64) []circuit.Line {
+	threshold := frac * float64(r.Fail)
+	var out []circuit.Line
+	for l, cnt := range r.Counts {
+		if cnt > 0 && float64(cnt) >= threshold-1e-9 {
+			out = append(out, circuit.Line(l))
+		}
+	}
+	return out
+}
+
+// Marked returns every line with a nonzero count.
+func (r *Result) Marked() []circuit.Line {
+	var out []circuit.Line
+	for l, cnt := range r.Counts {
+		if cnt > 0 {
+			out = append(out, circuit.Line(l))
+		}
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package pathtrace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dedc/internal/circuit"
+	"dedc/internal/fault"
+	"dedc/internal/gen"
+	"dedc/internal/sim"
+)
+
+// deviceOutputs simulates the faulty device and returns its PO rows.
+func deviceOutputs(c *circuit.Circuit, f fault.Fault, pi [][]uint64, n int) [][]uint64 {
+	fc := fault.Inject(c, f)
+	val := sim.Simulate(fc, pi, n)
+	return sim.Outputs(fc, val)
+}
+
+func TestSingleStemFaultSiteMarkedOnEveryFailingVector(t *testing.T) {
+	// The paper's guarantee, specialized to single faults: the fault site is
+	// marked by the trace of every failing vector.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := gen.Random(gen.RandomOptions{PIs: 6, Gates: 60, Seed: seed})
+		n := 256
+		pi := sim.RandomPatterns(len(c.PIs), n, rng.Int63())
+		// Pick a random stem fault that is detected.
+		sites := fault.Sites(c)
+		for tries := 0; tries < 20; tries++ {
+			s := sites[rng.Intn(len(sites))]
+			if !s.IsStem() {
+				continue
+			}
+			ft := fault.Fault{Site: s, Value: rng.Intn(2) == 1}
+			spec := deviceOutputs(c, ft, pi, n)
+			res := TraceAgainst(c, pi, spec, n)
+			if res.Fail == 0 {
+				continue // undetected fault; try another
+			}
+			return res.Counts[s.Line] == int32(res.Fail)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBranchFaultStemMarked(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := gen.Random(gen.RandomOptions{PIs: 6, Gates: 60, Seed: seed + 1000})
+		n := 256
+		pi := sim.RandomPatterns(len(c.PIs), n, rng.Int63())
+		sites := fault.Sites(c)
+		for tries := 0; tries < 20; tries++ {
+			s := sites[rng.Intn(len(sites))]
+			if s.IsStem() {
+				continue
+			}
+			ft := fault.Fault{Site: s, Value: rng.Intn(2) == 1}
+			spec := deviceOutputs(c, ft, pi, n)
+			res := TraceAgainst(c, pi, spec, n)
+			if res.Fail == 0 {
+				continue
+			}
+			// The reading gate sits on every sensitized path, and the stem
+			// feeding the faulted pin is traced from it.
+			return res.Counts[s.Reader] == int32(res.Fail) && res.Counts[s.Line] == int32(res.Fail)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoFailingVectorsNoMarks(t *testing.T) {
+	c := gen.Alu(4)
+	n := 128
+	pi := sim.RandomPatterns(len(c.PIs), n, 3)
+	spec := sim.Outputs(c, sim.Simulate(c, pi, n))
+	res := TraceAgainst(c, pi, spec, n)
+	if res.Fail != 0 {
+		t.Fatalf("Fail = %d on a fault-free circuit", res.Fail)
+	}
+	for l, cnt := range res.Counts {
+		if cnt != 0 {
+			t.Fatalf("line %d marked with no failing vectors", l)
+		}
+	}
+}
+
+func TestControllingValueRule(t *testing.T) {
+	// AND(a,b) with a=1,b=0 and an erroneous output must trace only b (the
+	// controlling input).
+	c := circuit.New(4)
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	g := c.AddGate(circuit.And, a, b)
+	c.MarkPO(g)
+	// One pattern: a=1, b=0. Output is 0; claim the device says 1.
+	pi := [][]uint64{{1}, {0}}
+	spec := [][]uint64{{1}}
+	res := TraceAgainst(c, pi, spec, 1)
+	if res.Fail != 1 {
+		t.Fatalf("Fail = %d, want 1", res.Fail)
+	}
+	if res.Counts[b] != 1 {
+		t.Fatal("controlling input b not marked")
+	}
+	if res.Counts[a] != 0 {
+		t.Fatal("non-controlling input a marked despite a controlling input present")
+	}
+	if res.Counts[g] != 1 {
+		t.Fatal("erroneous PO not marked")
+	}
+}
+
+func TestAllInputsRuleWhenNoControlling(t *testing.T) {
+	// AND(a,b) with a=1,b=1: no controlling input, both get marked.
+	c := circuit.New(4)
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	g := c.AddGate(circuit.And, a, b)
+	c.MarkPO(g)
+	pi := [][]uint64{{1}, {1}}
+	spec := [][]uint64{{0}}
+	res := TraceAgainst(c, pi, spec, 1)
+	if res.Counts[a] != 1 || res.Counts[b] != 1 {
+		t.Fatal("both inputs should be marked when none is controlling")
+	}
+}
+
+func TestXorTracesAllInputs(t *testing.T) {
+	c := circuit.New(4)
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	g := c.AddGate(circuit.Xor, a, b)
+	c.MarkPO(g)
+	pi := [][]uint64{{1}, {0}}
+	spec := [][]uint64{{0}}
+	res := TraceAgainst(c, pi, spec, 1)
+	if res.Counts[a] != 1 || res.Counts[b] != 1 {
+		t.Fatal("XOR must trace all inputs")
+	}
+}
+
+func TestInverterChainTraced(t *testing.T) {
+	c := circuit.New(5)
+	x := c.AddPI("x")
+	n1 := c.AddGate(circuit.Not, x)
+	n2 := c.AddGate(circuit.Not, n1)
+	c.MarkPO(n2)
+	pi := [][]uint64{{1}}
+	spec := [][]uint64{{0}} // device disagrees
+	res := TraceAgainst(c, pi, spec, 1)
+	for _, l := range []circuit.Line{x, n1, n2} {
+		if res.Counts[l] != 1 {
+			t.Fatalf("line %d not traced through inverter chain", l)
+		}
+	}
+}
+
+func TestTopSelection(t *testing.T) {
+	r := &Result{Counts: []int32{0, 5, 3, 9, 0, 1}, Fail: 9}
+	top := r.Top(0.5, 1)
+	if len(top) != 2 {
+		t.Fatalf("Top(0.5) kept %d of 4 marked lines, want 2", len(top))
+	}
+	if top[0] != 3 || top[1] != 1 {
+		t.Fatalf("Top order = %v, want [3 1]", top)
+	}
+	// minKeep dominates small fractions.
+	if got := r.Top(0.01, 3); len(got) != 3 {
+		t.Fatalf("minKeep not honored: %v", got)
+	}
+	// Fraction above marked count is clamped.
+	if got := r.Top(2.0, 1); len(got) != 4 {
+		t.Fatalf("overlarge fraction kept %d, want all 4", len(got))
+	}
+}
+
+func TestMarked(t *testing.T) {
+	r := &Result{Counts: []int32{0, 2, 0, 7}, Fail: 7}
+	m := r.Marked()
+	if len(m) != 2 || m[0] != 1 || m[1] != 3 {
+		t.Fatalf("Marked = %v", m)
+	}
+}
+
+func TestTraceCountsReflectReduction(t *testing.T) {
+	// Path trace should mark far fewer lines than the whole circuit on a
+	// localized fault: the paper reports 70-90% of lines eliminated.
+	c := gen.ArrayMultiplier(8)
+	n := 512
+	pi := sim.RandomPatterns(len(c.PIs), n, 9)
+	sites := fault.Sites(c)
+	rng := rand.New(rand.NewSource(4))
+	tested := 0
+	for tries := 0; tries < 50 && tested < 5; tries++ {
+		s := sites[rng.Intn(len(sites))]
+		if !s.IsStem() {
+			continue
+		}
+		ft := fault.Fault{Site: s, Value: rng.Intn(2) == 1}
+		spec := deviceOutputs(c, ft, pi, n)
+		res := TraceAgainst(c, pi, spec, n)
+		if res.Fail == 0 {
+			continue
+		}
+		tested++
+		if got := len(res.Marked()); got >= c.NumLines() {
+			t.Fatalf("path trace marked everything (%d of %d)", got, c.NumLines())
+		}
+	}
+	if tested == 0 {
+		t.Skip("no detected fault found in the sample")
+	}
+}

@@ -1,0 +1,122 @@
+// Package report renders human-readable diagnosis session reports: the
+// fault tuples (with signal names and certified equivalence classes) a test
+// engineer takes to failure analysis, and the correction summaries a
+// designer applies — the final artifact of both of the paper's workflows.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"dedc/internal/circuit"
+	"dedc/internal/diagnose"
+	"dedc/internal/fault"
+)
+
+// StuckAt renders an exact stuck-at diagnosis. classes may be nil (no
+// certification pass); when present it must partition res.Tuples.
+func StuckAt(w io.Writer, c *circuit.Circuit, res *diagnose.StuckAtResult, classes [][]fault.Tuple, elapsed time.Duration) {
+	fmt.Fprintf(w, "=== stuck-at fault diagnosis ===\n")
+	fmt.Fprintf(w, "circuit: %d gates, %d lines, %d PIs, %d POs\n",
+		c.NumGates(), c.LineCount(), len(c.PIs), len(c.POs))
+	fmt.Fprintf(w, "result: %d minimal tuple(s)", len(res.Tuples))
+	if len(res.Tuples) > 0 {
+		fmt.Fprintf(w, " of size %d", len(res.Tuples[0]))
+	}
+	fmt.Fprintf(w, " in %v\n", elapsed.Round(time.Microsecond))
+	fmt.Fprintf(w, "search: %d nodes, %d rounds, %d trials, %d screened by Theorem 1, thresholds %v\n",
+		res.Stats.Nodes, res.Stats.Rounds, res.Stats.Trials, res.Stats.Screened, res.Stats.Schedule)
+	if len(res.Tuples) == 0 {
+		fmt.Fprintf(w, "no explanation found within the search bounds\n")
+		return
+	}
+	sites := map[fault.Site]bool{}
+	for _, t := range res.Tuples {
+		for _, f := range t {
+			sites[f.Site] = true
+		}
+	}
+	fmt.Fprintf(w, "distinct sites to probe: %d\n", len(sites))
+	if classes == nil {
+		for i, t := range res.Tuples {
+			fmt.Fprintf(w, "  tuple %d: %s\n", i+1, tupleNames(c, t))
+		}
+		return
+	}
+	fmt.Fprintf(w, "certified equivalence classes: %d\n", len(classes))
+	for i, cl := range classes {
+		fmt.Fprintf(w, "  class %d (%d tuple(s), functionally identical):\n", i+1, len(cl))
+		for _, t := range cl {
+			fmt.Fprintf(w, "    %s\n", tupleNames(c, t))
+		}
+	}
+}
+
+func tupleNames(c *circuit.Circuit, t fault.Tuple) string {
+	parts := make([]string, len(t))
+	for i, f := range t {
+		v := 0
+		if f.Value {
+			v = 1
+		}
+		parts[i] = fmt.Sprintf("%s stuck-at-%d", f.Site.Name(c), v)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Repair renders a DEDC result.
+func Repair(w io.Writer, c *circuit.Circuit, res *diagnose.RepairResult, elapsed time.Duration) {
+	fmt.Fprintf(w, "=== design error diagnosis and correction ===\n")
+	fmt.Fprintf(w, "circuit: %d gates, %d lines\n", c.NumGates(), c.LineCount())
+	fmt.Fprintf(w, "corrections (%d):\n", len(res.Corrections))
+	for _, corr := range res.Corrections {
+		fmt.Fprintf(w, "  %s\n", describeCorrection(c, corr))
+	}
+	st := res.Stats
+	fmt.Fprintf(w, "search: %d nodes, %d rounds, %d trials (%d screened by Theorem 1), thresholds %v, %v total\n",
+		st.Nodes, st.Rounds, st.Trials, st.Screened, st.Schedule, elapsed.Round(time.Microsecond))
+	fmt.Fprintf(w, "phase times per node: diagnosis %v, correction %v\n",
+		safeDiv(st.DiagTime, st.Nodes), safeDiv(st.CorrTime, st.Nodes))
+}
+
+func safeDiv(d time.Duration, n int) time.Duration {
+	if n == 0 {
+		return 0
+	}
+	return (d / time.Duration(n)).Round(time.Microsecond)
+}
+
+// describeCorrection renders a correction with signal names where the
+// concrete type allows it.
+func describeCorrection(c *circuit.Circuit, corr diagnose.Correction) string {
+	if f, ok := diagnose.CorrectionFault(corr); ok {
+		v := 0
+		if f.Value {
+			v = 1
+		}
+		return fmt.Sprintf("inject %s stuck-at-%d", f.Site.Name(c), v)
+	}
+	if m, ok := diagnose.CorrectionMod(corr); ok {
+		target := c.Name(m.Line)
+		switch m.Kind.String() {
+		case "gate-replace":
+			return fmt.Sprintf("replace gate %s (%s) with %s", target, c.Type(m.Line), m.NewType)
+		case "out-inv":
+			return fmt.Sprintf("toggle output inversion of %s (%s)", target, c.Type(m.Line))
+		case "in-inv":
+			return fmt.Sprintf("insert inverter on input %d of %s", m.Pin, target)
+		case "add-wire":
+			if m.NewType != circuit.Input {
+				return fmt.Sprintf("restore %s as %s with added input %s", target, m.NewType, c.Name(m.Src))
+			}
+			return fmt.Sprintf("add input wire %s to %s", c.Name(m.Src), target)
+		case "rm-wire":
+			return fmt.Sprintf("remove input %d of %s", m.Pin, target)
+		case "wrong-wire":
+			return fmt.Sprintf("re-point input %d of %s to %s", m.Pin, target, c.Name(m.Src))
+		}
+	}
+	return corr.String()
+}

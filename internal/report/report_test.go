@@ -1,0 +1,101 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dedc/internal/circuit"
+	"dedc/internal/diagnose"
+	"dedc/internal/errmodel"
+	"dedc/internal/fault"
+	"dedc/internal/gen"
+	"dedc/internal/tpg"
+)
+
+func TestStuckAtReport(t *testing.T) {
+	c := gen.Alu(4)
+	vecs := tpg.BuildVectors(c, tpg.Options{Random: 512, Seed: 1})
+	sites := fault.Sites(c)
+	ft := fault.Fault{Site: sites[12], Value: true}
+	device := fault.Inject(c, ft)
+	devOut := diagnose.DeviceOutputs(device, vecs.PI, vecs.N)
+	res := diagnose.DiagnoseStuckAt(c, devOut, vecs.PI, vecs.N, diagnose.Options{MaxErrors: 1})
+	if len(res.Tuples) == 0 {
+		t.Skip("no tuples")
+	}
+	classes, err := diagnose.PartitionTuples(c, res.Tuples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	StuckAt(&sb, c, res, classes, 3*time.Millisecond)
+	out := sb.String()
+	for _, want := range []string{"stuck-at fault diagnosis", "minimal tuple", "equivalence classes", "stuck-at-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Without classes: plain tuple listing.
+	sb.Reset()
+	StuckAt(&sb, c, res, nil, time.Millisecond)
+	if !strings.Contains(sb.String(), "tuple 1:") {
+		t.Fatalf("plain listing missing:\n%s", sb.String())
+	}
+}
+
+func TestStuckAtReportNoExplanation(t *testing.T) {
+	c := gen.Alu(4)
+	res := &diagnose.StuckAtResult{}
+	var sb strings.Builder
+	StuckAt(&sb, c, res, nil, time.Second)
+	if !strings.Contains(sb.String(), "no explanation") {
+		t.Fatal("empty result not reported")
+	}
+}
+
+func TestRepairReport(t *testing.T) {
+	spec := gen.Alu(4)
+	vecs := tpg.BuildVectors(spec, tpg.Options{Random: 512, Seed: 2, Deterministic: true})
+	specOut := diagnose.DeviceOutputs(spec, vecs.PI, vecs.N)
+	bad, _, err := errmodel.Inject(spec, 2, errmodel.InjectOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := diagnose.Repair(bad, specOut, vecs.PI, vecs.N, diagnose.Options{MaxErrors: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	Repair(&sb, bad, rep, 10*time.Millisecond)
+	out := sb.String()
+	for _, want := range []string{"design error diagnosis", "corrections (", "Theorem 1", "phase times"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Correction descriptions must use prose, not raw L-numbers only.
+	if !strings.ContainsAny(out, "abcdefghijklmnopqrstuvwxyz") {
+		t.Fatal("descriptions not human readable")
+	}
+}
+
+func TestDescribeCorrectionKinds(t *testing.T) {
+	c := gen.Alu(4)
+	model := diagnose.NewErrorModel(c, 0, 1)
+	kinds := map[string]bool{}
+	for l := 30; l < c.NumLines() && len(kinds) < 6; l += 3 {
+		for _, corr := range model.Enumerate(c, circuit.Line(l)) {
+			s := describeCorrection(c, corr)
+			if s == "" {
+				t.Fatal("empty description")
+			}
+			if m, ok := diagnose.CorrectionMod(corr); ok {
+				kinds[m.Kind.String()] = true
+			}
+		}
+	}
+	if len(kinds) < 5 {
+		t.Fatalf("only exercised %d kinds", len(kinds))
+	}
+}

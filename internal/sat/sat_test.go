@@ -1,0 +1,270 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func lit(v int) Lit  { return MkLit(v, true) }
+func nlit(v int) Lit { return MkLit(v, false) }
+
+func TestLitBasics(t *testing.T) {
+	l := MkLit(5, true)
+	if l.Var() != 5 || !l.Pos() {
+		t.Fatal("positive literal wrong")
+	}
+	n := l.Neg()
+	if n.Var() != 5 || n.Pos() {
+		t.Fatal("negation wrong")
+	}
+	if n.Neg() != l {
+		t.Fatal("double negation not identity")
+	}
+	if l.String() != "x5" || n.String() != "!x5" {
+		t.Fatalf("render: %s %s", l, n)
+	}
+}
+
+func TestTrivialSat(t *testing.T) {
+	s := NewSolver(2)
+	s.AddClause(lit(0))
+	s.AddClause(nlit(1))
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("status %v", st)
+	}
+	if !s.Value(0) || s.Value(1) {
+		t.Fatal("model wrong")
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	s := NewSolver(1)
+	s.AddClause(lit(0))
+	if ok := s.AddClause(nlit(0)); ok {
+		t.Fatal("contradiction not detected at add time")
+	}
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("status %v", st)
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := NewSolver(1)
+	if s.AddClause() {
+		t.Fatal("empty clause accepted")
+	}
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("status %v", st)
+	}
+}
+
+func TestTautologyIgnored(t *testing.T) {
+	s := NewSolver(1)
+	s.AddClause(lit(0), nlit(0))
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("status %v", st)
+	}
+}
+
+func TestUnitChain(t *testing.T) {
+	// x0 and chain of implications x0->x1->...->x9; then force !x9: UNSAT.
+	s := NewSolver(10)
+	s.AddClause(lit(0))
+	for i := 0; i < 9; i++ {
+		s.AddClause(nlit(i), lit(i+1))
+	}
+	s.AddClause(nlit(9))
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("status %v", st)
+	}
+}
+
+func TestRequiresSearch(t *testing.T) {
+	// (x0|x1) & (!x0|x1) & (x0|!x1): forces x0=1, x1=1.
+	s := NewSolver(2)
+	s.AddClause(lit(0), lit(1))
+	s.AddClause(nlit(0), lit(1))
+	s.AddClause(lit(0), nlit(1))
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("status %v", st)
+	}
+	if !s.Value(0) || !s.Value(1) {
+		t.Fatal("model wrong")
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	// PHP(n+1, n): n+1 pigeons in n holes — classically UNSAT and requires
+	// real clause learning to finish quickly for n=6.
+	const holes = 6
+	const pigeons = holes + 1
+	s := NewSolver(pigeons * holes)
+	v := func(p, h int) int { return p*holes + h }
+	for p := 0; p < pigeons; p++ {
+		cl := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			cl[h] = lit(v(p, h))
+		}
+		s.AddClause(cl...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(nlit(v(p1, h)), nlit(v(p2, h)))
+			}
+		}
+	}
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("pigeonhole status %v", st)
+	}
+}
+
+// bruteForce checks satisfiability of a small CNF exhaustively.
+func bruteForce(nVars int, cnf [][]Lit) bool {
+	for m := 0; m < 1<<nVars; m++ {
+		ok := true
+		for _, cl := range cnf {
+			sat := false
+			for _, l := range cl {
+				val := m>>uint(l.Var())&1 == 1
+				if val == l.Pos() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	fOK := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 4 + rng.Intn(8)
+		nClauses := nVars * (2 + rng.Intn(4))
+		var cnf [][]Lit
+		s := NewSolver(nVars)
+		for i := 0; i < nClauses; i++ {
+			cl := make([]Lit, 0, 3)
+			for j := 0; j < 3; j++ {
+				cl = append(cl, MkLit(rng.Intn(nVars), rng.Intn(2) == 0))
+			}
+			cnf = append(cnf, cl)
+			s.AddClause(cl...)
+		}
+		want := bruteForce(nVars, cnf)
+		got := s.Solve() == Sat
+		if got != want {
+			return false
+		}
+		if got {
+			// The model must satisfy every clause.
+			for _, cl := range cnf {
+				sat := false
+				for _, l := range cl {
+					if s.Value(l.Var()) == l.Pos() {
+						sat = true
+					}
+				}
+				if !sat {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fOK, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	// x0 -> x1; solving under assumption x0 must set x1.
+	s := NewSolver(2)
+	s.AddClause(nlit(0), lit(1))
+	if st := s.Solve(lit(0)); st != Sat {
+		t.Fatalf("status %v", st)
+	}
+	if !s.Value(0) || !s.Value(1) {
+		t.Fatal("assumption model wrong")
+	}
+	// Under assumption x0 with x1 forced false: UNSAT.
+	s2 := NewSolver(2)
+	s2.AddClause(nlit(0), lit(1))
+	s2.AddClause(nlit(1))
+	if st := s2.Solve(lit(0)); st != Unsat {
+		t.Fatalf("status %v", st)
+	}
+	// Same solver without the assumption: SAT.
+	if st := s2.Solve(); st != Sat {
+		t.Fatalf("status %v", st)
+	}
+}
+
+func TestMaxConflictsAborts(t *testing.T) {
+	// A hard pigeonhole with a tiny conflict budget must return Unknown.
+	const holes = 8
+	const pigeons = holes + 1
+	s := NewSolver(pigeons * holes)
+	v := func(p, h int) int { return p*holes + h }
+	for p := 0; p < pigeons; p++ {
+		cl := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			cl[h] = lit(v(p, h))
+		}
+		s.AddClause(cl...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(nlit(v(p1, h)), nlit(v(p2, h)))
+			}
+		}
+	}
+	s.MaxConflicts = 10
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("status %v, want Unknown under tiny budget", st)
+	}
+}
+
+func TestNewVarGrows(t *testing.T) {
+	s := NewSolver(0)
+	v0 := s.NewVar()
+	v1 := s.NewVar()
+	if v0 != 0 || v1 != 1 || s.NumVars() != 2 {
+		t.Fatal("variable allocation wrong")
+	}
+	s.AddClause(lit(5)) // implicit growth
+	if s.NumVars() < 6 {
+		t.Fatal("AddClause did not grow variables")
+	}
+}
+
+func TestDuplicateLiteralsInClause(t *testing.T) {
+	s := NewSolver(2)
+	s.AddClause(lit(0), lit(0), lit(1))
+	s.AddClause(nlit(0))
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("status %v", st)
+	}
+	if !s.Value(1) {
+		t.Fatal("x1 should be forced")
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Fatalf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package scan gives full-scan sequential circuits a combinational meaning:
+// with every flip-flop on a scan chain, the tester can set and observe all
+// state directly, so each DFF output becomes a pseudo primary input (PPI)
+// and each DFF data input a pseudo primary output (PPO). The paper's
+// ISCAS'89 experiments run on exactly this view.
+package scan
+
+import (
+	"fmt"
+
+	"dedc/internal/circuit"
+)
+
+// Converted is the combinational view of a sequential circuit. Line indices
+// are preserved: line l of Comb corresponds to line l of the original
+// circuit (converted DFF gates become Input pseudo-gates in place), so fault
+// sites and corrections map back 1:1.
+type Converted struct {
+	Comb *circuit.Circuit
+	// DFFs lists the original flip-flop lines, in index order. Their lines
+	// now appear at the end of Comb.PIs (the PPIs) in the same order.
+	DFFs []circuit.Line
+	// PPOs lists the lines observed as next-state outputs, in DFF order
+	// (appended to Comb.POs in that order, minus duplicates of existing
+	// POs).
+	PPOs []circuit.Line
+	// OrigPIs / OrigPOs are the counts of true primary inputs and outputs.
+	OrigPIs int
+	OrigPOs int
+}
+
+// Convert builds the full-scan combinational view. Combinational circuits
+// are rejected — use them directly.
+func Convert(c *circuit.Circuit) (*Converted, error) {
+	if !c.IsSequential() {
+		return nil, fmt.Errorf("scan: circuit has no flip-flops")
+	}
+	nc := c.Clone()
+	cv := &Converted{Comb: nc, OrigPIs: len(c.PIs), OrigPOs: len(c.POs)}
+	for i := range nc.Gates {
+		if nc.Gates[i].Type != circuit.DFF {
+			continue
+		}
+		l := circuit.Line(i)
+		cv.DFFs = append(cv.DFFs, l)
+		cv.PPOs = append(cv.PPOs, nc.Gates[i].Fanin[0])
+	}
+	for _, l := range cv.DFFs {
+		nc.Gates[l].Type = circuit.Input
+		nc.Gates[l].Fanin = nil
+		nc.PIs = append(nc.PIs, l)
+	}
+	for _, d := range cv.PPOs {
+		nc.MarkPO(d)
+	}
+	// Direct Gates mutation above is safe: nc is a fresh clone, so no derived
+	// caches exist yet to invalidate.
+	if err := nc.Validate(); err != nil {
+		return nil, fmt.Errorf("scan: converted circuit invalid: %w", err)
+	}
+	return cv, nil
+}
+
+// StepReference computes one clock cycle of the original sequential circuit
+// on scalar values, for cross-checking the combinational view: given
+// primary-input values (original PI order) and the current state (DFF
+// order), it returns the primary-output values and the next state. The
+// original circuit c must be the one passed to Convert.
+func (cv *Converted) StepReference(piVals []bool, state []bool) (po []bool, next []bool) {
+	c := cv.Comb // identical structure with DFFs as inputs
+	vals := make([]bool, c.NumLines())
+	for i, p := range c.PIs[:cv.OrigPIs] {
+		vals[p] = piVals[i]
+	}
+	for i, d := range cv.DFFs {
+		vals[d] = state[i]
+	}
+	for _, l := range c.Topo() {
+		g := &c.Gates[l]
+		if g.Type == circuit.Input {
+			continue
+		}
+		vals[l] = evalScalar(c, g, vals)
+	}
+	po = make([]bool, cv.OrigPOs)
+	for i, p := range c.POs[:cv.OrigPOs] {
+		po[i] = vals[p]
+	}
+	next = make([]bool, len(cv.PPOs))
+	for i, d := range cv.PPOs {
+		next[i] = vals[d]
+	}
+	return po, next
+}
+
+func evalScalar(c *circuit.Circuit, g *circuit.Gate, vals []bool) bool {
+	in := func(i int) bool { return vals[g.Fanin[i]] }
+	switch g.Type {
+	case circuit.Const0:
+		return false
+	case circuit.Const1:
+		return true
+	case circuit.Buf, circuit.DFF:
+		return in(0)
+	case circuit.Not:
+		return !in(0)
+	case circuit.And, circuit.Nand:
+		acc := true
+		for i := range g.Fanin {
+			acc = acc && in(i)
+		}
+		if g.Type == circuit.Nand {
+			return !acc
+		}
+		return acc
+	case circuit.Or, circuit.Nor:
+		acc := false
+		for i := range g.Fanin {
+			acc = acc || in(i)
+		}
+		if g.Type == circuit.Nor {
+			return !acc
+		}
+		return acc
+	case circuit.Xor, circuit.Xnor:
+		acc := false
+		for i := range g.Fanin {
+			acc = acc != in(i)
+		}
+		if g.Type == circuit.Xnor {
+			return !acc
+		}
+		return acc
+	}
+	panic("scan: cannot evaluate " + g.Type.String())
+}

@@ -1,0 +1,198 @@
+package scan
+
+import (
+	"math/rand"
+	"testing"
+
+	"dedc/internal/circuit"
+	"dedc/internal/gen"
+	"dedc/internal/sim"
+)
+
+// counterCircuit builds a 1-bit toggle counter: q' = q XOR en, out = q.
+func counterCircuit() *circuit.Circuit {
+	c := circuit.New(6)
+	en := c.AddPI("en")
+	// Forward-declare the DFF with a placeholder fanin, then patch.
+	q := c.AddGate(circuit.DFF, en)
+	d := c.AddGate(circuit.Xor, q, en)
+	c.Gates[q].Fanin[0] = d
+	c.MarkPO(q)
+	return c
+}
+
+func TestConvertCounter(t *testing.T) {
+	c := counterCircuit()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cv, err := Convert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.Comb.IsSequential() {
+		t.Fatal("converted circuit still sequential")
+	}
+	if len(cv.DFFs) != 1 || len(cv.PPOs) != 1 {
+		t.Fatalf("DFFs=%d PPOs=%d, want 1/1", len(cv.DFFs), len(cv.PPOs))
+	}
+	if len(cv.Comb.PIs) != 2 {
+		t.Fatalf("comb PIs = %d, want 2 (en + PPI)", len(cv.Comb.PIs))
+	}
+	// Combinational function: PPO = q XOR en.
+	pi, n := sim.ExhaustivePatterns(2)
+	val := sim.Simulate(cv.Comb, pi, n)
+	d := cv.PPOs[0]
+	// PI order: en (original), q (PPI). Pattern p: en=(p>>0)&1, q=(p>>1)&1.
+	for p := 0; p < n; p++ {
+		en := p&1 == 1
+		q := p&2 == 2
+		got := val[d][0]>>uint(p)&1 == 1
+		if got != (q != en) {
+			t.Fatalf("pattern %d: next state %v, want %v", p, got, q != en)
+		}
+	}
+}
+
+func TestConvertRejectsCombinational(t *testing.T) {
+	c := gen.Alu(2)
+	if _, err := Convert(c); err == nil {
+		t.Fatal("combinational circuit accepted")
+	}
+}
+
+func TestConvertPreservesLineIndices(t *testing.T) {
+	c := gen.RandomSequential(gen.RandomOptions{PIs: 6, Gates: 60, Seed: 2}, 5)
+	cv, err := Convert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.Comb.NumLines() != c.NumLines() {
+		t.Fatal("conversion changed line count")
+	}
+	for i := range c.Gates {
+		if c.Gates[i].Type == circuit.DFF {
+			if cv.Comb.Gates[i].Type != circuit.Input {
+				t.Fatalf("DFF %d not converted to Input", i)
+			}
+			continue
+		}
+		if cv.Comb.Gates[i].Type != c.Gates[i].Type {
+			t.Fatalf("gate %d type changed", i)
+		}
+	}
+}
+
+func TestConvertPPIOrderAndCounts(t *testing.T) {
+	const nFF = 7
+	c := gen.RandomSequential(gen.RandomOptions{PIs: 5, Gates: 50, Seed: 9}, nFF)
+	cv, err := Convert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cv.DFFs) != nFF {
+		t.Fatalf("DFFs = %d, want %d", len(cv.DFFs), nFF)
+	}
+	if len(cv.Comb.PIs) != cv.OrigPIs+nFF {
+		t.Fatalf("PIs = %d, want %d", len(cv.Comb.PIs), cv.OrigPIs+nFF)
+	}
+	for i, d := range cv.DFFs {
+		if cv.Comb.PIs[cv.OrigPIs+i] != d {
+			t.Fatal("PPIs not appended in DFF order")
+		}
+	}
+}
+
+func TestStepReferenceAgainstCombSim(t *testing.T) {
+	// The combinational view evaluated with (PI, state) must agree with the
+	// scalar one-cycle reference on both POs and next state.
+	c := gen.RandomSequential(gen.RandomOptions{PIs: 5, Gates: 60, Seed: 13}, 4)
+	cv, err := Convert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		piVals := make([]bool, cv.OrigPIs)
+		for i := range piVals {
+			piVals[i] = rng.Intn(2) == 1
+		}
+		state := make([]bool, len(cv.DFFs))
+		for i := range state {
+			state[i] = rng.Intn(2) == 1
+		}
+		po, next := cv.StepReference(piVals, state)
+
+		rows := make([][]uint64, len(cv.Comb.PIs))
+		for i := range rows {
+			rows[i] = make([]uint64, 1)
+		}
+		for i, v := range piVals {
+			if v {
+				rows[i][0] = 1
+			}
+		}
+		for i, v := range state {
+			if v {
+				rows[cv.OrigPIs+i][0] = 1
+			}
+		}
+		val := sim.Simulate(cv.Comb, rows, 1)
+		for i := 0; i < cv.OrigPOs; i++ {
+			if (val[cv.Comb.POs[i]][0]&1 == 1) != po[i] {
+				t.Fatalf("trial %d: PO %d mismatch", trial, i)
+			}
+		}
+		for i, d := range cv.PPOs {
+			if (val[d][0]&1 == 1) != next[i] {
+				t.Fatalf("trial %d: next-state %d mismatch", trial, i)
+			}
+		}
+	}
+}
+
+func TestMultiCycleSimulation(t *testing.T) {
+	// Drive the toggle counter for several cycles through StepReference:
+	// q toggles exactly when en is 1.
+	c := counterCircuit()
+	cv, err := Convert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := []bool{false}
+	want := false
+	ens := []bool{true, true, false, true, false, false, true}
+	for cycle, en := range ens {
+		po, next := cv.StepReference([]bool{en}, state)
+		if po[0] != state[0] {
+			t.Fatalf("cycle %d: output should expose current state", cycle)
+		}
+		if en {
+			want = !want
+		}
+		state = next
+		if state[0] != want {
+			t.Fatalf("cycle %d: state %v, want %v", cycle, state[0], want)
+		}
+	}
+}
+
+func TestConvertSuiteSequentials(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite conversion in -short mode")
+	}
+	for _, bm := range gen.Suite() {
+		if !bm.Sequential {
+			continue
+		}
+		c := bm.Build()
+		cv, err := Convert(c)
+		if err != nil {
+			t.Errorf("%s: %v", bm.Name, err)
+			continue
+		}
+		if err := cv.Comb.Validate(); err != nil {
+			t.Errorf("%s: converted invalid: %v", bm.Name, err)
+		}
+	}
+}

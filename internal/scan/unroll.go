@@ -1,0 +1,111 @@
+package scan
+
+import (
+	"fmt"
+
+	"dedc/internal/circuit"
+)
+
+// Unrolled is a time-frame expansion of a sequential circuit: frames copies
+// of the combinational logic chained through the state, giving the
+// sequential circuit a purely combinational meaning over input sequences.
+// The paper names time-frame expansion as the route to diagnosing
+// non-scan sequential circuits with the same engine.
+type Unrolled struct {
+	Comb   *circuit.Circuit
+	Frames int
+	// Frame f's copy of original line l sits at Line(f, l).
+	lineMap [][]circuit.Line
+	// InitState holds the frame-0 state inputs (one PI per DFF) appended
+	// after the frame-0 PIs.
+	InitState []circuit.Line
+	origPIs   int
+	origPOs   int
+	nDFF      int
+}
+
+// Line returns the unrolled line corresponding to original line l in frame f.
+func (u *Unrolled) Line(f int, l circuit.Line) circuit.Line { return u.lineMap[f][l] }
+
+// Unroll expands a sequential circuit over the given number of time frames.
+// Primary inputs are replicated per frame (frame-major order: all frame-0
+// PIs, initial state PIs, frame-1 PIs, ...). Primary outputs are replicated
+// per frame; the final state is observable as additional outputs after the
+// last frame's POs. Combinational circuits are rejected.
+func Unroll(c *circuit.Circuit, frames int) (*Unrolled, error) {
+	if frames < 1 {
+		return nil, fmt.Errorf("scan: need at least one frame")
+	}
+	if !c.IsSequential() {
+		return nil, fmt.Errorf("scan: circuit has no flip-flops; use it directly")
+	}
+	var dffs []circuit.Line
+	for i := range c.Gates {
+		if c.Gates[i].Type == circuit.DFF {
+			dffs = append(dffs, circuit.Line(i))
+		}
+	}
+	u := &Unrolled{
+		Comb:    circuit.New(frames * c.NumLines()),
+		Frames:  frames,
+		lineMap: make([][]circuit.Line, frames),
+		origPIs: len(c.PIs),
+		origPOs: len(c.POs),
+		nDFF:    len(dffs),
+	}
+	// Evaluation order within a frame: the DFF-cut topological order (state
+	// reads come from the previous frame, so cutting DFF fanins removes all
+	// feedback).
+	cut := c.Clone()
+	for _, d := range dffs {
+		cut.Gates[d].Fanin = nil
+	}
+	order := cut.Topo()
+
+	for f := 0; f < frames; f++ {
+		u.lineMap[f] = make([]circuit.Line, c.NumLines())
+		for i := range u.lineMap[f] {
+			u.lineMap[f][i] = circuit.NoLine
+		}
+		// Frame PIs first, in original PI order, for predictable layout.
+		for _, pi := range c.PIs {
+			u.lineMap[f][pi] = u.Comb.AddPI(fmt.Sprintf("%s@%d", c.Name(pi), f))
+		}
+		if f == 0 {
+			for _, d := range dffs {
+				l := u.Comb.AddPI(fmt.Sprintf("%s@init", c.Name(d)))
+				u.lineMap[0][d] = l
+				u.InitState = append(u.InitState, l)
+			}
+		} else {
+			// DFF output in frame f = its data input value in frame f-1.
+			for _, d := range dffs {
+				prev := u.lineMap[f-1][c.Gates[d].Fanin[0]]
+				u.lineMap[f][d] = prev
+			}
+		}
+		for _, l := range order {
+			g := &c.Gates[l]
+			if g.Type == circuit.Input || g.Type == circuit.DFF {
+				continue
+			}
+			fin := make([]circuit.Line, len(g.Fanin))
+			for p, src := range g.Fanin {
+				fin[p] = u.lineMap[f][src]
+			}
+			u.lineMap[f][l] = u.Comb.AddNamedGate(fmt.Sprintf("%s@%d", c.Name(l), f), g.Type, fin...)
+		}
+		for _, po := range c.POs {
+			u.Comb.MarkPO(u.lineMap[f][po])
+		}
+	}
+	// Final state observability.
+	last := frames - 1
+	for _, d := range dffs {
+		u.Comb.MarkPO(u.lineMap[last][c.Gates[d].Fanin[0]])
+	}
+	if err := u.Comb.Validate(); err != nil {
+		return nil, fmt.Errorf("scan: unrolled circuit invalid: %w", err)
+	}
+	return u, nil
+}

@@ -1,0 +1,157 @@
+package scan
+
+import (
+	"math/rand"
+	"testing"
+
+	"dedc/internal/circuit"
+	"dedc/internal/gen"
+	"dedc/internal/sim"
+)
+
+func TestUnrollCounterThreeFrames(t *testing.T) {
+	c := counterCircuit() // q' = q XOR en, out = q
+	u, err := Unroll(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Comb.IsSequential() {
+		t.Fatal("unrolled circuit still sequential")
+	}
+	// PIs: en@0, q@init, en@1, en@2 -> 4.
+	if len(u.Comb.PIs) != 4 {
+		t.Fatalf("PIs = %d, want 4", len(u.Comb.PIs))
+	}
+	// Simulate all 16 input combinations and check against the reference
+	// stepper.
+	cv, err := Convert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, n := sim.ExhaustivePatterns(4)
+	val := sim.Simulate(u.Comb, pi, n)
+	for p := 0; p < n; p++ {
+		bit := func(l circuit.Line) bool { return val[l][0]>>uint(p)&1 == 1 }
+		ens := []bool{pi[0][0]>>uint(p)&1 == 1, pi[2][0]>>uint(p)&1 == 1, pi[3][0]>>uint(p)&1 == 1}
+		state := []bool{pi[1][0]>>uint(p)&1 == 1}
+		for f := 0; f < 3; f++ {
+			po, next := cv.StepReference([]bool{ens[f]}, state)
+			// PO of frame f is the f-th PO (1 original PO per frame).
+			if bit(u.Comb.POs[f]) != po[0] {
+				t.Fatalf("pattern %d frame %d: PO mismatch", p, f)
+			}
+			state = next
+		}
+		// Final state output is the last PO.
+		if bit(u.Comb.POs[len(u.Comb.POs)-1]) != state[0] {
+			t.Fatalf("pattern %d: final state mismatch", p)
+		}
+	}
+}
+
+func TestUnrollRandomSequentialAgainstStepper(t *testing.T) {
+	c := gen.RandomSequential(gen.RandomOptions{PIs: 4, Gates: 40, Seed: 6}, 3)
+	cv, err := Convert(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frames = 4
+	u, err := Unroll(c, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 25; trial++ {
+		// Random input sequence and initial state.
+		ins := make([][]bool, frames)
+		for f := range ins {
+			ins[f] = make([]bool, cv.OrigPIs)
+			for i := range ins[f] {
+				ins[f][i] = rng.Intn(2) == 1
+			}
+		}
+		state := make([]bool, len(cv.DFFs))
+		for i := range state {
+			state[i] = rng.Intn(2) == 1
+		}
+
+		// Drive the unrolled circuit with the same assignment.
+		rows := make([][]uint64, len(u.Comb.PIs))
+		for i := range rows {
+			rows[i] = make([]uint64, 1)
+		}
+		piIdx := 0
+		for i := range ins[0] {
+			if ins[0][i] {
+				rows[piIdx][0] = 1
+			}
+			piIdx++
+		}
+		for i := range state {
+			if state[i] {
+				rows[piIdx][0] = 1
+			}
+			piIdx++
+		}
+		for f := 1; f < frames; f++ {
+			for i := range ins[f] {
+				if ins[f][i] {
+					rows[piIdx][0] = 1
+				}
+				piIdx++
+			}
+		}
+		val := sim.Simulate(u.Comb, rows, 1)
+
+		// Reference: step the sequential circuit frame by frame.
+		st := append([]bool(nil), state...)
+		for f := 0; f < frames; f++ {
+			po, next := cv.StepReference(ins[f], st)
+			for i := 0; i < cv.OrigPOs; i++ {
+				got := val[u.Comb.POs[f*cv.OrigPOs+i]][0]&1 == 1
+				if got != po[i] {
+					t.Fatalf("trial %d frame %d PO %d: got %v want %v", trial, f, i, got, po[i])
+				}
+			}
+			st = next
+		}
+	}
+}
+
+func TestUnrollRejectsCombinational(t *testing.T) {
+	if _, err := Unroll(gen.Alu(2), 2); err == nil {
+		t.Fatal("combinational circuit accepted")
+	}
+}
+
+func TestUnrollRejectsZeroFrames(t *testing.T) {
+	c := counterCircuit()
+	if _, err := Unroll(c, 0); err == nil {
+		t.Fatal("zero frames accepted")
+	}
+}
+
+func TestUnrollLineMap(t *testing.T) {
+	c := counterCircuit()
+	u, err := Unroll(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every original line must map to a valid unrolled line in every frame.
+	for f := 0; f < 2; f++ {
+		for l := 0; l < c.NumLines(); l++ {
+			if u.Line(f, circuit.Line(l)) == circuit.NoLine {
+				t.Fatalf("frame %d line %d unmapped", f, l)
+			}
+		}
+	}
+	// Frame-1 copies are distinct from frame-0 copies for logic gates.
+	for l := 0; l < c.NumLines(); l++ {
+		if c.Gates[l].Type == circuit.Input || c.Gates[l].Type == circuit.DFF {
+			continue
+		}
+		if u.Line(0, circuit.Line(l)) == u.Line(1, circuit.Line(l)) {
+			t.Fatalf("line %d shared across frames", l)
+		}
+	}
+}

@@ -1,0 +1,326 @@
+package sim
+
+import "dedc/internal/circuit"
+
+// Engine holds a base parallel-pattern simulation of a circuit and supports
+// event-driven trials: force candidate values onto a single line, propagate
+// the difference through the fanout cone, inspect the resulting values, and
+// discard everything in O(changed lines) — the base state is untouched.
+//
+// Trials are the inner loop of the diagnosis algorithm (thousands per
+// iteration), so the engine avoids allocation: scratch rows are carved from
+// one slab and reused across trials via epoch stamps.
+type Engine struct {
+	C *circuit.Circuit
+	N int // pattern count
+	W int // words per row
+
+	val     [][]uint64 // base values, one row per line
+	scratch [][]uint64 // trial values, one row per line (slab-backed)
+
+	stamp   []uint32 // epoch when scratch[l] was last written
+	queued  []uint32 // epoch when l was last enqueued
+	pinned  []uint32 // epoch when l was force-pinned (drain must not re-evaluate)
+	epoch   uint32
+	changed []circuit.Line // lines whose trial value differs from base
+
+	levels  []int32
+	fanout  [][]circuit.Line
+	buckets [][]circuit.Line // propagation worklist indexed by level
+	faninV  [][]uint64       // reusable fanin gather buffer
+
+	zeroRow []uint64
+	onesRow []uint64
+}
+
+// ConstRow returns a shared all-zero or all-one value row (W words). Callers
+// must not mutate it.
+func (e *Engine) ConstRow(v bool) []uint64 {
+	if v {
+		if e.onesRow == nil {
+			e.onesRow = make([]uint64, e.W)
+			for i := range e.onesRow {
+				e.onesRow[i] = ^uint64(0)
+			}
+		}
+		return e.onesRow
+	}
+	if e.zeroRow == nil {
+		e.zeroRow = make([]uint64, e.W)
+	}
+	return e.zeroRow
+}
+
+// NewEngine simulates the circuit over the given input patterns and returns
+// an engine ready for trials. pi has one row per PI in circuit PI order.
+func NewEngine(c *circuit.Circuit, pi [][]uint64, n int) *Engine {
+	w := Words(n)
+	e := &Engine{
+		C:      c,
+		N:      n,
+		W:      w,
+		val:    Simulate(c, pi, n),
+		stamp:  make([]uint32, c.NumLines()),
+		queued: make([]uint32, c.NumLines()),
+		pinned: make([]uint32, c.NumLines()),
+		levels: c.Levels(),
+		fanout: c.Fanout(),
+	}
+	slab := make([]uint64, c.NumLines()*w)
+	e.scratch = make([][]uint64, c.NumLines())
+	for i := range e.scratch {
+		e.scratch[i] = slab[i*w : (i+1)*w]
+	}
+	maxLevel := int32(0)
+	for _, lv := range e.levels {
+		if lv > maxLevel {
+			maxLevel = lv
+		}
+	}
+	e.buckets = make([][]circuit.Line, maxLevel+1)
+	return e
+}
+
+// BaseVal returns the base (no-trial) value row of line l. Callers must not
+// mutate it.
+func (e *Engine) BaseVal(l circuit.Line) []uint64 { return e.val[l] }
+
+// Values returns the full base value matrix (one row per line). Callers must
+// not mutate it.
+func (e *Engine) Values() [][]uint64 { return e.val }
+
+// TrialVal returns the value row of l under the current trial: the forced or
+// propagated trial value when l changed, the base value otherwise.
+func (e *Engine) TrialVal(l circuit.Line) []uint64 {
+	if e.stamp[l] == e.epoch {
+		return e.scratch[l]
+	}
+	return e.val[l]
+}
+
+// Changed returns the lines whose value differs from base under the current
+// trial, in propagation (roughly topological) order. The slice is reused by
+// the next trial.
+func (e *Engine) Changed() []circuit.Line { return e.changed }
+
+// Trial forces the given value row onto line l, event-propagates the
+// difference through the fanout cone and returns the changed lines
+// (including l itself if the forced value differs from base). The base state
+// is unaffected; the results stay readable through TrialVal until the next
+// Trial call.
+func (e *Engine) Trial(l circuit.Line, forced []uint64) []circuit.Line {
+	e.epoch++
+	e.changed = e.changed[:0]
+	if equalWords(forced, e.val[l], e.W) {
+		return e.changed
+	}
+	copy(e.scratch[l], forced[:e.W])
+	e.stamp[l] = e.epoch
+	e.changed = append(e.changed, l)
+	e.enqueueFanout(l)
+	e.drain(int(e.levels[l]) + 1)
+	return e.changed
+}
+
+// TrialMulti forces value rows onto several lines at once and propagates —
+// the primitive behind multi-node fault models such as bridging faults,
+// where a wired-AND/OR changes two nets simultaneously. lines and forced
+// must align; forced rows are copied.
+func (e *Engine) TrialMulti(lines []circuit.Line, forced [][]uint64) []circuit.Line {
+	e.epoch++
+	e.changed = e.changed[:0]
+	minLevel := int32(1 << 30)
+	for i, l := range lines {
+		// Pin every forced line — even one whose forced value equals its
+		// base value must not be re-evaluated when propagation from another
+		// forced line washes over it.
+		copy(e.scratch[l], forced[i][:e.W])
+		e.stamp[l] = e.epoch
+		e.pinned[l] = e.epoch
+		if equalWords(forced[i], e.val[l], e.W) {
+			continue
+		}
+		e.changed = append(e.changed, l)
+		e.enqueueFanout(l)
+		if e.levels[l] < minLevel {
+			minLevel = e.levels[l]
+		}
+	}
+	if len(e.changed) == 0 {
+		return e.changed
+	}
+	e.drain(int(minLevel) + 1)
+	return e.changed
+}
+
+// TrialEval is like Trial but computes the forced value by evaluating a
+// hypothetical gate (type t, fanins fin) over the current base values. It is
+// the entry point for trying a structural correction without mutating the
+// circuit: every correction in the paper's models changes the function of
+// exactly one line.
+//
+// finComp, when non-nil, marks pins whose value must be complemented before
+// evaluation (models input-inverter corrections).
+func (e *Engine) TrialEval(l circuit.Line, t circuit.GateType, fin []circuit.Line, finComp []bool, outComp bool) []circuit.Line {
+	e.epoch++
+	e.changed = e.changed[:0]
+	out := e.scratch[l]
+	e.evalInto(out, t, fin, finComp, outComp)
+	if equalWords(out, e.val[l], e.W) {
+		return e.changed
+	}
+	e.stamp[l] = e.epoch
+	e.changed = append(e.changed, l)
+	e.enqueueFanout(l)
+	e.drain(int(e.levels[l]) + 1)
+	return e.changed
+}
+
+// TrialEvalPins is like TrialEval but substitutes explicit value rows for
+// selected pins (pinVals maps pin index to a row). It models fanout-branch
+// stuck-at faults: pin p of the gate driving l reads a constant while the
+// stem keeps its true value.
+func (e *Engine) TrialEvalPins(l circuit.Line, t circuit.GateType, fin []circuit.Line, pinVals map[int][]uint64) []circuit.Line {
+	e.epoch++
+	e.changed = e.changed[:0]
+	e.faninV = e.faninV[:0]
+	for p, f := range fin {
+		if row, ok := pinVals[p]; ok {
+			e.faninV = append(e.faninV, row)
+		} else {
+			e.faninV = append(e.faninV, e.TrialVal(f))
+		}
+	}
+	out := e.scratch[l]
+	EvalGateInto(t, out, e.W, e.faninV...)
+	if equalWords(out, e.val[l], e.W) {
+		return e.changed
+	}
+	e.stamp[l] = e.epoch
+	e.changed = append(e.changed, l)
+	e.enqueueFanout(l)
+	e.drain(int(e.levels[l]) + 1)
+	return e.changed
+}
+
+// EvalCandidate computes, into dst, the output row a hypothetical gate
+// (type t, fanins fin, optional per-pin complements, optional output
+// complement) would produce over the current BASE values — one local
+// simulation step with no propagation. It is the cheap Theorem-1 screening
+// primitive: callers check the complement count before paying for a full
+// Trial.
+func (e *Engine) EvalCandidate(dst []uint64, t circuit.GateType, fin []circuit.Line, finComp []bool, outComp bool) {
+	e.faninV = e.faninV[:0]
+	for _, f := range fin {
+		e.faninV = append(e.faninV, e.val[f])
+	}
+	if finComp != nil {
+		for p, comp := range finComp {
+			if !comp {
+				continue
+			}
+			row := make([]uint64, e.W)
+			for i := 0; i < e.W; i++ {
+				row[i] = ^e.faninV[p][i]
+			}
+			e.faninV[p] = row
+		}
+	}
+	EvalGateInto(t, dst, e.W, e.faninV...)
+	if outComp {
+		for i := 0; i < e.W; i++ {
+			dst[i] = ^dst[i]
+		}
+	}
+}
+
+// EvalCandidatePins is EvalCandidate with explicit value rows substituted
+// for selected pins (the branch stuck-at form).
+func (e *Engine) EvalCandidatePins(dst []uint64, t circuit.GateType, fin []circuit.Line, pinVals map[int][]uint64) {
+	e.faninV = e.faninV[:0]
+	for p, f := range fin {
+		if row, ok := pinVals[p]; ok {
+			e.faninV = append(e.faninV, row)
+		} else {
+			e.faninV = append(e.faninV, e.val[f])
+		}
+	}
+	EvalGateInto(t, dst, e.W, e.faninV...)
+}
+
+func (e *Engine) evalInto(out []uint64, t circuit.GateType, fin []circuit.Line, finComp []bool, outComp bool) {
+	e.faninV = e.faninV[:0]
+	for _, f := range fin {
+		e.faninV = append(e.faninV, e.TrialVal(f))
+	}
+	if finComp != nil {
+		// Complemented pins need private storage; small and rare, so a
+		// transient allocation is acceptable here.
+		for p, comp := range finComp {
+			if !comp {
+				continue
+			}
+			row := make([]uint64, e.W)
+			for i := 0; i < e.W; i++ {
+				row[i] = ^e.faninV[p][i]
+			}
+			e.faninV[p] = row
+		}
+	}
+	EvalGateInto(t, out, e.W, e.faninV...)
+	if outComp {
+		for i := 0; i < e.W; i++ {
+			out[i] = ^out[i]
+		}
+	}
+}
+
+func (e *Engine) enqueueFanout(l circuit.Line) {
+	for _, r := range e.fanout[l] {
+		if e.queued[r] != e.epoch {
+			e.queued[r] = e.epoch
+			e.buckets[e.levels[r]] = append(e.buckets[e.levels[r]], r)
+		}
+	}
+}
+
+// drain processes the level buckets in ascending order starting at from.
+func (e *Engine) drain(from int) {
+	for lv := from; lv < len(e.buckets); lv++ {
+		bucket := e.buckets[lv]
+		for i := 0; i < len(bucket); i++ {
+			l := bucket[i]
+			if e.pinned[l] == e.epoch {
+				continue // force-pinned lines keep their trial value
+			}
+			g := &e.C.Gates[l]
+			out := e.scratch[l]
+			e.faninV = e.faninV[:0]
+			for _, f := range g.Fanin {
+				e.faninV = append(e.faninV, e.TrialVal(f))
+			}
+			EvalGateInto(g.Type, out, e.W, e.faninV...)
+			if equalWords(out, e.val[l], e.W) {
+				continue
+			}
+			e.stamp[l] = e.epoch
+			e.changed = append(e.changed, l)
+			for _, r := range e.fanout[l] {
+				if e.queued[r] != e.epoch {
+					e.queued[r] = e.epoch
+					e.buckets[e.levels[r]] = append(e.buckets[e.levels[r]], r)
+				}
+			}
+		}
+		e.buckets[lv] = bucket[:0]
+	}
+}
+
+func equalWords(a, b []uint64, w int) bool {
+	for i := 0; i < w; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

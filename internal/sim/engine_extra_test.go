@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"testing"
+
+	"dedc/internal/circuit"
+)
+
+func andCircuit() (*circuit.Circuit, circuit.Line, circuit.Line, circuit.Line) {
+	c := circuit.New(4)
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	g := c.AddGate(circuit.And, a, b)
+	c.MarkPO(g)
+	return c, a, b, g
+}
+
+func TestConstRow(t *testing.T) {
+	c, _, _, _ := andCircuit()
+	pi, n := ExhaustivePatterns(2)
+	e := NewEngine(c, pi, n)
+	zeros := e.ConstRow(false)
+	ones := e.ConstRow(true)
+	for i := 0; i < e.W; i++ {
+		if zeros[i] != 0 || ones[i] != ^uint64(0) {
+			t.Fatal("const rows wrong")
+		}
+	}
+	// Cached: same slice on second call.
+	if &zeros[0] != &e.ConstRow(false)[0] || &ones[0] != &e.ConstRow(true)[0] {
+		t.Fatal("const rows not cached")
+	}
+}
+
+func TestValuesAccessor(t *testing.T) {
+	c, _, _, g := andCircuit()
+	pi, n := ExhaustivePatterns(2)
+	e := NewEngine(c, pi, n)
+	vals := e.Values()
+	if len(vals) != c.NumLines() {
+		t.Fatal("Values has wrong row count")
+	}
+	if !EqualRows(vals[g], e.BaseVal(g), n) {
+		t.Fatal("Values disagrees with BaseVal")
+	}
+}
+
+func TestChangedAccessor(t *testing.T) {
+	c, _, _, g := andCircuit()
+	pi, n := ExhaustivePatterns(2)
+	e := NewEngine(c, pi, n)
+	forced := []uint64{^e.BaseVal(g)[0]}
+	e.Trial(g, forced)
+	if len(e.Changed()) != 1 || e.Changed()[0] != g {
+		t.Fatalf("Changed = %v", e.Changed())
+	}
+}
+
+func TestTrialEvalPinsDirect(t *testing.T) {
+	c, _, b, g := andCircuit()
+	pi, n := ExhaustivePatterns(2)
+	e := NewEngine(c, pi, n)
+	// Pin 0 of g forced to constant 1: g becomes BUF(b).
+	changed := e.TrialEvalPins(g, circuit.And, c.Fanin(g), map[int][]uint64{0: e.ConstRow(true)})
+	if len(changed) != 1 {
+		t.Fatalf("changed = %v", changed)
+	}
+	if !EqualRows(e.TrialVal(g), e.BaseVal(b), n) {
+		t.Fatal("pin-forced AND should follow the other input")
+	}
+	// Forcing the pin to its natural value: no change.
+	natural := append([]uint64(nil), e.BaseVal(c.Fanin(g)[0])...)
+	if got := e.TrialEvalPins(g, circuit.And, c.Fanin(g), map[int][]uint64{0: natural}); len(got) != 0 {
+		t.Fatalf("no-op pin force changed %v", got)
+	}
+}
+
+func TestEvalCandidateDirect(t *testing.T) {
+	c, a, b, g := andCircuit()
+	pi, n := ExhaustivePatterns(2)
+	e := NewEngine(c, pi, n)
+	dst := make([]uint64, e.W)
+	// OR over the same fanins.
+	e.EvalCandidate(dst, circuit.Or, c.Fanin(g), nil, false)
+	if dst[0]&0xf != 0b1110 {
+		t.Fatalf("OR candidate = %04b", dst[0]&0xf)
+	}
+	// With pin 0 complemented: OR(!a, b).
+	e.EvalCandidate(dst, circuit.Or, c.Fanin(g), []bool{true, false}, false)
+	if dst[0]&0xf != 0b1111 {
+		// !a=1 on patterns 0,2; b=1 on patterns 2,3 -> 1101? compute:
+		// patterns (a,b): 0:(0,0) !a=1 -> 1; 1:(1,0) !a=0,b=0 -> 0;
+		// 2:(0,1) -> 1; 3:(1,1) -> 1. So 1101.
+		if dst[0]&0xf != 0b1101 {
+			t.Fatalf("complemented OR candidate = %04b", dst[0]&0xf)
+		}
+	}
+	// Output complement.
+	e.EvalCandidate(dst, circuit.And, c.Fanin(g), nil, true)
+	if dst[0]&0xf != 0b0111 {
+		t.Fatalf("NAND via outComp = %04b", dst[0]&0xf)
+	}
+	// EvalCandidate must not disturb base values.
+	_ = a
+	_ = b
+	if e.BaseVal(g)[0]&0xf != 0b1000 {
+		t.Fatal("base values disturbed")
+	}
+}
+
+func TestEvalCandidatePinsDirect(t *testing.T) {
+	c, _, b, g := andCircuit()
+	pi, n := ExhaustivePatterns(2)
+	e := NewEngine(c, pi, n)
+	dst := make([]uint64, e.W)
+	e.EvalCandidatePins(dst, circuit.And, c.Fanin(g), map[int][]uint64{0: e.ConstRow(true)})
+	if !EqualRows(dst, e.BaseVal(b), n) {
+		t.Fatal("pin substitution wrong")
+	}
+}

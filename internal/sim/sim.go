@@ -1,0 +1,227 @@
+// Package sim implements 64-bit parallel-pattern logic simulation for the
+// netlists of package circuit, plus an event-driven trial engine that lets
+// callers ask "what if line l took these values?" without disturbing the
+// base simulation state. The trial engine is the computational core behind
+// the paper's heuristics: heuristic 1 (invert Verr and propagate), the
+// Theorem-1 screen (local gate evaluation) and the Vcorr screen (fanout-cone
+// propagation of a candidate correction).
+//
+// Values are stored one row per line, packed 64 patterns per uint64 word.
+// Bits beyond the pattern count are unspecified garbage; every counting and
+// comparison helper therefore takes the pattern count n and masks the tail.
+package sim
+
+import (
+	"math/bits"
+	"math/rand"
+
+	"dedc/internal/circuit"
+)
+
+// Words returns the number of uint64 words needed for n patterns.
+func Words(n int) int { return (n + 63) / 64 }
+
+// TailMask returns the mask of valid bits in the last word for n patterns.
+func TailMask(n int) uint64 {
+	if r := n % 64; r != 0 {
+		return (uint64(1) << r) - 1
+	}
+	return ^uint64(0)
+}
+
+// RandomPatterns returns nPI rows of n random patterns from the seed.
+func RandomPatterns(nPI, n int, seed int64) [][]uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	w := Words(n)
+	rows := make([][]uint64, nPI)
+	for i := range rows {
+		row := make([]uint64, w)
+		for j := range row {
+			row[j] = rng.Uint64()
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// ExhaustivePatterns returns all 2^nPI input combinations (nPI <= 20), one
+// row per PI, and the pattern count. Pattern p assigns bit (p>>i)&1 to PI i.
+func ExhaustivePatterns(nPI int) ([][]uint64, int) {
+	if nPI > 20 {
+		panic("sim: ExhaustivePatterns limited to 20 inputs")
+	}
+	n := 1 << nPI
+	w := Words(n)
+	rows := make([][]uint64, nPI)
+	for i := range rows {
+		rows[i] = make([]uint64, w)
+	}
+	for p := 0; p < n; p++ {
+		for i := 0; i < nPI; i++ {
+			if (p>>i)&1 == 1 {
+				rows[i][p/64] |= 1 << (p % 64)
+			}
+		}
+	}
+	return rows, n
+}
+
+// EvalGateInto computes the word-parallel output of a gate of type t over
+// the given fanin value rows, writing w words into out. Fanin rows must each
+// have at least w words. DFF is treated as a transparent buffer (package
+// scan is responsible for giving sequential circuits combinational meaning).
+func EvalGateInto(t circuit.GateType, out []uint64, w int, fanin ...[]uint64) {
+	switch t {
+	case circuit.Const0:
+		for i := 0; i < w; i++ {
+			out[i] = 0
+		}
+	case circuit.Const1:
+		for i := 0; i < w; i++ {
+			out[i] = ^uint64(0)
+		}
+	case circuit.Input:
+		// Inputs carry externally assigned values; nothing to compute.
+	case circuit.Buf, circuit.DFF:
+		copy(out[:w], fanin[0][:w])
+	case circuit.Not:
+		for i := 0; i < w; i++ {
+			out[i] = ^fanin[0][i]
+		}
+	case circuit.And, circuit.Nand:
+		for i := 0; i < w; i++ {
+			acc := fanin[0][i]
+			for _, f := range fanin[1:] {
+				acc &= f[i]
+			}
+			if t == circuit.Nand {
+				acc = ^acc
+			}
+			out[i] = acc
+		}
+	case circuit.Or, circuit.Nor:
+		for i := 0; i < w; i++ {
+			acc := fanin[0][i]
+			for _, f := range fanin[1:] {
+				acc |= f[i]
+			}
+			if t == circuit.Nor {
+				acc = ^acc
+			}
+			out[i] = acc
+		}
+	case circuit.Xor, circuit.Xnor:
+		for i := 0; i < w; i++ {
+			acc := fanin[0][i]
+			for _, f := range fanin[1:] {
+				acc ^= f[i]
+			}
+			if t == circuit.Xnor {
+				acc = ^acc
+			}
+			out[i] = acc
+		}
+	default:
+		panic("sim: cannot evaluate gate type " + t.String())
+	}
+}
+
+// Simulate runs a full parallel-pattern simulation. pi holds one row per
+// primary input in circuit PI order; n is the pattern count. The returned
+// matrix has one row per line.
+func Simulate(c *circuit.Circuit, pi [][]uint64, n int) [][]uint64 {
+	w := Words(n)
+	val := make([][]uint64, c.NumLines())
+	storage := make([]uint64, c.NumLines()*w)
+	for i := range val {
+		val[i] = storage[i*w : (i+1)*w]
+	}
+	for i, p := range c.PIs {
+		copy(val[p], pi[i][:w])
+	}
+	scratch := make([][]uint64, 0, 8)
+	for _, l := range c.Topo() {
+		g := &c.Gates[l]
+		if g.Type == circuit.Input {
+			continue
+		}
+		scratch = scratch[:0]
+		for _, f := range g.Fanin {
+			scratch = append(scratch, val[f])
+		}
+		EvalGateInto(g.Type, val[l], w, scratch...)
+	}
+	return val
+}
+
+// Outputs extracts the PO rows of a value matrix, in circuit PO order.
+func Outputs(c *circuit.Circuit, val [][]uint64) [][]uint64 {
+	out := make([][]uint64, len(c.POs))
+	for i, po := range c.POs {
+		out[i] = val[po]
+	}
+	return out
+}
+
+// DiffMask ORs together the XOR of corresponding rows: bit i of the result
+// is set iff pattern i disagrees on at least one row. Rows must align.
+func DiffMask(a, b [][]uint64, n int) []uint64 {
+	w := Words(n)
+	m := make([]uint64, w)
+	for r := range a {
+		for i := 0; i < w; i++ {
+			m[i] |= a[r][i] ^ b[r][i]
+		}
+	}
+	m[w-1] &= TailMask(n)
+	return m
+}
+
+// Popcount counts set bits among the first n positions of row.
+func Popcount(row []uint64, n int) int {
+	w := Words(n)
+	t := 0
+	for i := 0; i < w-1; i++ {
+		t += bits.OnesCount64(row[i])
+	}
+	t += bits.OnesCount64(row[w-1] & TailMask(n))
+	return t
+}
+
+// EqualRows reports whether two rows agree on the first n patterns.
+func EqualRows(a, b []uint64, n int) bool {
+	w := Words(n)
+	for i := 0; i < w-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return (a[w-1]^b[w-1])&TailMask(n) == 0
+}
+
+// Equivalent reports whether two circuits with identical PI/PO counts agree
+// on the supplied patterns. It is the workhorse behind every "the repaired
+// circuit matches the specification" check in the tests.
+func Equivalent(a, b *circuit.Circuit, pi [][]uint64, n int) bool {
+	va := Simulate(a, pi, n)
+	vb := Simulate(b, pi, n)
+	oa := Outputs(a, va)
+	ob := Outputs(b, vb)
+	if len(oa) != len(ob) {
+		return false
+	}
+	m := DiffMask(oa, ob, n)
+	for _, x := range m {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// EquivalentExhaustive checks equivalence over all input combinations; both
+// circuits must share the PI count, which must be at most 20.
+func EquivalentExhaustive(a, b *circuit.Circuit) bool {
+	pi, n := ExhaustivePatterns(len(a.PIs))
+	return Equivalent(a, b, pi, n)
+}

@@ -1,0 +1,48 @@
+package tpg
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadVectors: the vector parser must never panic and must reject
+// malformed input rather than mis-decode it.
+func FuzzReadVectors(f *testing.F) {
+	f.Add("010\n101\n", 3)
+	f.Add("# header\n1\n", 1)
+	f.Add("", 2)
+	f.Add("abc\n", 3)
+	f.Fuzz(func(t *testing.T, src string, nPI int) {
+		if nPI < 1 || nPI > 64 {
+			t.Skip()
+		}
+		pi, n, err := ReadVectors(strings.NewReader(src), nPI)
+		if err != nil {
+			return
+		}
+		if n < 1 || len(pi) != nPI {
+			t.Fatalf("accepted input decoded to n=%d rows=%d", n, len(pi))
+		}
+		// Decoded bits must match the non-comment lines exactly.
+		var lines []string
+		for _, l := range strings.Split(src, "\n") {
+			l = strings.TrimSpace(l)
+			if l == "" || strings.HasPrefix(l, "#") {
+				continue
+			}
+			lines = append(lines, l)
+		}
+		if len(lines) != n {
+			t.Fatalf("pattern count %d vs %d source lines", n, len(lines))
+		}
+		for v, line := range lines {
+			for i := 0; i < nPI; i++ {
+				want := line[i] == '1'
+				got := pi[i][v/64]>>(uint(v)%64)&1 == 1
+				if got != want {
+					t.Fatalf("bit (%d,%d) decoded %v, want %v", v, i, got, want)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,336 @@
+package tpg
+
+import (
+	"dedc/internal/circuit"
+	"dedc/internal/fault"
+)
+
+// PodemResult reports the outcome of one deterministic generation attempt.
+type PodemResult int
+
+// Generation outcomes.
+const (
+	TestFound  PodemResult = iota // a detecting assignment was produced
+	Untestable                    // proven redundant (search space exhausted)
+	Aborted                       // backtrack limit exceeded
+)
+
+// Podem is a deterministic test pattern generator for single stuck-at
+// faults, implementing the classic PODEM algorithm: PI-only decisions,
+// objective/backtrace guidance, five-valued (good/faulty ternary pair)
+// implication, and chronological backtracking.
+type Podem struct {
+	C *circuit.Circuit
+	// BacktrackLimit bounds the search per fault (default 2000).
+	BacktrackLimit int
+
+	topo   []circuit.Line
+	piIdx  map[circuit.Line]int
+	goodV  []v3
+	badV   []v3
+	assign []v3 // current PI assignment
+	inCone []bool
+	scoap  *Scoap // SCOAP guidance for backtrace input selection
+}
+
+// NewPodem prepares a generator for the circuit.
+func NewPodem(c *circuit.Circuit) *Podem {
+	p := &Podem{
+		C:              c,
+		BacktrackLimit: 2000,
+		topo:           c.Topo(),
+		piIdx:          make(map[circuit.Line]int, len(c.PIs)),
+		goodV:          make([]v3, c.NumLines()),
+		badV:           make([]v3, c.NumLines()),
+		assign:         make([]v3, len(c.PIs)),
+		inCone:         make([]bool, c.NumLines()),
+		scoap:          ComputeScoap(c),
+	}
+	for i, pi := range c.PIs {
+		p.piIdx[pi] = i
+	}
+	return p
+}
+
+type decision struct {
+	pi      int
+	value   v3
+	flipped bool
+}
+
+// Generate attempts to produce a test for fault ft. On TestFound, the
+// returned assignment has one entry per PI: 0, 1, or x3 for don't-care.
+func (p *Podem) Generate(ft fault.Fault) ([]v3, PodemResult) {
+	for i := range p.assign {
+		p.assign[i] = x3
+	}
+	// Restrict propagation bookkeeping to the fault's output cone.
+	for i := range p.inCone {
+		p.inCone[i] = false
+	}
+	coneRoot := ft.Line
+	if !ft.IsStem() {
+		coneRoot = ft.Reader
+	}
+	for _, l := range p.C.FanoutCone(coneRoot) {
+		p.inCone[l] = true
+	}
+
+	p.imply(ft)
+	var stack []decision
+	backtracks := 0
+	for {
+		if p.detected() {
+			out := make([]v3, len(p.assign))
+			copy(out, p.assign)
+			return out, TestFound
+		}
+		obj, ok := p.objective(ft)
+		if ok {
+			pi, val, found := p.backtrace(obj)
+			if found {
+				p.assign[pi] = val
+				stack = append(stack, decision{pi: pi, value: val})
+				p.imply(ft)
+				continue
+			}
+		}
+		// No progress possible: backtrack.
+		for {
+			if len(stack) == 0 {
+				return nil, Untestable
+			}
+			d := &stack[len(stack)-1]
+			if !d.flipped {
+				d.flipped = true
+				d.value = not3(d.value)
+				p.assign[d.pi] = d.value
+				backtracks++
+				if backtracks > p.BacktrackLimit {
+					return nil, Aborted
+				}
+				p.imply(ft)
+				break
+			}
+			p.assign[d.pi] = x3
+			stack = stack[:len(stack)-1]
+		}
+		if p.failed(ft) {
+			continue // forces another backtrack round via objective failure
+		}
+	}
+}
+
+// imply runs full five-valued simulation from the current PI assignment.
+func (p *Podem) imply(ft fault.Fault) {
+	c := p.C
+	var gin, bin [8]v3
+	for _, l := range p.topo {
+		g := &c.Gates[l]
+		var gv, bv v3
+		if g.Type == circuit.Input {
+			gv = p.assign[p.piIdx[l]]
+			bv = gv
+		} else {
+			gi := gin[:0]
+			bi := bin[:0]
+			for pin, f := range g.Fanin {
+				fg, fb := p.goodV[f], p.badV[f]
+				if !ft.IsStem() && ft.Reader == l && ft.Pin == pin {
+					// Branch fault: the faulty machine reads the stuck value
+					// on this pin only.
+					fb = stuck(ft)
+				}
+				gi = append(gi, fg)
+				bi = append(bi, fb)
+			}
+			gv = eval3(g.Type, gi)
+			bv = eval3(g.Type, bi)
+		}
+		if ft.IsStem() && ft.Line == l {
+			bv = stuck(ft)
+		}
+		p.goodV[l] = gv
+		p.badV[l] = bv
+	}
+}
+
+func stuck(ft fault.Fault) v3 {
+	if ft.Value {
+		return t3
+	}
+	return f3
+}
+
+// detected reports whether any PO carries a D or D̄ (good and faulty both
+// known and different).
+func (p *Podem) detected() bool {
+	for _, po := range p.C.POs {
+		g, b := p.goodV[po], p.badV[po]
+		if g != x3 && b != x3 && g != b {
+			return true
+		}
+	}
+	return false
+}
+
+// failed reports definite failure for the current assignment: the fault can
+// no longer be excited, or no difference can reach a PO.
+func (p *Podem) failed(ft fault.Fault) bool {
+	if act, possible := p.activation(ft); !act && !possible {
+		return true
+	}
+	// If some line in the cone still differs or is unknown, propagation may
+	// still be possible; a full X-path check is an optimization we skip.
+	return false
+}
+
+// activation reports whether the fault is currently excited, and whether it
+// still can be.
+func (p *Podem) activation(ft fault.Fault) (active, possible bool) {
+	var g v3
+	if ft.IsStem() {
+		g = p.goodV[ft.Line]
+	} else {
+		g = p.goodV[ft.Line]
+	}
+	want := not3(stuck(ft))
+	if g == want {
+		return true, true
+	}
+	if g == x3 {
+		return false, true
+	}
+	return false, false
+}
+
+// objective returns the next (line, value) goal: excite the fault, then
+// advance the D-frontier.
+func (p *Podem) objective(ft fault.Fault) (obj struct {
+	line circuit.Line
+	val  v3
+}, ok bool) {
+	active, possible := p.activation(ft)
+	if !possible {
+		return obj, false
+	}
+	if !active {
+		obj.line = ft.Line
+		obj.val = not3(stuck(ft))
+		return obj, true
+	}
+	// D-frontier: a gate in the fault cone whose output good==bad or
+	// unknown-equal is of no use; we need gates where some input differs and
+	// the output is still unknown on either machine.
+	for _, l := range p.topo {
+		if !p.inCone[l] {
+			continue
+		}
+		g := &p.C.Gates[l]
+		if g.Type == circuit.Input {
+			continue
+		}
+		if p.goodV[l] != x3 && p.badV[l] != x3 {
+			continue
+		}
+		hasD := false
+		for pin, f := range g.Fanin {
+			fg, fb := p.goodV[f], p.badV[f]
+			if !ft.IsStem() && ft.Reader == l && ft.Pin == pin {
+				fb = stuck(ft)
+			}
+			if fg != x3 && fb != x3 && fg != fb {
+				hasD = true
+				break
+			}
+		}
+		if !hasD {
+			continue
+		}
+		// Set an unknown side input to the non-controlling value, picking
+		// the SCOAP-easiest one.
+		cv, hasCtrl := g.Type.ControllingValue()
+		target := t3
+		if hasCtrl {
+			if cv {
+				target = f3
+			} else {
+				target = t3
+			}
+		}
+		pick := circuit.NoLine
+		var bestCost int32
+		for _, f := range g.Fanin {
+			if p.goodV[f] != x3 {
+				continue
+			}
+			cost := p.scoap.CC(f, target == t3)
+			if pick == circuit.NoLine || cost < bestCost {
+				pick, bestCost = f, cost
+			}
+		}
+		if pick != circuit.NoLine {
+			obj.line = pick
+			obj.val = target
+			return obj, true
+		}
+	}
+	return obj, false
+}
+
+// backtrace maps an objective to a PI assignment through X-valued lines.
+func (p *Podem) backtrace(obj struct {
+	line circuit.Line
+	val  v3
+}) (pi int, val v3, ok bool) {
+	l, v := obj.line, obj.val
+	for steps := 0; steps < p.C.NumLines()+8; steps++ {
+		g := &p.C.Gates[l]
+		if g.Type == circuit.Input {
+			if p.assign[p.piIdx[l]] != x3 {
+				return 0, 0, false // already decided; objective unreachable
+			}
+			return p.piIdx[l], v, true
+		}
+		if g.Type == circuit.Const0 || g.Type == circuit.Const1 {
+			return 0, 0, false
+		}
+		if g.Type.Inverting() {
+			v = not3(v)
+		}
+		// Choose an X input with SCOAP guidance: when one controlling input
+		// suffices, take the EASIEST to control; when every input must reach
+		// the non-controlling value, attack the HARDEST first (so failures
+		// surface before effort is wasted on the easy ones).
+		cv, hasCtrl := g.Type.ControllingValue()
+		wantEasiest := hasCtrl && (v == t3) == cv
+		next := circuit.NoLine
+		var bestCost int32
+		for _, f := range g.Fanin {
+			if p.goodV[f] != x3 {
+				continue
+			}
+			cost := p.scoap.CC(f, v == t3)
+			if next == circuit.NoLine ||
+				(wantEasiest && cost < bestCost) ||
+				(!wantEasiest && cost > bestCost) {
+				next, bestCost = f, cost
+			}
+		}
+		if next == circuit.NoLine {
+			return 0, 0, false
+		}
+		switch g.Type {
+		case circuit.Xor, circuit.Xnor:
+			// Heuristic: aim for the cheaper value on the chosen input; the
+			// implication pass sorts out the real parity.
+			if p.scoap.CC0[next] <= p.scoap.CC1[next] {
+				v = f3
+			} else {
+				v = t3
+			}
+		}
+		l = next
+	}
+	return 0, 0, false
+}

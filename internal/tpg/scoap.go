@@ -1,0 +1,156 @@
+package tpg
+
+import "dedc/internal/circuit"
+
+// Scoap holds SCOAP (Sandia Controllability/Observability Analysis Program)
+// testability measures: CC0/CC1 estimate the effort to set a line to 0/1,
+// CO the effort to observe it at a primary output. PODEM uses them to pick
+// the easiest input for controlling objectives and the hardest input first
+// for non-controlling ones — the classic guidance heuristic.
+type Scoap struct {
+	CC0, CC1 []int32
+	CO       []int32
+}
+
+const coUnreachable = int32(1 << 29)
+
+// ComputeScoap calculates the measures for a combinational circuit.
+func ComputeScoap(c *circuit.Circuit) *Scoap {
+	n := c.NumLines()
+	s := &Scoap{
+		CC0: make([]int32, n),
+		CC1: make([]int32, n),
+		CO:  make([]int32, n),
+	}
+	topo := c.Topo()
+	for _, l := range topo {
+		g := &c.Gates[l]
+		switch g.Type {
+		case circuit.Input:
+			s.CC0[l], s.CC1[l] = 1, 1
+		case circuit.Const0:
+			s.CC0[l], s.CC1[l] = 1, coUnreachable
+		case circuit.Const1:
+			s.CC0[l], s.CC1[l] = coUnreachable, 1
+		case circuit.Buf, circuit.DFF:
+			s.CC0[l] = s.CC0[g.Fanin[0]] + 1
+			s.CC1[l] = s.CC1[g.Fanin[0]] + 1
+		case circuit.Not:
+			s.CC0[l] = s.CC1[g.Fanin[0]] + 1
+			s.CC1[l] = s.CC0[g.Fanin[0]] + 1
+		case circuit.And, circuit.Nand:
+			all1 := int32(1)
+			min0 := coUnreachable
+			for _, f := range g.Fanin {
+				all1 = satAdd(all1, s.CC1[f])
+				if s.CC0[f] < min0 {
+					min0 = s.CC0[f]
+				}
+			}
+			one0 := satAdd(min0, 1)
+			if g.Type == circuit.And {
+				s.CC1[l], s.CC0[l] = all1, one0
+			} else {
+				s.CC0[l], s.CC1[l] = all1, one0
+			}
+		case circuit.Or, circuit.Nor:
+			all0 := int32(1)
+			min1 := coUnreachable
+			for _, f := range g.Fanin {
+				all0 = satAdd(all0, s.CC0[f])
+				if s.CC1[f] < min1 {
+					min1 = s.CC1[f]
+				}
+			}
+			one1 := satAdd(min1, 1)
+			if g.Type == circuit.Or {
+				s.CC0[l], s.CC1[l] = all0, one1
+			} else {
+				s.CC1[l], s.CC0[l] = all0, one1
+			}
+		case circuit.Xor, circuit.Xnor:
+			// Exact parity controllability is exponential in fanin; the
+			// standard approximation combines the two cheapest settings.
+			even, odd := int32(1), coUnreachable
+			for _, f := range g.Fanin {
+				e2 := minI(satAdd(even, s.CC0[f]), satAdd(odd, s.CC1[f]))
+				o2 := minI(satAdd(even, s.CC1[f]), satAdd(odd, s.CC0[f]))
+				even, odd = e2, o2
+			}
+			if g.Type == circuit.Xor {
+				s.CC0[l], s.CC1[l] = even, odd
+			} else {
+				s.CC0[l], s.CC1[l] = odd, even
+			}
+		}
+	}
+	// Observability: walk in reverse topological order.
+	for i := range s.CO {
+		s.CO[i] = coUnreachable
+	}
+	for _, po := range c.POs {
+		s.CO[po] = 0
+	}
+	for i := len(topo) - 1; i >= 0; i-- {
+		l := topo[i]
+		g := &c.Gates[l]
+		if s.CO[l] >= coUnreachable {
+			continue
+		}
+		switch g.Type {
+		case circuit.Buf, circuit.Not, circuit.DFF:
+			f := g.Fanin[0]
+			s.CO[f] = minI(s.CO[f], satAdd(s.CO[l], 1))
+		case circuit.And, circuit.Nand, circuit.Or, circuit.Nor:
+			// To observe pin p, the other pins must hold non-controlling
+			// values.
+			nonCtrl := s.CC1
+			if g.Type == circuit.Or || g.Type == circuit.Nor {
+				nonCtrl = s.CC0
+			}
+			for p, f := range g.Fanin {
+				cost := satAdd(s.CO[l], 1)
+				for q, f2 := range g.Fanin {
+					if q != p {
+						cost = satAdd(cost, nonCtrl[f2])
+					}
+				}
+				s.CO[f] = minI(s.CO[f], cost)
+			}
+		case circuit.Xor, circuit.Xnor:
+			for p, f := range g.Fanin {
+				cost := satAdd(s.CO[l], 1)
+				for q, f2 := range g.Fanin {
+					if q != p {
+						cost = satAdd(cost, minI(s.CC0[f2], s.CC1[f2]))
+					}
+				}
+				s.CO[f] = minI(s.CO[f], cost)
+			}
+		}
+	}
+	return s
+}
+
+func satAdd(a, b int32) int32 {
+	c := a + b
+	if c > coUnreachable {
+		return coUnreachable
+	}
+	return c
+}
+
+func minI(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// CC returns the controllability of value v on line l.
+func (s *Scoap) CC(l circuit.Line, v bool) int32 {
+	if v {
+		return s.CC1[l]
+	}
+	return s.CC0[l]
+}

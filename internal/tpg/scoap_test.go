@@ -1,0 +1,143 @@
+package tpg
+
+import (
+	"testing"
+
+	"dedc/internal/circuit"
+	"dedc/internal/gen"
+)
+
+func TestScoapPIValues(t *testing.T) {
+	c := gen.RippleAdder(2)
+	s := ComputeScoap(c)
+	for _, pi := range c.PIs {
+		if s.CC0[pi] != 1 || s.CC1[pi] != 1 {
+			t.Fatalf("PI controllability = %d/%d, want 1/1", s.CC0[pi], s.CC1[pi])
+		}
+	}
+	for _, po := range c.POs {
+		if s.CO[po] != 0 {
+			t.Fatalf("PO observability = %d, want 0", s.CO[po])
+		}
+	}
+}
+
+func TestScoapAndGate(t *testing.T) {
+	c := circuit.New(4)
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	g := c.AddGate(circuit.And, a, b)
+	c.MarkPO(g)
+	s := ComputeScoap(c)
+	// AND: CC1 = CC1(a)+CC1(b)+1 = 3; CC0 = min(CC0)+1 = 2.
+	if s.CC1[g] != 3 || s.CC0[g] != 2 {
+		t.Fatalf("AND CC = %d/%d, want 2/3", s.CC0[g], s.CC1[g])
+	}
+	// To observe a at the PO: other input must be 1: CO = 0 + CC1(b) + 1 = 2.
+	if s.CO[a] != 2 {
+		t.Fatalf("CO(a) = %d, want 2", s.CO[a])
+	}
+}
+
+func TestScoapNandNotInversion(t *testing.T) {
+	c := circuit.New(4)
+	a := c.AddPI("a")
+	n := c.AddGate(circuit.Not, a)
+	g := c.AddGate(circuit.Nand, a, n) // constant 1 in reality
+	c.MarkPO(g)
+	s := ComputeScoap(c)
+	// NOT: CC0 = CC1(a)+1 = 2, CC1 = CC0(a)+1 = 2.
+	if s.CC0[n] != 2 || s.CC1[n] != 2 {
+		t.Fatalf("NOT CC = %d/%d, want 2/2", s.CC0[n], s.CC1[n])
+	}
+	// NAND CC0 = all-inputs-1 = CC1(a)+CC1(n)+1 = 1+2+1 = 4.
+	if s.CC0[g] != 4 {
+		t.Fatalf("NAND CC0 = %d, want 4", s.CC0[g])
+	}
+}
+
+func TestScoapDeeperIsHarder(t *testing.T) {
+	// A chain of buffers: controllability grows monotonically with depth.
+	c := circuit.New(8)
+	x := c.AddPI("x")
+	prev := x
+	var chain []circuit.Line
+	for i := 0; i < 5; i++ {
+		prev = c.AddGate(circuit.Buf, prev)
+		chain = append(chain, prev)
+	}
+	c.MarkPO(prev)
+	s := ComputeScoap(c)
+	for i := 1; i < len(chain); i++ {
+		if s.CC0[chain[i]] <= s.CC0[chain[i-1]] {
+			t.Fatal("controllability not monotone along a chain")
+		}
+	}
+	// Observability grows toward the inputs.
+	for i := 1; i < len(chain); i++ {
+		if s.CO[chain[i]] >= s.CO[chain[i-1]] {
+			t.Fatal("observability not monotone along a chain")
+		}
+	}
+}
+
+func TestScoapUnobservableLine(t *testing.T) {
+	c := circuit.New(4)
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	g := c.AddGate(circuit.And, a, b) // dangles: no PO
+	dead := g
+	c.MarkPO(c.AddGate(circuit.Buf, a))
+	s := ComputeScoap(c)
+	if s.CO[dead] < coUnreachable {
+		t.Fatalf("dangling line has finite observability %d", s.CO[dead])
+	}
+}
+
+func TestScoapConstants(t *testing.T) {
+	c := circuit.New(4)
+	a := c.AddPI("a")
+	k := c.AddGate(circuit.Const1)
+	c.MarkPO(c.AddGate(circuit.And, a, k))
+	s := ComputeScoap(c)
+	if s.CC1[k] != 1 || s.CC0[k] < coUnreachable {
+		t.Fatalf("CONST1 CC = %d/%d", s.CC0[k], s.CC1[k])
+	}
+}
+
+func TestScoapXorApproximation(t *testing.T) {
+	c := circuit.New(4)
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	g := c.AddGate(circuit.Xor, a, b)
+	c.MarkPO(g)
+	s := ComputeScoap(c)
+	// XOR2: CC0 = min(00, 11)+1 = 3; CC1 = min(01, 10)+1 = 3.
+	if s.CC0[g] != 3 || s.CC1[g] != 3 {
+		t.Fatalf("XOR CC = %d/%d, want 3/3", s.CC0[g], s.CC1[g])
+	}
+}
+
+func TestPodemWithScoapStillCorrect(t *testing.T) {
+	// Regression guard: the guided backtrace keeps producing real tests.
+	c := gen.Alu(6)
+	p := NewPodem(c)
+	res := BuildVectors(c, Options{Random: 64, Seed: 3, Deterministic: true})
+	if res.Coverage < 0.97 {
+		t.Fatalf("coverage with SCOAP guidance = %.3f", res.Coverage)
+	}
+	_ = p
+}
+
+func TestScoapGuidanceReducesAborts(t *testing.T) {
+	// On the deep decoder structure, guided PODEM should abort on no more
+	// faults than it proves untestable (everything is testable here).
+	c := gen.Decoder(5)
+	res := BuildVectors(c, Options{Random: 16, Seed: 1, Deterministic: true, BacktrackLimit: 100})
+	if res.Aborted > 0 {
+		t.Fatalf("%d aborts on a decoder with backtrack limit 100", res.Aborted)
+	}
+	if res.Coverage < 0.99 {
+		t.Fatalf("coverage = %.3f", res.Coverage)
+	}
+}

@@ -1,0 +1,98 @@
+// Package tpg generates test vectors: weighted-random patterns and a PODEM
+// deterministic test pattern generator with fault-dropping fault simulation.
+// The paper seeds its bit-lists with deterministic vectors from Hamzaoglu–
+// Patel plus 6,000–10,000 random vectors; BuildVectors plays that role here.
+package tpg
+
+import "dedc/internal/circuit"
+
+// v3 is a ternary logic value.
+type v3 uint8
+
+const (
+	f3 v3 = 0 // false
+	t3 v3 = 1 // true
+	x3 v3 = 2 // unknown
+)
+
+func not3(a v3) v3 {
+	switch a {
+	case f3:
+		return t3
+	case t3:
+		return f3
+	}
+	return x3
+}
+
+func and3(a, b v3) v3 {
+	if a == f3 || b == f3 {
+		return f3
+	}
+	if a == t3 && b == t3 {
+		return t3
+	}
+	return x3
+}
+
+func or3(a, b v3) v3 {
+	if a == t3 || b == t3 {
+		return t3
+	}
+	if a == f3 && b == f3 {
+		return f3
+	}
+	return x3
+}
+
+func xor3(a, b v3) v3 {
+	if a == x3 || b == x3 {
+		return x3
+	}
+	if a != b {
+		return t3
+	}
+	return f3
+}
+
+// eval3 evaluates one gate over ternary inputs.
+func eval3(t circuit.GateType, in []v3) v3 {
+	switch t {
+	case circuit.Const0:
+		return f3
+	case circuit.Const1:
+		return t3
+	case circuit.Buf, circuit.DFF:
+		return in[0]
+	case circuit.Not:
+		return not3(in[0])
+	case circuit.And, circuit.Nand:
+		acc := t3
+		for _, v := range in {
+			acc = and3(acc, v)
+		}
+		if t == circuit.Nand {
+			acc = not3(acc)
+		}
+		return acc
+	case circuit.Or, circuit.Nor:
+		acc := f3
+		for _, v := range in {
+			acc = or3(acc, v)
+		}
+		if t == circuit.Nor {
+			acc = not3(acc)
+		}
+		return acc
+	case circuit.Xor, circuit.Xnor:
+		acc := f3
+		for _, v := range in {
+			acc = xor3(acc, v)
+		}
+		if t == circuit.Xnor {
+			acc = not3(acc)
+		}
+		return acc
+	}
+	panic("tpg: cannot evaluate " + t.String())
+}

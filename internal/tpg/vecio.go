@@ -1,0 +1,81 @@
+package tpg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"dedc/internal/circuit"
+	"dedc/internal/sim"
+)
+
+// WriteVectors serializes a vector set as text: a comment header naming the
+// PIs in column order, then one line of '0'/'1' characters per pattern.
+func WriteVectors(w io.Writer, c *circuit.Circuit, pi [][]uint64, n int) error {
+	bw := bufio.NewWriter(w)
+	names := make([]string, len(c.PIs))
+	for i, p := range c.PIs {
+		names[i] = c.Name(p)
+	}
+	fmt.Fprintf(bw, "# dedc vectors: %d patterns\n", n)
+	fmt.Fprintf(bw, "# pis: %s\n", strings.Join(names, " "))
+	line := make([]byte, len(pi))
+	for v := 0; v < n; v++ {
+		for i := range pi {
+			if pi[i][v/64]>>(uint(v)%64)&1 == 1 {
+				line[i] = '1'
+			} else {
+				line[i] = '0'
+			}
+		}
+		bw.Write(line)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadVectors parses the WriteVectors format. nPI is the expected column
+// count (use len(circuit.PIs)).
+func ReadVectors(r io.Reader, nPI int) (pi [][]uint64, n int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var pats []string
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(line) != nPI {
+			return nil, 0, fmt.Errorf("tpg: line %d: %d columns, want %d", lineNo, len(line), nPI)
+		}
+		for _, ch := range line {
+			if ch != '0' && ch != '1' {
+				return nil, 0, fmt.Errorf("tpg: line %d: invalid character %q", lineNo, ch)
+			}
+		}
+		pats = append(pats, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	if len(pats) == 0 {
+		return nil, 0, fmt.Errorf("tpg: no patterns in input")
+	}
+	n = len(pats)
+	w := sim.Words(n)
+	pi = make([][]uint64, nPI)
+	for i := range pi {
+		pi[i] = make([]uint64, w)
+	}
+	for v, p := range pats {
+		for i := 0; i < nPI; i++ {
+			if p[i] == '1' {
+				pi[i][v/64] |= 1 << (uint(v) % 64)
+			}
+		}
+	}
+	return pi, n, nil
+}

@@ -1,0 +1,60 @@
+package tpg
+
+import (
+	"strings"
+	"testing"
+
+	"dedc/internal/gen"
+	"dedc/internal/sim"
+)
+
+func TestVectorsRoundTrip(t *testing.T) {
+	c := gen.RippleAdder(3)
+	n := 100
+	pi := sim.RandomPatterns(len(c.PIs), n, 7)
+	var sb strings.Builder
+	if err := WriteVectors(&sb, c, pi, n); err != nil {
+		t.Fatal(err)
+	}
+	got, gotN, err := ReadVectors(strings.NewReader(sb.String()), len(c.PIs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotN != n {
+		t.Fatalf("n = %d, want %d", gotN, n)
+	}
+	for i := range pi {
+		if !sim.EqualRows(pi[i], got[i], n) {
+			t.Fatalf("row %d differs after round trip", i)
+		}
+	}
+}
+
+func TestReadVectorsErrors(t *testing.T) {
+	cases := map[string]string{
+		"wrong width":  "01\n011\n",
+		"bad char":     "01x\n",
+		"empty":        "# only comments\n",
+		"short column": "0101\n01\n",
+	}
+	for name, src := range cases {
+		if _, _, err := ReadVectors(strings.NewReader(src), 3); err == nil {
+			t.Errorf("%s: accepted invalid input", name)
+		}
+	}
+}
+
+func TestReadVectorsSkipsComments(t *testing.T) {
+	src := "# header\n\n010\n# middle\n101\n"
+	pi, n, err := ReadVectors(strings.NewReader(src), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("n = %d", n)
+	}
+	// Pattern 0 is "010": PI1 set only.
+	if pi[0][0]&1 != 0 || pi[1][0]&1 != 1 || pi[2][0]&1 != 0 {
+		t.Fatal("pattern 0 decoded wrong")
+	}
+}

@@ -1,0 +1,139 @@
+package tpg
+
+import (
+	"math/rand"
+
+	"dedc/internal/circuit"
+	"dedc/internal/fault"
+	"dedc/internal/sim"
+)
+
+// Options configures BuildVectors.
+type Options struct {
+	// Random is the number of random patterns (the paper uses 6,000–10,000).
+	Random int
+	Seed   int64
+	// Deterministic enables the PODEM pass over undetected collapsed faults.
+	Deterministic bool
+	// BacktrackLimit for the PODEM pass (default 2000).
+	BacktrackLimit int
+}
+
+// Result carries the produced vector set and generation statistics.
+type Result struct {
+	PI [][]uint64 // one row per primary input
+	N  int        // pattern count
+
+	Coverage   float64 // stuck-at coverage of collapsed faults
+	Generated  int     // deterministic tests produced
+	Untestable int     // faults proven redundant
+	Aborted    int     // faults abandoned at the backtrack limit
+}
+
+// BuildVectors produces the vector set V used by the diagnosis experiments:
+// Random patterns first, then (optionally) one deterministic PODEM test for
+// every collapsed stuck-at fault the random set missed, with fault dropping
+// after every added test. Don't-care PI positions are filled randomly.
+func BuildVectors(c *circuit.Circuit, opt Options) *Result {
+	if opt.Random <= 0 {
+		opt.Random = 1024
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	rows := sim.RandomPatterns(len(c.PIs), opt.Random, rng.Int63())
+	res := &Result{PI: rows, N: opt.Random}
+	reps, _ := fault.Collapse(c)
+	det := fault.Detected(c, reps, res.PI, res.N)
+
+	if opt.Deterministic {
+		var extra [][]v3
+		p := NewPodem(c)
+		if opt.BacktrackLimit > 0 {
+			p.BacktrackLimit = opt.BacktrackLimit
+		}
+		var remaining []fault.Fault
+		for i, f := range reps {
+			if !det[i] {
+				remaining = append(remaining, f)
+			}
+		}
+		for _, f := range remaining {
+			assign, outcome := p.Generate(f)
+			switch outcome {
+			case Untestable:
+				res.Untestable++
+			case Aborted:
+				res.Aborted++
+			case TestFound:
+				res.Generated++
+				extra = append(extra, assign)
+			}
+		}
+		if len(extra) > 0 {
+			appendPatterns(res, extra, rng)
+		}
+		det = fault.Detected(c, reps, res.PI, res.N)
+	}
+
+	res.Coverage = fault.Coverage(det)
+	return res
+}
+
+// appendPatterns packs ternary PI assignments onto the end of the vector
+// set, filling don't-cares randomly.
+func appendPatterns(res *Result, pats [][]v3, rng *rand.Rand) {
+	newN := res.N + len(pats)
+	w := sim.Words(newN)
+	oldW := sim.Words(res.N)
+	for i := range res.PI {
+		row := make([]uint64, w)
+		copy(row, res.PI[i])
+		// Bits beyond the old pattern count are unspecified garbage (random
+		// pattern rows fill whole words); clear them so the new patterns
+		// land on zeroed ground.
+		row[oldW-1] &= sim.TailMask(res.N)
+		res.PI[i] = row
+	}
+	for k, pat := range pats {
+		v := res.N + k
+		for i := range res.PI {
+			bit := pat[i]
+			set := bit == t3 || (bit == x3 && rng.Intn(2) == 1)
+			if set {
+				res.PI[i][v/64] |= 1 << (uint(v) % 64)
+			}
+		}
+	}
+	res.N = newN
+}
+
+// ApplyAssignment converts a ternary PI assignment into a single-pattern
+// input matrix, filling don't-cares with fill.
+func ApplyAssignment(c *circuit.Circuit, assign []v3, fill bool) [][]uint64 {
+	rows := make([][]uint64, len(c.PIs))
+	for i := range rows {
+		rows[i] = make([]uint64, 1)
+		set := assign[i] == t3 || (assign[i] == x3 && fill)
+		if set {
+			rows[i][0] = 1
+		}
+	}
+	return rows
+}
+
+// WeightedRandom produces n patterns where each PI is 1 with the given
+// probability — useful for exciting deep AND/OR structures that uniform
+// patterns rarely reach.
+func WeightedRandom(nPI, n int, p float64, seed int64) [][]uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	w := sim.Words(n)
+	rows := make([][]uint64, nPI)
+	for i := range rows {
+		rows[i] = make([]uint64, w)
+		for v := 0; v < n; v++ {
+			if rng.Float64() < p {
+				rows[i][v/64] |= 1 << (uint(v) % 64)
+			}
+		}
+	}
+	return rows
+}
