@@ -1,0 +1,40 @@
+# Build, test and robustness gates for the dedc library and tools.
+#
+#   make ci      — everything a pull request must pass
+#   make fuzz    — short fuzzing pass over the .bench parser
+#   make chaos   — fault-injection trials under the race detector
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build vet test race fuzz chaos ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Native fuzzing of the .bench parser, seeded from the checked-in corpus in
+# internal/bench/testdata/fuzz plus the f.Add seeds.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzRead -fuzztime $(FUZZTIME) ./internal/bench
+	$(GO) test -run '^$$' -fuzz FuzzDirectiveEdgeCases -fuzztime $(FUZZTIME) ./internal/bench
+
+# The chaos harness: corrupted-input and randomized-cancellation trials must
+# hold "no panic, well-formed partial results" under the race detector.
+chaos:
+	$(GO) test -race -count 1 ./internal/chaos
+
+ci: vet build race fuzz
+
+clean:
+	$(GO) clean ./...

@@ -95,4 +95,29 @@ func TestCLIPipeline(t *testing.T) {
 	if !strings.Contains(stderr, "minimal tuple") || strings.TrimSpace(sout) == "" {
 		t.Fatalf("stuck-at diagnosis produced nothing: %s / %s", sout, stderr)
 	}
+
+	// dedc -timeout: an immediately-expiring deadline must degrade
+	// gracefully — exit 2, truncation status reported, no panic.
+	cmd = exec.Command(dedcBin, "-impl", bad, "-spec", good, "-vec", vec, "-timeout", "1ns")
+	out, _ = cmd.CombinedOutput()
+	if cmd.ProcessState.ExitCode() != 2 {
+		t.Fatalf("timed-out repair exited %d, want 2: %s", cmd.ProcessState.ExitCode(), out)
+	}
+	if !strings.Contains(string(out), "TimedOut") {
+		t.Fatalf("timed-out repair did not report its status: %s", out)
+	}
+
+	// Malformed input keeps exit code 1 (usage/input error class).
+	garbage := filepath.Join(dir, "garbage.bench")
+	if err := os.WriteFile(garbage, []byte("INPUT(a)\nG1 = FROB(a)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd = exec.Command(dedcBin, "-impl", garbage, "-spec", good)
+	out, _ = cmd.CombinedOutput()
+	if cmd.ProcessState.ExitCode() != 1 {
+		t.Fatalf("garbage input exited %d, want 1: %s", cmd.ProcessState.ExitCode(), out)
+	}
+	if !strings.Contains(string(out), "line 2") {
+		t.Fatalf("parse error lacks position: %s", out)
+	}
 }

@@ -7,15 +7,23 @@
 //	dedc -impl bad.bench -spec good.bench                 # DEDC, write repair to stdout
 //	dedc -impl good.bench -device faulty.bench -stuckat   # all minimal fault tuples
 //	dedc ... -vec ckt.vec                                 # reuse an atpg vector file
+//	dedc ... -timeout 30s                                 # bound the whole run
+//
+// A -timeout or a SIGINT (ctrl-C) stops the search gracefully: partial
+// results found so far are still reported. Exit status: 0 when a full
+// answer was produced, 2 when the search ended without one (truncated or
+// exhausted), 1 on usage or input errors.
 //
 // Sequential netlists are scan-converted automatically (full-scan
 // assumption); both netlists must then agree on flip-flop count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"dedc/internal/bench"
@@ -37,9 +45,16 @@ func main() {
 	det := flag.Bool("det", true, "add deterministic vectors when generating")
 	seed := flag.Int64("seed", 1, "seed for generated vectors")
 	maxErrors := flag.Int("maxerrors", 4, "bound on the correction-set size")
+	timeout := flag.Duration("timeout", 0, "wall-clock bound on the whole run (0 = none)")
 	certify := flag.Bool("certify", false, "SAT-partition stuck-at tuples into proven equivalence classes")
 	out := flag.String("o", "", "repaired netlist output (DEDC mode; default stdout)")
-	flag.Parse()
+	// Flag parse errors are usage errors (exit 1); the flag package's
+	// ExitOnError default of os.Exit(2) would collide with the
+	// partial-result exit code.
+	flag.CommandLine.Init(os.Args[0], flag.ContinueOnError)
+	if err := flag.CommandLine.Parse(os.Args[1:]); err != nil {
+		os.Exit(1)
+	}
 
 	if *implPath == "" {
 		fatalf("-impl is required")
@@ -51,6 +66,15 @@ func main() {
 	if refPath == "" {
 		fatalf("need -spec (DEDC) or -device with -stuckat")
 	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
+	defer stop()
 
 	impl := readCircuit(*implPath)
 	ref := readCircuit(refPath)
@@ -69,9 +93,12 @@ func main() {
 	var pi [][]uint64
 	var n int
 	if *vecPath == "" {
-		res := tpg.BuildVectors(impl, tpg.Options{Random: *random, Seed: *seed, Deterministic: *det})
+		res := tpg.BuildVectorsContext(ctx, impl, tpg.Options{Random: *random, Seed: *seed, Deterministic: *det})
 		pi, n = res.PI, res.N
 		fmt.Fprintf(os.Stderr, "dedc: generated %d vectors (%.1f%% stuck-at coverage)\n", n, 100*res.Coverage)
+		if res.Cancelled {
+			fmt.Fprintf(os.Stderr, "dedc: vector generation interrupted; continuing with the partial set\n")
+		}
 	} else {
 		f, err := os.Open(*vecPath)
 		if err != nil {
@@ -87,19 +114,18 @@ func main() {
 
 	start := time.Now()
 	if *stuckat {
-		res := diagnose.DiagnoseStuckAt(impl, refOut, pi, n, diagnose.Options{MaxErrors: *maxErrors})
+		res, err := diagnose.DiagnoseStuckAtContext(ctx, impl, refOut, pi, n, diagnose.Options{MaxErrors: *maxErrors})
+		if err != nil {
+			fatalf("%v", err)
+		}
 		var classes [][]fault.Tuple
 		if *certify && len(res.Tuples) > 1 {
-			var err error
 			classes, err = diagnose.PartitionTuples(impl, res.Tuples, 0)
 			if err != nil {
 				fatalf("%v", err)
 			}
 		}
 		report.StuckAt(os.Stderr, impl, res, classes, time.Since(start))
-		if len(res.Tuples) == 0 {
-			os.Exit(2)
-		}
 		for _, tu := range res.Tuples {
 			for i, ft := range tu {
 				if i > 0 {
@@ -109,14 +135,20 @@ func main() {
 			}
 			fmt.Println()
 		}
+		if !res.Status.Solved() || len(res.Tuples) == 0 {
+			os.Exit(2)
+		}
 		return
 	}
 
-	rep, err := diagnose.Repair(impl, refOut, pi, n, diagnose.Options{MaxErrors: *maxErrors})
+	rep, err := diagnose.RepairContext(ctx, impl, refOut, pi, n, diagnose.Options{MaxErrors: *maxErrors})
 	if err != nil {
 		fatalf("%v", err)
 	}
 	report.Repair(os.Stderr, impl, rep, time.Since(start))
+	if !rep.Solved() {
+		os.Exit(2)
+	}
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)

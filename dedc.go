@@ -27,6 +27,7 @@
 package dedc
 
 import (
+	"context"
 	"io"
 
 	"dedc/internal/bench"
@@ -104,6 +105,36 @@ type (
 	RepairResult = diagnose.RepairResult
 	// SearchStats reports nodes, rounds, trials and phase timings.
 	SearchStats = diagnose.Stats
+	// Budget bounds a search's countable resources (wall-clock time,
+	// simulations, tree nodes, candidates). The zero value is unlimited.
+	Budget = diagnose.Budget
+	// Status classifies how a search ended: complete, first solution, or one
+	// of the truncation statuses (timed out, cancelled, budget exhausted).
+	Status = diagnose.Status
+)
+
+// Search outcome statuses.
+const (
+	StatusComplete        = diagnose.StatusComplete
+	StatusFirstSolution   = diagnose.StatusFirstSolution
+	StatusTimedOut        = diagnose.StatusTimedOut
+	StatusCancelled       = diagnose.StatusCancelled
+	StatusBudgetExhausted = diagnose.StatusBudgetExhausted
+)
+
+// Sentinel errors for malformed inputs, classifiable with errors.Is. The
+// context-aware entry points return these instead of panicking.
+var (
+	// ErrInvalidNetlist reports a structurally broken netlist (bad fanin
+	// references, wrong arities, missing interface lines).
+	ErrInvalidNetlist = circuit.ErrInvalidNetlist
+	// ErrCombinationalCycle reports a dependency cycle not broken by a DFF.
+	ErrCombinationalCycle = circuit.ErrCombinationalCycle
+	// ErrInvalidVectors reports a vector set or response matrix whose shape
+	// does not match the netlist interface.
+	ErrInvalidVectors = diagnose.ErrInvalidVectors
+	// ErrTooManyInputs reports an exhaustive-pattern request beyond 20 PIs.
+	ErrTooManyInputs = sim.ErrTooManyInputs
 )
 
 // NewCircuit returns an empty netlist with a capacity hint.
@@ -215,10 +246,26 @@ func DiagnoseStuckAt(netlist *Circuit, deviceOut [][]uint64, v Vectors, o Option
 	return diagnose.DiagnoseStuckAt(netlist, deviceOut, v.PI, v.N, o)
 }
 
+// DiagnoseStuckAtContext is DiagnoseStuckAt under a context and the resource
+// budgets in o.Budget: malformed inputs return a sentinel error instead of
+// panicking, and a cancelled or budget-capped search returns the tuples
+// found so far with Status explaining the stop.
+func DiagnoseStuckAtContext(ctx context.Context, netlist *Circuit, deviceOut [][]uint64, v Vectors, o Options) (*StuckAtResult, error) {
+	return diagnose.DiagnoseStuckAtContext(ctx, netlist, deviceOut, v.PI, v.N, o)
+}
+
 // Repair runs design error diagnosis and correction: the first correction
 // set making impl match specOut, plus the rectified netlist.
 func Repair(impl *Circuit, specOut [][]uint64, v Vectors, o Options) (*RepairResult, error) {
 	return diagnose.Repair(impl, specOut, v.PI, v.N, o)
+}
+
+// RepairContext is Repair under a context and the resource budgets in
+// o.Budget. A search truncated by the deadline, a cancellation or an
+// exhausted budget returns a non-nil result with Status set and no
+// corrections (check RepairResult.Solved) rather than an error.
+func RepairContext(ctx context.Context, impl *Circuit, specOut [][]uint64, v Vectors, o Options) (*RepairResult, error) {
+	return diagnose.RepairContext(ctx, impl, specOut, v.PI, v.N, o)
 }
 
 // Optimize returns an area-optimized, functionally equivalent copy

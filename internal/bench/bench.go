@@ -69,12 +69,19 @@ type rawGate struct {
 	lineNo int
 }
 
+// namedRef is a signal name paired with the source line that mentioned it,
+// so semantic errors (duplicates, dangling references) can be positional.
+type namedRef struct {
+	name   string
+	lineNo int
+}
+
 // Read parses a .bench netlist.
 func Read(r io.Reader) (*circuit.Circuit, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 
-	var inputs, outputs []string
+	var inputs, outputs []namedRef
 	var gates []rawGate
 	lineNo := 0
 	for sc.Scan() {
@@ -93,13 +100,13 @@ func Read(r io.Reader) (*circuit.Circuit, error) {
 			if err != nil {
 				return nil, err
 			}
-			inputs = append(inputs, name)
+			inputs = append(inputs, namedRef{name, lineNo})
 		case matchDirective(line, "OUTPUT"):
 			name, err := directiveArg(line, "OUTPUT", lineNo)
 			if err != nil {
 				return nil, err
 			}
-			outputs = append(outputs, name)
+			outputs = append(outputs, namedRef{name, lineNo})
 		default:
 			g, err := parseAssignment(line, lineNo)
 			if err != nil {
@@ -168,14 +175,14 @@ func parseAssignment(line string, lineNo int) (rawGate, error) {
 	return rawGate{name: name, typ: typ, fanin: fanin, lineNo: lineNo}, nil
 }
 
-func build(inputs, outputs []string, gates []rawGate) (*circuit.Circuit, error) {
+func build(inputs, outputs []namedRef, gates []rawGate) (*circuit.Circuit, error) {
 	c := circuit.New(len(inputs) + len(gates))
 	byName := make(map[string]circuit.Line, len(inputs)+len(gates))
-	for _, name := range inputs {
-		if _, dup := byName[name]; dup {
-			return nil, fmt.Errorf("bench: duplicate definition of %q", name)
+	for _, in := range inputs {
+		if _, dup := byName[in.name]; dup {
+			return nil, &ParseError{in.lineNo, fmt.Sprintf("duplicate INPUT declaration of %q", in.name)}
 		}
-		byName[name] = c.AddPI(name)
+		byName[in.name] = c.AddPI(in.name)
 	}
 	// First pass: create every gate with empty fanin so forward references
 	// resolve; second pass: connect.
@@ -190,15 +197,15 @@ func build(inputs, outputs []string, gates []rawGate) (*circuit.Circuit, error) 
 		for _, fn := range g.fanin {
 			src, ok := byName[fn]
 			if !ok {
-				return nil, &ParseError{g.lineNo, fmt.Sprintf("undefined signal %q", fn)}
+				return nil, &ParseError{g.lineNo, fmt.Sprintf("undefined signal %q in fanin of %q", fn, g.name)}
 			}
 			c.AppendFanin(l, src)
 		}
 	}
-	for _, name := range outputs {
-		l, ok := byName[name]
+	for _, out := range outputs {
+		l, ok := byName[out.name]
 		if !ok {
-			return nil, fmt.Errorf("bench: OUTPUT references undefined signal %q", name)
+			return nil, &ParseError{out.lineNo, fmt.Sprintf("OUTPUT references undefined signal %q", out.name)}
 		}
 		c.MarkPO(l)
 	}
@@ -210,7 +217,13 @@ func build(inputs, outputs []string, gates []rawGate) (*circuit.Circuit, error) 
 
 // Write emits the circuit in .bench format. Gates appear in topological
 // order (DFF feedback handled by cutting state elements for ordering only).
+// A circuit with a combinational cycle returns an error wrapping
+// circuit.ErrCombinationalCycle instead of panicking.
 func Write(w io.Writer, c *circuit.Circuit) error {
+	order, err := writeOrder(c)
+	if err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d gates\n", len(c.PIs), len(c.POs), c.NumGates()-len(c.PIs))
 	for _, pi := range c.PIs {
@@ -219,7 +232,7 @@ func Write(w io.Writer, c *circuit.Circuit) error {
 	for _, po := range c.POs {
 		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Name(po))
 	}
-	for _, l := range writeOrder(c) {
+	for _, l := range order {
 		g := &c.Gates[l]
 		if g.Type == circuit.Input {
 			continue
@@ -247,10 +260,11 @@ func WriteString(c *circuit.Circuit) (string, error) {
 }
 
 // writeOrder returns a topological order that tolerates DFF feedback by
-// ordering against a state-cut view of the circuit.
-func writeOrder(c *circuit.Circuit) []circuit.Line {
+// ordering against a state-cut view of the circuit. A combinational cycle
+// (one not broken by a DFF) is an error.
+func writeOrder(c *circuit.Circuit) ([]circuit.Line, error) {
 	if !c.IsSequential() {
-		return c.Topo()
+		return c.TopoChecked()
 	}
 	cut := c.Clone()
 	for i := range cut.Gates {
@@ -261,5 +275,5 @@ func writeOrder(c *circuit.Circuit) []circuit.Line {
 	// DFFs order as sources in the cut view, which single-pass readers of
 	// sequential .bench files must tolerate anyway (feedback makes a strict
 	// def-before-use order impossible).
-	return cut.Topo()
+	return cut.TopoChecked()
 }

@@ -55,7 +55,7 @@ func TestReadC17Function(t *testing.T) {
 	}
 	// With all inputs 0, every first-level NAND is 1, so 22 = NAND(1,1) = 0?
 	// Compute a couple of spot values against hand evaluation.
-	pi, n := sim.ExhaustivePatterns(5)
+	pi, n, _ := sim.ExhaustivePatterns(5)
 	val := sim.Simulate(c, pi, n)
 	get := func(name string, pat int) bool {
 		for i := range c.Gates {
@@ -100,7 +100,7 @@ m = NOT(a)
 		t.Fatal(err)
 	}
 	// y = a AND NOT a == 0 always.
-	pi, n := sim.ExhaustivePatterns(1)
+	pi, n, _ := sim.ExhaustivePatterns(1)
 	val := sim.Simulate(c, pi, n)
 	if sim.Popcount(val[c.POs[0]], n) != 0 {
 		t.Error("a AND NOT a should be constant 0")

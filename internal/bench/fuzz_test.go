@@ -3,6 +3,7 @@ package bench
 import (
 	"strings"
 	"testing"
+	"unicode"
 
 	"dedc/internal/circuit"
 )
@@ -47,7 +48,11 @@ func FuzzRead(f *testing.F) {
 func FuzzDirectiveEdgeCases(f *testing.F) {
 	f.Add("a", "b")
 	f.Fuzz(func(t *testing.T, in, out string) {
-		if strings.ContainsAny(in+out, "(),=# \t\r\n") || in == "" || out == "" || in == out {
+		// Names must be free of syntax characters and of anything the
+		// parser's TrimSpace calls strip (all Unicode whitespace, not just
+		// ASCII blanks).
+		if strings.ContainsAny(in+out, "(),=#") || in == "" || out == "" || in == out ||
+			strings.IndexFunc(in+out, unicode.IsSpace) >= 0 {
 			t.Skip()
 		}
 		src := "INPUT(" + in + ")\nOUTPUT(" + out + ")\n" + out + " = NOT(" + in + ")\n"

@@ -1,0 +1,150 @@
+// Package chaos is a fault-injection harness for the robustness guarantees
+// of the library boundary: parsers fed corrupted input must return errors
+// (never panic), and diagnosis runs cancelled or budget-capped at arbitrary
+// points must return well-formed partial results with monotone accounting.
+//
+// The package deliberately contains no test assertions itself; it provides
+// the corruption operators and the panic-capturing trial runner, and the
+// chaos tests drive them over hundreds of seeded trials.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"strings"
+)
+
+// Corruptor is a named mutation of .bench source text. Mutations are
+// syntactic sabotage — truncation, deletion, duplication, byte flips,
+// renames — chosen to exercise every error path of the parser: the result
+// may be invalid UTF-8, reference undefined signals, redefine gates, or
+// declare outputs that do not exist.
+type Corruptor struct {
+	Name  string
+	Apply func(src string, rng *rand.Rand) string
+}
+
+// Corruptors is the full operator set. Every operator accepts arbitrary
+// input (including output of other operators) and never panics itself.
+var Corruptors = []Corruptor{
+	{"truncate", func(src string, rng *rand.Rand) string {
+		if len(src) == 0 {
+			return src
+		}
+		return src[:rng.Intn(len(src))]
+	}},
+	{"drop-line", func(src string, rng *rand.Rand) string {
+		lines := strings.Split(src, "\n")
+		if len(lines) < 2 {
+			return src
+		}
+		k := rng.Intn(len(lines))
+		return strings.Join(append(lines[:k:k], lines[k+1:]...), "\n")
+	}},
+	{"dup-line", func(src string, rng *rand.Rand) string {
+		lines := strings.Split(src, "\n")
+		if len(lines) == 0 {
+			return src
+		}
+		k := rng.Intn(len(lines))
+		out := make([]string, 0, len(lines)+1)
+		out = append(out, lines[:k+1]...)
+		out = append(out, lines[k])
+		out = append(out, lines[k+1:]...)
+		return strings.Join(out, "\n")
+	}},
+	{"flip-bytes", func(src string, rng *rand.Rand) string {
+		if len(src) == 0 {
+			return src
+		}
+		b := []byte(src)
+		for i, flips := 0, 1+rng.Intn(4); i < flips; i++ {
+			b[rng.Intn(len(b))] ^= byte(1 << rng.Intn(8))
+		}
+		return string(b)
+	}},
+	{"rename-signal", func(src string, rng *rand.Rand) string {
+		// Rewrite one occurrence of a signal name to a fresh one, creating
+		// a dangling fanin or an undefined OUTPUT reference.
+		names := signalNames(src)
+		if len(names) == 0 {
+			return src
+		}
+		victim := names[rng.Intn(len(names))]
+		return strings.Replace(src, victim, fmt.Sprintf("ZZ%d", rng.Intn(1000)), 1)
+	}},
+	{"drop-input", func(src string, rng *rand.Rand) string {
+		lines := strings.Split(src, "\n")
+		var ins []int
+		for i, l := range lines {
+			if strings.HasPrefix(strings.TrimSpace(l), "INPUT(") {
+				ins = append(ins, i)
+			}
+		}
+		if len(ins) == 0 {
+			return src
+		}
+		k := ins[rng.Intn(len(ins))]
+		return strings.Join(append(lines[:k:k], lines[k+1:]...), "\n")
+	}},
+	{"phantom-output", func(src string, rng *rand.Rand) string {
+		// Mismatched PO count: declare an output that no gate defines.
+		return fmt.Sprintf("OUTPUT(PHANTOM%d)\n%s", rng.Intn(1000), src)
+	}},
+	{"garbage-line", func(src string, rng *rand.Rand) string {
+		garbage := []string{
+			"G1 = = NAND(G2)", "= AND(a, b)", "X7 = FROB(G1, G2)",
+			"G3 = AND(,)", "INPUT()", "OUTPUT", "\x00\xff\xfe", "G = AND(G",
+		}
+		return src + "\n" + garbage[rng.Intn(len(garbage))]
+	}},
+}
+
+// Corrupt applies between 1 and 3 randomly chosen operators and returns the
+// mutated source plus the operator names, for trial-failure diagnostics.
+func Corrupt(src string, rng *rand.Rand) (string, []string) {
+	rounds := 1 + rng.Intn(3)
+	applied := make([]string, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		op := Corruptors[rng.Intn(len(Corruptors))]
+		src = op.Apply(src, rng)
+		applied = append(applied, op.Name)
+	}
+	return src, applied
+}
+
+// signalNames extracts candidate signal names from .bench text (anything on
+// the left of an "=" plus directive arguments). Best-effort: used only to
+// pick rename victims.
+func signalNames(src string) []string {
+	var names []string
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if eq := strings.IndexByte(line, '='); eq > 0 {
+			if n := strings.TrimSpace(line[:eq]); n != "" {
+				names = append(names, n)
+			}
+			continue
+		}
+		if open := strings.IndexByte(line, '('); open > 0 && strings.HasSuffix(line, ")") {
+			if n := strings.TrimSpace(line[open+1 : len(line)-1]); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	return names
+}
+
+// Trial runs f, converting any panic into an error carrying the panic value
+// and stack. This is the harness's core assertion vehicle: a robust
+// boundary yields err == nil for every corrupted input.
+func Trial(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	f()
+	return nil
+}

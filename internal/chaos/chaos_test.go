@@ -1,0 +1,250 @@
+package chaos
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"dedc/internal/bench"
+	"dedc/internal/circuit"
+	"dedc/internal/diagnose"
+	"dedc/internal/fault"
+	"dedc/internal/gen"
+	"dedc/internal/sim"
+)
+
+// benchSources renders a spread of generator circuits to .bench text — the
+// well-formed bases the corruption operators start from.
+func benchSources(t *testing.T) []string {
+	t.Helper()
+	var srcs []string
+	for _, c := range []struct {
+		name string
+		src  func() string
+	}{
+		{"adder", func() string { s, _ := bench.WriteString(gen.RippleAdder(8)); return s }},
+		{"alu", func() string { s, _ := bench.WriteString(gen.Alu(4)); return s }},
+		{"random", func() string {
+			s, _ := bench.WriteString(gen.Random(gen.RandomOptions{PIs: 8, Gates: 60, Seed: 7}))
+			return s
+		}},
+		{"sequential", func() string {
+			s, _ := bench.WriteString(gen.RandomSequential(gen.RandomOptions{PIs: 6, Gates: 40, Seed: 3}, 4))
+			return s
+		}},
+	} {
+		s := c.src()
+		if s == "" {
+			t.Fatalf("empty .bench source for %s", c.name)
+		}
+		srcs = append(srcs, s)
+	}
+	return srcs
+}
+
+// TestParserChaos feeds the .bench reader hundreds of corrupted sources and
+// asserts the boundary contract: every outcome is (circuit, nil) or
+// (nil, error) — never a panic, and never a circuit that fails validation.
+func TestParserChaos(t *testing.T) {
+	srcs := benchSources(t)
+	const trials = 300
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		src := srcs[trial%len(srcs)]
+		corrupted, ops := Corrupt(src, rng)
+		err := Trial(func() {
+			c, perr := bench.ReadString(corrupted)
+			if perr != nil {
+				if !strings.Contains(perr.Error(), "bench:") && !strings.Contains(perr.Error(), "circuit:") {
+					t.Errorf("trial %d (%v): error lacks package prefix: %v", trial, ops, perr)
+				}
+				return
+			}
+			// Parsed circuits must be internally consistent and simulable
+			// (modulo genuine state feedback, which Validate tolerates but a
+			// combinational batch simulation must reject via TopoChecked).
+			if verr := c.Validate(); verr != nil {
+				t.Errorf("trial %d (%v): parsed circuit fails validation: %v", trial, ops, verr)
+				return
+			}
+			if _, terr := c.TopoChecked(); terr != nil {
+				return
+			}
+			if len(c.PIs) > 0 && len(c.PIs) <= 24 {
+				pi := sim.RandomPatterns(len(c.PIs), 64, int64(trial))
+				if _, serr := sim.SimulateContext(context.Background(), c, pi, 64); serr != nil {
+					t.Errorf("trial %d (%v): simulation error: %v", trial, ops, serr)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("trial %d (ops %v): %v\ninput:\n%s", trial, ops, err, clip(corrupted))
+		}
+	}
+}
+
+func clip(s string) string {
+	if len(s) > 800 {
+		return s[:800] + "\n... [clipped]"
+	}
+	return s
+}
+
+// makeProblem builds a small diagnosable instance deterministically from a
+// seed: a random circuit with two injected stuck-at faults, shared by the
+// cancellation and budget trials.
+func makeProblem(t *testing.T, seed int64) (devOut, pi [][]uint64, n int, c *circuit.Circuit) {
+	t.Helper()
+	c = gen.Random(gen.RandomOptions{PIs: 8, Gates: 80, Seed: seed})
+	n = 256
+	pi = sim.RandomPatterns(len(c.PIs), n, seed+1)
+	rng := rand.New(rand.NewSource(seed + 2))
+	sites := fault.Sites(c)
+	fs := []fault.Fault{
+		{Site: sites[rng.Intn(len(sites))], Value: true},
+		{Site: sites[rng.Intn(len(sites))], Value: false},
+	}
+	device := fault.Inject(c, fs...)
+	devOut = diagnose.DeviceOutputs(device, pi, n)
+	return devOut, pi, n, c
+}
+
+// TestCancellationChaos cancels diagnosis runs at randomized points — via
+// already-expired contexts, microsecond deadlines and async cancels — and
+// asserts every run returns a well-formed result without panicking.
+func TestCancellationChaos(t *testing.T) {
+	const trials = 120
+	for trial := 0; trial < trials; trial++ {
+		devOut, pi, n, c := makeProblem(t, int64(trial%8))
+		rng := rand.New(rand.NewSource(int64(trial) * 31))
+		err := Trial(func() {
+			var ctx context.Context
+			var cancel context.CancelFunc
+			switch trial % 3 {
+			case 0: // already cancelled before the search starts
+				ctx, cancel = context.WithCancel(context.Background())
+				cancel()
+			case 1: // deadline somewhere inside the search
+				ctx, cancel = context.WithTimeout(context.Background(), time.Duration(rng.Intn(2000))*time.Microsecond)
+				defer cancel()
+			default: // async cancellation racing the search
+				ctx, cancel = context.WithCancel(context.Background())
+				go func(d time.Duration) {
+					time.Sleep(d)
+					cancel()
+				}(time.Duration(rng.Intn(1500)) * time.Microsecond)
+			}
+			res, derr := diagnose.DiagnoseStuckAtContext(ctx, c, devOut, pi, n,
+				diagnose.Options{MaxErrors: 2})
+			if derr != nil {
+				t.Errorf("trial %d: unexpected input error: %v", trial, derr)
+				return
+			}
+			if res == nil {
+				t.Errorf("trial %d: nil result", trial)
+				return
+			}
+			if res.Status < diagnose.StatusComplete || res.Status > diagnose.StatusBudgetExhausted {
+				t.Errorf("trial %d: invalid status %d", trial, res.Status)
+			}
+			if trial%3 == 0 && res.Status != diagnose.StatusCancelled {
+				t.Errorf("trial %d: pre-cancelled ctx gave status %v", trial, res.Status)
+			}
+			if res.Stats.Nodes < 0 || res.Stats.Simulations < 0 || res.Stats.Candidates < 0 {
+				t.Errorf("trial %d: negative stats %+v", trial, res.Stats)
+			}
+			// Any tuple that survived truncation must still be a real
+			// explanation of the device behaviour.
+			for _, tu := range res.Tuples {
+				fc := fault.Inject(c, tu...)
+				if !diagnose.Verify(fc, devOut, pi, n) {
+					t.Errorf("trial %d: truncated run returned invalid tuple %v", trial, tu)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestBudgetChaos sweeps randomized counted budgets and asserts monotone
+// accounting: the run stops with BudgetExhausted only when a counter
+// actually reached its limit, counters never overshoot by more than the
+// documented slack, and growing one budget never shrinks the work done.
+func TestBudgetChaos(t *testing.T) {
+	devOut, pi, n, c := makeProblem(t, 5)
+	var prevNodes int
+	for _, limit := range []int64{1, 2, 4, 8, 16, 32, 64} {
+		res, err := diagnose.DiagnoseStuckAtContext(context.Background(), c, devOut, pi, n,
+			diagnose.Options{MaxErrors: 3, Budget: diagnose.Budget{MaxNodes: limit}})
+		if err != nil {
+			t.Fatalf("limit %d: %v", limit, err)
+		}
+		if res.Status == diagnose.StatusBudgetExhausted && int64(res.Stats.Nodes) < limit {
+			t.Fatalf("limit %d: BudgetExhausted with only %d nodes", limit, res.Stats.Nodes)
+		}
+		if int64(res.Stats.Nodes) > limit+1 {
+			t.Fatalf("limit %d: node budget overshot: %d", limit, res.Stats.Nodes)
+		}
+		if res.Stats.Nodes < prevNodes {
+			t.Fatalf("limit %d: node count shrank from %d to %d under a larger budget",
+				limit, prevNodes, res.Stats.Nodes)
+		}
+		prevNodes = res.Stats.Nodes
+	}
+
+	// Randomized multi-dimension budgets: status must be exhausted iff some
+	// counter hit its limit.
+	for trial := 0; trial < 80; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 900))
+		b := diagnose.Budget{
+			MaxSimulations: int64(1 + rng.Intn(400)),
+			MaxNodes:       int64(1 + rng.Intn(40)),
+			MaxCandidates:  int64(1 + rng.Intn(400)),
+		}
+		res, err := diagnose.DiagnoseStuckAtContext(context.Background(), c, devOut, pi, n,
+			diagnose.Options{MaxErrors: 2, Budget: b})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		hit := res.Stats.Simulations >= b.MaxSimulations ||
+			int64(res.Stats.Nodes) >= b.MaxNodes ||
+			res.Stats.Candidates >= b.MaxCandidates
+		if res.Status == diagnose.StatusBudgetExhausted && !hit {
+			t.Fatalf("trial %d: BudgetExhausted but no counter at limit: %+v vs %+v", trial, res.Stats, b)
+		}
+	}
+}
+
+// TestDeterministicPartialResults asserts the Budget doc's determinism
+// promise: identical inputs and counted budgets truncate at identical
+// points with identical partial results.
+func TestDeterministicPartialResults(t *testing.T) {
+	devOut, pi, n, c := makeProblem(t, 11)
+	run := func() *diagnose.StuckAtResult {
+		res, err := diagnose.DiagnoseStuckAtContext(context.Background(), c, devOut, pi, n,
+			diagnose.Options{MaxErrors: 3, Budget: diagnose.Budget{MaxNodes: 12, MaxCandidates: 600}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Status != b.Status {
+		t.Fatalf("status differs: %v vs %v", a.Status, b.Status)
+	}
+	// Wall-clock timers differ between runs; compare the deterministic part.
+	sa, sb := a.Stats, b.Stats
+	sa.DiagTime, sb.DiagTime = 0, 0
+	sa.CorrTime, sb.CorrTime = 0, 0
+	if !reflect.DeepEqual(sa, sb) {
+		t.Fatalf("stats differ:\n%+v\n%+v", sa, sb)
+	}
+	if !reflect.DeepEqual(a.Tuples, b.Tuples) {
+		t.Fatalf("tuples differ:\n%v\n%v", a.Tuples, b.Tuples)
+	}
+}

@@ -11,8 +11,20 @@
 package circuit
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+)
+
+// Sentinel errors for boundary validation. Errors returned by Validate and
+// TopoChecked wrap these, so callers can classify failures with errors.Is
+// without parsing messages.
+var (
+	// ErrInvalidNetlist marks structural ill-formedness: illegal fanin
+	// arities, out-of-range references, inconsistent PI bookkeeping.
+	ErrInvalidNetlist = errors.New("invalid netlist")
+	// ErrCombinationalCycle marks a cycle not broken by a state element.
+	ErrCombinationalCycle = errors.New("combinational cycle detected")
 )
 
 // GateType enumerates the gate library. The diagnosis algorithm of the paper
@@ -329,12 +341,24 @@ func (c *Circuit) FanoutCount(l Line) int { return len(c.Fanout()[l]) }
 
 // Topo returns a topological order of all lines (fanins before readers).
 // The order is deterministic: among ready gates, lower indices first.
-// Topo panics if the netlist contains a combinational cycle; DFF gates do
-// not break cycles here (package scan must be used first for sequential
-// circuits with feedback).
+// Topo panics if the netlist contains any cycle; DFF gates do not break
+// cycles here (package scan must be used first for sequential circuits
+// with feedback). Boundary code that may face untrusted netlists should
+// call TopoChecked (or Validate) first and surface the error instead.
 func (c *Circuit) Topo() []Line {
+	order, err := c.TopoChecked()
+	if err != nil {
+		panic("circuit: " + err.Error())
+	}
+	return order
+}
+
+// TopoChecked is Topo with an error return: on a cyclic netlist it reports
+// a wrapped ErrCombinationalCycle instead of panicking. The successful
+// result is cached exactly like Topo's.
+func (c *Circuit) TopoChecked() ([]Line, error) {
 	if c.topo != nil {
-		return c.topo
+		return c.topo, nil
 	}
 	n := len(c.Gates)
 	indeg := make([]int32, n)
@@ -364,10 +388,10 @@ func (c *Circuit) Topo() []Line {
 		}
 	}
 	if len(order) != n {
-		panic("circuit: combinational cycle detected")
+		return nil, ErrCombinationalCycle
 	}
 	c.topo = order
-	return order
+	return order, nil
 }
 
 func insertSorted(s []Line, v Line) []Line {
@@ -493,7 +517,8 @@ func (c *Circuit) LineCount() int {
 
 // Validate checks structural well-formedness: fanin arities legal for the
 // gate type, fanin references in range and acyclic, POs in range, PIs are
-// exactly the Input gates.
+// exactly the Input gates. Failures wrap ErrInvalidNetlist (or
+// ErrCombinationalCycle for loops) for errors.Is classification.
 func (c *Circuit) Validate() error {
 	piSet := make(map[Line]bool, len(c.PIs))
 	for _, p := range c.PIs {
@@ -501,33 +526,33 @@ func (c *Circuit) Validate() error {
 	}
 	for i, g := range c.Gates {
 		if !g.Type.Valid() {
-			return fmt.Errorf("circuit: gate %d has invalid type %d", i, g.Type)
+			return fmt.Errorf("circuit: gate %d has invalid type %d: %w", i, g.Type, ErrInvalidNetlist)
 		}
 		if min := g.Type.MinFanin(); len(g.Fanin) < min {
-			return fmt.Errorf("circuit: gate %d (%s) has %d fanins, need at least %d", i, g.Type, len(g.Fanin), min)
+			return fmt.Errorf("circuit: gate %d (%s) has %d fanins, need at least %d: %w", i, g.Type, len(g.Fanin), min, ErrInvalidNetlist)
 		}
 		if max := g.Type.MaxFanin(); max >= 0 && len(g.Fanin) > max {
-			return fmt.Errorf("circuit: gate %d (%s) has %d fanins, allows at most %d", i, g.Type, len(g.Fanin), max)
+			return fmt.Errorf("circuit: gate %d (%s) has %d fanins, allows at most %d: %w", i, g.Type, len(g.Fanin), max, ErrInvalidNetlist)
 		}
 		if (g.Type == Input) != piSet[Line(i)] {
-			return fmt.Errorf("circuit: gate %d PI membership inconsistent", i)
+			return fmt.Errorf("circuit: gate %d PI membership inconsistent: %w", i, ErrInvalidNetlist)
 		}
 		for p, f := range g.Fanin {
 			if f < 0 || int(f) >= len(c.Gates) {
-				return fmt.Errorf("circuit: gate %d pin %d references out-of-range line %d", i, p, f)
+				return fmt.Errorf("circuit: gate %d pin %d references out-of-range line %d: %w", i, p, f, ErrInvalidNetlist)
 			}
 		}
 	}
 	for _, po := range c.POs {
 		if po < 0 || int(po) >= len(c.Gates) {
-			return fmt.Errorf("circuit: PO references out-of-range line %d", po)
+			return fmt.Errorf("circuit: PO references out-of-range line %d: %w", po, ErrInvalidNetlist)
 		}
 	}
 	// Cycles are illegal unless broken by a DFF: sequential circuits with
 	// state feedback are valid netlists (package scan gives them
 	// combinational meaning), purely combinational loops are not.
 	if c.hasCombinationalCycle() {
-		return fmt.Errorf("circuit: combinational cycle detected")
+		return fmt.Errorf("circuit: %w", ErrCombinationalCycle)
 	}
 	return nil
 }

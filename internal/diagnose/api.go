@@ -1,12 +1,57 @@
 package diagnose
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"dedc/internal/circuit"
 	"dedc/internal/fault"
 	"dedc/internal/sim"
 )
+
+// ErrInvalidVectors reports a vector set or response matrix whose shape
+// does not match the netlist interface (row counts against PI/PO counts,
+// row widths against the pattern count).
+var ErrInvalidVectors = errors.New("invalid vector set")
+
+// validateInputs is the recover-free validation layer shared by the
+// context-aware entry points: everything that would otherwise surface as a
+// panic deep inside sim or circuit is rejected here with a sentinel error.
+func validateInputs(netlist *circuit.Circuit, refOut [][]uint64, pi [][]uint64, n int) error {
+	if netlist == nil {
+		return fmt.Errorf("diagnose: nil netlist: %w", circuit.ErrInvalidNetlist)
+	}
+	if err := netlist.Validate(); err != nil {
+		return err
+	}
+	// Validate tolerates DFF-broken feedback, but simulation needs a full
+	// topological order: reject any cycle up front instead of panicking.
+	if _, err := netlist.TopoChecked(); err != nil {
+		return fmt.Errorf("diagnose: netlist has state feedback; scan-convert or unroll first: %w", err)
+	}
+	if n <= 0 {
+		return fmt.Errorf("diagnose: pattern count %d: %w", n, ErrInvalidVectors)
+	}
+	w := sim.Words(n)
+	if len(pi) != len(netlist.PIs) {
+		return fmt.Errorf("diagnose: %d PI rows for %d primary inputs: %w", len(pi), len(netlist.PIs), ErrInvalidVectors)
+	}
+	for i, row := range pi {
+		if len(row) < w {
+			return fmt.Errorf("diagnose: PI row %d has %d words, need %d for %d patterns: %w", i, len(row), w, n, ErrInvalidVectors)
+		}
+	}
+	if len(refOut) != len(netlist.POs) {
+		return fmt.Errorf("diagnose: %d response rows for %d primary outputs: %w", len(refOut), len(netlist.POs), ErrInvalidVectors)
+	}
+	for i, row := range refOut {
+		if len(row) < w {
+			return fmt.Errorf("diagnose: response row %d has %d words, need %d for %d patterns: %w", i, len(row), w, n, ErrInvalidVectors)
+		}
+	}
+	return nil
+}
 
 // DeviceOutputs simulates a reference circuit (the faulty device or the
 // golden specification) over the vectors and returns deep copies of its PO
@@ -21,19 +66,40 @@ func DeviceOutputs(ref *circuit.Circuit, pi [][]uint64, n int) [][]uint64 {
 }
 
 // StuckAtResult is the Table-1 form of a diagnosis: all minimal-size fault
-// tuples explaining the device behaviour, plus search statistics.
+// tuples explaining the device behaviour, plus search statistics. Status
+// distinguishes a complete enumeration from one truncated by a resource
+// limit; truncated runs keep the tuples found before the cutoff.
 type StuckAtResult struct {
 	Tuples []fault.Tuple
 	Stats  Stats
+	Status Status
 }
 
 // DiagnoseStuckAt runs exact multiple stuck-at diagnosis: find every
 // minimal-size set of stuck-at faults whose injection into the fault-free
-// netlist reproduces deviceOut on all vectors.
+// netlist reproduces deviceOut on all vectors. It is the legacy entry
+// point; DiagnoseStuckAtContext adds input validation and cancellation.
 func DiagnoseStuckAt(netlist *circuit.Circuit, deviceOut [][]uint64, pi [][]uint64, n int, opt Options) *StuckAtResult {
+	return diagnoseStuckAt(context.Background(), netlist, deviceOut, pi, n, opt)
+}
+
+// DiagnoseStuckAtContext is DiagnoseStuckAt under a context and the
+// resource budgets in opt.Budget. Malformed inputs return a sentinel error
+// (circuit.ErrInvalidNetlist, circuit.ErrCombinationalCycle,
+// ErrInvalidVectors) instead of panicking. On cancellation or budget
+// exhaustion the result is non-nil with Status explaining the stop and any
+// tuples found so far intact.
+func DiagnoseStuckAtContext(ctx context.Context, netlist *circuit.Circuit, deviceOut [][]uint64, pi [][]uint64, n int, opt Options) (*StuckAtResult, error) {
+	if err := validateInputs(netlist, deviceOut, pi, n); err != nil {
+		return nil, err
+	}
+	return diagnoseStuckAt(ctx, netlist, deviceOut, pi, n, opt), nil
+}
+
+func diagnoseStuckAt(ctx context.Context, netlist *circuit.Circuit, deviceOut [][]uint64, pi [][]uint64, n int, opt Options) *StuckAtResult {
 	opt.Exact = true
-	res := Run(netlist, deviceOut, pi, n, StuckAtModel{}, opt)
-	out := &StuckAtResult{Stats: res.Stats}
+	res := RunContext(ctx, netlist, deviceOut, pi, n, StuckAtModel{}, opt)
+	out := &StuckAtResult{Stats: res.Stats, Status: res.Status}
 	for _, s := range res.Solutions {
 		var t fault.Tuple
 		ok := true
@@ -65,24 +131,64 @@ func DiagnosePhysical(netlist *circuit.Circuit, deviceOut [][]uint64, pi [][]uin
 	return Run(netlist, deviceOut, pi, n, model, opt)
 }
 
+// DiagnosePhysicalContext is DiagnosePhysical with validation, cancellation
+// and budgets.
+func DiagnosePhysicalContext(ctx context.Context, netlist *circuit.Circuit, deviceOut [][]uint64, pi [][]uint64, n int, maxPartners int, opt Options) (*Result, error) {
+	if err := validateInputs(netlist, deviceOut, pi, n); err != nil {
+		return nil, err
+	}
+	opt.Exact = true
+	model := ModelSet{StuckAtModel{}, NewBridgeModel(netlist, maxPartners, 1)}
+	return RunContext(ctx, netlist, deviceOut, pi, n, model, opt), nil
+}
+
 // RepairResult is the DEDC form: the first valid correction set and the
-// rectified circuit.
+// rectified circuit. When Status is a truncation status the search stopped
+// before finding a full correction set: Corrections and Repaired are nil
+// but Stats reports the work done, so the caller can retry with a larger
+// budget or a relaxed schedule.
 type RepairResult struct {
 	Corrections []Correction
 	Repaired    *circuit.Circuit
 	Stats       Stats
+	Status      Status
 }
+
+// Solved reports whether the repair produced a full correction set.
+func (r *RepairResult) Solved() bool { return r != nil && len(r.Corrections) > 0 }
 
 // Repair runs DEDC: find a set of design-error-model corrections that makes
 // the implementation match specOut on all vectors, and return the corrected
-// netlist. A nil result means the search failed within its resource bounds.
+// netlist. A nil result with an error means the search failed within its
+// resource bounds; RepairContext exposes the partial outcome instead.
 func Repair(impl *circuit.Circuit, specOut [][]uint64, pi [][]uint64, n int, opt Options) (*RepairResult, error) {
+	rep, err := RepairContext(context.Background(), impl, specOut, pi, n, opt)
+	if err != nil {
+		return nil, err
+	}
+	if !rep.Solved() {
+		return nil, fmt.Errorf("diagnose: no valid correction set found (status=%v, nodes=%d, schedule=%v)",
+			rep.Status, rep.Stats.Nodes, rep.Stats.Schedule)
+	}
+	return rep, nil
+}
+
+// RepairContext is Repair under a context and the resource budgets in
+// opt.Budget. The returned error is reserved for malformed inputs (sentinel
+// errors) and solution-replay failures; a search that stops on a deadline,
+// cancellation or an exhausted budget returns a non-nil RepairResult with
+// Status set (TimedOut, Cancelled, BudgetExhausted), populated Stats and no
+// corrections — graceful degradation instead of a bare nil.
+func RepairContext(ctx context.Context, impl *circuit.Circuit, specOut [][]uint64, pi [][]uint64, n int, opt Options) (*RepairResult, error) {
+	if err := validateInputs(impl, specOut, pi, n); err != nil {
+		return nil, err
+	}
 	opt.Exact = false
 	model := NewErrorModel(impl, 0, 1)
-	res := Run(impl, specOut, pi, n, model, opt)
+	res := RunContext(ctx, impl, specOut, pi, n, model, opt)
+	out := &RepairResult{Stats: res.Stats, Status: res.Status}
 	if len(res.Solutions) == 0 {
-		return nil, fmt.Errorf("diagnose: no valid correction set found (nodes=%d, schedule=%v)",
-			res.Stats.Nodes, res.Stats.Schedule)
+		return out, nil
 	}
 	sol := res.Solutions[0]
 	fixed := impl.Clone()
@@ -91,7 +197,9 @@ func Repair(impl *circuit.Circuit, specOut [][]uint64, pi [][]uint64, n int, opt
 			return nil, fmt.Errorf("diagnose: replaying solution: %w", err)
 		}
 	}
-	return &RepairResult{Corrections: sol.Corrections, Repaired: fixed, Stats: res.Stats}, nil
+	out.Corrections = sol.Corrections
+	out.Repaired = fixed
+	return out, nil
 }
 
 // AuditRoot expands only the root decision-tree node under the given
@@ -101,6 +209,7 @@ func Repair(impl *circuit.Circuit, specOut [][]uint64, pi [][]uint64, n int, opt
 func AuditRoot(netlist *circuit.Circuit, specOut [][]uint64, pi [][]uint64, n int, model Model, opt Options, p Params) []RankedCorrection {
 	opt = opt.defaults()
 	r := &runState{
+		ctx:     context.Background(),
 		base:    netlist,
 		specOut: specOut,
 		pi:      pi,

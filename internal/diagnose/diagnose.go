@@ -117,9 +117,13 @@ type Options struct {
 	// Schedule is the threshold relaxation sequence; nil = DefaultSchedule.
 	Schedule []Params
 	// TimeBudget bounds the wall-clock time of the whole search across all
-	// schedule steps (0 = unlimited). On expiry the search stops and
-	// reports whatever solutions it has.
+	// schedule steps (0 = unlimited). On expiry the search stops with
+	// StatusTimedOut and reports whatever solutions it has. It is a legacy
+	// alias for Budget.Time; when both are set the smaller wins.
 	TimeBudget time.Duration
+	// Budget bounds wall-clock and counted resources of the whole search.
+	// The zero value is unlimited. See Budget.
+	Budget Budget
 	// Policy selects the tree traversal order (default PolicyRounds).
 	Policy Policy
 	// DisablePathTrace makes every line a suspect (ablation; quadratic).
@@ -171,14 +175,25 @@ type Stats struct {
 	DiagTime time.Duration // path trace + heuristic-1 ranking
 	CorrTime time.Duration // enumeration + screening + ranking
 	Schedule Params        // thresholds of the schedule step that succeeded
+	// Simulations counts full-circuit parallel-pattern simulations plus
+	// event-driven trial propagations — the unit Budget.MaxSimulations caps.
+	Simulations int64
+	// Candidates counts corrections examined (enumerated and at least
+	// Theorem-1 screened) — the unit Budget.MaxCandidates caps.
+	Candidates int64
 	// RankOfInjected is filled by audits (see ValidCorrectionRank): the
 	// best rank position of an actual error's correction, or -1.
 }
 
-// Result is the output of Run.
+// Result is the output of Run. Status explains how the search ended; when
+// it is a truncation status (TimedOut, Cancelled, BudgetExhausted) the
+// Solutions found before the cutoff are still present and Stats reports the
+// work done, so a caller can inspect the partial answer and resume with a
+// relaxed schedule or larger budget.
 type Result struct {
 	Solutions []Solution
 	Stats     Stats
+	Status    Status
 }
 
 // RankedCorrection pairs a correction with its ranking score, exposed for

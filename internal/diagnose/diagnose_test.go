@@ -173,7 +173,7 @@ func TestHeuristic3MergingErrors(t *testing.T) {
 	}
 	spec := build(1, 4) // l1 = AND(a,b), l2 = OR(d,e)
 	impl := build(2, 5) // wrong wires: l1 = AND(a,c), l2 = OR(d,f)
-	pi, n := sim.ExhaustivePatterns(6)
+	pi, n, _ := sim.ExhaustivePatterns(6)
 	specOut := DeviceOutputs(spec, pi, n)
 
 	// Strict step only: no solution.

@@ -1,6 +1,7 @@
 package diagnose
 
 import (
+	"context"
 	"math/bits"
 	"sort"
 	"strings"
@@ -15,8 +16,17 @@ import (
 // specOut (rows in netlist PO order) over the n patterns in pi, drawing
 // corrections from model. The netlist itself is not modified.
 func Run(netlist *circuit.Circuit, specOut [][]uint64, pi [][]uint64, n int, model Model, opt Options) *Result {
+	return RunContext(context.Background(), netlist, specOut, pi, n, model, opt)
+}
+
+// RunContext is Run under a context: cancellation and deadline expiry are
+// observed at bounded intervals inside the decision-tree traversal and the
+// per-node diagnosis/correction loops, unwinding cleanly with the solutions
+// found so far and Result.Status explaining the stop.
+func RunContext(ctx context.Context, netlist *circuit.Circuit, specOut [][]uint64, pi [][]uint64, n int, model Model, opt Options) *Result {
 	opt = opt.defaults()
 	r := &runState{
+		ctx:     ctx,
 		base:    netlist,
 		specOut: specOut,
 		pi:      pi,
@@ -26,11 +36,15 @@ func Run(netlist *circuit.Circuit, specOut [][]uint64, pi [][]uint64, n int, mod
 		opt:     opt,
 		res:     &Result{},
 	}
-	if opt.TimeBudget > 0 {
-		r.deadline = time.Now().Add(opt.TimeBudget)
+	budgetTime := opt.TimeBudget
+	if opt.Budget.Time > 0 && (budgetTime == 0 || opt.Budget.Time < budgetTime) {
+		budgetTime = opt.Budget.Time
+	}
+	if budgetTime > 0 {
+		r.deadline = time.Now().Add(budgetTime)
 	}
 	for _, p := range opt.Schedule {
-		if r.expired() {
+		if r.stopNow() {
 			break
 		}
 		r.params = p
@@ -47,6 +61,7 @@ func Run(netlist *circuit.Circuit, specOut [][]uint64, pi [][]uint64, n int, mod
 }
 
 type runState struct {
+	ctx     context.Context
 	base    *circuit.Circuit
 	specOut [][]uint64
 	pi      [][]uint64
@@ -59,6 +74,10 @@ type runState struct {
 	seen     map[string]bool
 	minDepth int       // smallest solution size found so far (0 = none)
 	deadline time.Time // zero = unlimited
+
+	halted     bool   // a stop condition fired; unwind
+	haltStatus Status // why (sticky: first reason wins)
+	checkTick  int    // fine-grained poll dampener (see stop)
 
 	// Scratch buffers reused across node expansions.
 	forced  []uint64
@@ -94,7 +113,7 @@ func (r *runState) search() {
 	nodesThisStep := 1
 	for round := 1; round <= r.opt.MaxRounds && len(frontier) > 0; round++ {
 		r.res.Stats.Rounds = round
-		if r.expired() {
+		if r.stopNow() {
 			return
 		}
 		if !r.opt.Exact && len(r.res.Solutions) > 0 {
@@ -103,7 +122,7 @@ func (r *runState) search() {
 		snapshot := frontier
 		frontier = frontier[:0:0]
 		for _, nd := range snapshot {
-			if r.expired() {
+			if r.stopNow() {
 				return
 			}
 			if r.minDepth > 0 && len(nd.corrs)+1 > r.minDepth {
@@ -147,7 +166,7 @@ func (r *runState) searchDFS(root *node) {
 	stack := []*node{root}
 	nodesThisStep := 1
 	for len(stack) > 0 && nodesThisStep < r.opt.MaxNodes {
-		if r.expired() {
+		if r.stopNow() {
 			return
 		}
 		if !r.opt.Exact && len(r.res.Solutions) > 0 {
@@ -196,7 +215,7 @@ func (r *runState) searchBFS(root *node) {
 	queue := []*node{root}
 	nodesThisStep := 1
 	for len(queue) > 0 && nodesThisStep < r.opt.MaxNodes {
-		if r.expired() {
+		if r.stopNow() {
 			return
 		}
 		if !r.opt.Exact && len(r.res.Solutions) > 0 {
@@ -233,11 +252,6 @@ func (r *runState) searchBFS(root *node) {
 	}
 }
 
-// expired reports whether the wall-clock budget has run out.
-func (r *runState) expired() bool {
-	return !r.deadline.IsZero() && time.Now().After(r.deadline)
-}
-
 // maxDepth is the current tuple-size bound: MaxErrors, tightened to the
 // minimal solution size in exact mode.
 func (r *runState) maxDepth() int {
@@ -254,9 +268,17 @@ func (r *runState) record(corrs []Correction) {
 	}
 }
 
-// finish deduplicates solutions and, in exact mode, keeps only the
-// minimal-cardinality ones.
+// finish sets the outcome status, deduplicates solutions and, in exact
+// mode, keeps only the minimal-cardinality ones.
 func (r *runState) finish() {
+	switch {
+	case r.halted:
+		r.res.Status = r.haltStatus
+	case len(r.res.Solutions) > 0 && !r.opt.Exact:
+		r.res.Status = StatusFirstSolution
+	default:
+		r.res.Status = StatusComplete
+	}
 	sols := r.res.Solutions
 	if len(sols) == 0 {
 		return
@@ -306,6 +328,7 @@ func (r *runState) expand(corrs []Correction) *node {
 		}
 	}
 	e := sim.NewEngine(ckt, r.pi, r.n)
+	r.res.Stats.Simulations++
 	if r.forced == nil || len(r.forced) < e.W {
 		r.forced = make([]uint64, e.W)
 		r.cand = make([]uint64, e.W)
@@ -378,8 +401,12 @@ func (r *runState) expand(corrs []Correction) *node {
 	}
 	var lines []scoredLine
 	for _, l := range suspects {
+		if r.stop() {
+			break
+		}
 		// Invert the line's Verr bit-list (its values on failing vectors)
 		// and propagate: the maximum effect any modification of l can have.
+		r.res.Stats.Simulations++
 		row := e.BaseVal(l)
 		for w := 0; w < e.W; w++ {
 			r.forced[w] = row[w] ^ failMask[w]
@@ -411,7 +438,14 @@ func (r *runState) expand(corrs []Correction) *node {
 	var cands []RankedCorrection
 	vRatio := float64(nd.fails) / float64(r.n)
 	for _, sl := range lines {
+		if r.halted {
+			break
+		}
 		for _, corr := range r.model.Enumerate(ckt, sl.l) {
+			if r.stop() {
+				break
+			}
+			r.res.Stats.Candidates++
 			target := corr.Target()
 			corr.NewValues(e, r.cand[:e.W])
 			// Theorem-1 screen: the correction must complement at least
@@ -428,6 +462,7 @@ func (r *runState) expand(corrs []Correction) *node {
 			// Full trial for the Vcorr screen and the ranking metrics.
 			// Multi-target corrections (bridging faults) force the same
 			// candidate row onto every affected net at once.
+			r.res.Stats.Simulations++
 			var changed []circuit.Line
 			if mt, ok := corr.(interface{ Targets() []circuit.Line }); ok {
 				targets := mt.Targets()

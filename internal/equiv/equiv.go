@@ -9,6 +9,7 @@
 package equiv
 
 import (
+	"context"
 	"fmt"
 
 	"dedc/internal/circuit"
@@ -21,9 +22,11 @@ type Result struct {
 	// Counterexample assigns each PI (by position) a distinguishing value
 	// when Equivalent is false.
 	Counterexample []bool
-	// Aborted is set when the solver hit its conflict budget (verdict
-	// unreliable: treated as "not proven").
+	// Aborted is set when the solver hit its conflict budget or was
+	// cancelled (verdict unreliable: treated as "not proven").
 	Aborted bool
+	// Cancelled is set when the abort came from context cancellation.
+	Cancelled bool
 
 	Conflicts int64
 	Decisions int64
@@ -33,6 +36,9 @@ type Result struct {
 type Options struct {
 	// MaxConflicts aborts the proof attempt (0 = unlimited).
 	MaxConflicts int64
+	// Ctx, when non-nil, lets the caller cancel the proof mid-search; the
+	// result comes back with Aborted and Cancelled set.
+	Ctx context.Context
 }
 
 // Check decides whether circuits a and b are functionally equivalent. Both
@@ -76,6 +82,7 @@ func Check(a, b *circuit.Circuit, opt Options) (*Result, error) {
 		return &Result{Equivalent: true}, nil
 	}
 	s.MaxConflicts = opt.MaxConflicts
+	s.Ctx = opt.Ctx
 	st := s.Solve()
 	res := &Result{Conflicts: s.Conflicts, Decisions: s.Decisions}
 	switch st {
@@ -88,6 +95,7 @@ func Check(a, b *circuit.Circuit, opt Options) (*Result, error) {
 		}
 	default:
 		res.Aborted = true
+		res.Cancelled = s.Cancelled
 	}
 	return res, nil
 }

@@ -62,7 +62,7 @@ func TestAddWireTypedNewValues(t *testing.T) {
 	b := c.AddPI("b")
 	g := c.AddGate(circuit.Buf, a)
 	c.MarkPO(g)
-	pi, n := sim.ExhaustivePatterns(2)
+	pi, n, _ := sim.ExhaustivePatterns(2)
 	e := sim.NewEngine(c, pi, n)
 	m := Mod{Kind: AddWire, Line: g, Src: b, NewType: circuit.And}
 	if err := m.Check(c); err != nil {

@@ -55,7 +55,7 @@ func TestInjectBridgeWiredAnd(t *testing.T) {
 	if err := fc.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	pi, n := sim.ExhaustivePatterns(2)
+	pi, n, _ := sim.ExhaustivePatterns(2)
 	val := sim.Simulate(fc, pi, n)
 	for _, po := range fc.POs {
 		if val[po][0]&0xf != 0b1000 {
@@ -75,7 +75,7 @@ func TestInjectBridgeWiredOrPOs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pi, n := sim.ExhaustivePatterns(2)
+	pi, n, _ := sim.ExhaustivePatterns(2)
 	val := sim.Simulate(fc, pi, n)
 	for _, po := range fc.POs {
 		if val[po][0]&0xf != 0b1110 {

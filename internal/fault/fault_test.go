@@ -78,7 +78,7 @@ func TestInjectStemFault(t *testing.T) {
 		t.Fatalf("reader pin type = %s, want CONST0", fc.Gates[reader].Type)
 	}
 	// With line 10 stuck at 0, output 22 = NAND(0, x) = 1 always.
-	pi, n := sim.ExhaustivePatterns(5)
+	pi, n, _ := sim.ExhaustivePatterns(5)
 	val := sim.Simulate(fc, pi, n)
 	if got := sim.Popcount(val[fc.POs[0]], n); got != n {
 		t.Fatalf("PO 22 should be constant 1 under 10/0, got %d of %d ones", got, n)
@@ -103,7 +103,7 @@ func TestInjectBranchFaultAffectsOnlyOneReader(t *testing.T) {
 	if err := fc.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	pi, n := sim.ExhaustivePatterns(5)
+	pi, n, _ := sim.ExhaustivePatterns(5)
 	vg := sim.Simulate(c, pi, n)
 	vf := sim.Simulate(fc, pi, n)
 	// Line 11 itself keeps its fault-free values in the faulty copy.
@@ -128,7 +128,7 @@ func TestInjectPIFaultKeepsPICompatibility(t *testing.T) {
 	}
 	// Behaviour equals forcing PI 3 to 1: compare against simulating the
 	// good circuit with that input column overridden.
-	pi, n := sim.ExhaustivePatterns(5)
+	pi, n, _ := sim.ExhaustivePatterns(5)
 	vf := sim.Simulate(fc, pi, n)
 	forced := make([][]uint64, len(pi))
 	for i := range pi {
@@ -165,7 +165,7 @@ func TestInjectMultipleFaults(t *testing.T) {
 			}
 		}
 	}
-	pi, n := sim.ExhaustivePatterns(5)
+	pi, n, _ := sim.ExhaustivePatterns(5)
 	good := sim.Outputs(c, sim.Simulate(c, pi, n))
 	bad := sim.Outputs(fc, sim.Simulate(fc, pi, n))
 	differs := false

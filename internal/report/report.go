@@ -28,6 +28,9 @@ func StuckAt(w io.Writer, c *circuit.Circuit, res *diagnose.StuckAtResult, class
 	fmt.Fprintf(w, " in %v\n", elapsed.Round(time.Microsecond))
 	fmt.Fprintf(w, "search: %d nodes, %d rounds, %d trials, %d screened by Theorem 1, thresholds %v\n",
 		res.Stats.Nodes, res.Stats.Rounds, res.Stats.Trials, res.Stats.Screened, res.Stats.Schedule)
+	if !res.Status.Solved() {
+		fmt.Fprintf(w, "status: %v — search truncated, results below may be incomplete\n", res.Status)
+	}
 	if len(res.Tuples) == 0 {
 		fmt.Fprintf(w, "no explanation found within the search bounds\n")
 		return
@@ -70,6 +73,9 @@ func tupleNames(c *circuit.Circuit, t fault.Tuple) string {
 func Repair(w io.Writer, c *circuit.Circuit, res *diagnose.RepairResult, elapsed time.Duration) {
 	fmt.Fprintf(w, "=== design error diagnosis and correction ===\n")
 	fmt.Fprintf(w, "circuit: %d gates, %d lines\n", c.NumGates(), c.LineCount())
+	if !res.Status.Solved() {
+		fmt.Fprintf(w, "status: %v — search truncated before a full correction set\n", res.Status)
+	}
 	fmt.Fprintf(w, "corrections (%d):\n", len(res.Corrections))
 	for _, corr := range res.Corrections {
 		fmt.Fprintf(w, "  %s\n", describeCorrection(c, corr))

@@ -1,0 +1,88 @@
+package sat
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// pigeonhole encodes PHP(n+1, n): n+1 pigeons into n holes — unsatisfiable,
+// and exponentially hard for resolution-based solvers, so a search on it
+// reliably outlives short deadlines.
+func pigeonhole(s *Solver, n int) {
+	p := make([][]int, n+1)
+	for i := range p {
+		p[i] = make([]int, n)
+		for j := range p[i] {
+			p[i][j] = s.NewVar()
+		}
+	}
+	for i := 0; i <= n; i++ {
+		row := make([]Lit, n)
+		for j := 0; j < n; j++ {
+			row[j] = lit(p[i][j])
+		}
+		s.AddClause(row...)
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i <= n; i++ {
+			for k := i + 1; k <= n; k++ {
+				s.AddClause(nlit(p[i][j]), nlit(p[k][j]))
+			}
+		}
+	}
+}
+
+func TestSolveCancelledBeforeStart(t *testing.T) {
+	s := NewSolver(2)
+	s.AddClause(lit(0), lit(1))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.Ctx = ctx
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("pre-cancelled solve returned %v, want Unknown", st)
+	}
+	if !s.Cancelled {
+		t.Fatal("Cancelled not set")
+	}
+	// Clearing the context makes the same solver usable again: the unwind
+	// must have restored decision level 0.
+	s.Ctx = nil
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("re-solve returned %v, want Sat", st)
+	}
+}
+
+func TestSolveCancelMidSearch(t *testing.T) {
+	s := NewSolver(0)
+	pigeonhole(s, 11)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	s.Ctx = ctx
+	start := time.Now()
+	st := s.Solve()
+	elapsed := time.Since(start)
+	if st != Unknown {
+		t.Fatalf("cancelled solve returned %v, want Unknown", st)
+	}
+	if !s.Cancelled {
+		t.Fatal("Cancelled not set after mid-search cancellation")
+	}
+	// Cancellation latency is bounded by the poll interval; anything under a
+	// second means the dampened polling actually fired.
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+func TestMaxConflictsDoesNotSetCancelled(t *testing.T) {
+	s := NewSolver(0)
+	pigeonhole(s, 8)
+	s.MaxConflicts = 50
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("conflict-limited solve returned %v, want Unknown", st)
+	}
+	if s.Cancelled {
+		t.Fatal("conflict-budget abort must not report Cancelled")
+	}
+}

@@ -7,7 +7,10 @@
 // the CEGAR loop of diagnose.RepairProven feeds those back into V).
 package sat
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Lit is a literal: variable index shifted left once, LSB = negated.
 // Variables are numbered from 0.
@@ -106,6 +109,41 @@ type Solver struct {
 
 	// MaxConflicts aborts the search (0 = unlimited) with Unknown.
 	MaxConflicts int64
+
+	// Ctx, when non-nil, is polled at bounded intervals during Solve;
+	// cancellation or deadline expiry unwinds the search cleanly (trail
+	// cancelled back to the root) and returns Unknown with Cancelled set.
+	Ctx context.Context
+	// Cancelled reports that the last Solve stopped on context
+	// cancellation rather than a conflict budget.
+	Cancelled bool
+
+	ctxTick int // decisions since the last context poll
+}
+
+// ctxCheckInterval is how many decisions pass between context polls inside
+// the CDCL loop. Conflicts are also polled at this granularity via the
+// restart budget, which is always finite.
+const ctxCheckInterval = 1024
+
+// ctxDone polls the context at bounded intervals; forced skips the
+// dampening (used at restart boundaries).
+func (s *Solver) ctxDone(forced bool) bool {
+	if s.Ctx == nil {
+		return false
+	}
+	if !forced {
+		s.ctxTick++
+		if s.ctxTick < ctxCheckInterval {
+			return false
+		}
+	}
+	s.ctxTick = 0
+	if s.Ctx.Err() != nil {
+		s.Cancelled = true
+		return true
+	}
+	return false
 }
 
 // NewSolver returns an empty solver with nVars variables.
@@ -407,6 +445,10 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	if s.unsatNow {
 		return Unsat
 	}
+	s.Cancelled = false
+	if s.ctxDone(true) {
+		return Unknown
+	}
 	s.order = newVarHeap(s)
 	restart := int64(0)
 	learntCap := len(s.clauses)/3 + 100
@@ -420,8 +462,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			return st
 		}
 		s.cancelUntil(0)
-		if s.MaxConflicts > 0 && s.Conflicts >= s.MaxConflicts {
-			s.cancelUntil(0)
+		if s.Cancelled || s.MaxConflicts > 0 && s.Conflicts >= s.MaxConflicts {
 			return Unknown
 		}
 	}
@@ -468,6 +509,9 @@ func (s *Solver) search(assumptions []Lit, budget int64, learntCap *int) Status 
 			return Unknown
 		}
 		if s.MaxConflicts > 0 && s.Conflicts >= s.MaxConflicts {
+			return Unknown
+		}
+		if s.ctxDone(false) {
 			return Unknown
 		}
 		// Assumptions first, then VSIDS decisions.

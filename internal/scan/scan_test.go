@@ -40,7 +40,7 @@ func TestConvertCounter(t *testing.T) {
 		t.Fatalf("comb PIs = %d, want 2 (en + PPI)", len(cv.Comb.PIs))
 	}
 	// Combinational function: PPO = q XOR en.
-	pi, n := sim.ExhaustivePatterns(2)
+	pi, n, _ := sim.ExhaustivePatterns(2)
 	val := sim.Simulate(cv.Comb, pi, n)
 	d := cv.PPOs[0]
 	// PI order: en (original), q (PPI). Pattern p: en=(p>>0)&1, q=(p>>1)&1.

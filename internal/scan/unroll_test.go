@@ -28,7 +28,7 @@ func TestUnrollCounterThreeFrames(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pi, n := sim.ExhaustivePatterns(4)
+	pi, n, _ := sim.ExhaustivePatterns(4)
 	val := sim.Simulate(u.Comb, pi, n)
 	for p := 0; p < n; p++ {
 		bit := func(l circuit.Line) bool { return val[l][0]>>uint(p)&1 == 1 }

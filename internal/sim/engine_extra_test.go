@@ -17,7 +17,7 @@ func andCircuit() (*circuit.Circuit, circuit.Line, circuit.Line, circuit.Line) {
 
 func TestConstRow(t *testing.T) {
 	c, _, _, _ := andCircuit()
-	pi, n := ExhaustivePatterns(2)
+	pi, n, _ := ExhaustivePatterns(2)
 	e := NewEngine(c, pi, n)
 	zeros := e.ConstRow(false)
 	ones := e.ConstRow(true)
@@ -34,7 +34,7 @@ func TestConstRow(t *testing.T) {
 
 func TestValuesAccessor(t *testing.T) {
 	c, _, _, g := andCircuit()
-	pi, n := ExhaustivePatterns(2)
+	pi, n, _ := ExhaustivePatterns(2)
 	e := NewEngine(c, pi, n)
 	vals := e.Values()
 	if len(vals) != c.NumLines() {
@@ -47,7 +47,7 @@ func TestValuesAccessor(t *testing.T) {
 
 func TestChangedAccessor(t *testing.T) {
 	c, _, _, g := andCircuit()
-	pi, n := ExhaustivePatterns(2)
+	pi, n, _ := ExhaustivePatterns(2)
 	e := NewEngine(c, pi, n)
 	forced := []uint64{^e.BaseVal(g)[0]}
 	e.Trial(g, forced)
@@ -58,7 +58,7 @@ func TestChangedAccessor(t *testing.T) {
 
 func TestTrialEvalPinsDirect(t *testing.T) {
 	c, _, b, g := andCircuit()
-	pi, n := ExhaustivePatterns(2)
+	pi, n, _ := ExhaustivePatterns(2)
 	e := NewEngine(c, pi, n)
 	// Pin 0 of g forced to constant 1: g becomes BUF(b).
 	changed := e.TrialEvalPins(g, circuit.And, c.Fanin(g), map[int][]uint64{0: e.ConstRow(true)})
@@ -77,7 +77,7 @@ func TestTrialEvalPinsDirect(t *testing.T) {
 
 func TestEvalCandidateDirect(t *testing.T) {
 	c, a, b, g := andCircuit()
-	pi, n := ExhaustivePatterns(2)
+	pi, n, _ := ExhaustivePatterns(2)
 	e := NewEngine(c, pi, n)
 	dst := make([]uint64, e.W)
 	// OR over the same fanins.
@@ -110,7 +110,7 @@ func TestEvalCandidateDirect(t *testing.T) {
 
 func TestEvalCandidatePinsDirect(t *testing.T) {
 	c, _, b, g := andCircuit()
-	pi, n := ExhaustivePatterns(2)
+	pi, n, _ := ExhaustivePatterns(2)
 	e := NewEngine(c, pi, n)
 	dst := make([]uint64, e.W)
 	e.EvalCandidatePins(dst, circuit.And, c.Fanin(g), map[int][]uint64{0: e.ConstRow(true)})

@@ -82,7 +82,7 @@ func TestTrialMultiPinsForcedLines(t *testing.T) {
 	b2 := c.AddGate(circuit.Buf, b1)
 	b3 := c.AddGate(circuit.Buf, b2)
 	c.MarkPO(b3)
-	pi, n := ExhaustivePatterns(1)
+	pi, n, _ := ExhaustivePatterns(1)
 	e := NewEngine(c, pi, n)
 	inv := []uint64{^e.BaseVal(b1)[0]}
 	keep := []uint64{e.BaseVal(b2)[0]} // pin b2 at its base value

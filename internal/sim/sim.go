@@ -12,11 +12,17 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"math/bits"
 	"math/rand"
 
 	"dedc/internal/circuit"
 )
+
+// ErrTooManyInputs is returned by ExhaustivePatterns when the requested
+// input count would need more than 2^20 patterns.
+var ErrTooManyInputs = errors.New("exhaustive patterns limited to 20 inputs")
 
 // Words returns the number of uint64 words needed for n patterns.
 func Words(n int) int { return (n + 63) / 64 }
@@ -46,9 +52,10 @@ func RandomPatterns(nPI, n int, seed int64) [][]uint64 {
 
 // ExhaustivePatterns returns all 2^nPI input combinations (nPI <= 20), one
 // row per PI, and the pattern count. Pattern p assigns bit (p>>i)&1 to PI i.
-func ExhaustivePatterns(nPI int) ([][]uint64, int) {
-	if nPI > 20 {
-		panic("sim: ExhaustivePatterns limited to 20 inputs")
+// nPI outside [0, 20] returns ErrTooManyInputs instead of panicking.
+func ExhaustivePatterns(nPI int) ([][]uint64, int, error) {
+	if nPI < 0 || nPI > 20 {
+		return nil, 0, ErrTooManyInputs
 	}
 	n := 1 << nPI
 	w := Words(n)
@@ -63,7 +70,7 @@ func ExhaustivePatterns(nPI int) ([][]uint64, int) {
 			}
 		}
 	}
-	return rows, n
+	return rows, n, nil
 }
 
 // EvalGateInto computes the word-parallel output of a gate of type t over
@@ -130,6 +137,20 @@ func EvalGateInto(t circuit.GateType, out []uint64, w int, fanin ...[]uint64) {
 // primary input in circuit PI order; n is the pattern count. The returned
 // matrix has one row per line.
 func Simulate(c *circuit.Circuit, pi [][]uint64, n int) [][]uint64 {
+	val, _ := SimulateContext(nil, c, pi, n)
+	return val
+}
+
+// simCheckInterval is how many gates a batch simulation evaluates between
+// context polls: coarse enough to stay off the hot path, fine enough that
+// cancelling a multi-million-gate batch takes effect promptly.
+const simCheckInterval = 4096
+
+// SimulateContext is Simulate under a context: every simCheckInterval gate
+// evaluations the context is polled, and on cancellation the partially
+// filled value matrix is returned along with ctx.Err(). A nil ctx skips the
+// polling entirely (the Simulate fast path).
+func SimulateContext(ctx context.Context, c *circuit.Circuit, pi [][]uint64, n int) ([][]uint64, error) {
 	w := Words(n)
 	val := make([][]uint64, c.NumLines())
 	storage := make([]uint64, c.NumLines()*w)
@@ -140,7 +161,12 @@ func Simulate(c *circuit.Circuit, pi [][]uint64, n int) [][]uint64 {
 		copy(val[p], pi[i][:w])
 	}
 	scratch := make([][]uint64, 0, 8)
-	for _, l := range c.Topo() {
+	for k, l := range c.Topo() {
+		if ctx != nil && k%simCheckInterval == simCheckInterval-1 {
+			if err := ctx.Err(); err != nil {
+				return val, err
+			}
+		}
 		g := &c.Gates[l]
 		if g.Type == circuit.Input {
 			continue
@@ -151,7 +177,7 @@ func Simulate(c *circuit.Circuit, pi [][]uint64, n int) [][]uint64 {
 		}
 		EvalGateInto(g.Type, val[l], w, scratch...)
 	}
-	return val
+	return val, nil
 }
 
 // Outputs extracts the PO rows of a value matrix, in circuit PO order.
@@ -220,8 +246,12 @@ func Equivalent(a, b *circuit.Circuit, pi [][]uint64, n int) bool {
 }
 
 // EquivalentExhaustive checks equivalence over all input combinations; both
-// circuits must share the PI count, which must be at most 20.
+// circuits must share the PI count, which must be at most 20 (it panics
+// beyond that — use ExhaustivePatterns directly for an error return).
 func EquivalentExhaustive(a, b *circuit.Circuit) bool {
-	pi, n := ExhaustivePatterns(len(a.PIs))
+	pi, n, err := ExhaustivePatterns(len(a.PIs))
+	if err != nil {
+		panic("sim: " + err.Error())
+	}
 	return Equivalent(a, b, pi, n)
 }

@@ -196,7 +196,7 @@ func TestSimulateMatchesNaive(t *testing.T) {
 }
 
 func TestExhaustivePatterns(t *testing.T) {
-	pi, n := ExhaustivePatterns(3)
+	pi, n, _ := ExhaustivePatterns(3)
 	if n != 8 {
 		t.Fatalf("n = %d, want 8", n)
 	}
@@ -368,7 +368,7 @@ func TestEngineTrialEvalGateReplacement(t *testing.T) {
 	b := c.AddPI("b")
 	g := c.AddGate(circuit.And, a, b)
 	c.MarkPO(g)
-	pi, n := ExhaustivePatterns(2)
+	pi, n, _ := ExhaustivePatterns(2)
 	e := NewEngine(c, pi, n)
 	// Try replacing AND with OR.
 	changed := e.TrialEval(g, circuit.Or, c.Fanin(g), nil, false)
@@ -387,7 +387,7 @@ func TestEngineTrialEvalInputInverter(t *testing.T) {
 	b := c.AddPI("b")
 	g := c.AddGate(circuit.And, a, b)
 	c.MarkPO(g)
-	pi, n := ExhaustivePatterns(2)
+	pi, n, _ := ExhaustivePatterns(2)
 	e := NewEngine(c, pi, n)
 	e.TrialEval(g, circuit.And, c.Fanin(g), []bool{true, false}, false)
 	want := []uint64{0b0100} // AND(NOT a, b)
@@ -408,7 +408,7 @@ func TestEngineTrialEvalAddedWire(t *testing.T) {
 	d := c.AddPI("d")
 	g := c.AddGate(circuit.And, a, b)
 	c.MarkPO(g)
-	pi, n := ExhaustivePatterns(3)
+	pi, n, _ := ExhaustivePatterns(3)
 	e := NewEngine(c, pi, n)
 	e.TrialEval(g, circuit.And, []circuit.Line{a, b, d}, nil, false)
 	// AND(a,b,d): only pattern 7 (a=b=d=1) is 1.
@@ -427,7 +427,7 @@ func TestEngineEventDrivenStopsEarly(t *testing.T) {
 	b2 := c.AddGate(circuit.Buf, b1)
 	b3 := c.AddGate(circuit.Buf, b2)
 	c.MarkPO(b3)
-	pi, n := ExhaustivePatterns(1)
+	pi, n, _ := ExhaustivePatterns(1)
 	e := NewEngine(c, pi, n)
 	forced := append([]uint64(nil), e.BaseVal(b1)...)
 	if got := e.Trial(b1, forced); len(got) != 0 {
@@ -447,7 +447,7 @@ func TestSequentialBufSemantics(t *testing.T) {
 	x := c.AddPI("x")
 	d := c.AddGate(circuit.DFF, x)
 	c.MarkPO(d)
-	pi, n := ExhaustivePatterns(1)
+	pi, n, _ := ExhaustivePatterns(1)
 	val := Simulate(c, pi, n)
 	if !EqualRows(val[d], val[x], n) {
 		t.Fatal("DFF did not pass its input through")

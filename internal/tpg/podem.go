@@ -1,6 +1,8 @@
 package tpg
 
 import (
+	"context"
+
 	"dedc/internal/circuit"
 	"dedc/internal/fault"
 )
@@ -23,6 +25,11 @@ type Podem struct {
 	C *circuit.Circuit
 	// BacktrackLimit bounds the search per fault (default 2000).
 	BacktrackLimit int
+	// Ctx, when non-nil, is polled at bounded intervals inside Generate;
+	// cancellation abandons the current fault with Aborted.
+	Ctx context.Context
+
+	ctxTick int
 
 	topo   []circuit.Line
 	piIdx  map[circuit.Line]int
@@ -58,6 +65,25 @@ type decision struct {
 	flipped bool
 }
 
+// podemCheckInterval is how many decision-loop iterations Generate runs
+// between context polls. Each iteration already costs a full implication
+// pass, so a small interval keeps cancellation prompt without measurable
+// overhead.
+const podemCheckInterval = 64
+
+// cancelled polls the generator's context at bounded intervals.
+func (p *Podem) cancelled() bool {
+	if p.Ctx == nil {
+		return false
+	}
+	p.ctxTick++
+	if p.ctxTick < podemCheckInterval {
+		return false
+	}
+	p.ctxTick = 0
+	return p.Ctx.Err() != nil
+}
+
 // Generate attempts to produce a test for fault ft. On TestFound, the
 // returned assignment has one entry per PI: 0, 1, or x3 for don't-care.
 func (p *Podem) Generate(ft fault.Fault) ([]v3, PodemResult) {
@@ -80,6 +106,9 @@ func (p *Podem) Generate(ft fault.Fault) ([]v3, PodemResult) {
 	var stack []decision
 	backtracks := 0
 	for {
+		if p.cancelled() {
+			return nil, Aborted
+		}
 		if p.detected() {
 			out := make([]v3, len(p.assign))
 			copy(out, p.assign)

@@ -195,7 +195,7 @@ func TestPodemUntestableClaimsAreSound(t *testing.T) {
 			if res != Untestable {
 				continue
 			}
-			pi, n := sim.ExhaustivePatterns(len(c.PIs))
+			pi, n, _ := sim.ExhaustivePatterns(len(c.PIs))
 			good := sim.Outputs(c, sim.Simulate(c, pi, n))
 			fc := fault.Inject(c, ft)
 			bad := sim.Outputs(fc, sim.Simulate(fc, pi, n))

@@ -1,6 +1,7 @@
 package tpg
 
 import (
+	"context"
 	"math/rand"
 
 	"dedc/internal/circuit"
@@ -28,6 +29,10 @@ type Result struct {
 	Generated  int     // deterministic tests produced
 	Untestable int     // faults proven redundant
 	Aborted    int     // faults abandoned at the backtrack limit
+	// Cancelled is set when the deterministic pass stopped early on context
+	// cancellation; the vector set holds everything produced up to that
+	// point and Coverage reflects the partial set.
+	Cancelled bool
 }
 
 // BuildVectors produces the vector set V used by the diagnosis experiments:
@@ -35,6 +40,14 @@ type Result struct {
 // every collapsed stuck-at fault the random set missed, with fault dropping
 // after every added test. Don't-care PI positions are filled randomly.
 func BuildVectors(c *circuit.Circuit, opt Options) *Result {
+	return BuildVectorsContext(context.Background(), c, opt)
+}
+
+// BuildVectorsContext is BuildVectors under a context: the deterministic
+// PODEM pass polls for cancellation between faults (and, via Podem.Ctx,
+// inside each per-fault search), returning the partial vector set with
+// Result.Cancelled set instead of discarding work already done.
+func BuildVectorsContext(ctx context.Context, c *circuit.Circuit, opt Options) *Result {
 	if opt.Random <= 0 {
 		opt.Random = 1024
 	}
@@ -47,6 +60,7 @@ func BuildVectors(c *circuit.Circuit, opt Options) *Result {
 	if opt.Deterministic {
 		var extra [][]v3
 		p := NewPodem(c)
+		p.Ctx = ctx
 		if opt.BacktrackLimit > 0 {
 			p.BacktrackLimit = opt.BacktrackLimit
 		}
@@ -57,6 +71,10 @@ func BuildVectors(c *circuit.Circuit, opt Options) *Result {
 			}
 		}
 		for _, f := range remaining {
+			if ctx.Err() != nil {
+				res.Cancelled = true
+				break
+			}
 			assign, outcome := p.Generate(f)
 			switch outcome {
 			case Untestable:

@@ -1,0 +1,73 @@
+package dedc
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestFacadeGracefulDegradation drives the context-aware facade: a budget-
+// capped repair returns a well-formed partial result, malformed inputs map
+// to the re-exported sentinel errors, and the cancellation path surfaces
+// through the public Status type.
+func TestFacadeGracefulDegradation(t *testing.T) {
+	bm, ok := BenchmarkByName("alu4")
+	if !ok {
+		t.Fatal("alu4 missing")
+	}
+	spec := bm.Build()
+	bad, _, err := InjectErrors(spec, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := RandomVectors(spec, 512, 3)
+	specOut := Responses(spec, vecs)
+
+	// A one-node budget cannot finish; the result must still be populated.
+	rep, err := RepairContext(context.Background(), bad, specOut, vecs,
+		Options{MaxErrors: 3, Budget: Budget{MaxNodes: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != StatusBudgetExhausted {
+		t.Fatalf("status %v, want BudgetExhausted", rep.Status)
+	}
+	if rep.Solved() {
+		t.Fatal("one node cannot repair two errors")
+	}
+	if rep.Stats.Simulations == 0 {
+		t.Fatalf("stats empty: %+v", rep.Stats)
+	}
+
+	// Cancellation surfaces as a status, not an error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := DiagnoseStuckAtContext(ctx, spec, specOut, vecs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusCancelled {
+		t.Fatalf("status %v, want Cancelled", res.Status)
+	}
+
+	// A generous deadline lets the run complete and report success.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel2()
+	rep2, err := RepairContext(ctx2, bad, specOut, vecs, Options{MaxErrors: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Solved() || !rep2.Status.Solved() {
+		t.Fatalf("repair failed under a generous deadline: %v", rep2.Status)
+	}
+
+	// Sentinel errors classify malformed inputs.
+	if _, err := RepairContext(context.Background(), nil, specOut, vecs, Options{}); !errors.Is(err, ErrInvalidNetlist) {
+		t.Fatalf("nil netlist: %v", err)
+	}
+	short := Vectors{PI: vecs.PI[:1], N: vecs.N}
+	if _, err := RepairContext(context.Background(), bad, specOut, short, Options{}); !errors.Is(err, ErrInvalidVectors) {
+		t.Fatalf("short vectors: %v", err)
+	}
+}
