@@ -1,13 +1,16 @@
 # Build, test and robustness gates for the dedc library and tools.
 #
-#   make ci      — everything a pull request must pass
-#   make fuzz    — short fuzzing pass over the .bench parser
-#   make chaos   — fault-injection trials under the race detector
+#   make ci              — everything a pull request must pass
+#   make check           — ci plus the telemetry gates
+#   make fuzz            — short fuzzing pass over the .bench parser
+#   make chaos           — fault-injection trials under the race detector
+#   make bench-telemetry — disabled-telemetry overhead gate (≤2%)
+#   make journal-check   — end-to-end run journal validation
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz chaos ci clean
+.PHONY: all build vet test race fuzz chaos ci check bench-telemetry journal-check clean
 
 all: build
 
@@ -36,5 +39,30 @@ chaos:
 
 ci: vet build race fuzz
 
+# Measures Engine.Trial three ways (uninstrumented reference, telemetry
+# disabled, telemetry enabled) and fails when the disabled path — the default
+# everyone runs — costs more than 2% over the reference. Writes the
+# machine-readable report to BENCH_telemetry.json.
+bench-telemetry:
+	TELEMETRY_BENCH=1 TELEMETRY_BENCH_OUT=$(CURDIR)/BENCH_telemetry.json \
+		$(GO) test -run TestTelemetryOverhead -count 1 -v ./internal/sim
+
+# End-to-end journal validation: diagnose an injected double fault with
+# -journal on, then verify every event against the schema and that the spans
+# balance and the chosen corrections are reconstructable.
+journal-check:
+	rm -rf .journal-check && mkdir .journal-check
+	$(GO) run ./cmd/genckt -ckt alu4 -o .journal-check/ckt.bench
+	$(GO) run ./cmd/inject -in .journal-check/ckt.bench -faults 2 -seed 7 \
+		-o .journal-check/bad.bench
+	$(GO) run ./cmd/dedc -impl .journal-check/ckt.bench \
+		-device .journal-check/bad.bench -stuckat -random 512 \
+		-journal .journal-check/run.jsonl > /dev/null
+	$(GO) run ./cmd/journalcheck .journal-check/run.jsonl
+	rm -rf .journal-check
+
+check: ci journal-check bench-telemetry
+
 clean:
 	$(GO) clean ./...
+	rm -rf .journal-check

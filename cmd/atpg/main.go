@@ -5,65 +5,96 @@
 // Usage:
 //
 //	atpg -in ckt.bench -random 4096 -det -o ckt.vec
+//	atpg ... -journal atpg.jsonl -cpuprofile cpu.out -v
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"dedc/internal/bench"
+	"dedc/internal/telemetry"
 	"dedc/internal/tpg"
 )
 
 func main() {
-	in := flag.String("in", "", "input .bench netlist (required)")
-	random := flag.Int("random", 1024, "number of random patterns")
-	det := flag.Bool("det", false, "add PODEM deterministic tests with fault dropping")
-	seed := flag.Int64("seed", 1, "random seed")
-	backtracks := flag.Int("backtracks", 2000, "PODEM backtrack limit per fault")
-	out := flag.String("o", "", "output vector file (default stdout)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("atpg", flag.ContinueOnError)
+	in := fs.String("in", "", "input .bench netlist (required)")
+	random := fs.Int("random", 1024, "number of random patterns")
+	det := fs.Bool("det", false, "add PODEM deterministic tests with fault dropping")
+	seed := fs.Int64("seed", 1, "random seed")
+	backtracks := fs.Int("backtracks", 2000, "PODEM backtrack limit per fault")
+	out := fs.String("o", "", "output vector file (default stdout)")
+	var obs telemetry.CLI
+	obs.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	rt, err := obs.Build(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "atpg: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if cerr := rt.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "atpg: %v\n", cerr)
+		}
+	}()
+	log := rt.Logger
+
+	fail := func(format string, args ...any) int {
+		log.Error(fmt.Sprintf(format, args...))
+		return 1
+	}
 
 	if *in == "" {
-		fatalf("-in is required")
+		return fail("-in is required")
 	}
 	f, err := os.Open(*in)
 	if err != nil {
-		fatalf("%v", err)
+		return fail("%v", err)
 	}
 	c, err := bench.Read(f)
 	f.Close()
 	if err != nil {
-		fatalf("%v", err)
+		return fail("%v", err)
 	}
 	if c.IsSequential() {
-		fatalf("sequential netlist; scan-convert it first")
+		return fail("sequential netlist; scan-convert it first")
 	}
-	res := tpg.BuildVectors(c, tpg.Options{
+	ctx := rt.Context(context.Background())
+	res := tpg.BuildVectorsContext(ctx, c, tpg.Options{
 		Random:         *random,
 		Seed:           *seed,
 		Deterministic:  *det,
 		BacktrackLimit: *backtracks,
 	})
-	fmt.Fprintf(os.Stderr, "patterns=%d coverage=%.2f%% generated=%d untestable=%d aborted=%d\n",
-		res.N, 100*res.Coverage, res.Generated, res.Untestable, res.Aborted)
+	log.Info("vector set built",
+		"patterns", res.N,
+		"coverage", res.Coverage,
+		"generated", res.Generated,
+		"untestable", res.Untestable,
+		"aborted", res.Aborted,
+		"backtracks", res.Backtracks)
 
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatalf("%v", err)
+			return fail("%v", err)
 		}
 		defer f.Close()
 		w = f
 	}
 	if err := tpg.WriteVectors(w, c, res.PI, res.N); err != nil {
-		fatalf("%v", err)
+		return fail("%v", err)
 	}
-}
-
-func fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "atpg: "+format+"\n", args...)
-	os.Exit(1)
+	return 0
 }

@@ -8,6 +8,12 @@
 //	dedc -impl good.bench -device faulty.bench -stuckat   # all minimal fault tuples
 //	dedc ... -vec ckt.vec                                 # reuse an atpg vector file
 //	dedc ... -timeout 30s                                 # bound the whole run
+//	dedc ... -journal run.jsonl -cpuprofile cpu.out       # observability outputs
+//
+// Observability: -journal streams one JSONL event per span/iteration of the
+// run (schema v1, see DESIGN.md); -cpuprofile/-memprofile/-trace write
+// runtime profiles; -v enables debug logging and -log-format selects
+// text or json log lines on stderr.
 //
 // A -timeout or a SIGINT (ctrl-C) stops the search gracefully: partial
 // results found so far are still reported. Exit status: 0 when a full
@@ -22,6 +28,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"time"
@@ -32,42 +39,69 @@ import (
 	"dedc/internal/fault"
 	"dedc/internal/report"
 	"dedc/internal/scan"
+	"dedc/internal/telemetry"
 	"dedc/internal/tpg"
 )
 
 func main() {
-	implPath := flag.String("impl", "", "netlist to diagnose/repair (required)")
-	specPath := flag.String("spec", "", "golden specification netlist (DEDC mode)")
-	devPath := flag.String("device", "", "faulty device netlist (stuck-at mode)")
-	stuckat := flag.Bool("stuckat", false, "run exact stuck-at diagnosis instead of DEDC")
-	vecPath := flag.String("vec", "", "vector file from cmd/atpg (default: generate)")
-	random := flag.Int("random", 2048, "random vectors when generating")
-	det := flag.Bool("det", true, "add deterministic vectors when generating")
-	seed := flag.Int64("seed", 1, "seed for generated vectors")
-	maxErrors := flag.Int("maxerrors", 4, "bound on the correction-set size")
-	timeout := flag.Duration("timeout", 0, "wall-clock bound on the whole run (0 = none)")
-	certify := flag.Bool("certify", false, "SAT-partition stuck-at tuples into proven equivalence classes")
-	out := flag.String("o", "", "repaired netlist output (DEDC mode; default stdout)")
+	os.Exit(run(os.Args[1:]))
+}
+
+// run is the whole program behind an exit code, so deferred cleanup (journal
+// flush, heap profile) always executes — os.Exit in main would skip it.
+func run(args []string) int {
+	fs := flag.NewFlagSet("dedc", flag.ContinueOnError)
+	implPath := fs.String("impl", "", "netlist to diagnose/repair (required)")
+	specPath := fs.String("spec", "", "golden specification netlist (DEDC mode)")
+	devPath := fs.String("device", "", "faulty device netlist (stuck-at mode)")
+	stuckat := fs.Bool("stuckat", false, "run exact stuck-at diagnosis instead of DEDC")
+	vecPath := fs.String("vec", "", "vector file from cmd/atpg (default: generate)")
+	random := fs.Int("random", 2048, "random vectors when generating")
+	det := fs.Bool("det", true, "add deterministic vectors when generating")
+	seed := fs.Int64("seed", 1, "seed for generated vectors")
+	maxErrors := fs.Int("maxerrors", 4, "bound on the correction-set size")
+	timeout := fs.Duration("timeout", 0, "wall-clock bound on the whole run (0 = none)")
+	certify := fs.Bool("certify", false, "SAT-partition stuck-at tuples into proven equivalence classes")
+	out := fs.String("o", "", "repaired netlist output (DEDC mode; default stdout)")
+	var obs telemetry.CLI
+	obs.Register(fs)
 	// Flag parse errors are usage errors (exit 1); the flag package's
 	// ExitOnError default of os.Exit(2) would collide with the
 	// partial-result exit code.
-	flag.CommandLine.Init(os.Args[0], flag.ContinueOnError)
-	if err := flag.CommandLine.Parse(os.Args[1:]); err != nil {
-		os.Exit(1)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	rt, err := obs.Build(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dedc: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if cerr := rt.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "dedc: %v\n", cerr)
+		}
+	}()
+	log := rt.Logger
+	telemetry.Default.Publish("dedc.metrics")
+
+	fail := func(format string, args ...any) int {
+		log.Error(fmt.Sprintf(format, args...))
+		return 1
 	}
 
 	if *implPath == "" {
-		fatalf("-impl is required")
+		return fail("-impl is required")
 	}
 	refPath := *specPath
 	if *stuckat {
 		refPath = *devPath
 	}
 	if refPath == "" {
-		fatalf("need -spec (DEDC) or -device with -stuckat")
+		return fail("need -spec (DEDC) or -device with -stuckat")
 	}
 
-	ctx := context.Background()
+	ctx := rt.Context(context.Background())
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -76,17 +110,27 @@ func main() {
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
 	defer stop()
 
-	impl := readCircuit(*implPath)
-	ref := readCircuit(refPath)
+	impl, err := readCircuit(*implPath)
+	if err != nil {
+		return fail("%v", err)
+	}
+	ref, err := readCircuit(refPath)
+	if err != nil {
+		return fail("%v", err)
+	}
 	if impl.IsSequential() != ref.IsSequential() {
-		fatalf("one netlist is sequential and the other is not")
+		return fail("one netlist is sequential and the other is not")
 	}
 	if impl.IsSequential() {
-		impl = convert(impl)
-		ref = convert(ref)
+		if impl, err = convert(impl, log); err != nil {
+			return fail("%v", err)
+		}
+		if ref, err = convert(ref, log); err != nil {
+			return fail("%v", err)
+		}
 	}
 	if len(impl.PIs) != len(ref.PIs) || len(impl.POs) != len(ref.POs) {
-		fatalf("interface mismatch: %d/%d PIs, %d/%d POs",
+		return fail("interface mismatch: %d/%d PIs, %d/%d POs",
 			len(impl.PIs), len(ref.PIs), len(impl.POs), len(ref.POs))
 	}
 
@@ -95,19 +139,20 @@ func main() {
 	if *vecPath == "" {
 		res := tpg.BuildVectorsContext(ctx, impl, tpg.Options{Random: *random, Seed: *seed, Deterministic: *det})
 		pi, n = res.PI, res.N
-		fmt.Fprintf(os.Stderr, "dedc: generated %d vectors (%.1f%% stuck-at coverage)\n", n, 100*res.Coverage)
+		log.Info("generated vectors", "n", n, "coverage", res.Coverage,
+			"deterministic", res.Generated, "backtracks", res.Backtracks)
 		if res.Cancelled {
-			fmt.Fprintf(os.Stderr, "dedc: vector generation interrupted; continuing with the partial set\n")
+			log.Warn("vector generation interrupted; continuing with the partial set")
 		}
 	} else {
 		f, err := os.Open(*vecPath)
 		if err != nil {
-			fatalf("%v", err)
+			return fail("%v", err)
 		}
 		pi, n, err = tpg.ReadVectors(f, len(impl.PIs))
 		f.Close()
 		if err != nil {
-			fatalf("%v", err)
+			return fail("%v", err)
 		}
 	}
 	refOut := diagnose.DeviceOutputs(ref, pi, n)
@@ -116,13 +161,13 @@ func main() {
 	if *stuckat {
 		res, err := diagnose.DiagnoseStuckAtContext(ctx, impl, refOut, pi, n, diagnose.Options{MaxErrors: *maxErrors})
 		if err != nil {
-			fatalf("%v", err)
+			return fail("%v", err)
 		}
 		var classes [][]fault.Tuple
 		if *certify && len(res.Tuples) > 1 {
 			classes, err = diagnose.PartitionTuples(impl, res.Tuples, 0)
 			if err != nil {
-				fatalf("%v", err)
+				return fail("%v", err)
 			}
 		}
 		report.StuckAt(os.Stderr, impl, res, classes, time.Since(start))
@@ -136,53 +181,54 @@ func main() {
 			fmt.Println()
 		}
 		if !res.Status.Solved() || len(res.Tuples) == 0 {
-			os.Exit(2)
+			return 2
 		}
-		return
+		return 0
 	}
 
 	rep, err := diagnose.RepairContext(ctx, impl, refOut, pi, n, diagnose.Options{MaxErrors: *maxErrors})
 	if err != nil {
-		fatalf("%v", err)
+		return fail("%v", err)
 	}
 	report.Repair(os.Stderr, impl, rep, time.Since(start))
 	if !rep.Solved() {
-		os.Exit(2)
+		return 2
 	}
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatalf("%v", err)
+			return fail("%v", err)
 		}
 		defer f.Close()
 		w = f
 	}
 	if err := bench.Write(w, rep.Repaired); err != nil {
-		fatalf("%v", err)
+		return fail("%v", err)
 	}
+	return 0
 }
 
-func readCircuit(path string) *circuit.Circuit {
+func readCircuit(path string) (*circuit.Circuit, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		fatalf("%v", err)
+		return nil, err
 	}
 	defer f.Close()
 	c, err := bench.Read(f)
 	if err != nil {
-		fatalf("%s: %v", path, err)
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return c
+	return c, nil
 }
 
-func convert(c *circuit.Circuit) *circuit.Circuit {
+func convert(c *circuit.Circuit, log *slog.Logger) (*circuit.Circuit, error) {
 	cv, err := scan.Convert(c)
 	if err != nil {
-		fatalf("%v", err)
+		return nil, err
 	}
-	fmt.Fprintf(os.Stderr, "dedc: scan-converted %d flip-flops\n", len(cv.DFFs))
-	return cv.Comb
+	log.Info("scan-converted flip-flops", "dffs", len(cv.DFFs))
+	return cv.Comb, nil
 }
 
 func b2i(v bool) int {
@@ -190,9 +236,4 @@ func b2i(v bool) int {
 		return 1
 	}
 	return 0
-}
-
-func fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "dedc: "+format+"\n", args...)
-	os.Exit(1)
 }

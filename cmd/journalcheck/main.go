@@ -1,0 +1,120 @@
+// Command journalcheck validates a JSONL run journal written by -journal.
+//
+// It checks every line against the schema (version, required fields),
+// verifies that span_start/span_end events pair up and nest, that seq
+// numbers are unique and increasing, and — when the journal comes from a
+// diagnosis run — reconstructs the chosen corrections from the "solution"
+// events and prints them.
+//
+// Usage:
+//
+//	journalcheck run.jsonl
+//	journalcheck -q run.jsonl   # exit status only
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"dedc/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("journalcheck", flag.ContinueOnError)
+	quiet := fs.Bool("q", false, "suppress the summary; exit status only")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: journalcheck [-q] run.jsonl")
+		return 1
+	}
+	path := fs.Arg(0)
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "journalcheck: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+
+	var (
+		lineNo    int
+		events    int
+		lastSeq   int64
+		open      = map[string]int{} // span path -> unclosed starts
+		unclosed  int
+		solutions []string
+	)
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(os.Stderr, "journalcheck: %s:%d: %s\n", path, lineNo, fmt.Sprintf(format, a...))
+		return 1
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		ev, err := telemetry.ParseEvent(line)
+		if err != nil {
+			return fail("%v", err)
+		}
+		events++
+		if ev.Seq <= lastSeq {
+			return fail("seq %d not increasing (previous %d)", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		switch ev.Event {
+		case "span_start":
+			open[ev.Span]++
+			unclosed++
+		case "span_end":
+			if open[ev.Span] == 0 {
+				return fail("span_end for %q without a matching span_start", ev.Span)
+			}
+			open[ev.Span]--
+			unclosed--
+			if _, ok := ev.Attrs["dur_ns"]; !ok {
+				return fail("span_end for %q missing dur_ns", ev.Span)
+			}
+		case "solution":
+			corrs, _ := ev.Attrs["corrections"].([]any)
+			for _, c := range corrs {
+				if s, ok := c.(string); ok {
+					solutions = append(solutions, s)
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fail("%v", err)
+	}
+	if unclosed != 0 {
+		// A cancelled run may legitimately stop mid-span, but a clean journal
+		// should balance; report it as an error so make journal-check is strict.
+		for span, n := range open {
+			if n > 0 {
+				return fail("span %q started %d time(s) without ending", span, n)
+			}
+		}
+	}
+	if !*quiet {
+		fmt.Printf("journalcheck: %s: %d events, schema v%d, all spans balanced\n",
+			path, events, telemetry.SchemaVersion)
+		if len(solutions) > 0 {
+			fmt.Printf("journalcheck: corrections chosen:\n")
+			for _, s := range solutions {
+				fmt.Printf("  %s\n", s)
+			}
+		}
+	}
+	return 0
+}

@@ -7,38 +7,73 @@
 //	tables -table 2                       # Table 2: design errors, 3-4 errors
 //	tables -table masking                 # §4.1 fault-masking observation
 //	tables -ckts 'c432*,c880*' -trials 10 -vectors 4096
+//	tables ... -journal tables.jsonl -cpuprofile cpu.out
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
+	"os/signal"
 	"strings"
 
 	"dedc/internal/experiment"
 	"dedc/internal/gen"
+	"dedc/internal/telemetry"
 )
 
 func main() {
-	table := flag.String("table", "1", "which table to regenerate: 1, 2 or masking")
-	ckts := flag.String("ckts", "", "comma-separated circuit names (default: full suite)")
-	trials := flag.Int("trials", 10, "experiments per cell (paper: 10)")
-	vectors := flag.Int("vectors", 2048, "random vectors in V")
-	seed := flag.Int64("seed", 1, "base seed")
-	maxNodes := flag.Int("maxnodes", 0, "node cap per diagnosis run (0 = default)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:]))
+}
 
-	cfg := experiment.Config{Trials: *trials, Vectors: *vectors, Seed: *seed, MaxNodes: *maxNodes}
-	bms := selectCircuits(*ckts)
+func run(args []string) int {
+	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
+	table := fs.String("table", "1", "which table to regenerate: 1, 2 or masking")
+	ckts := fs.String("ckts", "", "comma-separated circuit names (default: full suite)")
+	trials := fs.Int("trials", 10, "experiments per cell (paper: 10)")
+	vectors := fs.Int("vectors", 2048, "random vectors in V")
+	seed := fs.Int64("seed", 1, "base seed")
+	maxNodes := fs.Int("maxnodes", 0, "node cap per diagnosis run (0 = default)")
+	var obs telemetry.CLI
+	obs.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	rt, err := obs.Build(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if cerr := rt.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "tables: %v\n", cerr)
+		}
+	}()
+	log := rt.Logger
+
+	ctx, stop := signal.NotifyContext(rt.Context(context.Background()), os.Interrupt)
+	defer stop()
+
+	cfg := experiment.Config{
+		Trials: *trials, Vectors: *vectors, Seed: *seed,
+		MaxNodes: *maxNodes, Ctx: ctx,
+	}
+	bms, ok := selectCircuits(*ckts, log)
+	if !ok {
+		return 1
+	}
 
 	switch *table {
 	case "1":
 		var rows []experiment.Table1Row
 		for _, bm := range bms {
-			fmt.Fprintf(os.Stderr, "tables: running %s...\n", bm.Name)
+			log.Info("running benchmark", "table", 1, "ckt", bm.Name)
 			row, err := experiment.RunTable1Row(bm, []int{1, 2, 3, 4}, cfg)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "tables: %s: %v\n", bm.Name, err)
+				log.Error("benchmark failed", "ckt", bm.Name, "err", err)
 				continue
 			}
 			rows = append(rows, row)
@@ -47,10 +82,10 @@ func main() {
 	case "2":
 		var rows []experiment.Table2Row
 		for _, bm := range bms {
-			fmt.Fprintf(os.Stderr, "tables: running %s...\n", bm.Name)
+			log.Info("running benchmark", "table", 2, "ckt", bm.Name)
 			row, err := experiment.RunTable2Row(bm, []int{3, 4}, cfg)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "tables: %s: %v\n", bm.Name, err)
+				log.Error("benchmark failed", "ckt", bm.Name, "err", err)
 				continue
 			}
 			rows = append(rows, row)
@@ -61,30 +96,31 @@ func main() {
 		for _, bm := range bms {
 			rate, runs, err := experiment.FaultMaskingRate(bm, 4, cfg)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "tables: %s: %v\n", bm.Name, err)
+				log.Error("benchmark failed", "ckt", bm.Name, "err", err)
 				continue
 			}
 			fmt.Printf("%-10s %8d %7.0f%%\n", bm.Name, runs, 100*rate)
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "tables: unknown -table %q\n", *table)
-		os.Exit(1)
+		log.Error("unknown -table value", "table", *table)
+		return 1
 	}
+	return 0
 }
 
-func selectCircuits(csv string) []gen.Benchmark {
+func selectCircuits(csv string, log *slog.Logger) ([]gen.Benchmark, bool) {
 	if csv == "" {
-		return gen.Suite()
+		return gen.Suite(), true
 	}
 	var out []gen.Benchmark
 	for _, name := range strings.Split(csv, ",") {
 		name = strings.TrimSpace(name)
 		bm, ok := gen.ByName(name)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "tables: unknown circuit %q\n", name)
-			os.Exit(1)
+			log.Error("unknown circuit", "name", name)
+			return nil, false
 		}
 		out = append(out, bm)
 	}
-	return out
+	return out, true
 }

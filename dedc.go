@@ -40,6 +40,7 @@ import (
 	"dedc/internal/opt"
 	"dedc/internal/scan"
 	"dedc/internal/sim"
+	"dedc/internal/telemetry"
 	"dedc/internal/tpg"
 )
 
@@ -356,3 +357,55 @@ func ScanConvert(c *Circuit) (*Circuit, error) {
 	}
 	return cv.Comb, nil
 }
+
+// Observability. The telemetry layer is disabled by default and costs one
+// predictable branch on the hot path; enable it by attaching a Tracer to the
+// context passed to the *Context entry points. See the "Observability"
+// section in README.md for the span taxonomy and journal schema.
+type (
+	// Tracer emits hierarchical spans and journal events. A nil *Tracer is
+	// the disabled default; every method no-ops.
+	Tracer = telemetry.Tracer
+	// Span is one node of the run → step → node trace hierarchy.
+	Span = telemetry.Span
+	// TracerOptions configures NewTracer (journal, logger, registry, pprof
+	// labels, clock).
+	TracerOptions = telemetry.Options
+	// Journal is a line-buffered JSONL event sink (schema v1).
+	Journal = telemetry.Journal
+	// MetricsRegistry is a process- or run-scoped set of named counters,
+	// gauges and histograms.
+	MetricsRegistry = telemetry.Registry
+)
+
+// NewTracer returns a tracer with the given options.
+func NewTracer(o TracerOptions) *Tracer { return telemetry.NewTracer(o) }
+
+// NewJournal returns a journal writing JSONL events to w. Close it to flush.
+func NewJournal(w io.Writer) *Journal { return telemetry.NewJournal(w) }
+
+// JournalEvent is one decoded, schema-validated journal line.
+type JournalEvent = telemetry.ParsedEvent
+
+// ParseJournalEvent decodes and validates one journal line against the
+// schema (version, required v/ts/seq/span/event fields).
+func ParseJournalEvent(line []byte) (JournalEvent, error) {
+	return telemetry.ParseEvent(line)
+}
+
+// NewMetricsRegistry returns an empty metrics registry. The process-wide
+// default registry is dedc.Metrics.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// Metrics is the process-wide default registry: engine counters land here
+// unless a run is instrumented with its own registry.
+var Metrics = telemetry.Default
+
+// WithTracer returns a context carrying the tracer; pass it to the *Context
+// entry points to trace and journal a run.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return telemetry.WithTracer(ctx, t)
+}
+
+// TracerFromContext returns the tracer carried by ctx, or nil (disabled).
+func TracerFromContext(ctx context.Context) *Tracer { return telemetry.FromContext(ctx) }

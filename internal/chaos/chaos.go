@@ -13,6 +13,16 @@ import (
 	"math/rand"
 	"runtime/debug"
 	"strings"
+
+	"dedc/internal/telemetry"
+)
+
+// Harness-level metrics in the process-wide registry: how many trials ran
+// and how many tripped the panic recovery. A chaos campaign that ends with
+// chaos.panics > 0 has found a boundary violation.
+var (
+	cTrials = telemetry.Default.Counter("chaos.trials")
+	cPanics = telemetry.Default.Counter("chaos.panics")
 )
 
 // Corruptor is a named mutation of .bench source text. Mutations are
@@ -140,8 +150,10 @@ func signalNames(src string) []string {
 // and stack. This is the harness's core assertion vehicle: a robust
 // boundary yields err == nil for every corrupted input.
 func Trial(f func()) (err error) {
+	cTrials.Inc()
 	defer func() {
 		if r := recover(); r != nil {
+			cPanics.Inc()
 			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
 		}
 	}()

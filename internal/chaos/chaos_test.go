@@ -153,8 +153,8 @@ func TestCancellationChaos(t *testing.T) {
 			if trial%3 == 0 && res.Status != diagnose.StatusCancelled {
 				t.Errorf("trial %d: pre-cancelled ctx gave status %v", trial, res.Status)
 			}
-			if res.Stats.Nodes < 0 || res.Stats.Simulations < 0 || res.Stats.Candidates < 0 {
-				t.Errorf("trial %d: negative stats %+v", trial, res.Stats)
+			if merr := res.Stats.MonotoneSince(diagnose.Stats{}); merr != nil {
+				t.Errorf("trial %d: %v", trial, merr)
 			}
 			// Any tuple that survived truncation must still be a real
 			// explanation of the device behaviour.
@@ -177,7 +177,7 @@ func TestCancellationChaos(t *testing.T) {
 // documented slack, and growing one budget never shrinks the work done.
 func TestBudgetChaos(t *testing.T) {
 	devOut, pi, n, c := makeProblem(t, 5)
-	var prevNodes int
+	var prev diagnose.Stats
 	for _, limit := range []int64{1, 2, 4, 8, 16, 32, 64} {
 		res, err := diagnose.DiagnoseStuckAtContext(context.Background(), c, devOut, pi, n,
 			diagnose.Options{MaxErrors: 3, Budget: diagnose.Budget{MaxNodes: limit}})
@@ -190,11 +190,12 @@ func TestBudgetChaos(t *testing.T) {
 		if int64(res.Stats.Nodes) > limit+1 {
 			t.Fatalf("limit %d: node budget overshot: %d", limit, res.Stats.Nodes)
 		}
-		if res.Stats.Nodes < prevNodes {
-			t.Fatalf("limit %d: node count shrank from %d to %d under a larger budget",
-				limit, prevNodes, res.Stats.Nodes)
+		// Work under a larger budget must be a superset of work under a
+		// smaller one; Stats owns that invariant.
+		if merr := res.Stats.MonotoneSince(prev); merr != nil {
+			t.Fatalf("limit %d: %v", limit, merr)
 		}
-		prevNodes = res.Stats.Nodes
+		prev = res.Stats
 	}
 
 	// Randomized multi-dimension budgets: status must be exhausted iff some
@@ -238,11 +239,8 @@ func TestDeterministicPartialResults(t *testing.T) {
 		t.Fatalf("status differs: %v vs %v", a.Status, b.Status)
 	}
 	// Wall-clock timers differ between runs; compare the deterministic part.
-	sa, sb := a.Stats, b.Stats
-	sa.DiagTime, sb.DiagTime = 0, 0
-	sa.CorrTime, sb.CorrTime = 0, 0
-	if !reflect.DeepEqual(sa, sb) {
-		t.Fatalf("stats differ:\n%+v\n%+v", sa, sb)
+	if !reflect.DeepEqual(a.Stats.Deterministic(), b.Stats.Deterministic()) {
+		t.Fatalf("stats differ:\n%+v\n%+v", a.Stats, b.Stats)
 	}
 	if !reflect.DeepEqual(a.Tuples, b.Tuples) {
 		t.Fatalf("tuples differ:\n%v\n%v", a.Tuples, b.Tuples)

@@ -1,0 +1,125 @@
+package diagnose
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dedc/internal/fault"
+	"dedc/internal/gen"
+	"dedc/internal/telemetry"
+	"dedc/internal/tpg"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden journal files")
+
+// TestJournalGolden runs a fixed two-fault diagnosis with tracing enabled and
+// compares the journal's deterministic content against a golden file. A fake
+// stepping clock pins ts; wall-clock measurements taken outside the tracer
+// (diag_ns and friends) are normalized away before comparing.
+func TestJournalGolden(t *testing.T) {
+	c := gen.Alu(4)
+	vecs := tpg.BuildVectors(c, tpg.Options{Random: 256, Seed: 1, Deterministic: true})
+	sites := fault.Sites(c)
+	device := fault.Inject(c,
+		fault.Fault{Site: sites[20], Value: true},
+		fault.Fault{Site: sites[33], Value: false})
+	devOut := DeviceOutputs(device, vecs.PI, vecs.N)
+
+	var buf bytes.Buffer
+	var tick atomic.Int64
+	j := telemetry.NewJournal(&buf)
+	tr := telemetry.NewTracer(telemetry.Options{
+		Journal:  j,
+		Registry: telemetry.NewRegistry(),
+		Now: func() time.Time {
+			return time.Unix(0, tick.Add(1)*int64(time.Millisecond))
+		},
+	})
+	ctx := telemetry.WithTracer(t.Context(), tr)
+	res, err := DiagnoseStuckAtContext(ctx, c, devOut, vecs.PI, vecs.N, Options{MaxErrors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) == 0 {
+		t.Fatalf("diagnosis found nothing (stats %v)", res.Stats)
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got strings.Builder
+	for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		ev, err := telemetry.ParseEvent(line)
+		if err != nil {
+			t.Fatalf("journal line fails schema validation: %v\n%s", err, line)
+		}
+		got.WriteString(normalize(ev))
+		got.WriteByte('\n')
+	}
+
+	golden := filepath.Join("testdata", "journal_alu4.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if got.String() != string(want) {
+		t.Errorf("journal diverged from %s (re-run with -update if intended)\ngot:\n%s\nwant:\n%s",
+			golden, diffHead(got.String(), string(want)), "(see golden file)")
+	}
+}
+
+// normalize renders the deterministic view of one event: seq, span, event and
+// all attrs except wall-clock measurements (ts is already pinned by the fake
+// clock, but engine-measured *_ns fields are real elapsed time).
+func normalize(ev telemetry.ParsedEvent) string {
+	keys := make([]string, 0, len(ev.Attrs))
+	for k := range ev.Attrs {
+		if strings.HasSuffix(k, "_ns") {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "seq=%d ts=%d span=%s event=%s", ev.Seq, ev.TS, ev.Span, ev.Event)
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%v", k, ev.Attrs[k])
+	}
+	return b.String()
+}
+
+// diffHead returns the first few lines of got that differ from want, to keep
+// failure output readable.
+func diffHead(got, want string) string {
+	gl := strings.Split(got, "\n")
+	wl := strings.Split(want, "\n")
+	for i := range gl {
+		if i >= len(wl) || gl[i] != wl[i] {
+			hi := i + 4
+			if hi > len(gl) {
+				hi = len(gl)
+			}
+			return fmt.Sprintf("(first divergence at line %d)\n%s", i+1, strings.Join(gl[i:hi], "\n"))
+		}
+	}
+	return "(want is longer than got)"
+}

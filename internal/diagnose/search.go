@@ -10,6 +10,7 @@ import (
 	"dedc/internal/circuit"
 	"dedc/internal/pathtrace"
 	"dedc/internal/sim"
+	"dedc/internal/telemetry"
 )
 
 // Run rectifies netlist against the reference primary-output responses
@@ -25,6 +26,13 @@ func Run(netlist *circuit.Circuit, specOut [][]uint64, pi [][]uint64, n int, mod
 // found so far and Result.Status explaining the stop.
 func RunContext(ctx context.Context, netlist *circuit.Circuit, specOut [][]uint64, pi [][]uint64, n int, model Model, opt Options) *Result {
 	opt = opt.defaults()
+	tr := telemetry.FromContext(ctx)
+	ctx, runSpan := tr.StartSpan(ctx, "run",
+		telemetry.Int("lines", netlist.NumLines()),
+		telemetry.Int("n", n),
+		telemetry.Int("max_errors", opt.MaxErrors),
+		telemetry.Int("policy", int(opt.Policy)),
+		telemetry.Bool("exact", opt.Exact))
 	r := &runState{
 		ctx:     ctx,
 		base:    netlist,
@@ -35,7 +43,9 @@ func RunContext(ctx context.Context, netlist *circuit.Circuit, specOut [][]uint6
 		model:   model,
 		opt:     opt,
 		res:     &Result{},
+		tr:      tr,
 	}
+	r.instrument()
 	budgetTime := opt.TimeBudget
 	if opt.Budget.Time > 0 && (budgetTime == 0 || opt.Budget.Time < budgetTime) {
 		budgetTime = opt.Budget.Time
@@ -43,7 +53,8 @@ func RunContext(ctx context.Context, netlist *circuit.Circuit, specOut [][]uint6
 	if budgetTime > 0 {
 		r.deadline = time.Now().Add(budgetTime)
 	}
-	for _, p := range opt.Schedule {
+	runCtx := r.ctx
+	for i, p := range opt.Schedule {
 		if r.stopNow() {
 			break
 		}
@@ -51,12 +62,29 @@ func RunContext(ctx context.Context, netlist *circuit.Circuit, specOut [][]uint6
 		r.res.Stats.Schedule = p
 		r.seen = map[string]bool{}
 		r.minDepth = 0
+		// Nest this schedule step's spans under step[i]; the step context
+		// only adds span identity, so cancellation polling is unchanged.
+		stepCtx, stepSpan := tr.StartSpan(runCtx, telemetry.SpanName("step", i),
+			telemetry.Float("h1", p.H1), telemetry.Float("h2", p.H2), telemetry.Float("h3", p.H3))
+		r.ctx = stepCtx
 		r.search()
+		stepSpan.End(
+			telemetry.Int("solutions", len(r.res.Solutions)),
+			telemetry.Int("nodes", r.res.Stats.Nodes))
+		r.ctx = runCtx
 		if len(r.res.Solutions) > 0 {
 			break
 		}
 	}
 	r.finish()
+	runSpan.End(
+		telemetry.String("status", r.res.Status.String()),
+		telemetry.Int("solutions", len(r.res.Solutions)),
+		telemetry.Int("nodes", r.res.Stats.Nodes),
+		telemetry.Int64("simulations", r.res.Stats.Simulations),
+		telemetry.Int64("candidates", r.res.Stats.Candidates),
+		telemetry.Int64("diag_ns", r.res.Stats.DiagTime.Nanoseconds()),
+		telemetry.Int64("corr_ns", r.res.Stats.CorrTime.Nanoseconds()))
 	return r.res
 }
 
@@ -79,11 +107,31 @@ type runState struct {
 	haltStatus Status // why (sticky: first reason wins)
 	checkTick  int    // fine-grained poll dampener (see stop)
 
+	// Telemetry. tr is nil for untraced runs; the cached metric handles are
+	// then nil too and no-op, so expand pays only dead branches.
+	tr       *telemetry.Tracer
+	cTrials  *telemetry.Counter   // sim.trials (wired into each node's engine)
+	cEvents  *telemetry.Counter   // sim.events
+	cKept    *telemetry.Counter   // pathtrace.kept — suspects surviving Top+widening
+	cDropped *telemetry.Counter   // pathtrace.dropped — marked lines cut away
+	hRect    *telemetry.Histogram // diagnose.h1_rect — per-suspect rectified bits
+
 	// Scratch buffers reused across node expansions.
 	forced  []uint64
 	cand    []uint64
 	orBad   []uint64
 	isPOrow map[circuit.Line]int // line -> PO index
+}
+
+// instrument resolves the run's metric handles from the tracer's registry
+// (all nil when the run is untraced).
+func (r *runState) instrument() {
+	reg := r.tr.Registry()
+	r.cTrials = reg.Counter("sim.trials")
+	r.cEvents = reg.Counter("sim.events")
+	r.cKept = reg.Counter("pathtrace.kept")
+	r.cDropped = reg.Counter("pathtrace.dropped")
+	r.hRect = reg.Histogram("diagnose.h1_rect")
 }
 
 type node struct {
@@ -95,8 +143,7 @@ type node struct {
 
 // search runs one schedule step's traversal under the configured policy.
 func (r *runState) search() {
-	root := r.expand(nil)
-	r.res.Stats.Nodes++
+	root := r.expandTraced(nil)
 	if root.fails == 0 {
 		r.record(nil)
 		return
@@ -137,8 +184,7 @@ func (r *runState) search() {
 					continue
 				}
 				r.seen[key] = true
-				child := r.expand(corrs)
-				r.res.Stats.Nodes++
+				child := r.expandTraced(corrs)
 				nodesThisStep++
 				if child.fails == 0 {
 					r.record(corrs)
@@ -187,8 +233,7 @@ func (r *runState) searchDFS(root *node) {
 				continue
 			}
 			r.seen[key] = true
-			child = r.expand(corrs)
-			r.res.Stats.Nodes++
+			child = r.expandTraced(corrs)
 			nodesThisStep++
 			break
 		}
@@ -235,8 +280,7 @@ func (r *runState) searchBFS(root *node) {
 				continue
 			}
 			r.seen[key] = true
-			child := r.expand(corrs)
-			r.res.Stats.Nodes++
+			child := r.expandTraced(corrs)
 			nodesThisStep++
 			if child.fails == 0 {
 				r.record(corrs)
@@ -265,6 +309,15 @@ func (r *runState) record(corrs []Correction) {
 	r.res.Solutions = append(r.res.Solutions, Solution{Corrections: corrs})
 	if r.minDepth == 0 || len(corrs) < r.minDepth {
 		r.minDepth = len(corrs)
+	}
+	if r.tr != nil {
+		names := make([]string, len(corrs))
+		for i, c := range corrs {
+			names[i] = c.String()
+		}
+		r.tr.Event(r.ctx, "solution",
+			telemetry.Int("size", len(corrs)),
+			telemetry.Attr{Key: "corrections", Value: names})
 	}
 }
 
@@ -314,6 +367,52 @@ func setKey(corrs []Correction) string {
 	return strings.Join(ss, "|")
 }
 
+// expandTraced is expand plus accounting: it owns the Stats.Nodes increment
+// (every expansion is exactly one search node) and, when the run is traced,
+// wraps the expansion in a node span whose journal events carry the phase
+// timings and candidate ranking for this node.
+func (r *runState) expandTraced(corrs []Correction) *node {
+	idx := r.res.Stats.Nodes
+	r.res.Stats.Nodes++
+	if r.tr == nil {
+		return r.expand(corrs)
+	}
+	before := r.res.Stats
+	_, span := r.tr.StartSpan(r.ctx, telemetry.SpanName("node", idx),
+		telemetry.Int("depth", len(corrs)))
+	nd := r.expand(corrs)
+	via := ""
+	if len(corrs) > 0 {
+		via = corrs[len(corrs)-1].String()
+	}
+	top := nd.cands
+	if len(top) > 8 {
+		top = top[:8]
+	}
+	names := make([]string, len(top))
+	ranks := make([]telemetry.Attr, 0, 1)
+	for i, rc := range top {
+		names[i] = rc.C.String()
+	}
+	if len(names) > 0 {
+		ranks = append(ranks, telemetry.Attr{Key: "top", Value: names})
+	}
+	span.Event("candidates", append([]telemetry.Attr{
+		telemetry.Int("total", len(nd.cands)),
+	}, ranks...)...)
+	after := r.res.Stats
+	span.End(
+		telemetry.String("via", via),
+		telemetry.Int("fails", nd.fails),
+		telemetry.Int("cands", len(nd.cands)),
+		telemetry.Int64("sims", after.Simulations-before.Simulations),
+		telemetry.Int64("cand_seen", after.Candidates-before.Candidates),
+		telemetry.Int("screened", after.Screened-before.Screened),
+		telemetry.Int64("diag_ns", (after.DiagTime-before.DiagTime).Nanoseconds()),
+		telemetry.Int64("corr_ns", (after.CorrTime-before.CorrTime).Nanoseconds()))
+	return nd
+}
+
 // expand materializes the netlist with the given corrections applied,
 // simulates it, and computes the node's ranked correction candidates via the
 // paper's two-step diagnosis and screened correction procedure.
@@ -328,6 +427,7 @@ func (r *runState) expand(corrs []Correction) *node {
 		}
 	}
 	e := sim.NewEngine(ckt, r.pi, r.n)
+	e.CTrials, e.CEvents = r.cTrials, r.cEvents
 	r.res.Stats.Simulations++
 	if r.forced == nil || len(r.forced) < e.W {
 		r.forced = make([]uint64, e.W)
@@ -367,6 +467,7 @@ func (r *runState) expand(corrs []Correction) *node {
 
 	// --- Diagnosis: path trace, then heuristic 1. ---
 	t0 := time.Now()
+	restorePhase := r.tr.Phase(r.ctx, "diagnosis")
 	var suspects []circuit.Line
 	if r.opt.DisablePathTrace {
 		for l := 0; l < ckt.NumLines(); l++ {
@@ -393,6 +494,10 @@ func (r *runState) expand(corrs []Correction) *node {
 				}
 			}
 		}
+		if r.cKept != nil {
+			r.cKept.Add(int64(len(suspects)))
+			r.cDropped.Add(int64(pt.MarkedCount() - len(suspects)))
+		}
 	}
 
 	type scoredLine struct {
@@ -418,6 +523,7 @@ func (r *runState) expand(corrs []Correction) *node {
 				rect += r.rectifiedBits(e, x, diff[i], i)
 			}
 		}
+		r.hRect.Observe(int64(rect))
 		if float64(rect) >= r.params.H1*float64(errBits)-1e-9 {
 			lines = append(lines, scoredLine{l, rect})
 		}
@@ -432,9 +538,11 @@ func (r *runState) expand(corrs []Correction) *node {
 		lines = lines[:r.opt.MaxSuspects]
 	}
 	r.res.Stats.DiagTime += time.Since(t0)
+	restorePhase()
 
 	// --- Correction: enumerate, screen (h2 then h3), rank. ---
 	t1 := time.Now()
+	restorePhase = r.tr.Phase(r.ctx, "correction")
 	var cands []RankedCorrection
 	vRatio := float64(nd.fails) / float64(r.n)
 	for _, sl := range lines {
@@ -535,6 +643,7 @@ func (r *runState) expand(corrs []Correction) *node {
 	}
 	nd.cands = cands
 	r.res.Stats.CorrTime += time.Since(t1)
+	restorePhase()
 	return nd
 }
 

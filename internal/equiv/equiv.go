@@ -14,6 +14,7 @@ import (
 
 	"dedc/internal/circuit"
 	"dedc/internal/sat"
+	"dedc/internal/telemetry"
 )
 
 // Result is an equivalence verdict.
@@ -83,6 +84,9 @@ func Check(a, b *circuit.Circuit, opt Options) (*Result, error) {
 	}
 	s.MaxConflicts = opt.MaxConflicts
 	s.Ctx = opt.Ctx
+	if opt.Ctx != nil {
+		s.Instrument(telemetry.FromContext(opt.Ctx).Registry())
+	}
 	st := s.Solve()
 	res := &Result{Conflicts: s.Conflicts, Decisions: s.Decisions}
 	switch st {

@@ -6,6 +6,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -32,6 +33,18 @@ type Config struct {
 	MaxNodes int
 	// RunBudget bounds each diagnosis run's wall-clock time (default 30s).
 	RunBudget time.Duration
+	// Ctx, when non-nil, flows into every vector-generation and diagnosis
+	// run: cancellation stops the harness between (and inside) runs, and a
+	// telemetry tracer carried by the context journals each run.
+	Ctx context.Context
+}
+
+// ctx returns the configured context or Background.
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // Defaults fills unset fields.
@@ -68,7 +81,7 @@ func Prepare(bm gen.Benchmark, optimize bool, cfg Config) (*circuit.Circuit, *tp
 		}
 		c = oc
 	}
-	vecs := tpg.BuildVectors(c, tpg.Options{
+	vecs := tpg.BuildVectorsContext(cfg.ctx(), c, tpg.Options{
 		Random:        cfg.Vectors,
 		Seed:          cfg.Seed,
 		Deterministic: cfg.Deterministic,
@@ -117,11 +130,14 @@ func RunTable1Row(bm gen.Benchmark, faultCounts []int, cfg Config) (Table1Row, e
 			device := fault.Inject(c, fs...)
 			devOut := diagnose.DeviceOutputs(device, vecs.PI, vecs.N)
 			start := time.Now()
-			res := diagnose.DiagnoseStuckAt(c, devOut, vecs.PI, vecs.N, diagnose.Options{
+			res, derr := diagnose.DiagnoseStuckAtContext(cfg.ctx(), c, devOut, vecs.PI, vecs.N, diagnose.Options{
 				MaxErrors:  k,
 				MaxNodes:   cfg.MaxNodes,
 				TimeBudget: cfg.RunBudget,
 			})
+			if derr != nil {
+				return Table1Row{}, derr
+			}
 			elapsed := time.Since(start)
 			cell.Runs++
 			if len(res.Tuples) == 0 {
@@ -213,7 +229,7 @@ func RunTable2Row(bm gen.Benchmark, errorCounts []int, cfg Config) (Table2Row, e
 				continue
 			}
 			start := time.Now()
-			rep, err := diagnose.Repair(bad, specOut, vecs.PI, vecs.N, diagnose.Options{
+			rep, err := diagnose.RepairContext(cfg.ctx(), bad, specOut, vecs.PI, vecs.N, diagnose.Options{
 				MaxErrors:  k + 1,
 				MaxNodes:   cfg.MaxNodes,
 				TimeBudget: cfg.RunBudget,
@@ -259,11 +275,14 @@ func FaultMaskingRate(bm gen.Benchmark, k int, cfg Config) (rate float64, runs i
 		}
 		device := fault.Inject(c, fs...)
 		devOut := diagnose.DeviceOutputs(device, vecs.PI, vecs.N)
-		res := diagnose.DiagnoseStuckAt(c, devOut, vecs.PI, vecs.N, diagnose.Options{
+		res, derr := diagnose.DiagnoseStuckAtContext(cfg.ctx(), c, devOut, vecs.PI, vecs.N, diagnose.Options{
 			MaxErrors:  k,
 			MaxNodes:   cfg.MaxNodes,
 			TimeBudget: cfg.RunBudget,
 		})
+		if derr != nil {
+			return 0, 0, derr
+		}
 		if len(res.Tuples) == 0 {
 			continue
 		}

@@ -170,3 +170,16 @@ func (r *Result) Marked() []circuit.Line {
 	}
 	return out
 }
+
+// MarkedCount returns the number of lines with a nonzero count, without
+// materializing the line slice — telemetry's kept-vs-dropped accounting
+// wants only the size of the marked set.
+func (r *Result) MarkedCount() int {
+	n := 0
+	for _, cnt := range r.Counts {
+		if cnt > 0 {
+			n++
+		}
+	}
+	return n
+}

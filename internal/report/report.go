@@ -26,8 +26,7 @@ func StuckAt(w io.Writer, c *circuit.Circuit, res *diagnose.StuckAtResult, class
 		fmt.Fprintf(w, " of size %d", len(res.Tuples[0]))
 	}
 	fmt.Fprintf(w, " in %v\n", elapsed.Round(time.Microsecond))
-	fmt.Fprintf(w, "search: %d nodes, %d rounds, %d trials, %d screened by Theorem 1, thresholds %v\n",
-		res.Stats.Nodes, res.Stats.Rounds, res.Stats.Trials, res.Stats.Screened, res.Stats.Schedule)
+	fmt.Fprintf(w, "search: %v\n", res.Stats)
 	if !res.Status.Solved() {
 		fmt.Fprintf(w, "status: %v — search truncated, results below may be incomplete\n", res.Status)
 	}
@@ -81,8 +80,7 @@ func Repair(w io.Writer, c *circuit.Circuit, res *diagnose.RepairResult, elapsed
 		fmt.Fprintf(w, "  %s\n", describeCorrection(c, corr))
 	}
 	st := res.Stats
-	fmt.Fprintf(w, "search: %d nodes, %d rounds, %d trials (%d screened by Theorem 1), thresholds %v, %v total\n",
-		st.Nodes, st.Rounds, st.Trials, st.Screened, st.Schedule, elapsed.Round(time.Microsecond))
+	fmt.Fprintf(w, "search: %v, %v total\n", st, elapsed.Round(time.Microsecond))
 	fmt.Fprintf(w, "phase times per node: diagnosis %v, correction %v\n",
 		safeDiv(st.DiagTime, st.Nodes), safeDiv(st.CorrTime, st.Nodes))
 }

@@ -10,6 +10,8 @@ package sat
 import (
 	"context"
 	"fmt"
+
+	"dedc/internal/telemetry"
 )
 
 // Lit is a literal: variable index shifted left once, LSB = negated.
@@ -106,6 +108,13 @@ type Solver struct {
 	Conflicts    int64
 	Decisions    int64
 	Propagations int64
+
+	// Telemetry sinks for the stats above; nil (the default) no-ops. Solve
+	// records the per-call deltas on return, so the CDCL inner loop never
+	// touches an atomic. Wire with Instrument.
+	CConflicts    *telemetry.Counter
+	CDecisions    *telemetry.Counter
+	CPropagations *telemetry.Counter
 
 	// MaxConflicts aborts the search (0 = unlimited) with Unknown.
 	MaxConflicts int64
@@ -449,6 +458,12 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	if s.ctxDone(true) {
 		return Unknown
 	}
+	c0, d0, p0 := s.Conflicts, s.Decisions, s.Propagations
+	defer func() {
+		s.CConflicts.Add(s.Conflicts - c0)
+		s.CDecisions.Add(s.Decisions - d0)
+		s.CPropagations.Add(s.Propagations - p0)
+	}()
 	s.order = newVarHeap(s)
 	restart := int64(0)
 	learntCap := len(s.clauses)/3 + 100
@@ -466,6 +481,15 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			return Unknown
 		}
 	}
+}
+
+// Instrument wires the solver's per-Solve stat deltas to reg
+// ("sat.conflicts", "sat.decisions", "sat.propagations"). A nil registry
+// detaches them again.
+func (s *Solver) Instrument(reg *telemetry.Registry) {
+	s.CConflicts = reg.Counter("sat.conflicts")
+	s.CDecisions = reg.Counter("sat.decisions")
+	s.CPropagations = reg.Counter("sat.propagations")
 }
 
 // cancelUntilRoot preserves the model for Sat, unwinds for Unsat.

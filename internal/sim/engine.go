@@ -1,6 +1,9 @@
 package sim
 
-import "dedc/internal/circuit"
+import (
+	"dedc/internal/circuit"
+	"dedc/internal/telemetry"
+)
 
 // Engine holds a base parallel-pattern simulation of a circuit and supports
 // event-driven trials: force candidate values onto a single line, propagate
@@ -31,6 +34,19 @@ type Engine struct {
 
 	zeroRow []uint64
 	onesRow []uint64
+
+	// Trial-loop telemetry. Both are nil by default (a nil *Counter no-ops),
+	// so the only disabled-path cost is one predictable branch per trial —
+	// never per event. Wire them with Instrument.
+	CTrials *telemetry.Counter // trials run (all Trial* entry points)
+	CEvents *telemetry.Counter // lines re-evaluated across all trials
+}
+
+// Instrument wires the engine's trial counters to reg ("sim.trials",
+// "sim.events"). A nil registry detaches them again.
+func (e *Engine) Instrument(reg *telemetry.Registry) {
+	e.CTrials = reg.Counter("sim.trials")
+	e.CEvents = reg.Counter("sim.events")
 }
 
 // ConstRow returns a shared all-zero or all-one value row (W words). Callers
@@ -109,6 +125,16 @@ func (e *Engine) Changed() []circuit.Line { return e.changed }
 // is unaffected; the results stay readable through TrialVal until the next
 // Trial call.
 func (e *Engine) Trial(l circuit.Line, forced []uint64) []circuit.Line {
+	changed := e.trial(l, forced)
+	e.CTrials.Inc()
+	e.CEvents.Add(int64(len(changed)))
+	return changed
+}
+
+// trial is the uninstrumented body of Trial. The split keeps the counter
+// increments out of the reference path so the telemetry overhead benchmark
+// can compare instrumented-but-disabled against truly counter-free code.
+func (e *Engine) trial(l circuit.Line, forced []uint64) []circuit.Line {
 	e.epoch++
 	e.changed = e.changed[:0]
 	if equalWords(forced, e.val[l], e.W) {
@@ -146,10 +172,12 @@ func (e *Engine) TrialMulti(lines []circuit.Line, forced [][]uint64) []circuit.L
 			minLevel = e.levels[l]
 		}
 	}
+	e.CTrials.Inc()
 	if len(e.changed) == 0 {
 		return e.changed
 	}
 	e.drain(int(minLevel) + 1)
+	e.CEvents.Add(int64(len(e.changed)))
 	return e.changed
 }
 
@@ -166,6 +194,7 @@ func (e *Engine) TrialEval(l circuit.Line, t circuit.GateType, fin []circuit.Lin
 	e.changed = e.changed[:0]
 	out := e.scratch[l]
 	e.evalInto(out, t, fin, finComp, outComp)
+	e.CTrials.Inc()
 	if equalWords(out, e.val[l], e.W) {
 		return e.changed
 	}
@@ -173,6 +202,7 @@ func (e *Engine) TrialEval(l circuit.Line, t circuit.GateType, fin []circuit.Lin
 	e.changed = append(e.changed, l)
 	e.enqueueFanout(l)
 	e.drain(int(e.levels[l]) + 1)
+	e.CEvents.Add(int64(len(e.changed)))
 	return e.changed
 }
 
@@ -193,6 +223,7 @@ func (e *Engine) TrialEvalPins(l circuit.Line, t circuit.GateType, fin []circuit
 	}
 	out := e.scratch[l]
 	EvalGateInto(t, out, e.W, e.faninV...)
+	e.CTrials.Inc()
 	if equalWords(out, e.val[l], e.W) {
 		return e.changed
 	}
@@ -200,6 +231,7 @@ func (e *Engine) TrialEvalPins(l circuit.Line, t circuit.GateType, fin []circuit
 	e.changed = append(e.changed, l)
 	e.enqueueFanout(l)
 	e.drain(int(e.levels[l]) + 1)
+	e.CEvents.Add(int64(len(e.changed)))
 	return e.changed
 }
 

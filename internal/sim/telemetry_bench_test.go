@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"dedc/internal/circuit"
+	"dedc/internal/gen"
+	"dedc/internal/telemetry"
+)
+
+// The telemetry overhead benchmark: the diagnosis inner loop is Engine.Trial,
+// so that is where a non-zero disabled-path cost would hurt. Three variants:
+//
+//	reference — e.trial, the counter-free body (the seed's code path)
+//	disabled  — e.Trial with nil counters (the default after this change)
+//	enabled   — e.Trial with live registry counters
+//
+// The disabled path must stay within 2% of reference; `make bench-telemetry`
+// enforces that via TestTelemetryOverhead and writes BENCH_telemetry.json.
+
+const benchPatterns = 1024
+
+func benchEngine(b testing.TB) (*Engine, []circuit.Line, []uint64) {
+	c := gen.Alu(8)
+	pi := RandomPatterns(len(c.PIs), benchPatterns, 7)
+	e := NewEngine(c, pi, benchPatterns)
+	var sites []circuit.Line
+	for l := 0; l < c.NumLines(); l++ {
+		sites = append(sites, circuit.Line(l))
+	}
+	forced := make([]uint64, e.W)
+	return e, sites, forced
+}
+
+func benchTrials(b *testing.B, e *Engine, sites []circuit.Line, forced []uint64,
+	trial func(circuit.Line, []uint64) []circuit.Line) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := sites[i%len(sites)]
+		base := e.BaseVal(l)
+		for w := range forced {
+			forced[w] = ^base[w]
+		}
+		trial(l, forced)
+	}
+}
+
+func BenchmarkTrialReference(b *testing.B) {
+	e, sites, forced := benchEngine(b)
+	benchTrials(b, e, sites, forced, e.trial)
+}
+
+func BenchmarkTrialDisabled(b *testing.B) {
+	e, sites, forced := benchEngine(b)
+	benchTrials(b, e, sites, forced, e.Trial)
+}
+
+func BenchmarkTrialEnabled(b *testing.B) {
+	e, sites, forced := benchEngine(b)
+	e.Instrument(telemetry.NewRegistry())
+	benchTrials(b, e, sites, forced, e.Trial)
+}
+
+// TestTelemetryOverhead measures the three variants and fails when the
+// disabled path costs more than 2% over the reference path. Gated behind
+// TELEMETRY_BENCH=1 because a timing assertion is too flaky for ordinary
+// `go test` runs; TELEMETRY_BENCH_OUT selects the JSON report path.
+func TestTelemetryOverhead(t *testing.T) {
+	if os.Getenv("TELEMETRY_BENCH") != "1" {
+		t.Skip("set TELEMETRY_BENCH=1 to run the overhead gate")
+	}
+
+	// Best-of-N with the variants interleaved, so slow drift (thermal
+	// throttling, frequency scaling) hits all three alike and the minima stay
+	// comparable; a single unlucky run must not fail CI.
+	variants := []func(*testing.B){
+		BenchmarkTrialReference, BenchmarkTrialDisabled, BenchmarkTrialEnabled,
+	}
+	mins := make([]float64, len(variants))
+	for round := 0; round < 5; round++ {
+		for i, bench := range variants {
+			r := testing.Benchmark(bench)
+			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			if mins[i] == 0 || ns < mins[i] {
+				mins[i] = ns
+			}
+		}
+	}
+	ref, dis, ena := mins[0], mins[1], mins[2]
+
+	const thresholdPct = 2.0
+	disPct := 100 * (dis - ref) / ref
+	enaPct := 100 * (ena - ref) / ref
+	pass := disPct <= thresholdPct
+
+	report := map[string]any{
+		"v":                     1,
+		"benchmark":             "Engine.Trial on gen.Alu(8)",
+		"patterns":              benchPatterns,
+		"reference_ns_op":       ref,
+		"disabled_ns_op":        dis,
+		"enabled_ns_op":         ena,
+		"disabled_overhead_pct": disPct,
+		"enabled_overhead_pct":  enaPct,
+		"threshold_pct":         thresholdPct,
+		"pass":                  pass,
+	}
+	if out := os.Getenv("TELEMETRY_BENCH_OUT"); out != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Logf("reference %.1f ns/op, disabled %.1f ns/op (%+.2f%%), enabled %.1f ns/op (%+.2f%%)",
+		ref, dis, disPct, ena, enaPct)
+	if !pass {
+		t.Errorf("disabled-telemetry overhead %.2f%% exceeds %.1f%% budget", disPct, thresholdPct)
+	}
+}

@@ -1,0 +1,234 @@
+package telemetry
+
+import (
+	"context"
+	"log/slog"
+	"runtime/pprof"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value pair attached to a journal event or span. Attrs are
+// carried as an ordered slice (not a map) so journal output is byte-stable
+// run to run.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// String, Int, Int64, Float and Bool build an Attr of the given type.
+func String(key, v string) Attr  { return Attr{key, v} }
+func Int(key string, v int) Attr { return Attr{key, int64(v)} }
+func Int64(key string, v int64) Attr {
+	return Attr{key, v}
+}
+func Float(key string, v float64) Attr { return Attr{key, v} }
+func Bool(key string, v bool) Attr     { return Attr{key, v} }
+
+// Options configures a Tracer.
+type Options struct {
+	// Journal receives one JSONL event per span start/end and per explicit
+	// Event call. Nil disables the journal.
+	Journal *Journal
+
+	// Logger mirrors span boundaries at Debug level. Nil disables.
+	Logger *slog.Logger
+
+	// Registry resolves metric names for the tracer's convenience lookups.
+	// Nil means the process-wide Default registry.
+	Registry *Registry
+
+	// PprofLabels attaches the current span path as a pprof label
+	// ("dedc.span") on span start so hot phases show up named in profiles.
+	PprofLabels bool
+
+	// Now overrides the clock, for deterministic tests. Nil means time.Now.
+	Now func() time.Time
+}
+
+// Tracer creates spans and emits journal events. A nil *Tracer is the
+// disabled default: every method no-ops and returns nil spans, so callers
+// thread tracers unconditionally. Tracer is safe for concurrent use.
+type Tracer struct {
+	opt Options
+	seq atomic.Int64
+}
+
+// NewTracer returns a Tracer with the given options. The zero Options value
+// yields a tracer that only tracks span structure (useful for pprof labels
+// alone once PprofLabels is set).
+func NewTracer(opt Options) *Tracer {
+	if opt.Registry == nil {
+		opt.Registry = Default
+	}
+	return &Tracer{opt: opt}
+}
+
+// Registry returns the tracer's metric registry (Default when unset, nil on
+// a nil tracer — which yields nil, disabled metrics from every lookup).
+func (t *Tracer) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.opt.Registry
+}
+
+// Enabled reports whether the tracer is non-nil.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+func (t *Tracer) now() time.Time {
+	if t.opt.Now != nil {
+		return t.opt.Now()
+	}
+	return time.Now()
+}
+
+// Span is one node of the run → iteration → phase → candidate hierarchy.
+// A nil *Span no-ops on every method.
+type Span struct {
+	tracer *Tracer
+	parent *Span
+	name   string
+	path   string
+	start  time.Time
+	ended  atomic.Bool
+	// restore undoes the pprof label applied at span start.
+	restore func()
+}
+
+type spanKey struct{}
+
+// WithTracer returns a context carrying the tracer. Engine code retrieves it
+// with FromContext, so only context-accepting signatures see telemetry at all.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, &Span{tracer: t})
+}
+
+// FromContext returns the tracer carried by ctx, or nil (disabled).
+func FromContext(ctx context.Context) *Tracer {
+	if s, ok := ctx.Value(spanKey{}).(*Span); ok {
+		return s.tracer
+	}
+	return nil
+}
+
+// spanFrom returns the innermost span carried by ctx, or nil.
+func spanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// StartSpan opens a child of the span carried by ctx (or a root span) and
+// returns a context carrying it. End the span with Span.End. On a nil tracer
+// both returns are usable no-ops: the original ctx and a nil span.
+func (t *Tracer) StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	parent := spanFrom(ctx)
+	path := name
+	if parent != nil && parent.path != "" {
+		path = parent.path + "/" + name
+	}
+	s := &Span{tracer: t, parent: parent, name: name, path: path, start: t.now()}
+	if t.opt.PprofLabels {
+		prev := ctx
+		ctx = pprof.WithLabels(ctx, pprof.Labels("dedc.span", path))
+		pprof.SetGoroutineLabels(ctx)
+		s.restore = func() { pprof.SetGoroutineLabels(prev) }
+	}
+	ctx = context.WithValue(ctx, spanKey{}, s)
+	t.emit(path, "span_start", attrs)
+	if t.opt.Logger != nil {
+		t.opt.Logger.Debug("span start", "span", path)
+	}
+	return ctx, s
+}
+
+// End closes the span, emitting its duration. Safe to call more than once;
+// only the first call emits.
+func (s *Span) End(attrs ...Attr) {
+	if s == nil || s.tracer == nil || s.ended.Swap(true) {
+		return
+	}
+	d := s.tracer.now().Sub(s.start)
+	all := make([]Attr, 0, len(attrs)+1)
+	all = append(all, Int64("dur_ns", d.Nanoseconds()))
+	all = append(all, attrs...)
+	s.tracer.emit(s.path, "span_end", all)
+	if s.tracer.opt.Logger != nil {
+		s.tracer.opt.Logger.Debug("span end", "span", s.path, "dur", d)
+	}
+	if s.restore != nil {
+		s.restore()
+	}
+}
+
+// Event emits a journal event scoped to the span.
+func (s *Span) Event(event string, attrs ...Attr) {
+	if s == nil || s.tracer == nil {
+		return
+	}
+	s.tracer.emit(s.path, event, attrs)
+}
+
+// Path returns the span's slash-separated path ("" on nil).
+func (s *Span) Path() string {
+	if s == nil {
+		return ""
+	}
+	return s.path
+}
+
+// Event emits a journal event scoped to the span carried by ctx (path ""
+// when there is none). No-op on a nil tracer.
+func (t *Tracer) Event(ctx context.Context, event string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	path := ""
+	if s := spanFrom(ctx); s != nil {
+		path = s.path
+	}
+	t.emit(path, event, attrs)
+}
+
+func (t *Tracer) emit(span, event string, attrs []Attr) {
+	if t.opt.Journal == nil {
+		return
+	}
+	t.opt.Journal.Emit(Event{
+		Time:  t.now(),
+		Seq:   t.seq.Add(1),
+		Span:  span,
+		Event: event,
+		Attrs: attrs,
+	})
+}
+
+// noopRestore is shared by every disabled Phase call so the hot loop never
+// allocates a closure when telemetry is off.
+var noopRestore = func() {}
+
+// Phase labels the current goroutine with a "dedc.phase" pprof label for the
+// duration of an engine phase, returning a restore func to defer. Unlike
+// StartSpan it emits nothing — it exists purely so CPU profiles attribute
+// samples to named phases (diagnosis, correction, …) inside one span.
+func (t *Tracer) Phase(ctx context.Context, name string) func() {
+	if t == nil || !t.opt.PprofLabels {
+		return noopRestore
+	}
+	prev := ctx
+	labeled := pprof.WithLabels(ctx, pprof.Labels("dedc.phase", name))
+	pprof.SetGoroutineLabels(labeled)
+	return func() { pprof.SetGoroutineLabels(prev) }
+}
+
+// SpanName builds "name[i]" without fmt, for indexed spans like step[3].
+func SpanName(name string, i int) string {
+	return name + "[" + strconv.Itoa(i) + "]"
+}

@@ -5,6 +5,7 @@ import (
 
 	"dedc/internal/circuit"
 	"dedc/internal/fault"
+	"dedc/internal/telemetry"
 )
 
 // PodemResult reports the outcome of one deterministic generation attempt.
@@ -28,6 +29,11 @@ type Podem struct {
 	// Ctx, when non-nil, is polled at bounded intervals inside Generate;
 	// cancellation abandons the current fault with Aborted.
 	Ctx context.Context
+
+	// Backtracks accumulates the backtrack count across Generate calls.
+	Backtracks int64
+	// CBacktracks, when non-nil, receives the same increments (nil no-ops).
+	CBacktracks *telemetry.Counter
 
 	ctxTick int
 
@@ -105,6 +111,10 @@ func (p *Podem) Generate(ft fault.Fault) ([]v3, PodemResult) {
 	p.imply(ft)
 	var stack []decision
 	backtracks := 0
+	defer func() {
+		p.Backtracks += int64(backtracks)
+		p.CBacktracks.Add(int64(backtracks))
+	}()
 	for {
 		if p.cancelled() {
 			return nil, Aborted

@@ -7,6 +7,7 @@ import (
 	"dedc/internal/circuit"
 	"dedc/internal/fault"
 	"dedc/internal/sim"
+	"dedc/internal/telemetry"
 )
 
 // Options configures BuildVectors.
@@ -29,6 +30,7 @@ type Result struct {
 	Generated  int     // deterministic tests produced
 	Untestable int     // faults proven redundant
 	Aborted    int     // faults abandoned at the backtrack limit
+	Backtracks int64   // total PODEM backtracks across the deterministic pass
 	// Cancelled is set when the deterministic pass stopped early on context
 	// cancellation; the vector set holds everything produced up to that
 	// point and Coverage reflects the partial set.
@@ -51,9 +53,22 @@ func BuildVectorsContext(ctx context.Context, c *circuit.Circuit, opt Options) *
 	if opt.Random <= 0 {
 		opt.Random = 1024
 	}
+	tr := telemetry.FromContext(ctx)
+	ctx, span := tr.StartSpan(ctx, "atpg",
+		telemetry.Int("random", opt.Random), telemetry.Bool("deterministic", opt.Deterministic))
 	rng := rand.New(rand.NewSource(opt.Seed))
 	rows := sim.RandomPatterns(len(c.PIs), opt.Random, rng.Int63())
 	res := &Result{PI: rows, N: opt.Random}
+	defer func() {
+		span.End(
+			telemetry.Int("n", res.N),
+			telemetry.Float("coverage", res.Coverage),
+			telemetry.Int("generated", res.Generated),
+			telemetry.Int("untestable", res.Untestable),
+			telemetry.Int("aborted", res.Aborted),
+			telemetry.Int64("backtracks", res.Backtracks),
+			telemetry.Bool("cancelled", res.Cancelled))
+	}()
 	reps, _ := fault.Collapse(c)
 	det := fault.Detected(c, reps, res.PI, res.N)
 
@@ -61,6 +76,7 @@ func BuildVectorsContext(ctx context.Context, c *circuit.Circuit, opt Options) *
 		var extra [][]v3
 		p := NewPodem(c)
 		p.Ctx = ctx
+		p.CBacktracks = tr.Registry().Counter("tpg.backtracks")
 		if opt.BacktrackLimit > 0 {
 			p.BacktrackLimit = opt.BacktrackLimit
 		}
@@ -89,6 +105,7 @@ func BuildVectorsContext(ctx context.Context, c *circuit.Circuit, opt Options) *
 		if len(extra) > 0 {
 			appendPatterns(res, extra, rng)
 		}
+		res.Backtracks = p.Backtracks
 		det = fault.Detected(c, reps, res.PI, res.N)
 	}
 
