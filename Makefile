@@ -6,11 +6,16 @@
 #   make chaos           — fault-injection trials under the race detector
 #   make bench-telemetry — disabled-telemetry overhead gate (≤2%)
 #   make journal-check   — end-to-end run journal validation
+#   make bench           — record the quick perf suite to BENCH_core.json
+#   make bench-compare BASELINE=BENCH_core.json
+#                        — gate the quick suite (>10% + 250µs per phase fails)
 
 GO ?= go
 FUZZTIME ?= 10s
+BASELINE ?= BENCH_core.json
 
-.PHONY: all build vet test race fuzz chaos ci check bench-telemetry journal-check clean
+.PHONY: all build vet test race fuzz chaos ci check bench-telemetry journal-check \
+	bench bench-compare bench-check clean
 
 all: build
 
@@ -61,7 +66,26 @@ journal-check:
 	$(GO) run ./cmd/journalcheck .journal-check/run.jsonl
 	rm -rf .journal-check
 
-check: ci journal-check bench-telemetry
+# Core-pipeline benchmark suite (internal/perf via cmd/dedcbench): phase-by-
+# phase ns/op, allocs/op and counter deltas over generated circuits.
+bench:
+	$(GO) run ./cmd/dedcbench -suite quick -o BENCH_core.json
+
+# Regression gate against a recorded baseline: a phase more than 10% + 250µs
+# slower (after a confirming re-measure) fails with exit status 2.
+bench-compare:
+	$(GO) run ./cmd/dedcbench -suite quick -q -baseline $(BASELINE)
+
+# The make-check flavor: gate against BENCH_core.json when one is recorded,
+# record it otherwise, so a fresh checkout bootstraps its own baseline.
+bench-check:
+	@if [ -f BENCH_core.json ]; then \
+		$(GO) run ./cmd/dedcbench -suite quick -q -baseline BENCH_core.json; \
+	else \
+		$(GO) run ./cmd/dedcbench -suite quick -q -o BENCH_core.json; \
+	fi
+
+check: ci journal-check bench-telemetry bench-check
 
 clean:
 	$(GO) clean ./...

@@ -13,7 +13,13 @@
 // Observability: -journal streams one JSONL event per span/iteration of the
 // run (schema v1, see DESIGN.md); -cpuprofile/-memprofile/-trace write
 // runtime profiles; -v enables debug logging and -log-format selects
-// text or json log lines on stderr.
+// text or json log lines on stderr. -debug-addr serves live debugging
+// endpoints for the duration of the run: /metrics (Prometheus text
+// exposition of the engine counters and span-duration histograms),
+// /debug/vars (expvar) and /debug/pprof/ — e.g.
+//
+//	dedc ... -debug-addr localhost:6060 &
+//	curl localhost:6060/metrics
 //
 // A -timeout or a SIGINT (ctrl-C) stops the search gracefully: partial
 // results found so far are still reported. Exit status: 0 when a full

@@ -1,0 +1,173 @@
+// Command dedcbench runs the performance-observability suite: the full
+// diagnosis pipeline, phase by phase (parse, vectors, simulate, pathtrace,
+// h1rank, screen, satcheck), over generated circuits × fault multiplicity ×
+// vector budget, measured best-of-N with telemetry counter deltas.
+//
+// Usage:
+//
+//	dedcbench -suite quick                         # print the phase table
+//	dedcbench -suite quick -o BENCH_core.json      # record a baseline
+//	dedcbench -suite quick -baseline BENCH_core.json   # gate: exit 2 on regression
+//	dedcbench -suite full -best-of 5 -tol 0.05
+//
+// The JSON report is schema v1: per scenario and phase, ns/op, allocs/op and
+// counter rates (see DESIGN.md "Performance observability"). The regression
+// gate fails a phase when current > baseline·(1+tol) + slack.
+//
+// Exit status: 0 on success, 2 when the baseline gate found regressions,
+// 1 on usage or measurement errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"dedc/internal/perf"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("dedcbench", flag.ContinueOnError)
+	suite := fs.String("suite", "quick", "scenario suite: quick or full")
+	bestOf := fs.Int("best-of", 3, "repetitions per phase; the fastest is reported")
+	out := fs.String("o", "", "write the JSON report to this file")
+	baseline := fs.String("baseline", "", "compare against this baseline report and gate regressions")
+	tol := fs.Float64("tol", 0.10, "allowed relative slowdown per phase (0.10 = +10%)")
+	slack := fs.Duration("slack", 250*time.Microsecond, "absolute grace per phase on top of -tol")
+	quiet := fs.Bool("q", false, "suppress the phase table")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "dedcbench: "+format+"\n", args...)
+		return 1
+	}
+
+	scenarios, err := perf.Suite(*suite)
+	if err != nil {
+		return fail("%v", err)
+	}
+	rep, err := perf.Run(*suite, scenarios, perf.Options{
+		BestOf: *bestOf,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "dedcbench: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return fail("%v", err)
+	}
+
+	if !*quiet {
+		printTable(rep)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fail("%v", err)
+		}
+		werr := rep.Write(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fail("writing %s: %v", *out, werr)
+		}
+		fmt.Fprintf(os.Stderr, "dedcbench: wrote %s (%d scenarios)\n", *out, len(rep.Scenarios))
+	}
+	if *baseline != "" {
+		f, err := os.Open(*baseline)
+		if err != nil {
+			return fail("%v", err)
+		}
+		base, err := perf.ReadReport(f)
+		f.Close()
+		if err != nil {
+			return fail("%v", err)
+		}
+		copt := perf.CompareOptions{Tolerance: *tol, Slack: *slack}
+		regs := perf.Compare(base, rep, copt)
+		// Confirm before failing: re-measure only the implicated scenarios and
+		// keep the faster numbers. Genuine slowdowns survive the retries;
+		// one-off scheduler noise does not.
+		for retry := 0; retry < 2 && len(regs) > 0; retry++ {
+			affected := affectedScenarios(scenarios, regs)
+			if len(affected) == 0 {
+				break // only coverage regressions; re-running can't help
+			}
+			fmt.Fprintf(os.Stderr, "dedcbench: %d candidate regression(s); re-measuring %d scenario(s) to confirm\n",
+				len(regs), len(affected))
+			again, err := perf.Run(*suite, affected, perf.Options{BestOf: *bestOf})
+			if err != nil {
+				return fail("%v", err)
+			}
+			rep.MergeMin(again)
+			regs = perf.Compare(base, rep, copt)
+		}
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "dedcbench: %d regression(s) beyond +%.0f%%+%v against %s:\n",
+				len(regs), *tol*100, *slack, *baseline)
+			for _, g := range regs {
+				fmt.Fprintf(os.Stderr, "  %s\n", g)
+			}
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "dedcbench: gate passed against %s (tol +%.0f%%, slack %v)\n",
+			*baseline, *tol*100, *slack)
+	}
+	return 0
+}
+
+// affectedScenarios returns the suite scenarios named by non-missing
+// regressions, in suite order without duplicates.
+func affectedScenarios(suite []perf.Scenario, regs []perf.Regression) []perf.Scenario {
+	names := map[string]bool{}
+	for _, g := range regs {
+		if !g.Missing {
+			names[g.Scenario] = true
+		}
+	}
+	var out []perf.Scenario
+	for _, sc := range suite {
+		if names[sc.Name()] {
+			out = append(out, sc)
+		}
+	}
+	return out
+}
+
+// printTable renders the human-readable per-phase table on stdout.
+func printTable(rep *perf.Report) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "scenario\tphase\tns/op\tallocs/op\tcounters")
+	for _, sc := range rep.Scenarios {
+		for _, ph := range sc.Phases {
+			fmt.Fprintf(w, "%s\t%s\t%v\t%d\t%s\n",
+				sc.Scenario, ph.Phase, time.Duration(ph.NsPerOp), ph.AllocsPerOp, counterSummary(ph.Counters))
+		}
+	}
+	w.Flush()
+}
+
+func counterSummary(m map[string]int64) string {
+	if len(m) == 0 {
+		return "-"
+	}
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, name := range names {
+		parts[i] = fmt.Sprintf("%s=%d", name, m[name])
+	}
+	return strings.Join(parts, " ")
+}

@@ -10,14 +10,12 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 
 	"dedc/internal/bench"
 	"dedc/internal/circuit"
 	"dedc/internal/errmodel"
 	"dedc/internal/fault"
-	"dedc/internal/sim"
 )
 
 func main() {
@@ -47,7 +45,7 @@ func main() {
 	var bad *circuit.Circuit
 	switch {
 	case *nFaults > 0:
-		fs := pickFaults(c, *nFaults, *seed)
+		fs := fault.PickObservable(c, *nFaults, *seed)
 		if fs == nil {
 			fatalf("could not find an observable %d-fault combination", *nFaults)
 		}
@@ -78,34 +76,6 @@ func main() {
 	if err := bench.Write(w, bad); err != nil {
 		fatalf("%v", err)
 	}
-}
-
-func pickFaults(c *circuit.Circuit, k int, seed int64) []fault.Fault {
-	rng := rand.New(rand.NewSource(seed))
-	sites := fault.Sites(c)
-	n := 1024
-	pi := sim.RandomPatterns(len(c.PIs), n, seed^0x51ab)
-	goodOut := sim.Outputs(c, sim.Simulate(c, pi, n))
-	for tries := 0; tries < 100; tries++ {
-		seen := map[fault.Site]bool{}
-		var fs []fault.Fault
-		for len(fs) < k {
-			s := sites[rng.Intn(len(sites))]
-			if seen[s] {
-				continue
-			}
-			seen[s] = true
-			fs = append(fs, fault.Fault{Site: s, Value: rng.Intn(2) == 1})
-		}
-		fc := fault.Inject(c, fs...)
-		badOut := sim.Outputs(fc, sim.Simulate(fc, pi, n))
-		for _, w := range sim.DiffMask(goodOut, badOut, n) {
-			if w != 0 {
-				return fs
-			}
-		}
-	}
-	return nil
 }
 
 func b2i(v bool) int {

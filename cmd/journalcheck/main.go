@@ -6,10 +6,15 @@
 // diagnosis run — reconstructs the chosen corrections from the "solution"
 // events and prints them.
 //
+// With -phases it also aggregates span_end durations by span kind path
+// (indices stripped, so step[0] and step[1] pool) into a per-phase wall-time
+// table: count, total, mean and max.
+//
 // Usage:
 //
 //	journalcheck run.jsonl
-//	journalcheck -q run.jsonl   # exit status only
+//	journalcheck -q run.jsonl        # exit status only
+//	journalcheck -phases run.jsonl   # per-phase wall-time summary
 package main
 
 import (
@@ -17,6 +22,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
 
 	"dedc/internal/telemetry"
 )
@@ -28,11 +37,12 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("journalcheck", flag.ContinueOnError)
 	quiet := fs.Bool("q", false, "suppress the summary; exit status only")
+	phases := fs.Bool("phases", false, "print a per-phase wall-time summary aggregated by span kind")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: journalcheck [-q] run.jsonl")
+		fmt.Fprintln(os.Stderr, "usage: journalcheck [-q] [-phases] run.jsonl")
 		return 1
 	}
 	path := fs.Arg(0)
@@ -50,6 +60,7 @@ func run(args []string) int {
 		open      = map[string]int{} // span path -> unclosed starts
 		unclosed  int
 		solutions []string
+		perPhase  = map[string]*phaseStat{} // span kind path -> durations
 	)
 	fail := func(format string, a ...any) int {
 		fmt.Fprintf(os.Stderr, "journalcheck: %s:%d: %s\n", path, lineNo, fmt.Sprintf(format, a...))
@@ -82,9 +93,17 @@ func run(args []string) int {
 			}
 			open[ev.Span]--
 			unclosed--
-			if _, ok := ev.Attrs["dur_ns"]; !ok {
+			dur, ok := ev.Attrs["dur_ns"].(float64)
+			if !ok {
 				return fail("span_end for %q missing dur_ns", ev.Span)
 			}
+			kind := spanKindPath(ev.Span)
+			st := perPhase[kind]
+			if st == nil {
+				st = &phaseStat{}
+				perPhase[kind] = st
+			}
+			st.add(time.Duration(int64(dur)))
 		case "solution":
 			corrs, _ := ev.Attrs["corrections"].([]any)
 			for _, c := range corrs {
@@ -116,5 +135,55 @@ func run(args []string) int {
 			}
 		}
 	}
+	if *phases {
+		printPhases(perPhase)
+	}
 	return 0
+}
+
+// phaseStat aggregates the closed spans of one kind path.
+type phaseStat struct {
+	count int
+	total time.Duration
+	max   time.Duration
+}
+
+func (s *phaseStat) add(d time.Duration) {
+	s.count++
+	s.total += d
+	if d > s.max {
+		s.max = d
+	}
+}
+
+// spanKindPath strips the per-instance indices from a span path, so
+// "run/step[1]/node[12]" pools with every other node under "run/step/node".
+func spanKindPath(span string) string {
+	parts := strings.Split(span, "/")
+	for i, p := range parts {
+		parts[i] = telemetry.SpanKind(p)
+	}
+	return strings.Join(parts, "/")
+}
+
+// printPhases renders the aggregated wall-time table, widest total first.
+func printPhases(perPhase map[string]*phaseStat) {
+	kinds := make([]string, 0, len(perPhase))
+	for k := range perPhase {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool {
+		if perPhase[kinds[i]].total != perPhase[kinds[j]].total {
+			return perPhase[kinds[i]].total > perPhase[kinds[j]].total
+		}
+		return kinds[i] < kinds[j]
+	})
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "phase\tcount\ttotal\tmean\tmax")
+	for _, k := range kinds {
+		s := perPhase[k]
+		fmt.Fprintf(w, "%s\t%d\t%v\t%v\t%v\n",
+			k, s.count, s.total, s.total/time.Duration(s.count), s.max)
+	}
+	w.Flush()
 }

@@ -409,3 +409,19 @@ func WithTracer(ctx context.Context, t *Tracer) context.Context {
 
 // TracerFromContext returns the tracer carried by ctx, or nil (disabled).
 func TracerFromContext(ctx context.Context) *Tracer { return telemetry.FromContext(ctx) }
+
+// DebugServer is a live debugging HTTP server: /metrics (Prometheus text
+// exposition of a registry), /debug/vars (expvar) and /debug/pprof/.
+type DebugServer = telemetry.DebugServer
+
+// ServeDebug starts a DebugServer on addr (use ":0" for an ephemeral port,
+// DebugServer.Addr for the bound address) exposing reg at /metrics. Shut it
+// down with DebugServer.Shutdown. The CLI flag -debug-addr on cmd/dedc,
+// cmd/atpg and cmd/tables is this server over the default registry.
+func ServeDebug(addr string, reg *MetricsRegistry) (*DebugServer, error) {
+	return telemetry.Serve(addr, reg)
+}
+
+// WriteMetricsProm writes a registry in Prometheus text exposition format —
+// what a DebugServer serves at /metrics.
+func WriteMetricsProm(w io.Writer, reg *MetricsRegistry) error { return reg.WriteProm(w) }

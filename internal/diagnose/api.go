@@ -8,6 +8,7 @@ import (
 	"dedc/internal/circuit"
 	"dedc/internal/fault"
 	"dedc/internal/sim"
+	"dedc/internal/telemetry"
 )
 
 // ErrInvalidVectors reports a vector set or response matrix whose shape
@@ -207,9 +208,20 @@ func RepairContext(ctx context.Context, impl *circuit.Circuit, specOut [][]uint6
 // §3.2 audits ("valid corrections rank in the top 5% of their node") and the
 // ablation benches.
 func AuditRoot(netlist *circuit.Circuit, specOut [][]uint64, pi [][]uint64, n int, model Model, opt Options, p Params) []RankedCorrection {
+	cands, _ := ExpandRoot(context.Background(), netlist, specOut, pi, n, model, opt, p)
+	return cands
+}
+
+// ExpandRoot is AuditRoot under a context, additionally returning the
+// phase-split Stats of the expansion: DiagTime covers path trace plus the
+// heuristic-1 suspect ranking, CorrTime the correction enumeration,
+// screening and ranking. It is the measurement hook behind internal/perf's
+// h1rank and screen phases; a tracer carried by ctx wires the sim/pathtrace
+// counters and span histograms exactly as a full RunContext would.
+func ExpandRoot(ctx context.Context, netlist *circuit.Circuit, specOut [][]uint64, pi [][]uint64, n int, model Model, opt Options, p Params) ([]RankedCorrection, Stats) {
 	opt = opt.defaults()
 	r := &runState{
-		ctx:     context.Background(),
+		ctx:     ctx,
 		base:    netlist,
 		specOut: specOut,
 		pi:      pi,
@@ -219,8 +231,11 @@ func AuditRoot(netlist *circuit.Circuit, specOut [][]uint64, pi [][]uint64, n in
 		opt:     opt,
 		params:  p,
 		res:     &Result{},
+		tr:      telemetry.FromContext(ctx),
 	}
-	return r.expand(nil).cands
+	r.instrument()
+	nd := r.expand(nil)
+	return nd.cands, r.res.Stats
 }
 
 // Verify checks that a circuit reproduces the reference outputs on the

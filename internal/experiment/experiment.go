@@ -19,6 +19,7 @@ import (
 	"dedc/internal/gen"
 	"dedc/internal/opt"
 	"dedc/internal/scan"
+	"dedc/internal/telemetry"
 	"dedc/internal/tpg"
 )
 
@@ -63,9 +64,15 @@ func (c Config) defaults() Config {
 
 // Prepare builds the combinational, optionally area-optimized view of a
 // benchmark plus its vector set. Sequential circuits are scan-converted
-// first (the paper's full-scan treatment).
-func Prepare(bm gen.Benchmark, optimize bool, cfg Config) (*circuit.Circuit, *tpg.Result, error) {
+// first (the paper's full-scan treatment). When cfg.Ctx carries a tracer the
+// whole build is wrapped in a "prepare" span, so journals and the
+// span.prepare.dur_ns histogram separate setup cost from diagnosis cost.
+func Prepare(bm gen.Benchmark, optimize bool, cfg Config) (_ *circuit.Circuit, _ *tpg.Result, err error) {
 	cfg = cfg.defaults()
+	ctx, sp := telemetry.FromContext(cfg.ctx()).StartSpan(cfg.ctx(), "prepare",
+		telemetry.String("circuit", bm.Name))
+	cfg.Ctx = ctx
+	defer func() { sp.End(telemetry.Bool("ok", err == nil)) }()
 	c := bm.Build()
 	if bm.Sequential {
 		cv, err := scan.Convert(c)

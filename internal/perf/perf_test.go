@@ -1,0 +1,222 @@
+package perf
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		Schema: SchemaVersion,
+		Suite:  "quick",
+		BestOf: 3,
+		Go:     "go1.x",
+		Scenarios: []ScenarioResult{
+			{
+				Scenario: "alu4/f1/v256", Circuit: "alu4", Faults: 1, Vectors: 256,
+				Lines: 108, FailVectors: 115,
+				Phases: []PhaseResult{
+					{Phase: PhaseParse, NsPerOp: 40_000, AllocsPerOp: 900},
+					{Phase: PhaseVectors, NsPerOp: 2_000_000, AllocsPerOp: 5_000,
+						Counters: map[string]int64{"tpg.backtracks": 12}},
+					{Phase: PhaseSATCheck, NsPerOp: 9_000_000, AllocsPerOp: 40_000,
+						Counters: map[string]int64{"sat.conflicts": 321}},
+				},
+			},
+			{
+				Scenario: "ecc8/f1/v256", Circuit: "ecc8", Faults: 1, Vectors: 256,
+				Lines: 130, FailVectors: 75,
+				Phases: []PhaseResult{
+					{Phase: PhaseParse, NsPerOp: 55_000, AllocsPerOp: 1_100},
+					{Phase: PhaseSimulate, NsPerOp: 300_000, AllocsPerOp: 200,
+						Counters: map[string]int64{"sim.events": 4_000}},
+				},
+			},
+		},
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	rep := sampleReport()
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	for _, want := range []string{`"schema": 1`, `"ns_per_op"`, `"allocs_per_op"`, `"fail_vectors"`, `"tpg.backtracks"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("report JSON missing %s:\n%s", want, buf.String())
+		}
+	}
+	got, err := ReadReport(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadReport: %v", err)
+	}
+	if !reflect.DeepEqual(got, rep) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, rep)
+	}
+}
+
+func TestReadReportRejectsWrongSchema(t *testing.T) {
+	if _, err := ReadReport(strings.NewReader(`{"schema": 99}`)); err == nil {
+		t.Fatal("schema v99 accepted")
+	}
+	if _, err := ReadReport(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("malformed report accepted")
+	}
+}
+
+func TestCompareSelfPasses(t *testing.T) {
+	rep := sampleReport()
+	if regs := Compare(rep, rep, CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("self-compare found regressions: %v", regs)
+	}
+}
+
+func TestCompareWithinToleranceAndSlack(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	// +9% on a millisecond phase: inside the relative tolerance.
+	cur.Scenarios[0].Phases[1].NsPerOp = 2_180_000
+	// +150µs on a 40µs phase: a 4.7x blowup, but inside the absolute slack
+	// that keeps micro-phases from gating on scheduler noise.
+	cur.Scenarios[0].Phases[0].NsPerOp = 190_000
+	if regs := Compare(base, cur, CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("tolerated drift gated: %v", regs)
+	}
+	// With slack disabled the micro-phase blowup must gate.
+	regs := Compare(base, cur, CompareOptions{Slack: -1})
+	if len(regs) != 1 || regs[0].Phase != PhaseParse {
+		t.Fatalf("slack -1: want 1 parse regression, got %v", regs)
+	}
+}
+
+func TestCompareFlagsTwoFoldSlowdown(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	for i := range cur.Scenarios {
+		for j := range cur.Scenarios[i].Phases {
+			cur.Scenarios[i].Phases[j].NsPerOp *= 2
+		}
+	}
+	// The two parse micro-phases (40µs, 55µs) stay under the absolute slack
+	// even doubled; every phase above the noise floor must gate.
+	regs := Compare(base, cur, CompareOptions{})
+	if len(regs) != 3 {
+		t.Fatalf("2x slowdown: want 3 phases gated, got %d: %v", len(regs), regs)
+	}
+	if all := Compare(base, cur, CompareOptions{Slack: -1}); len(all) != 5 {
+		t.Fatalf("2x slowdown, no slack: want all 5 phases gated, got %d: %v", len(all), all)
+	}
+	for _, g := range regs {
+		if g.Missing {
+			t.Errorf("%s/%s reported missing, want slowdown", g.Scenario, g.Phase)
+		}
+		if g.Ratio < 1.9 || g.Ratio > 2.1 {
+			t.Errorf("%s/%s ratio %.2f, want ~2", g.Scenario, g.Phase, g.Ratio)
+		}
+	}
+}
+
+func TestCompareFlagsMissingCoverage(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	// Drop one phase and one whole scenario from current.
+	cur.Scenarios[0].Phases = cur.Scenarios[0].Phases[:2] // loses satcheck
+	cur.Scenarios = cur.Scenarios[:1]                     // loses ecc8 (2 phases)
+	regs := Compare(base, cur, CompareOptions{})
+	if len(regs) != 3 {
+		t.Fatalf("want 3 coverage regressions, got %d: %v", len(regs), regs)
+	}
+	for _, g := range regs {
+		if !g.Missing {
+			t.Errorf("%s/%s not marked missing", g.Scenario, g.Phase)
+		}
+		if !strings.Contains(g.String(), "missing") {
+			t.Errorf("String() = %q, want mention of missing", g.String())
+		}
+	}
+	// Extra coverage in current must never gate.
+	grown := sampleReport()
+	grown.Scenarios[0].Phases = append(grown.Scenarios[0].Phases,
+		PhaseResult{Phase: PhaseScreen, NsPerOp: 1})
+	if regs := Compare(base, grown, CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("grown coverage gated: %v", regs)
+	}
+}
+
+func TestMergeMinKeepsFasterRep(t *testing.T) {
+	rep := sampleReport()
+	again := sampleReport()
+	// The re-run was faster on vectors (should replace, with its counters)
+	// and slower on parse (should be ignored).
+	again.Scenarios[0].Phases[1].NsPerOp = 1_500_000
+	again.Scenarios[0].Phases[1].Counters = map[string]int64{"tpg.backtracks": 11}
+	again.Scenarios[0].Phases[0].NsPerOp = 99_000
+	rep.MergeMin(again)
+	if got := rep.Scenarios[0].Phases[1]; got.NsPerOp != 1_500_000 || got.Counters["tpg.backtracks"] != 11 {
+		t.Errorf("faster re-run not folded in: %+v", got)
+	}
+	if got := rep.Scenarios[0].Phases[0].NsPerOp; got != 40_000 {
+		t.Errorf("slower re-run replaced the original: %d", got)
+	}
+}
+
+func TestSuiteNames(t *testing.T) {
+	for _, name := range []string{"quick", "full"} {
+		scs, err := Suite(name)
+		if err != nil || len(scs) < 4 {
+			t.Errorf("Suite(%q) = %d scenarios, err %v; want >=4", name, len(scs), err)
+		}
+	}
+	if _, err := Suite("nope"); err == nil {
+		t.Error("Suite(nope) accepted")
+	}
+}
+
+// TestRunQuickScenario measures one real (small) scenario end to end and
+// checks the report shape: every pipeline phase present, positive timings,
+// and the counter wiring live (PODEM backtracks or SAT conflicts observed).
+func TestRunQuickScenario(t *testing.T) {
+	scs := []Scenario{{Circuit: "alu4", Faults: 1, Vectors: 64, Seed: 1}}
+	rep, err := Run("quick", scs, Options{BestOf: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Schema != SchemaVersion || len(rep.Scenarios) != 1 {
+		t.Fatalf("report header: %+v", rep)
+	}
+	sr := rep.Scenarios[0]
+	if sr.Scenario != "alu4/f1/v64" || sr.Lines == 0 || sr.FailVectors == 0 {
+		t.Fatalf("scenario header: %+v", sr)
+	}
+	wantPhases := []string{PhaseParse, PhaseVectors, PhaseSimulate, PhasePathTrace, PhaseH1Rank, PhaseScreen, PhaseSATCheck}
+	if len(sr.Phases) != len(wantPhases) {
+		t.Fatalf("got %d phases, want %d: %+v", len(sr.Phases), len(wantPhases), sr.Phases)
+	}
+	counters := map[string]int64{}
+	for i, ph := range sr.Phases {
+		if ph.Phase != wantPhases[i] {
+			t.Errorf("phase[%d] = %s, want %s", i, ph.Phase, wantPhases[i])
+		}
+		if ph.NsPerOp <= 0 {
+			t.Errorf("phase %s: ns/op %d, want > 0", ph.Phase, ph.NsPerOp)
+		}
+		for k, v := range ph.Counters {
+			counters[k] += v
+		}
+	}
+	if counters["sim.trials"] == 0 {
+		t.Errorf("no sim.trials counted across phases: %v", counters)
+	}
+	// Determinism of the workload itself (not the timings): a second run
+	// sees the same circuit, fault visibility and vector count.
+	rep2, err := Run("quick", scs, Options{BestOf: 1})
+	if err != nil {
+		t.Fatalf("Run #2: %v", err)
+	}
+	if rep2.Scenarios[0].FailVectors != sr.FailVectors || rep2.Scenarios[0].Lines != sr.Lines {
+		t.Errorf("workload not deterministic: %+v vs %+v", rep2.Scenarios[0], sr)
+	}
+}

@@ -1,0 +1,204 @@
+// Package perf is the continuous performance-observability harness: a
+// scenario suite (generated circuits × fault multiplicity × vector budget)
+// that runs the diagnosis pipeline phase by phase, measures each phase
+// best-of-N with the engine's own phase timers and telemetry counter deltas,
+// and emits a versioned machine-readable report (BENCH_core.json) that later
+// runs are gated against. cmd/dedcbench is the CLI front end.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// SchemaVersion is the value of the report's "schema" field. Bump it on any
+// incompatible change to field names or semantics, and keep ReadReport
+// rejecting versions it does not understand.
+const SchemaVersion = 1
+
+// PhaseResult is one measured pipeline phase of one scenario.
+type PhaseResult struct {
+	Phase string `json:"phase"`
+	// NsPerOp is the best-of-N duration of one phase execution. For h1rank
+	// and screen it is the engine's own phase timer (Stats.DiagTime /
+	// Stats.CorrTime), i.e. exactly the diag_ns/corr_ns attributed to node
+	// spans in run journals.
+	NsPerOp int64 `json:"ns_per_op"`
+	// AllocsPerOp is the heap allocation count of the best run's op (for
+	// h1rank/screen: of the whole root expansion the timer is embedded in).
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// Counters holds per-op telemetry counter deltas (sim.trials,
+	// sat.conflicts, tpg.backtracks, ...) observed during the best run.
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// ScenarioResult is one scenario's measurements.
+type ScenarioResult struct {
+	Scenario string `json:"scenario"` // "alu4/f2/v256"
+	Circuit  string `json:"circuit"`
+	Faults   int    `json:"faults"`
+	Vectors  int    `json:"vectors"` // requested random-vector budget
+	Lines    int    `json:"lines"`   // circuit size
+	// FailVectors is how many vectors the injected faults actually fail —
+	// the diagnosis workload's input size, recorded so a timing shift can be
+	// told apart from a workload shift.
+	FailVectors int           `json:"fail_vectors"`
+	Phases      []PhaseResult `json:"phases"`
+}
+
+// Report is the BENCH_core.json document.
+type Report struct {
+	Schema    int              `json:"schema"`
+	Suite     string           `json:"suite"`
+	BestOf    int              `json:"best_of"`
+	Go        string           `json:"go"`
+	Scenarios []ScenarioResult `json:"scenarios"`
+}
+
+// Write emits the report as indented JSON.
+func (r *Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses and validates a report.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("perf: parsing report: %w", err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("perf: report schema v%d, this build understands v%d", r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// scenario returns the named scenario result, or nil.
+func (r *Report) scenario(name string) *ScenarioResult {
+	for i := range r.Scenarios {
+		if r.Scenarios[i].Scenario == name {
+			return &r.Scenarios[i]
+		}
+	}
+	return nil
+}
+
+// phase returns the named phase result, or nil.
+func (s *ScenarioResult) phase(name string) *PhaseResult {
+	for i := range s.Phases {
+		if s.Phases[i].Phase == name {
+			return &s.Phases[i]
+		}
+	}
+	return nil
+}
+
+// Regression is one gate violation found by Compare.
+type Regression struct {
+	Scenario string
+	Phase    string
+	// Missing marks a (scenario, phase) present in the baseline but absent
+	// from the current report — a coverage regression, gated like a slowdown.
+	Missing    bool
+	BaselineNs int64
+	CurrentNs  int64
+	Ratio      float64 // CurrentNs / BaselineNs
+}
+
+func (g Regression) String() string {
+	if g.Missing {
+		return fmt.Sprintf("%s/%s: missing from current report (baseline %v)",
+			g.Scenario, g.Phase, time.Duration(g.BaselineNs))
+	}
+	return fmt.Sprintf("%s/%s: %v -> %v (%.2fx)",
+		g.Scenario, g.Phase, time.Duration(g.BaselineNs), time.Duration(g.CurrentNs), g.Ratio)
+}
+
+// CompareOptions tunes the regression gate.
+type CompareOptions struct {
+	// Tolerance is the allowed relative slowdown per phase (0.10 = +10%).
+	// Zero means the 0.10 default.
+	Tolerance float64
+	// Slack is an absolute grace added on top of the relative bound, so
+	// micro-phases (a parse taking tens of microseconds) don't trip the gate
+	// on scheduler noise. Zero means the 250µs default; negative disables.
+	Slack time.Duration
+}
+
+func (o CompareOptions) defaults() CompareOptions {
+	if o.Tolerance == 0 {
+		o.Tolerance = 0.10
+	}
+	if o.Slack == 0 {
+		o.Slack = 250 * time.Microsecond
+	}
+	if o.Slack < 0 {
+		o.Slack = 0
+	}
+	return o
+}
+
+// MergeMin folds a re-measurement into r: for every scenario both reports
+// contain, each phase keeps whichever measurement was faster (best-of across
+// runs, matching the per-run best-of-N semantics). Scenarios or phases only
+// in other are ignored. cmd/dedcbench uses this to confirm gate failures by
+// re-measuring just the implicated scenarios: a real slowdown reproduces, a
+// scheduler hiccup does not.
+func (r *Report) MergeMin(other *Report) {
+	for i := range r.Scenarios {
+		os := other.scenario(r.Scenarios[i].Scenario)
+		if os == nil {
+			continue
+		}
+		for j := range r.Scenarios[i].Phases {
+			if op := os.phase(r.Scenarios[i].Phases[j].Phase); op != nil && op.NsPerOp < r.Scenarios[i].Phases[j].NsPerOp {
+				r.Scenarios[i].Phases[j] = *op
+			}
+		}
+	}
+}
+
+// Compare gates current against baseline: every (scenario, phase) in the
+// baseline must exist in current and satisfy
+//
+//	current.ns <= baseline.ns·(1+Tolerance) + Slack.
+//
+// It returns the violations (nil when the gate passes). Scenarios or phases
+// that exist only in current are fine — coverage can grow freely.
+func Compare(baseline, current *Report, opt CompareOptions) []Regression {
+	opt = opt.defaults()
+	var out []Regression
+	for _, bs := range baseline.Scenarios {
+		cs := current.scenario(bs.Scenario)
+		for _, bp := range bs.Phases {
+			if cs == nil {
+				out = append(out, Regression{Scenario: bs.Scenario, Phase: bp.Phase, Missing: true, BaselineNs: bp.NsPerOp})
+				continue
+			}
+			cp := cs.phase(bp.Phase)
+			if cp == nil {
+				out = append(out, Regression{Scenario: bs.Scenario, Phase: bp.Phase, Missing: true, BaselineNs: bp.NsPerOp})
+				continue
+			}
+			bound := int64(float64(bp.NsPerOp)*(1+opt.Tolerance)) + opt.Slack.Nanoseconds()
+			if cp.NsPerOp > bound {
+				ratio := 0.0
+				if bp.NsPerOp > 0 {
+					ratio = float64(cp.NsPerOp) / float64(bp.NsPerOp)
+				}
+				out = append(out, Regression{
+					Scenario:   bs.Scenario,
+					Phase:      bp.Phase,
+					BaselineNs: bp.NsPerOp,
+					CurrentNs:  cp.NsPerOp,
+					Ratio:      ratio,
+				})
+			}
+		}
+	}
+	return out
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"log/slog"
 	"os"
+	"time"
 )
 
 // CLI bundles the observability flags shared by the command-line tools:
@@ -17,6 +18,7 @@ type CLI struct {
 	CPUProfile string
 	MemProfile string
 	TracePath  string
+	DebugAddr  string
 	Verbose    bool
 	LogFormat  string
 }
@@ -24,6 +26,7 @@ type CLI struct {
 // Register installs the flags on fs.
 func (c *CLI) Register(fs *flag.FlagSet) {
 	fs.StringVar(&c.Journal, "journal", "", "write a JSONL run journal to this file")
+	fs.StringVar(&c.DebugAddr, "debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
 	fs.StringVar(&c.MemProfile, "memprofile", "", "write a pprof heap profile to this file")
 	fs.StringVar(&c.TracePath, "trace", "", "write a runtime execution trace to this file")
@@ -39,6 +42,10 @@ func (c *CLI) Register(fs *flag.FlagSet) {
 type Runtime struct {
 	Tracer *Tracer
 	Logger *slog.Logger
+	// Debug is the live debug/metrics HTTP server (-debug-addr), nil when
+	// not requested. Close shuts it down gracefully before flushing the
+	// journal, so a SIGINT or -timeout exit through run() tears down both.
+	Debug *DebugServer
 
 	journal      *Journal
 	stopProfiles func() error
@@ -62,7 +69,9 @@ func (c *CLI) Build(logw io.Writer) (*Runtime, error) {
 		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", c.LogFormat)
 	}
 	profiling := c.CPUProfile != "" || c.MemProfile != "" || c.TracePath != ""
-	if c.Journal != "" || profiling {
+	// -debug-addr enables the tracer even without a journal: the span-kind
+	// duration histograms it feeds are what /metrics reports as phase latency.
+	if c.Journal != "" || profiling || c.DebugAddr != "" {
 		topt := Options{PprofLabels: profiling}
 		if c.Journal != "" {
 			f, err := os.Create(c.Journal)
@@ -89,6 +98,18 @@ func (c *CLI) Build(logw io.Writer) (*Runtime, error) {
 		}
 		rt.stopProfiles = stop
 	}
+	if c.DebugAddr != "" {
+		// Make the default registry visible on /debug/vars too; pubOnce makes
+		// a later explicit Publish by the command a no-op.
+		Default.Publish("dedc.metrics")
+		srv, err := Serve(c.DebugAddr, Default)
+		if err != nil {
+			rt.Close()
+			return nil, fmt.Errorf("debug server: %w", err)
+		}
+		rt.Debug = srv
+		rt.Logger.Info("debug server listening", "addr", srv.Addr())
+	}
 	return rt, nil
 }
 
@@ -105,8 +126,18 @@ func (rt *Runtime) Close() error {
 		return nil
 	}
 	var first error
+	if rt.Debug != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		if err := rt.Debug.Shutdown(ctx); err != nil {
+			first = err
+		}
+		cancel()
+		rt.Debug = nil
+	}
 	if rt.stopProfiles != nil {
-		first = rt.stopProfiles()
+		if err := rt.stopProfiles(); err != nil && first == nil {
+			first = err
+		}
 		rt.stopProfiles = nil
 	}
 	if err := rt.journal.Close(); err != nil && first == nil {

@@ -73,6 +73,7 @@ func (g *Gauge) Value() int64 {
 type Histogram struct {
 	count   atomic.Int64
 	sum     atomic.Int64
+	max     atomic.Int64
 	buckets [65]atomic.Int64
 }
 
@@ -86,6 +87,12 @@ func (h *Histogram) Observe(v int64) {
 	}
 	h.count.Add(1)
 	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
 	h.buckets[bits.Len64(uint64(v))].Add(1)
 }
 
@@ -103,6 +110,16 @@ func (h *Histogram) Sum() int64 {
 		return 0
 	}
 	return h.sum.Load()
+}
+
+// Max returns the largest observation so far (0 when empty; observations are
+// clamped to >= 0, so the zero start value is never wrong). Unlike Quantile
+// it is exact, not a bucket upper edge.
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
 }
 
 // Mean returns the arithmetic mean of the observations (0 when empty).
@@ -212,7 +229,7 @@ func (r *Registry) Histogram(name string) *Histogram {
 }
 
 // Snapshot returns the current value of every metric, keyed by name.
-// Histograms appear as nested maps with count/sum/mean/p50/p99.
+// Histograms appear as nested maps with count/sum/mean/p50/p90/p99/max.
 func (r *Registry) Snapshot() map[string]any {
 	if r == nil {
 		return nil
@@ -232,7 +249,9 @@ func (r *Registry) Snapshot() map[string]any {
 			"sum":   h.Sum(),
 			"mean":  h.Mean(),
 			"p50":   h.Quantile(0.5),
+			"p90":   h.Quantile(0.9),
 			"p99":   h.Quantile(0.99),
+			"max":   h.Max(),
 		}
 	}
 	return out
@@ -259,8 +278,8 @@ func (r *Registry) String() string {
 		case int64:
 			b.WriteString(strconv.FormatInt(v, 10))
 		case map[string]any:
-			b.WriteString(fmt.Sprintf(`{"count": %d, "sum": %d, "mean": %.1f, "p50": %d, "p99": %d}`,
-				v["count"], v["sum"], v["mean"], v["p50"], v["p99"]))
+			b.WriteString(fmt.Sprintf(`{"count": %d, "sum": %d, "mean": %.1f, "p50": %d, "p90": %d, "p99": %d, "max": %d}`,
+				v["count"], v["sum"], v["mean"], v["p50"], v["p90"], v["p99"], v["max"]))
 		default:
 			b.WriteString(fmt.Sprintf("%v", v))
 		}

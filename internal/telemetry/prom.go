@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromName sanitizes a metric name for the Prometheus exposition format:
+// every character outside [a-zA-Z0-9_:] becomes '_' ("sim.trials" →
+// "sim_trials"), and a leading digit gains a '_' prefix.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteProm renders every metric in the registry in Prometheus text
+// exposition format (0.0.4): counters and gauges as single samples,
+// histograms as cumulative _bucket/_sum/_count series whose le edges are the
+// power-of-two bucket upper bounds. Output is sorted by metric name, so it
+// is stable for tests and diffs. Values are read atomically but not as one
+// consistent cut — fine for monitoring, the only consumer.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+
+	names := make([]string, 0, len(counters)+len(gauges)+len(hists))
+	for name := range counters {
+		names = append(names, name)
+	}
+	for name := range gauges {
+		names = append(names, name)
+	}
+	for name := range hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, name := range names {
+		pn := PromName(name)
+		switch {
+		case counters[name] != nil:
+			b.WriteString("# TYPE " + pn + " counter\n")
+			b.WriteString(pn + " " + strconv.FormatInt(counters[name].Value(), 10) + "\n")
+		case gauges[name] != nil:
+			b.WriteString("# TYPE " + pn + " gauge\n")
+			b.WriteString(pn + " " + strconv.FormatInt(gauges[name].Value(), 10) + "\n")
+		default:
+			writePromHist(&b, pn, hists[name])
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writePromHist emits one histogram. Bucket i of Histogram holds values v
+// with bits.Len64(v) == i, so its le edge is 2^i - 1 (bucket 0: v <= 0, le
+// "0"). Empty buckets are skipped — cumulative counts stay correct — and the
+// mandatory le="+Inf" bucket always closes the series.
+func writePromHist(b *strings.Builder, pn string, h *Histogram) {
+	b.WriteString("# TYPE " + pn + " histogram\n")
+	var cum int64
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		cum += n
+		edge := "0"
+		if i > 0 {
+			edge = strconv.FormatInt(int64(1)<<i-1, 10)
+		}
+		b.WriteString(pn + `_bucket{le="` + edge + `"} ` + strconv.FormatInt(cum, 10) + "\n")
+	}
+	b.WriteString(pn + `_bucket{le="+Inf"} ` + strconv.FormatInt(cum, 10) + "\n")
+	b.WriteString(pn + "_sum " + strconv.FormatInt(h.Sum(), 10) + "\n")
+	// _count repeats the +Inf cumulative count (not h.Count()) so the series
+	// stays internally consistent when Observe races the render.
+	b.WriteString(pn + "_count " + strconv.FormatInt(cum, 10) + "\n")
+}

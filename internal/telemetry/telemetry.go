@@ -5,6 +5,8 @@ import (
 	"log/slog"
 	"runtime/pprof"
 	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -53,6 +55,10 @@ type Options struct {
 type Tracer struct {
 	opt Options
 	seq atomic.Int64
+	// durs caches the per-span-kind duration histograms ("span.<kind>.dur_ns"
+	// in the registry) so Span.End pays one map load, not a registry lock plus
+	// a string concatenation, per span.
+	durs sync.Map // span kind -> *Histogram
 }
 
 // NewTracer returns a Tracer with the given options. The zero Options value
@@ -156,6 +162,7 @@ func (s *Span) End(attrs ...Attr) {
 		return
 	}
 	d := s.tracer.now().Sub(s.start)
+	s.tracer.spanDur(s.name).Observe(d.Nanoseconds())
 	all := make([]Attr, 0, len(attrs)+1)
 	all = append(all, Int64("dur_ns", d.Nanoseconds()))
 	all = append(all, attrs...)
@@ -208,6 +215,29 @@ func (t *Tracer) emit(span, event string, attrs []Attr) {
 		Event: event,
 		Attrs: attrs,
 	})
+}
+
+// SpanKind strips a trailing "[i]" index from a span name, so step[3] and
+// step[7] aggregate under one kind ("step").
+func SpanKind(name string) string {
+	if i := strings.IndexByte(name, '['); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// spanDur returns the duration histogram for the span kind, resolving
+// "span.<kind>.dur_ns" in the tracer's registry on first use. These
+// histograms are what makes phase latency (p50/p90/p99/max) visible on
+// /metrics and in Registry.Snapshot without parsing the journal.
+func (t *Tracer) spanDur(name string) *Histogram {
+	kind := SpanKind(name)
+	if h, ok := t.durs.Load(kind); ok {
+		return h.(*Histogram)
+	}
+	h := t.opt.Registry.Histogram("span." + kind + ".dur_ns")
+	t.durs.Store(kind, h)
+	return h
 }
 
 // noopRestore is shared by every disabled Phase call so the hot loop never

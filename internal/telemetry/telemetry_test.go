@@ -188,7 +188,7 @@ func TestRegistrySnapshotAndString(t *testing.T) {
 	reg.Histogram("c.lat").Observe(100)
 	s := reg.String()
 	// Keys are sorted, so the rendering is deterministic.
-	want := `{"a.depth": -2, "b.count": 3, "c.lat": {"count": 1, "sum": 100, "mean": 100.0, "p50": 127, "p99": 127}}`
+	want := `{"a.depth": -2, "b.count": 3, "c.lat": {"count": 1, "sum": 100, "mean": 100.0, "p50": 127, "p90": 127, "p99": 127, "max": 100}}`
 	if s != want {
 		t.Errorf("String() = %s\nwant      %s", s, want)
 	}
