@@ -4,6 +4,7 @@
 #   make check           — ci plus the telemetry gates
 #   make fuzz            — short fuzzing pass over the .bench parser
 #   make chaos           — fault-injection trials under the race detector
+#   make chaos-resume    — SIGKILL/resume convergence trials (race build)
 #   make bench-telemetry — disabled-telemetry overhead gate (≤2%)
 #   make journal-check   — end-to-end run journal validation
 #   make bench           — record the quick perf suite to BENCH_core.json
@@ -14,8 +15,8 @@ GO ?= go
 FUZZTIME ?= 10s
 BASELINE ?= BENCH_core.json
 
-.PHONY: all build vet test race fuzz chaos ci check bench-telemetry journal-check \
-	bench bench-compare bench-check clean
+.PHONY: all build vet test race fuzz chaos chaos-resume ci check bench-telemetry \
+	journal-check bench bench-compare bench-check clean
 
 all: build
 
@@ -42,6 +43,13 @@ fuzz:
 chaos:
 	$(GO) test -race -count 1 ./internal/chaos
 
+# Crash-only gate: SIGKILL journaled dedc runs at random points (the killed
+# binary itself built with -race) and require every -resume to converge to
+# the uninterrupted run's exact solution set.
+chaos-resume:
+	CHAOS_RESUME_TRIALS=50 CHAOS_RESUME_RACE=1 \
+		$(GO) test -race -count 1 -run TestChaosResume -timeout 30m ./cmd/dedc
+
 ci: vet build race fuzz
 
 # Measures Engine.Trial three ways (uninstrumented reference, telemetry
@@ -64,6 +72,7 @@ journal-check:
 		-device .journal-check/bad.bench -stuckat -random 512 \
 		-journal .journal-check/run.jsonl > /dev/null
 	$(GO) run ./cmd/journalcheck .journal-check/run.jsonl
+	$(GO) run ./cmd/journalcheck -resume-point .journal-check/run.jsonl
 	rm -rf .journal-check
 
 # Core-pipeline benchmark suite (internal/perf via cmd/dedcbench): phase-by-
@@ -85,7 +94,7 @@ bench-check:
 		$(GO) run ./cmd/dedcbench -suite quick -q -o BENCH_core.json; \
 	fi
 
-check: ci journal-check bench-telemetry bench-check
+check: ci journal-check bench-telemetry bench-check chaos-resume
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"dedc/internal/bench"
+	"dedc/internal/circuit"
+	"dedc/internal/fault"
+	"dedc/internal/gen"
+)
+
+// TestChaosResume SIGKILLs journaled dedc runs at random points and checks
+// that -resume converges to exactly the solution set of an uninterrupted run.
+//
+// Defaults to a handful of trials so the regular test run stays quick; the
+// `make chaos-resume` target scales it up:
+//
+//	CHAOS_RESUME_TRIALS=50 go test -run TestChaosResume ./cmd/dedc
+//	CHAOS_RESUME_RACE=1 ...   # build the killed binary with -race
+func TestChaosResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos test")
+	}
+	trials := 3
+	if s := os.Getenv("CHAOS_RESUME_TRIALS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			t.Fatalf("bad CHAOS_RESUME_TRIALS=%q", s)
+		}
+		trials = n
+	}
+
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "dedc")
+	buildArgs := []string{"build", "-o", bin}
+	if os.Getenv("CHAOS_RESUME_RACE") != "" {
+		buildArgs = append(buildArgs, "-race")
+	}
+	if out, err := exec.Command("go", append(buildArgs, ".")...).CombinedOutput(); err != nil {
+		t.Fatalf("building dedc: %v\n%s", err, out)
+	}
+
+	// A 7-bit multiplier with four injected faults runs long enough
+	// (hundreds of ms) to leave a wide window of mid-search kill points.
+	impl := gen.ArrayMultiplier(7)
+	sites := fault.Sites(impl)
+	device := fault.Inject(impl,
+		fault.Fault{Site: sites[len(sites)/3], Value: false},
+		fault.Fault{Site: sites[len(sites)/2], Value: true},
+		fault.Fault{Site: sites[2*len(sites)/3], Value: false},
+	)
+	implPath := filepath.Join(dir, "impl.bench")
+	devPath := filepath.Join(dir, "device.bench")
+	writeBench(t, implPath, impl)
+	writeBench(t, devPath, device)
+
+	common := []string{
+		"-impl", implPath, "-device", devPath, "-stuckat",
+		"-random", "1024", "-maxerrors", "3",
+	}
+
+	// Uninterrupted reference run; its duration sizes the kill window.
+	start := time.Now()
+	refOut, err := exec.Command(bin, common...).Output()
+	window := time.Since(start)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	ref := sortedLines(string(refOut))
+	if len(ref) == 0 {
+		t.Fatal("reference run found no solutions; fixture is too easy or broken")
+	}
+	t.Logf("reference: %d solutions in %v", len(ref), window)
+
+	rng := rand.New(rand.NewSource(20260805))
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
+			journal := filepath.Join(dir, fmt.Sprintf("chaos%02d.jsonl", trial))
+			cmd := exec.Command(bin, append([]string{"-journal", journal}, common...)...)
+			if err := cmd.Start(); err != nil {
+				t.Fatal(err)
+			}
+			// Anywhere from "barely started" to "almost done" — including
+			// kills that land before the first checkpoint, where resume
+			// must fall back to a fresh run.
+			delay := time.Duration(rng.Int63n(int64(window) + 1))
+			time.Sleep(delay)
+			cmd.Process.Signal(syscall.SIGKILL)
+			err := cmd.Wait()
+			if err == nil {
+				t.Logf("run finished before the %v kill; resuming a complete journal", delay)
+			}
+			// A kill during startup can beat journal creation; resume
+			// treats an empty journal as a fresh start.
+			if _, serr := os.Stat(journal); serr != nil {
+				if werr := os.WriteFile(journal, nil, 0o644); werr != nil {
+					t.Fatal(werr)
+				}
+			}
+
+			out, err := exec.Command(bin, append([]string{"-resume", journal}, common...)...).Output()
+			if err != nil {
+				t.Fatalf("resume after kill at %v: %v", delay, err)
+			}
+			if got := sortedLines(string(out)); !equalLines(got, ref) {
+				t.Errorf("kill at %v: resumed solutions diverge\n got: %v\nwant: %v", delay, got, ref)
+			}
+		})
+	}
+}
+
+func writeBench(t *testing.T, path string, c *circuit.Circuit) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := bench.Write(f, c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sortedLines(s string) []string {
+	var out []string
+	for _, ln := range strings.Split(s, "\n") {
+		if ln = strings.TrimSpace(ln); ln != "" {
+			out = append(out, ln)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalLines(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

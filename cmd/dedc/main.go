@@ -9,9 +9,11 @@
 //	dedc ... -vec ckt.vec                                 # reuse an atpg vector file
 //	dedc ... -timeout 30s                                 # bound the whole run
 //	dedc ... -journal run.jsonl -cpuprofile cpu.out       # observability outputs
+//	dedc ... -journal run.jsonl; dedc ... -resume run.jsonl  # crash, then resume
 //
 // Observability: -journal streams one JSONL event per span/iteration of the
-// run (schema v1, see DESIGN.md); -cpuprofile/-memprofile/-trace write
+// run (schema v2, see DESIGN.md), including periodic checkpoint events that
+// -resume replays to continue a killed run; -cpuprofile/-memprofile/-trace write
 // runtime profiles; -v enables debug logging and -log-format selects
 // text or json log lines on stderr. -debug-addr serves live debugging
 // endpoints for the duration of the run: /metrics (Prometheus text
@@ -31,6 +33,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -67,6 +70,8 @@ func run(args []string) int {
 	seed := fs.Int64("seed", 1, "seed for generated vectors")
 	maxErrors := fs.Int("maxerrors", 4, "bound on the correction-set size")
 	timeout := fs.Duration("timeout", 0, "wall-clock bound on the whole run (0 = none)")
+	resume := fs.String("resume", "", "resume a crashed run from its journal (requires identical inputs: same netlists and the same -vec or -random/-seed/-det)")
+	noVerify := fs.Bool("no-verify", false, "disable the verified-results gate (skip independent re-simulation of solutions)")
 	certify := fs.Bool("certify", false, "SAT-partition stuck-at tuples into proven equivalence classes")
 	out := fs.String("o", "", "repaired netlist output (DEDC mode; default stdout)")
 	var obs telemetry.CLI
@@ -76,6 +81,18 @@ func run(args []string) int {
 	// partial-result exit code.
 	if err := fs.Parse(args); err != nil {
 		return 1
+	}
+
+	// Read the crashed run's journal before the observability runtime opens
+	// its outputs: -journal may name the same file, and os.Create would
+	// truncate it out from under the resume.
+	var resumeJournal []byte
+	if *resume != "" {
+		var err error
+		if resumeJournal, err = os.ReadFile(*resume); err != nil {
+			fmt.Fprintf(os.Stderr, "dedc: -resume: %v\n", err)
+			return 1
+		}
 	}
 
 	rt, err := obs.Build(os.Stderr)
@@ -115,6 +132,13 @@ func run(args []string) int {
 	}
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
 	defer stop()
+	// First ctrl-C cancels the search gracefully; restoring the default
+	// disposition right after lets a second ctrl-C force-exit a run that is
+	// too wedged to unwind.
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
 
 	impl, err := readCircuit(*implPath)
 	if err != nil {
@@ -163,9 +187,16 @@ func run(args []string) int {
 	}
 	refOut := diagnose.DeviceOutputs(ref, pi, n)
 
+	opt := diagnose.Options{MaxErrors: *maxErrors, NoVerify: *noVerify, Seed: *seed}
+
 	start := time.Now()
 	if *stuckat {
-		res, err := diagnose.DiagnoseStuckAtContext(ctx, impl, refOut, pi, n, diagnose.Options{MaxErrors: *maxErrors})
+		var res *diagnose.StuckAtResult
+		if *resume != "" {
+			res, err = diagnose.ResumeStuckAtFromJournal(ctx, bytes.NewReader(resumeJournal), impl, refOut, pi, n, opt)
+		} else {
+			res, err = diagnose.DiagnoseStuckAtContext(ctx, impl, refOut, pi, n, opt)
+		}
 		if err != nil {
 			return fail("%v", err)
 		}
@@ -192,7 +223,12 @@ func run(args []string) int {
 		return 0
 	}
 
-	rep, err := diagnose.RepairContext(ctx, impl, refOut, pi, n, diagnose.Options{MaxErrors: *maxErrors})
+	var rep *diagnose.RepairResult
+	if *resume != "" {
+		rep, err = diagnose.ResumeRepairFromJournal(ctx, bytes.NewReader(resumeJournal), impl, refOut, pi, n, opt)
+	} else {
+		rep, err = diagnose.RepairContext(ctx, impl, refOut, pi, n, opt)
+	}
 	if err != nil {
 		return fail("%v", err)
 	}

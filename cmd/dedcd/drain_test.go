@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+var addrRe = regexp.MustCompile(`dedcd listening.*addr=([0-9.:]+)`)
+
+// syncBuffer guards the subprocess's stderr against concurrent reads from
+// the test goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestSIGTERMDrain builds the real binary, runs it, submits a job, and sends
+// SIGTERM: the service must drain the in-flight work and exit 0.
+func TestSIGTERMDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	bin := filepath.Join(t.TempDir(), "dedcd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building dedcd: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-drain-timeout", "20s")
+	var stderr syncBuffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The listen address is announced on stderr (port 0 picks a free one).
+	var addr string
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		if m := addrRe.FindStringSubmatch(stderr.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("no listen address announced:\n%s", stderr.String())
+	}
+	base := "http://" + addr
+
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"impl":"INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n","spec":"INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n","random":64}`))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("dedcd exited non-zero after SIGTERM: %v\n%s", err, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("dedcd did not exit after SIGTERM:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "drained") {
+		t.Errorf("no drain log line:\n%s", stderr.String())
+	}
+}

@@ -1,0 +1,117 @@
+// Command dedcd runs the diagnosis engine as a crash-only HTTP service.
+// Diagnosis requests are submitted as jobs onto a supervised, bounded worker
+// pool (internal/supervise): a job that panics is quarantined and its worker
+// replaced; a full queue sheds load with 503 instead of buffering without
+// bound; SIGTERM drains in-flight jobs before exit.
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/jobs             submit {"impl": "<bench>", "spec"|"device": "<bench>", ...}
+//	GET  /v1/jobs             list jobs + pool counters
+//	GET  /v1/jobs/{id}        job status
+//	GET  /v1/jobs/{id}/result terminal result (409 while queued/running)
+//	POST /v1/jobs/{id}/cancel cancel a queued or running job
+//	GET  /healthz             liveness + pool counters
+//
+// The standard telemetry debug endpoints (/metrics, /debug/vars,
+// /debug/pprof/*) share the same listener.
+//
+// Exit status: 0 on clean (signal-initiated) shutdown with all jobs drained,
+// 1 on startup errors or a drain that exceeded -drain-timeout.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dedc/internal/supervise"
+	"dedc/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("dedcd", flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:8080", "listen address")
+	workers := fs.Int("workers", 2, "concurrent diagnosis workers")
+	queue := fs.Int("queue", 8, "bounded job queue depth (overflow is shed with 503)")
+	jobTimeout := fs.Duration("job-timeout", 10*time.Minute, "per-job deadline (0 = none)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight jobs")
+	journalDir := fs.String("journal-dir", "", "write a per-job run journal (<dir>/<id>.jsonl); interrupted jobs become resumable with dedc -resume")
+	var obs telemetry.CLI
+	obs.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	rt, err := obs.Build(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dedcd: %v\n", err)
+		return 1
+	}
+	defer rt.Close()
+	log := rt.Logger
+	telemetry.Default.Publish("dedc.metrics")
+
+	// First SIGTERM/SIGINT starts the graceful drain; a second one restores
+	// the default disposition via stop(), so it force-kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
+	// Jobs live on their own context, independent of the signal: a drain lets
+	// in-flight work finish, and only a blown -drain-timeout cancels it.
+	jobsCtx, cancelJobs := context.WithCancel(context.Background())
+	defer cancelJobs()
+	srv := newServer(jobsCtx, log, supervise.Options{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		JobTimeout: *jobTimeout,
+	})
+	if *journalDir != "" {
+		if err := os.MkdirAll(*journalDir, 0o755); err != nil {
+			log.Error("creating -journal-dir", "err", err)
+			return 1
+		}
+		srv.journalDir = *journalDir
+	}
+	web, err := telemetry.ServeMux(*addr, srv.handler(telemetry.Default))
+	if err != nil {
+		log.Error("listen failed", "addr", *addr, "err", err)
+		return 1
+	}
+	log.Info("dedcd listening", "addr", web.Addr(), "workers", *workers, "queue", *queue)
+
+	<-ctx.Done()
+	log.Info("shutdown requested; draining", "timeout", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// When the drain deadline hits, cancel the jobs themselves so the engine
+	// unwinds; the grace period below covers that unwinding.
+	stopAfter := context.AfterFunc(dctx, cancelJobs)
+	defer stopAfter()
+	code := 0
+	if err := web.Shutdown(dctx); err != nil {
+		log.Error("http shutdown", "err", err)
+		code = 1
+	}
+	gctx, gcancel := context.WithTimeout(context.Background(), *drainTimeout+10*time.Second)
+	defer gcancel()
+	if err := srv.pool.Drain(gctx); err != nil {
+		log.Error("job drain incomplete", "err", err, "stats", srv.pool.Stats())
+		code = 1
+	}
+	st := srv.pool.Stats()
+	log.Info("drained", "completed", st.Completed, "failed", st.Failed,
+		"panics", st.Panics, "shed", st.Shed)
+	return code
+}

@@ -1,0 +1,405 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"dedc/internal/bench"
+	"dedc/internal/diagnose"
+	"dedc/internal/supervise"
+	"dedc/internal/telemetry"
+	"dedc/internal/tpg"
+)
+
+// jobRequest is the submission body of POST /v1/jobs: netlists travel inline
+// as .bench text, so the service holds no filesystem state.
+type jobRequest struct {
+	// Impl is the netlist to diagnose/repair (.bench text, required).
+	Impl string `json:"impl"`
+	// Spec is the golden specification (.bench text) for DEDC mode; Device
+	// the faulty device for stuck-at mode. Exactly one must be set.
+	Spec   string `json:"spec,omitempty"`
+	Device string `json:"device,omitempty"`
+	// Random/Seed control generated vectors (defaults 1024 / 1).
+	Random int   `json:"random,omitempty"`
+	Seed   int64 `json:"seed,omitempty"`
+	// MaxErrors bounds the correction-set size (default 4).
+	MaxErrors int `json:"max_errors,omitempty"`
+	// NoVerify disables the verified-results gate (on by default).
+	NoVerify bool `json:"no_verify,omitempty"`
+}
+
+// jobResult is the terminal payload of GET /v1/jobs/{id}/result.
+type jobResult struct {
+	Mode        string         `json:"mode"` // "repair" or "stuckat"
+	Status      string         `json:"status"`
+	Solved      bool           `json:"solved"`
+	Corrections []string       `json:"corrections,omitempty"` // repair mode
+	Tuples      [][]string     `json:"tuples,omitempty"`      // stuckat mode
+	Repaired    string         `json:"repaired,omitempty"`    // .bench text
+	Verified    int            `json:"verified"`
+	Stats       diagnose.Stats `json:"stats"`
+}
+
+// jobState is the lifecycle of one submitted job.
+type jobState string
+
+const (
+	stateQueued    jobState = "queued"
+	stateRunning   jobState = "running"
+	stateDone      jobState = "done"
+	stateFailed    jobState = "failed"
+	stateCancelled jobState = "cancelled"
+	statePanicked  jobState = "panicked"
+)
+
+type job struct {
+	mu       sync.Mutex
+	id       string
+	state    jobState
+	err      string
+	result   *jobResult
+	cancel   context.CancelFunc
+	created  time.Time
+	finished time.Time
+}
+
+func (j *job) set(s jobState, res *jobResult, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	// Terminal states are sticky: a cancel racing completion keeps whichever
+	// landed first.
+	if j.state == stateDone || j.state == stateFailed || j.state == stateCancelled || j.state == statePanicked {
+		return
+	}
+	j.state = s
+	j.result = res
+	if err != nil {
+		j.err = err.Error()
+	}
+	if s != stateRunning {
+		j.finished = time.Now()
+	}
+}
+
+type jobView struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Error  string `json:"error,omitempty"`
+	HasRes bool   `json:"has_result"`
+}
+
+func (j *job) view() jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobView{ID: j.id, State: string(j.state), Error: j.err, HasRes: j.result != nil}
+}
+
+// runner executes one diagnosis request; the indirection lets tests inject
+// hanging or panicking jobs without forging netlists that crash the engine.
+type runner func(ctx context.Context, req jobRequest) (*jobResult, error)
+
+// server is the crash-only diagnosis service: jobs run on a supervised pool,
+// so a panicking or wedged diagnosis is quarantined without disturbing its
+// neighbours or the process.
+type server struct {
+	pool    *supervise.Pool
+	log     *slog.Logger
+	run     runner
+	baseCtx context.Context // process lifetime: shutdown cancels all jobs
+
+	// journalDir, when set, gives every job its own run journal
+	// (<dir>/<id>.jsonl) with flush-on-checkpoint semantics, so a job killed
+	// by shutdown, cancellation or a crash is resumable with dedc -resume.
+	journalDir string
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	nextID int
+}
+
+func newServer(ctx context.Context, log *slog.Logger, popt supervise.Options) *server {
+	s := &server{
+		log:     log,
+		baseCtx: ctx,
+		jobs:    map[string]*job{},
+	}
+	s.run = runDiagnosis
+	// A panicking job never returns through the closure in handleSubmit, so
+	// its terminal state is applied from the pool's outcome hook instead.
+	popt.OnDone = func(id string, err error) {
+		var pe *supervise.PanicError
+		if errors.As(err, &pe) {
+			s.markPanicked(id, err)
+			log.Error("job panicked; input quarantined, worker replaced", "id", id, "err", err)
+		}
+	}
+	s.pool = supervise.New(popt)
+	return s
+}
+
+// handler builds the service mux on top of the standard telemetry debug mux,
+// so /metrics, /debug/vars and /debug/pprof ride along on the same listener.
+func (s *server) handler(reg *telemetry.Registry) http.Handler {
+	mux := telemetry.DebugMux(reg)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "pool": s.pool.Stats()})
+	})
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	return mux
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	j := &job{id: fmt.Sprintf("job-%d", s.nextID), state: stateQueued, created: time.Now()}
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+
+	jctx, cancel := context.WithCancel(s.baseCtx)
+	j.cancel = cancel
+	err := s.pool.Submit(j.id, func(pctx context.Context) error {
+		// The pool context carries the per-attempt deadline; the job context
+		// carries explicit cancellation and process shutdown. Chain them so
+		// either ends the run.
+		stop := context.AfterFunc(pctx, cancel)
+		defer stop()
+		j.set(stateRunning, nil, nil)
+		runCtx, closeJournal := s.jobJournal(jctx, j.id)
+		defer closeJournal()
+		res, err := s.run(runCtx, req)
+		switch {
+		case err == nil:
+			j.set(stateDone, res, nil)
+		case errors.Is(jctx.Err(), context.Canceled):
+			j.set(stateCancelled, nil, err)
+		default:
+			j.set(stateFailed, nil, err)
+		}
+		return err
+	})
+	if err != nil {
+		cancel()
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		s.mu.Unlock()
+		// 503 + Retry-After is the backpressure contract: the queue is the
+		// bounded buffer, the client is the retry loop.
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	s.log.Info("job accepted", "id", j.id)
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id})
+}
+
+func (s *server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	views := make([]jobView, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		views = append(views, j.view())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views, "pool": s.pool.Stats()})
+}
+
+func (s *server) job(w http.ResponseWriter, r *http.Request) *job {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+	}
+	return j
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.job(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.view())
+	}
+}
+
+func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	state, res, errStr := j.state, j.result, j.err
+	j.mu.Unlock()
+	switch state {
+	case stateDone:
+		writeJSON(w, http.StatusOK, res)
+	case stateQueued, stateRunning:
+		writeErr(w, http.StatusConflict, fmt.Errorf("job %s is %s", j.id, state))
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"state": string(state), "error": errStr})
+	}
+}
+
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	j.set(stateCancelled, nil, errors.New("cancelled by request"))
+	if j.cancel != nil {
+		j.cancel()
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+// jobJournal attaches a per-job run journal to ctx when -journal-dir is
+// set. Journal trouble never fails the job — the run proceeds unjournaled —
+// and the returned cleanup is safe to call unconditionally.
+func (s *server) jobJournal(ctx context.Context, id string) (context.Context, func()) {
+	if s.journalDir == "" {
+		return ctx, func() {}
+	}
+	f, err := os.Create(filepath.Join(s.journalDir, id+".jsonl"))
+	if err != nil {
+		s.log.Warn("job journal unavailable; running unjournaled", "id", id, "err", err)
+		return ctx, func() {}
+	}
+	jl := telemetry.NewJournal(f)
+	tr := telemetry.NewTracer(telemetry.Options{Journal: jl})
+	return telemetry.WithTracer(ctx, tr), func() {
+		if cerr := jl.Close(); cerr != nil {
+			s.log.Warn("closing job journal", "id", id, "err", cerr)
+		}
+		f.Close()
+	}
+}
+
+// markPanicked is the pool OnDone hook's path for panicked jobs: the job
+// closure never returns, so the terminal state is applied here.
+func (s *server) markPanicked(id string, err error) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j != nil {
+		j.set(statePanicked, nil, err)
+	}
+}
+
+// runDiagnosis is the production runner: parse the inline netlists, build
+// vectors, run the engine.
+func runDiagnosis(ctx context.Context, req jobRequest) (*jobResult, error) {
+	if req.Impl == "" {
+		return nil, errors.New("impl netlist is required")
+	}
+	if (req.Spec == "") == (req.Device == "") {
+		return nil, errors.New("exactly one of spec (repair) or device (stuckat) is required")
+	}
+	impl, err := bench.Read(strings.NewReader(req.Impl))
+	if err != nil {
+		return nil, fmt.Errorf("impl: %w", err)
+	}
+	refText, mode := req.Spec, "repair"
+	if req.Device != "" {
+		refText, mode = req.Device, "stuckat"
+	}
+	ref, err := bench.Read(strings.NewReader(refText))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", mode, err)
+	}
+	if len(impl.PIs) != len(ref.PIs) || len(impl.POs) != len(ref.POs) {
+		return nil, fmt.Errorf("interface mismatch: %d/%d PIs, %d/%d POs",
+			len(impl.PIs), len(ref.PIs), len(impl.POs), len(ref.POs))
+	}
+	random := req.Random
+	if random <= 0 {
+		random = 1024
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	maxErrors := req.MaxErrors
+	if maxErrors <= 0 {
+		maxErrors = 4
+	}
+	vecs := tpg.BuildVectorsContext(ctx, impl, tpg.Options{Random: random, Seed: seed, Deterministic: true})
+	refOut := diagnose.DeviceOutputs(ref, vecs.PI, vecs.N)
+	opt := diagnose.Options{MaxErrors: maxErrors, NoVerify: req.NoVerify, Seed: seed}
+
+	if mode == "stuckat" {
+		res, err := diagnose.DiagnoseStuckAtContext(ctx, impl, refOut, vecs.PI, vecs.N, opt)
+		if err != nil {
+			return nil, err
+		}
+		out := &jobResult{
+			Mode:     mode,
+			Status:   res.Status.String(),
+			Solved:   res.Status.Solved() && len(res.Tuples) > 0,
+			Verified: res.Stats.Verified,
+			Stats:    res.Stats,
+		}
+		for _, tu := range res.Tuples {
+			names := make([]string, len(tu))
+			for i, f := range tu {
+				names[i] = fmt.Sprintf("%s/%d", f.Site.Name(impl), b2i(f.Value))
+			}
+			out.Tuples = append(out.Tuples, names)
+		}
+		return out, nil
+	}
+
+	rep, err := diagnose.RepairContext(ctx, impl, refOut, vecs.PI, vecs.N, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := &jobResult{
+		Mode:     mode,
+		Status:   rep.Status.String(),
+		Solved:   rep.Solved(),
+		Verified: rep.Stats.Verified,
+		Stats:    rep.Stats,
+	}
+	for _, c := range rep.Corrections {
+		out.Corrections = append(out.Corrections, c.String())
+	}
+	if rep.Repaired != nil {
+		var sb strings.Builder
+		if err := bench.Write(&sb, rep.Repaired); err != nil {
+			return nil, err
+		}
+		out.Repaired = sb.String()
+	}
+	return out, nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func b2i(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,387 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"dedc/internal/bench"
+	"dedc/internal/circuit"
+	"dedc/internal/diagnose"
+	"dedc/internal/fault"
+	"dedc/internal/gen"
+	"dedc/internal/supervise"
+	"dedc/internal/telemetry"
+	"dedc/internal/tpg"
+)
+
+func testServer(t *testing.T, popt supervise.Options, run runner) (*server, *httptest.Server) {
+	t.Helper()
+	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+	s := newServer(context.Background(), log, popt)
+	if run != nil {
+		s.run = run
+	}
+	ts := httptest.NewServer(s.handler(telemetry.NewRegistry()))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.pool.Drain(ctx)
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp, m
+}
+
+func getJSON(t *testing.T, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, m
+}
+
+// waitState polls a job's status until it reaches a terminal state.
+func waitState(t *testing.T, base, id string, want ...string) string {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		_, m := getJSON(t, base+"/v1/jobs/"+id)
+		state, _ := m["state"].(string)
+		for _, w := range want {
+			if state == w {
+				return state
+			}
+		}
+		switch state {
+		case string(stateQueued), string(stateRunning):
+			time.Sleep(10 * time.Millisecond)
+		default:
+			t.Fatalf("job %s reached %q, wanted one of %v (err=%v)", id, state, want, m["error"])
+		}
+	}
+	t.Fatalf("job %s never reached %v", id, want)
+	return ""
+}
+
+func TestSubmitStatusResult(t *testing.T) {
+	_, ts := testServer(t, supervise.Options{Workers: 2}, func(context.Context, jobRequest) (*jobResult, error) {
+		return &jobResult{Mode: "repair", Status: "FirstSolution", Solved: true, Corrections: []string{"fix"}}, nil
+	})
+	resp, m := postJSON(t, ts.URL+"/v1/jobs", jobRequest{Impl: "x"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	id := m["id"].(string)
+	waitState(t, ts.URL, id, string(stateDone))
+	code, res := getJSON(t, ts.URL+"/v1/jobs/"+id+"/result")
+	if code != http.StatusOK || res["solved"] != true || res["mode"] != "repair" {
+		t.Errorf("result = %d %v", code, res)
+	}
+	if code, _ := getJSON(t, ts.URL+"/v1/jobs/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown job status code = %d", code)
+	}
+}
+
+func TestResultConflictWhileRunning(t *testing.T) {
+	release := make(chan struct{})
+	_, ts := testServer(t, supervise.Options{Workers: 1}, func(ctx context.Context, _ jobRequest) (*jobResult, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return &jobResult{Status: "Complete"}, nil
+	})
+	defer close(release)
+	_, m := postJSON(t, ts.URL+"/v1/jobs", jobRequest{Impl: "x"})
+	id := m["id"].(string)
+	waitState(t, ts.URL, id, string(stateRunning))
+	if code, _ := getJSON(t, ts.URL+"/v1/jobs/"+id+"/result"); code != http.StatusConflict {
+		t.Errorf("result while running = %d, want 409", code)
+	}
+}
+
+// TestPanickingJobIsSurvived is the tentpole's acceptance check in unit form:
+// a job that panics is quarantined, the worker replaced, and the service
+// keeps serving.
+func TestPanickingJobIsSurvived(t *testing.T) {
+	s, ts := testServer(t, supervise.Options{Workers: 1}, func(_ context.Context, req jobRequest) (*jobResult, error) {
+		if req.Impl == "poison" {
+			panic("engine exploded")
+		}
+		return &jobResult{Status: "Complete", Solved: true}, nil
+	})
+	_, m := postJSON(t, ts.URL+"/v1/jobs", jobRequest{Impl: "poison"})
+	poisonID := m["id"].(string)
+	waitState(t, ts.URL, poisonID, string(statePanicked))
+
+	// The same (replaced) worker must process the next job normally.
+	_, m = postJSON(t, ts.URL+"/v1/jobs", jobRequest{Impl: "fine"})
+	waitState(t, ts.URL, m["id"].(string), string(stateDone))
+
+	code, health := getJSON(t, ts.URL+"/healthz")
+	if code != http.StatusOK || health["ok"] != true {
+		t.Errorf("healthz after panic = %d %v", code, health)
+	}
+	if q := s.pool.Quarantine(); len(q) != 1 || q[0].ID != poisonID {
+		t.Errorf("quarantine = %+v", q)
+	}
+	// The panicked job's result endpoint reports the terminal state.
+	code, res := getJSON(t, ts.URL+"/v1/jobs/"+poisonID+"/result")
+	if code != http.StatusOK || res["state"] != string(statePanicked) {
+		t.Errorf("panicked result = %d %v", code, res)
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	_, ts := testServer(t, supervise.Options{Workers: 1}, func(ctx context.Context, _ jobRequest) (*jobResult, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	_, m := postJSON(t, ts.URL+"/v1/jobs", jobRequest{Impl: "x"})
+	id := m["id"].(string)
+	waitState(t, ts.URL, id, string(stateRunning))
+	resp, _ := postJSON(t, ts.URL+"/v1/jobs/"+id+"/cancel", struct{}{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel = %d", resp.StatusCode)
+	}
+	waitState(t, ts.URL, id, string(stateCancelled))
+}
+
+func TestLoadSheddingReturns503(t *testing.T) {
+	release := make(chan struct{})
+	_, ts := testServer(t, supervise.Options{Workers: 1, QueueDepth: 1}, func(ctx context.Context, _ jobRequest) (*jobResult, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return &jobResult{Status: "Complete"}, nil
+	})
+	defer close(release)
+	// One running, one queued; the next submission must be shed.
+	postJSON(t, ts.URL+"/v1/jobs", jobRequest{Impl: "a"})
+	shed := false
+	for i := 0; i < 10; i++ {
+		resp, _ := postJSON(t, ts.URL+"/v1/jobs", jobRequest{Impl: "b"})
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if resp.Header.Get("Retry-After") == "" {
+				t.Error("503 without Retry-After")
+			}
+			shed = true
+			break
+		}
+	}
+	if !shed {
+		t.Error("no submission was shed with a full queue")
+	}
+}
+
+func TestFailedJobReportsError(t *testing.T) {
+	_, ts := testServer(t, supervise.Options{Workers: 1}, func(context.Context, jobRequest) (*jobResult, error) {
+		return nil, fmt.Errorf("bad input")
+	})
+	_, m := postJSON(t, ts.URL+"/v1/jobs", jobRequest{Impl: "x"})
+	id := m["id"].(string)
+	waitState(t, ts.URL, id, string(stateFailed))
+	_, res := getJSON(t, ts.URL+"/v1/jobs/"+id+"/result")
+	if res["error"] != "bad input" {
+		t.Errorf("failed result = %v", res)
+	}
+}
+
+func TestBadRequestBody(t *testing.T) {
+	_, ts := testServer(t, supervise.Options{Workers: 1}, nil)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad body = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestRealStuckAtJob exercises the production runner end to end over an
+// injected fault on a small ALU.
+func TestRealStuckAtJob(t *testing.T) {
+	c := gen.Alu(2)
+	var good bytes.Buffer
+	if err := bench.Write(&good, c); err != nil {
+		t.Fatal(err)
+	}
+	sites := fault.Sites(c)
+	device := fault.Inject(c, fault.Fault{Site: sites[len(sites)/2], Value: true})
+	var bad bytes.Buffer
+	if err := bench.Write(&bad, device); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := testServer(t, supervise.Options{Workers: 1}, nil)
+	_, m := postJSON(t, ts.URL+"/v1/jobs", jobRequest{
+		Impl: good.String(), Device: bad.String(), Random: 256, MaxErrors: 2,
+	})
+	id := m["id"].(string)
+	waitState(t, ts.URL, id, string(stateDone))
+	code, res := getJSON(t, ts.URL+"/v1/jobs/"+id+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result = %d %v", code, res)
+	}
+	if res["mode"] != "stuckat" || res["solved"] != true {
+		t.Errorf("result = %v", res)
+	}
+	if tuples, _ := res["tuples"].([]any); len(tuples) == 0 {
+		t.Error("no tuples in result")
+	}
+	if v, _ := res["verified"].(float64); v < 1 {
+		t.Errorf("verified = %v, want >= 1 (gate on by default)", res["verified"])
+	}
+}
+
+// TestCancelledJobLeavesResumableJournal is the drain contract in unit form:
+// with -journal-dir set, a job interrupted mid-run leaves a per-job journal
+// from which diagnose.ResumeStuckAtFromJournal (the engine behind
+// `dedc -resume`) converges to exactly the uninterrupted solution set.
+func TestCancelledJobLeavesResumableJournal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a multi-hundred-ms diagnosis twice")
+	}
+	// Same fixture shape as the cmd/dedc chaos gate: big enough that the
+	// cancel reliably lands mid-search, after the first checkpoint.
+	impl := gen.ArrayMultiplier(7)
+	sites := fault.Sites(impl)
+	device := fault.Inject(impl,
+		fault.Fault{Site: sites[len(sites)/3], Value: false},
+		fault.Fault{Site: sites[len(sites)/2], Value: true},
+		fault.Fault{Site: sites[2*len(sites)/3], Value: false},
+	)
+	var implText, devText bytes.Buffer
+	if err := bench.Write(&implText, impl); err != nil {
+		t.Fatal(err)
+	}
+	if err := bench.Write(&devText, device); err != nil {
+		t.Fatal(err)
+	}
+
+	s, ts := testServer(t, supervise.Options{Workers: 1}, nil)
+	s.journalDir = t.TempDir()
+
+	_, m := postJSON(t, ts.URL+"/v1/jobs", jobRequest{
+		Impl: implText.String(), Device: devText.String(),
+		Random: 1024, Seed: 1, MaxErrors: 3,
+	})
+	id := m["id"].(string)
+	journal := filepath.Join(s.journalDir, id+".jsonl")
+
+	// Checkpoints are flushed as they are written, so the first one is
+	// visible on disk while the job is still running; cancel right then.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if b, _ := os.ReadFile(journal); bytes.Contains(b, []byte(`"event":"checkpoint"`)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint ever appeared in the job journal")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	postJSON(t, ts.URL+"/v1/jobs/"+id+"/cancel", struct{}{})
+	waitState(t, ts.URL, id, string(stateCancelled), string(stateDone))
+	// The cancelled state flips before the engine finishes unwinding; drain
+	// the pool so the journal has stopped moving before we read it back.
+	dctx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer dcancel()
+	if err := s.pool.Drain(dctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := diagnose.LatestCheckpoint(bytes.NewReader(data))
+	if err != nil || cp == nil {
+		t.Fatalf("LatestCheckpoint = %v, %v; want a resumable checkpoint", cp, err)
+	}
+
+	// Rebuild the exact inputs runDiagnosis used and resume from the journal;
+	// the result must match an uninterrupted run of the same problem.
+	ctx := context.Background()
+	vecs := tpg.BuildVectorsContext(ctx, impl, tpg.Options{Random: 1024, Seed: 1, Deterministic: true})
+	devOut := diagnose.DeviceOutputs(device, vecs.PI, vecs.N)
+	opt := diagnose.Options{MaxErrors: 3, Seed: 1}
+
+	want, err := diagnose.DiagnoseStuckAtContext(ctx, impl, devOut, vecs.PI, vecs.N, opt)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	got, err := diagnose.ResumeStuckAtFromJournal(ctx, bytes.NewReader(data), impl, devOut, vecs.PI, vecs.N, opt)
+	if err != nil {
+		t.Fatalf("resume from job journal: %v", err)
+	}
+	if gk, wk := stuckAtKeys(impl, got), stuckAtKeys(impl, want); !equalKeys(gk, wk) {
+		t.Errorf("resumed solutions diverge\n got: %v\nwant: %v", gk, wk)
+	}
+	if got.Stats.Verified == 0 {
+		t.Error("resumed run reported no verified solutions; gate should be on by default")
+	}
+}
+
+func stuckAtKeys(c *circuit.Circuit, res *diagnose.StuckAtResult) []string {
+	keys := make([]string, 0, len(res.Tuples))
+	for _, tu := range res.Tuples {
+		parts := make([]string, len(tu))
+		for i, f := range tu {
+			parts[i] = fmt.Sprintf("%s/%d", f.Site.Name(c), b2i(f.Value))
+		}
+		sort.Strings(parts)
+		keys = append(keys, strings.Join(parts, "+"))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func equalKeys(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

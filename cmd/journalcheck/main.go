@@ -1,24 +1,32 @@
 // Command journalcheck validates a JSONL run journal written by -journal.
 //
 // It checks every line against the schema (version, required fields),
-// verifies that span_start/span_end events pair up and nest, that seq
-// numbers are unique and increasing, and — when the journal comes from a
-// diagnosis run — reconstructs the chosen corrections from the "solution"
-// events and prints them.
+// verifies that seq numbers are strictly increasing, that the schema version
+// is consistent (a journal whose header line says v1 must not contain v2
+// events or checkpoint records), that span_start/span_end events pair up and
+// nest, that every checkpoint event decodes into a well-formed resume state,
+// and — when the journal comes from a diagnosis run — reconstructs the chosen
+// corrections from the "solution" events and prints them.
 //
 // With -phases it also aggregates span_end durations by span kind path
 // (indices stripped, so step[0] and step[1] pool) into a per-phase wall-time
 // table: count, total, mean and max.
 //
+// With -resume-point it reports the last resumable iteration (schedule step,
+// round, nodes) recorded in the journal's checkpoints — the state a `dedc
+// -resume` of this journal would continue from. Since the natural input is a
+// crash artefact, -resume-point tolerates a truncated final line; plain
+// validation stays strict.
+//
 // Usage:
 //
 //	journalcheck run.jsonl
-//	journalcheck -q run.jsonl        # exit status only
-//	journalcheck -phases run.jsonl   # per-phase wall-time summary
+//	journalcheck -q run.jsonl             # exit status only
+//	journalcheck -phases run.jsonl        # per-phase wall-time summary
+//	journalcheck -resume-point run.jsonl  # last resumable checkpoint
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +35,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"dedc/internal/diagnose"
 	"dedc/internal/telemetry"
 )
 
@@ -38,11 +47,12 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("journalcheck", flag.ContinueOnError)
 	quiet := fs.Bool("q", false, "suppress the summary; exit status only")
 	phases := fs.Bool("phases", false, "print a per-phase wall-time summary aggregated by span kind")
+	resumePoint := fs.Bool("resume-point", false, "print the last resumable checkpoint; tolerates a crash-truncated final line")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: journalcheck [-q] [-phases] run.jsonl")
+		fmt.Fprintln(os.Stderr, "usage: journalcheck [-q] [-phases] [-resume-point] run.jsonl")
 		return 1
 	}
 	path := fs.Arg(0)
@@ -54,48 +64,32 @@ func run(args []string) int {
 	defer f.Close()
 
 	var (
-		lineNo    int
-		events    int
-		lastSeq   int64
+		headerV   int64
 		open      = map[string]int{} // span path -> unclosed starts
 		unclosed  int
 		solutions []string
 		perPhase  = map[string]*phaseStat{} // span kind path -> durations
+		lastCP    *diagnose.Checkpoint
+		lastCPSeq int64
+		numCPs    int
 	)
-	fail := func(format string, a ...any) int {
-		fmt.Fprintf(os.Stderr, "journalcheck: %s:%d: %s\n", path, lineNo, fmt.Sprintf(format, a...))
-		return 1
-	}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	for sc.Scan() {
-		lineNo++
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	events, err := telemetry.ReplayJournal(f, telemetry.ReplayOptions{TolerateTruncatedTail: *resumePoint}, func(ev telemetry.ParsedEvent) error {
+		if headerV == 0 {
+			headerV = ev.V
 		}
-		ev, err := telemetry.ParseEvent(line)
-		if err != nil {
-			return fail("%v", err)
-		}
-		events++
-		if ev.Seq <= lastSeq {
-			return fail("seq %d not increasing (previous %d)", ev.Seq, lastSeq)
-		}
-		lastSeq = ev.Seq
 		switch ev.Event {
 		case "span_start":
 			open[ev.Span]++
 			unclosed++
 		case "span_end":
 			if open[ev.Span] == 0 {
-				return fail("span_end for %q without a matching span_start", ev.Span)
+				return fmt.Errorf("span_end for %q without a matching span_start", ev.Span)
 			}
 			open[ev.Span]--
 			unclosed--
 			dur, ok := ev.Attrs["dur_ns"].(float64)
 			if !ok {
-				return fail("span_end for %q missing dur_ns", ev.Span)
+				return fmt.Errorf("span_end for %q missing dur_ns", ev.Span)
 			}
 			kind := spanKindPath(ev.Span)
 			st := perPhase[kind]
@@ -111,23 +105,43 @@ func run(args []string) int {
 					solutions = append(solutions, s)
 				}
 			}
+		case telemetry.EventCheckpoint:
+			cp, err := diagnose.DecodeCheckpoint(ev)
+			if err != nil {
+				return err
+			}
+			lastCP, lastCPSeq = cp, ev.Seq
+			numCPs++
 		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "journalcheck: %s: %v\n", path, err)
+		return 1
 	}
-	if err := sc.Err(); err != nil {
-		return fail("%v", err)
-	}
-	if unclosed != 0 {
-		// A cancelled run may legitimately stop mid-span, but a clean journal
-		// should balance; report it as an error so make journal-check is strict.
+	if unclosed != 0 && !*resumePoint {
+		// A crashed run legitimately stops mid-span — that is what
+		// -resume-point is for — but a clean journal must balance.
 		for span, n := range open {
 			if n > 0 {
-				return fail("span %q started %d time(s) without ending", span, n)
+				fmt.Fprintf(os.Stderr, "journalcheck: %s: span %q started %d time(s) without ending\n", path, span, n)
+				return 1
 			}
 		}
 	}
+	if *resumePoint {
+		if lastCP == nil {
+			fmt.Printf("journalcheck: %s: no checkpoint; a resume would start fresh\n", path)
+		} else {
+			fmt.Printf("journalcheck: %s: last resumable iteration (seq %d): step %d round %d, %d nodes this step, %d solutions, %d frontier nodes, %d nodes total\n",
+				path, lastCPSeq, lastCP.Step, lastCP.Round, lastCP.NodesStep,
+				len(lastCP.Solutions), len(lastCP.Frontier), lastCP.Stats.Nodes)
+		}
+		return 0
+	}
 	if !*quiet {
-		fmt.Printf("journalcheck: %s: %d events, schema v%d, all spans balanced\n",
-			path, events, telemetry.SchemaVersion)
+		fmt.Printf("journalcheck: %s: %d events, schema v%d, %d checkpoint(s), all spans balanced\n",
+			path, events, headerV, numCPs)
 		if len(solutions) > 0 {
 			fmt.Printf("journalcheck: corrections chosen:\n")
 			for _, s := range solutions {

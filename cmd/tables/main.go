@@ -57,6 +57,12 @@ func run(args []string) int {
 
 	ctx, stop := signal.NotifyContext(rt.Context(context.Background()), os.Interrupt)
 	defer stop()
+	// First ctrl-C cancels gracefully; restoring the default disposition
+	// right after lets a second ctrl-C force-exit a wedged run.
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
 
 	cfg := experiment.Config{
 		Trials: *trials, Vectors: *vectors, Seed: *seed,

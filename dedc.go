@@ -371,7 +371,7 @@ type (
 	// TracerOptions configures NewTracer (journal, logger, registry, pprof
 	// labels, clock).
 	TracerOptions = telemetry.Options
-	// Journal is a line-buffered JSONL event sink (schema v1).
+	// Journal is a line-buffered JSONL event sink (schema v2).
 	Journal = telemetry.Journal
 	// MetricsRegistry is a process- or run-scoped set of named counters,
 	// gauges and histograms.
@@ -391,6 +391,42 @@ type JournalEvent = telemetry.ParsedEvent
 // schema (version, required v/ts/seq/span/event fields).
 func ParseJournalEvent(line []byte) (JournalEvent, error) {
 	return telemetry.ParseEvent(line)
+}
+
+// JournalReplayOptions configures ReplayJournal.
+type JournalReplayOptions = telemetry.ReplayOptions
+
+// ReplayJournal streams a run journal through fn, validating each line
+// against the schema and the whole stream for monotone sequence numbers and
+// a consistent schema version. It returns the number of events replayed.
+// Set TolerateTruncatedTail to accept the partial final line a crash leaves.
+func ReplayJournal(r io.Reader, o JournalReplayOptions, fn func(JournalEvent) error) (int, error) {
+	return telemetry.ReplayJournal(r, o, fn)
+}
+
+// Checkpoint is one resumable snapshot of an in-flight diagnosis: the
+// schedule step, round, search frontier, solutions so far and counters.
+// Journals at schema v2 embed one per search round.
+type Checkpoint = diagnose.Checkpoint
+
+// LatestCheckpoint scans a run journal — tolerating a crash-truncated final
+// line — and returns its last good checkpoint, or nil when the run never
+// reached one (a resume then starts fresh).
+func LatestCheckpoint(r io.Reader) (*Checkpoint, error) {
+	return diagnose.LatestCheckpoint(r)
+}
+
+// ResumeStuckAt continues a crashed stuck-at diagnosis from its journal.
+// The netlist, device responses and vectors must be identical to the
+// crashed run's; mismatched inputs are rejected with an error.
+func ResumeStuckAt(ctx context.Context, journal io.Reader, netlist *Circuit, deviceOut [][]uint64, v Vectors, o Options) (*StuckAtResult, error) {
+	return diagnose.ResumeStuckAtFromJournal(ctx, journal, netlist, deviceOut, v.PI, v.N, o)
+}
+
+// ResumeRepair continues a crashed DEDC repair from its journal, under the
+// same identical-inputs requirement as ResumeStuckAt.
+func ResumeRepair(ctx context.Context, journal io.Reader, impl *Circuit, specOut [][]uint64, v Vectors, o Options) (*RepairResult, error) {
+	return diagnose.ResumeRepairFromJournal(ctx, journal, impl, specOut, v.PI, v.N, o)
 }
 
 // NewMetricsRegistry returns an empty metrics registry. The process-wide

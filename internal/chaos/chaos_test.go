@@ -1,9 +1,12 @@
 package chaos
 
 import (
+	"bytes"
 	"context"
+	"fmt"
 	"math/rand"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -14,6 +17,7 @@ import (
 	"dedc/internal/fault"
 	"dedc/internal/gen"
 	"dedc/internal/sim"
+	"dedc/internal/telemetry"
 )
 
 // benchSources renders a spread of generator circuits to .bench text — the
@@ -245,4 +249,78 @@ func TestDeterministicPartialResults(t *testing.T) {
 	if !reflect.DeepEqual(a.Tuples, b.Tuples) {
 		t.Fatalf("tuples differ:\n%v\n%v", a.Tuples, b.Tuples)
 	}
+}
+
+// TestResumeChaos attacks the crash-recovery path: a journaled exact run is
+// truncated at random byte offsets (the artefact an arbitrary-instant kill
+// leaves) and bit-flipped at random positions (disk corruption). Every
+// resume must either converge to the reference solution set or fail with a
+// clean error — never panic, never report a divergent answer.
+func TestResumeChaos(t *testing.T) {
+	devOut, pi, n, c := makeProblem(t, 17)
+	opt := diagnose.Options{MaxErrors: 2, Exact: true, Seed: 17}
+
+	var buf bytes.Buffer
+	j := telemetry.NewJournal(&buf)
+	ctx := telemetry.WithTracer(context.Background(), telemetry.NewTracer(telemetry.Options{Journal: j}))
+	ref, err := diagnose.DiagnoseStuckAtContext(ctx, c, devOut, pi, n, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	journal := buf.Bytes()
+	if len(ref.Tuples) == 0 {
+		t.Fatal("reference run found no tuples")
+	}
+	want := tupleKeys(ref)
+
+	resume := func(trial int, corrupted []byte, wantConverge bool) {
+		terr := Trial(func() {
+			res, rerr := diagnose.ResumeStuckAtFromJournal(context.Background(),
+				bytes.NewReader(corrupted), c, devOut, pi, n, opt)
+			if rerr != nil {
+				if wantConverge {
+					t.Errorf("trial %d: resume from truncated journal failed: %v", trial, rerr)
+				}
+				return // clean rejection is an acceptable corruption outcome
+			}
+			if got := tupleKeys(res); !reflect.DeepEqual(got, want) {
+				t.Errorf("trial %d: resumed tuples diverge\n got %v\nwant %v", trial, got, want)
+			}
+			if merr := res.Stats.MonotoneSince(diagnose.Stats{}); merr != nil {
+				t.Errorf("trial %d: %v", trial, merr)
+			}
+		})
+		if terr != nil {
+			t.Errorf("trial %d: %v", trial, terr)
+		}
+	}
+
+	for trial := 0; trial < 60; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) * 101))
+		// Truncation at any byte offset must always resume and converge.
+		cut := rng.Intn(len(journal) + 1)
+		resume(trial, journal[:cut], true)
+
+		// Bit flips may corrupt a line beyond parsing (clean error) or leave
+		// it valid (must still converge); both are fine, panics are not.
+		flipped := append([]byte(nil), journal...)
+		for k := rng.Intn(4); k >= 0; k-- {
+			pos := rng.Intn(len(flipped))
+			flipped[pos] ^= 1 << rng.Intn(8)
+		}
+		resume(trial, flipped, false)
+	}
+}
+
+// tupleKeys canonicalizes a result's tuples for set comparison.
+func tupleKeys(res *diagnose.StuckAtResult) []string {
+	keys := make([]string, len(res.Tuples))
+	for i, tu := range res.Tuples {
+		keys[i] = fmt.Sprint(tu)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -100,6 +100,12 @@ func DiagnoseStuckAtContext(ctx context.Context, netlist *circuit.Circuit, devic
 func diagnoseStuckAt(ctx context.Context, netlist *circuit.Circuit, deviceOut [][]uint64, pi [][]uint64, n int, opt Options) *StuckAtResult {
 	opt.Exact = true
 	res := RunContext(ctx, netlist, deviceOut, pi, n, StuckAtModel{}, opt)
+	return stuckAtResultFrom(res)
+}
+
+// stuckAtResultFrom converts a raw search result into the Table-1 stuck-at
+// form, shared by the fresh and resumed entry points.
+func stuckAtResultFrom(res *Result) *StuckAtResult {
 	out := &StuckAtResult{Stats: res.Stats, Status: res.Status}
 	for _, s := range res.Solutions {
 		var t fault.Tuple
@@ -187,6 +193,13 @@ func RepairContext(ctx context.Context, impl *circuit.Circuit, specOut [][]uint6
 	opt.Exact = false
 	model := NewErrorModel(impl, 0, 1)
 	res := RunContext(ctx, impl, specOut, pi, n, model, opt)
+	return repairResultFrom(impl, res)
+}
+
+// repairResultFrom converts a raw search result into the DEDC repair form
+// (applying the first solution to a clone of the implementation), shared by
+// the fresh and resumed entry points.
+func repairResultFrom(impl *circuit.Circuit, res *Result) (*RepairResult, error) {
 	out := &RepairResult{Stats: res.Stats, Status: res.Status}
 	if len(res.Solutions) == 0 {
 		return out, nil

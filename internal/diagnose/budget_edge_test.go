@@ -1,0 +1,195 @@
+package diagnose
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"dedc/internal/circuit"
+	"dedc/internal/telemetry"
+)
+
+// journaledResume resumes a crashed run's journal with its own journal
+// attached, so a resumed run can itself be crashed and resumed again.
+func journaledResume(t *testing.T, journal []byte, c *circuitFixture, opt Options) (*Result, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	j := telemetry.NewJournal(&buf)
+	tr := telemetry.NewTracer(telemetry.Options{Journal: j})
+	ctx := telemetry.WithTracer(context.Background(), tr)
+	res, err := ResumeFromJournal(ctx, bytes.NewReader(journal), c.c, c.devOut, c.pi, c.n, StuckAtModel{}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.Bytes()
+}
+
+// checkpointNodeCounts extracts Stats.Nodes from every checkpoint in a
+// journal, in emission order.
+func checkpointNodeCounts(t *testing.T, journal []byte) []int {
+	t.Helper()
+	var nodes []int
+	_, err := telemetry.ReplayJournal(bytes.NewReader(journal), telemetry.ReplayOptions{}, func(ev telemetry.ParsedEvent) error {
+		if ev.Event == telemetry.EventCheckpoint {
+			cp, err := DecodeCheckpoint(ev)
+			if err != nil {
+				return err
+			}
+			nodes = append(nodes, cp.Stats.Nodes)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nodes
+}
+
+type circuitFixture struct {
+	c      *circuit.Circuit
+	devOut [][]uint64
+	pi     [][]uint64
+	n      int
+}
+
+func TestBudgetZeroValueIsUnlimited(t *testing.T) {
+	c, devOut, pi, n := resumeFixture(t)
+	opt := Options{MaxErrors: 2, Exact: true, Seed: 7}
+	plain := RunContext(context.Background(), c, devOut, pi, n, StuckAtModel{}, opt)
+
+	opt.Budget = Budget{}
+	budgeted := RunContext(context.Background(), c, devOut, pi, n, StuckAtModel{}, opt)
+	if budgeted.Status != StatusComplete {
+		t.Fatalf("zero budget status = %v, want Complete", budgeted.Status)
+	}
+	if got, want := solutionKeys(budgeted), solutionKeys(plain); !equalStrings(got, want) {
+		t.Errorf("zero budget solutions = %v, want %v", got, want)
+	}
+}
+
+// Negative limits are not "immediately exhausted": only positive values
+// arm a counted budget, so negatives behave like the zero value.
+func TestBudgetNegativeLimitsAreUnlimited(t *testing.T) {
+	c, devOut, pi, n := resumeFixture(t)
+	opt := Options{MaxErrors: 2, Exact: true, Seed: 7}
+	plain := RunContext(context.Background(), c, devOut, pi, n, StuckAtModel{}, opt)
+
+	opt.Budget = Budget{MaxNodes: -1, MaxSimulations: -100, MaxCandidates: -7}
+	if !opt.Budget.Unlimited() {
+		// Unlimited() only recognises the zero value; that is fine, the
+		// search itself must still not trip on negatives.
+		t.Log("negative budget is not Unlimited(); checking the search ignores it")
+	}
+	res := RunContext(context.Background(), c, devOut, pi, n, StuckAtModel{}, opt)
+	if res.Status != StatusComplete {
+		t.Fatalf("negative budget status = %v, want Complete", res.Status)
+	}
+	if got, want := solutionKeys(res), solutionKeys(plain); !equalStrings(got, want) {
+		t.Errorf("negative budget solutions = %v, want %v", got, want)
+	}
+}
+
+// Counted budgets promise deterministic truncation: the same inputs and the
+// same budget stop at the same point with the same partial answer.
+func TestBudgetTruncationIsDeterministic(t *testing.T) {
+	c, devOut, pi, n := resumeFixture(t)
+	opt := Options{MaxErrors: 2, Exact: true, Seed: 7, Budget: Budget{MaxNodes: 6}}
+
+	a, _ := journaledRun(t, c, devOut, pi, n, opt)
+	b, _ := journaledRun(t, c, devOut, pi, n, opt)
+	if a.Status != StatusBudgetExhausted || b.Status != StatusBudgetExhausted {
+		t.Fatalf("statuses = %v, %v, want BudgetExhausted twice", a.Status, b.Status)
+	}
+	if !equalStrings(solutionKeys(a), solutionKeys(b)) {
+		t.Errorf("truncated solutions differ: %v vs %v", solutionKeys(a), solutionKeys(b))
+	}
+	if as, bs := a.Stats.Deterministic(), b.Stats.Deterministic(); as != bs {
+		t.Errorf("truncated stats differ:\n%+v\n%+v", as, bs)
+	}
+}
+
+// TestBudgetExhaustionAtCheckpointBoundary arms the node budget with the
+// exact node count recorded in a mid-run checkpoint, so exhaustion trips at
+// a round boundary — the same instant a checkpoint is written. The resumed
+// run must still converge and its counters must not regress.
+func TestBudgetExhaustionAtCheckpointBoundary(t *testing.T) {
+	c, devOut, pi, n := resumeFixture(t)
+	opt := Options{MaxErrors: 2, Exact: true, Seed: 7}
+	full, journal := journaledRun(t, c, devOut, pi, n, opt)
+	if len(full.Solutions) == 0 {
+		t.Fatal("reference run found no solutions")
+	}
+
+	counts := checkpointNodeCounts(t, journal)
+	boundary := 0
+	for _, nc := range counts {
+		if nc > 0 && nc < full.Stats.Nodes {
+			boundary = nc // keep the last mid-run boundary
+		}
+	}
+	if boundary == 0 {
+		t.Fatalf("no mid-run checkpoint boundary in node counts %v", counts)
+	}
+
+	truncOpt := opt
+	truncOpt.Budget = Budget{MaxNodes: int64(boundary)}
+	trunc, crashJournal := journaledRun(t, c, devOut, pi, n, truncOpt)
+	if trunc.Status != StatusBudgetExhausted {
+		t.Fatalf("boundary-budget run status = %v, want BudgetExhausted", trunc.Status)
+	}
+
+	res, err := ResumeFromJournal(context.Background(), bytes.NewReader(crashJournal), c, devOut, pi, n, StuckAtModel{}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := solutionKeys(res), solutionKeys(full); !equalStrings(got, want) {
+		t.Errorf("resume after boundary exhaustion = %v, want %v", got, want)
+	}
+	if err := res.Stats.MonotoneSince(trunc.Stats.Deterministic()); err != nil {
+		t.Errorf("resumed stats regressed: %v", err)
+	}
+}
+
+// TestMonotoneSinceAcrossChainedResumes crashes a run twice — the second
+// crash happens inside a resumed run — and checks the counters only ever
+// grow along the chain while the final answer still converges.
+func TestMonotoneSinceAcrossChainedResumes(t *testing.T) {
+	c, devOut, pi, n := resumeFixture(t)
+	opt := Options{MaxErrors: 2, Exact: true, Seed: 7}
+	full, _ := journaledRun(t, c, devOut, pi, n, opt)
+
+	firstOpt := opt
+	firstOpt.Budget = Budget{MaxNodes: 4}
+	first, firstJournal := journaledRun(t, c, devOut, pi, n, firstOpt)
+	if first.Status != StatusBudgetExhausted {
+		t.Fatalf("first crash status = %v, want BudgetExhausted", first.Status)
+	}
+
+	fx := &circuitFixture{c: c, devOut: devOut, pi: pi, n: n}
+	secondOpt := opt
+	secondOpt.Budget = Budget{MaxNodes: int64(first.Stats.Nodes) + 4}
+	second, secondJournal := journaledResume(t, firstJournal, fx, secondOpt)
+	if second.Status != StatusBudgetExhausted {
+		t.Fatalf("second crash status = %v, want BudgetExhausted (stats %+v)", second.Status, second.Stats)
+	}
+	if err := second.Stats.MonotoneSince(first.Stats.Deterministic()); err != nil {
+		t.Errorf("second run's stats regressed below the first's: %v", err)
+	}
+
+	final, err := ResumeFromJournal(context.Background(), bytes.NewReader(secondJournal), c, devOut, pi, n, StuckAtModel{}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != StatusComplete {
+		t.Fatalf("final resume status = %v, want Complete", final.Status)
+	}
+	if got, want := solutionKeys(final), solutionKeys(full); !equalStrings(got, want) {
+		t.Errorf("final solutions = %v, want %v", got, want)
+	}
+	if err := final.Stats.MonotoneSince(second.Stats.Deterministic()); err != nil {
+		t.Errorf("final stats regressed below the second crash's: %v", err)
+	}
+}

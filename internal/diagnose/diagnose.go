@@ -128,6 +128,16 @@ type Options struct {
 	Policy Policy
 	// DisablePathTrace makes every line a suspect (ablation; quadratic).
 	DisablePathTrace bool
+	// NoVerify disables the verified-results gate. By default every solution
+	// is independently re-proven before it is recorded: the corrections are
+	// applied to a fresh clone of the netlist and re-simulated from scratch
+	// over the vectors in reversed order; a solution that fails this check is
+	// dropped (and counted in result.verify_failed) instead of reported.
+	NoVerify bool
+	// Seed is the vector-generation seed of the run, recorded in journal
+	// checkpoints so a resume can reject a journal written under different
+	// vectors. It does not influence the search itself.
+	Seed int64
 }
 
 // Defaults fills unset options.
@@ -181,6 +191,10 @@ type Stats struct {
 	// Candidates counts corrections examined (enumerated and at least
 	// Theorem-1 screened) — the unit Budget.MaxCandidates caps.
 	Candidates int64
+	// Verified counts solutions that passed the verified-results gate (an
+	// independent re-simulation in a different vector order). With the gate
+	// disabled (Options.NoVerify) it stays zero.
+	Verified int
 	// RankOfInjected is filled by audits (see ValidCorrectionRank): the
 	// best rank position of an actual error's correction, or -1.
 }

@@ -25,6 +25,16 @@ func Run(netlist *circuit.Circuit, specOut [][]uint64, pi [][]uint64, n int, mod
 // per-node diagnosis/correction loops, unwinding cleanly with the solutions
 // found so far and Result.Status explaining the stop.
 func RunContext(ctx context.Context, netlist *circuit.Circuit, specOut [][]uint64, pi [][]uint64, n int, model Model, opt Options) *Result {
+	res, _ := runSearch(ctx, netlist, specOut, pi, n, model, opt, nil)
+	return res
+}
+
+// runSearch is the shared body of RunContext and ResumeFromJournal. A non-nil
+// checkpoint restores the crashed run's state (solutions, frontier, dedup set,
+// budget accounting) before the schedule loop continues from the checkpointed
+// step; the only error source is a checkpoint that does not replay against
+// these inputs.
+func runSearch(ctx context.Context, netlist *circuit.Circuit, specOut [][]uint64, pi [][]uint64, n int, model Model, opt Options, cp *Checkpoint) (*Result, error) {
 	opt = opt.defaults()
 	tr := telemetry.FromContext(ctx)
 	ctx, runSpan := tr.StartSpan(ctx, "run",
@@ -32,7 +42,8 @@ func RunContext(ctx context.Context, netlist *circuit.Circuit, specOut [][]uint6
 		telemetry.Int("n", n),
 		telemetry.Int("max_errors", opt.MaxErrors),
 		telemetry.Int("policy", int(opt.Policy)),
-		telemetry.Bool("exact", opt.Exact))
+		telemetry.Bool("exact", opt.Exact),
+		telemetry.Bool("resumed", cp != nil))
 	r := &runState{
 		ctx:     ctx,
 		base:    netlist,
@@ -54,14 +65,29 @@ func RunContext(ctx context.Context, netlist *circuit.Circuit, specOut [][]uint6
 		r.deadline = time.Now().Add(budgetTime)
 	}
 	runCtx := r.ctx
-	for i, p := range opt.Schedule {
+	startStep := 0
+	if cp != nil {
+		startStep = cp.Step
+		r.stepIdx = cp.Step
+		r.params = opt.Schedule[cp.Step]
+		r.res.Stats.Schedule = r.params
+		if err := r.restore(cp); err != nil {
+			runSpan.End(telemetry.String("status", "resume-failed"))
+			return nil, err
+		}
+	}
+	for i := startStep; i < len(opt.Schedule); i++ {
 		if r.stopNow() {
 			break
 		}
+		p := opt.Schedule[i]
+		r.stepIdx = i
 		r.params = p
 		r.res.Stats.Schedule = p
-		r.seen = map[string]bool{}
-		r.minDepth = 0
+		if !r.hasResume {
+			r.seen = map[string]bool{}
+			r.minDepth = 0
+		}
 		// Nest this schedule step's spans under step[i]; the step context
 		// only adds span identity, so cancellation polling is unchanged.
 		stepCtx, stepSpan := tr.StartSpan(runCtx, telemetry.SpanName("step", i),
@@ -80,12 +106,13 @@ func RunContext(ctx context.Context, netlist *circuit.Circuit, specOut [][]uint6
 	runSpan.End(
 		telemetry.String("status", r.res.Status.String()),
 		telemetry.Int("solutions", len(r.res.Solutions)),
+		telemetry.Int("verified", r.res.Stats.Verified),
 		telemetry.Int("nodes", r.res.Stats.Nodes),
 		telemetry.Int64("simulations", r.res.Stats.Simulations),
 		telemetry.Int64("candidates", r.res.Stats.Candidates),
 		telemetry.Int64("diag_ns", r.res.Stats.DiagTime.Nanoseconds()),
 		telemetry.Int64("corr_ns", r.res.Stats.CorrTime.Nanoseconds()))
-	return r.res
+	return r.res, nil
 }
 
 type runState struct {
@@ -102,6 +129,14 @@ type runState struct {
 	seen     map[string]bool
 	minDepth int       // smallest solution size found so far (0 = none)
 	deadline time.Time // zero = unlimited
+	stepIdx  int       // current schedule step index (checkpoint payload)
+
+	// Resume state, filled by restore() from a journal checkpoint and consumed
+	// by the first search() call of a resumed run.
+	hasResume      bool
+	resumeFrontier []*node
+	resumeRound    int
+	resumeNodes    int
 
 	halted     bool   // a stop condition fired; unwind
 	haltStatus Status // why (sticky: first reason wins)
@@ -109,12 +144,14 @@ type runState struct {
 
 	// Telemetry. tr is nil for untraced runs; the cached metric handles are
 	// then nil too and no-op, so expand pays only dead branches.
-	tr       *telemetry.Tracer
-	cTrials  *telemetry.Counter   // sim.trials (wired into each node's engine)
-	cEvents  *telemetry.Counter   // sim.events
-	cKept    *telemetry.Counter   // pathtrace.kept — suspects surviving Top+widening
-	cDropped *telemetry.Counter   // pathtrace.dropped — marked lines cut away
-	hRect    *telemetry.Histogram // diagnose.h1_rect — per-suspect rectified bits
+	tr          *telemetry.Tracer
+	cTrials     *telemetry.Counter   // sim.trials (wired into each node's engine)
+	cEvents     *telemetry.Counter   // sim.events
+	cKept       *telemetry.Counter   // pathtrace.kept — suspects surviving Top+widening
+	cDropped    *telemetry.Counter   // pathtrace.dropped — marked lines cut away
+	cVerified   *telemetry.Counter   // result.verified — solutions passing the gate
+	cVerifyFail *telemetry.Counter   // result.verify_failed — solutions dropped by it
+	hRect       *telemetry.Histogram // diagnose.h1_rect — per-suspect rectified bits
 
 	// Scratch buffers reused across node expansions.
 	forced  []uint64
@@ -131,6 +168,8 @@ func (r *runState) instrument() {
 	r.cEvents = reg.Counter("sim.events")
 	r.cKept = reg.Counter("pathtrace.kept")
 	r.cDropped = reg.Counter("pathtrace.dropped")
+	r.cVerified = reg.Counter("result.verified")
+	r.cVerifyFail = reg.Counter("result.verify_failed")
 	r.hRect = reg.Histogram("diagnose.h1_rect")
 }
 
@@ -143,22 +182,36 @@ type node struct {
 
 // search runs one schedule step's traversal under the configured policy.
 func (r *runState) search() {
-	root := r.expandTraced(nil)
-	if root.fails == 0 {
-		r.record(nil)
-		return
+	var frontier []*node
+	var nodesThisStep, startRound int
+	if r.hasResume {
+		// A checkpoint restored this step's frontier (PolicyRounds only —
+		// resume validation rejects the other policies): skip the fresh root
+		// expansion and continue at the checkpointed round.
+		frontier, nodesThisStep, startRound = r.resumeFrontier, r.resumeNodes, r.resumeRound
+		r.hasResume, r.resumeFrontier = false, nil
+		if startRound < 1 {
+			startRound = 1
+		}
+	} else {
+		root := r.expandTraced(nil)
+		if root.fails == 0 {
+			r.record(nil)
+			return
+		}
+		switch r.opt.Policy {
+		case PolicyDFS:
+			r.searchDFS(root)
+			return
+		case PolicyBFS:
+			r.searchBFS(root)
+			return
+		}
+		frontier = []*node{root}
+		nodesThisStep = 1
+		startRound = 1
 	}
-	switch r.opt.Policy {
-	case PolicyDFS:
-		r.searchDFS(root)
-		return
-	case PolicyBFS:
-		r.searchBFS(root)
-		return
-	}
-	frontier := []*node{root}
-	nodesThisStep := 1
-	for round := 1; round <= r.opt.MaxRounds && len(frontier) > 0; round++ {
+	for round := startRound; round <= r.opt.MaxRounds && len(frontier) > 0; round++ {
 		r.res.Stats.Rounds = round
 		if r.stopNow() {
 			return
@@ -166,6 +219,9 @@ func (r *runState) search() {
 		if !r.opt.Exact && len(r.res.Solutions) > 0 {
 			return
 		}
+		// Round boundaries are the resume points: the frontier written here is
+		// exactly the state a crashed run needs to re-enter this round.
+		r.emitCheckpoint(round, frontier, nodesThisStep)
 		snapshot := frontier
 		frontier = frontier[:0:0]
 		for _, nd := range snapshot {
@@ -306,19 +362,40 @@ func (r *runState) maxDepth() int {
 }
 
 func (r *runState) record(corrs []Correction) {
+	if !r.opt.NoVerify {
+		if !r.verifySolution(corrs) {
+			// The incremental engine claims this tuple rectifies every vector
+			// but an independent from-scratch re-simulation disagrees: drop it
+			// rather than report an unproven repair.
+			r.cVerifyFail.Inc()
+			if r.tr != nil {
+				r.tr.Event(r.ctx, "verify_failed",
+					telemetry.Int("size", len(corrs)),
+					telemetry.Attr{Key: "corrections", Value: corrNames(corrs)})
+			}
+			return
+		}
+		r.cVerified.Inc()
+		r.res.Stats.Verified++
+	}
 	r.res.Solutions = append(r.res.Solutions, Solution{Corrections: corrs})
 	if r.minDepth == 0 || len(corrs) < r.minDepth {
 		r.minDepth = len(corrs)
 	}
 	if r.tr != nil {
-		names := make([]string, len(corrs))
-		for i, c := range corrs {
-			names[i] = c.String()
-		}
 		r.tr.Event(r.ctx, "solution",
 			telemetry.Int("size", len(corrs)),
-			telemetry.Attr{Key: "corrections", Value: names})
+			telemetry.Bool("verified", !r.opt.NoVerify),
+			telemetry.Attr{Key: "corrections", Value: corrNames(corrs)})
 	}
+}
+
+func corrNames(corrs []Correction) []string {
+	names := make([]string, len(corrs))
+	for i, c := range corrs {
+		names[i] = c.String()
+	}
+	return names
 }
 
 // finish sets the outcome status, deduplicates solutions and, in exact

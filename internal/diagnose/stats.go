@@ -25,6 +25,7 @@ func (s Stats) Merge(o Stats) Stats {
 	s.Screened += o.Screened
 	s.Simulations += o.Simulations
 	s.Candidates += o.Candidates
+	s.Verified += o.Verified
 	s.DiagTime += o.DiagTime
 	s.CorrTime += o.CorrTime
 	if o.Rounds > s.Rounds {
@@ -52,6 +53,7 @@ func (s Stats) MonotoneSince(prev Stats) error {
 		{"Screened", int64(s.Screened), int64(prev.Screened)},
 		{"Simulations", s.Simulations, prev.Simulations},
 		{"Candidates", s.Candidates, prev.Candidates},
+		{"Verified", int64(s.Verified), int64(prev.Verified)},
 	}
 	for _, c := range checks {
 		if c.now < c.old {

@@ -1,0 +1,32 @@
+package diagnose
+
+import "dedc/internal/sim"
+
+// verifySolution is the verified-results gate: it re-proves a candidate
+// solution with machinery independent of the search that produced it. The
+// corrections are applied to a fresh clone of the pristine netlist and the
+// result is re-simulated from scratch — no incremental engine, no trial
+// values — over the same vector set in reversed order. Reordering the
+// patterns means a bookkeeping bug that happens to be consistent between the
+// search's base simulation and its trial propagations still cannot slip an
+// unproven tuple through: the gate's word layout shares nothing with the
+// engine's.
+func (r *runState) verifySolution(corrs []Correction) bool {
+	ckt := r.base.Clone()
+	for _, c := range corrs {
+		if c.Apply(ckt) != nil {
+			return false
+		}
+	}
+	perm := sim.ReversedPerm(r.n)
+	pi := sim.PermutePatterns(r.pi, r.n, perm)
+	spec := sim.PermutePatterns(r.specOut, r.n, perm)
+	r.res.Stats.Simulations++
+	val := sim.Simulate(ckt, pi, r.n)
+	for i, po := range ckt.POs {
+		if !sim.EqualRows(val[po], spec[i], r.n) {
+			return false
+		}
+	}
+	return true
+}

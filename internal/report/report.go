@@ -27,6 +27,7 @@ func StuckAt(w io.Writer, c *circuit.Circuit, res *diagnose.StuckAtResult, class
 	}
 	fmt.Fprintf(w, " in %v\n", elapsed.Round(time.Microsecond))
 	fmt.Fprintf(w, "search: %v\n", res.Stats)
+	fmt.Fprintf(w, "verification: %s\n", verification(res.Stats.Verified))
 	if !res.Status.Solved() {
 		fmt.Fprintf(w, "status: %v — search truncated, results below may be incomplete\n", res.Status)
 	}
@@ -81,8 +82,19 @@ func Repair(w io.Writer, c *circuit.Circuit, res *diagnose.RepairResult, elapsed
 	}
 	st := res.Stats
 	fmt.Fprintf(w, "search: %v, %v total\n", st, elapsed.Round(time.Microsecond))
+	fmt.Fprintf(w, "verification: %s\n", verification(st.Verified))
 	fmt.Fprintf(w, "phase times per node: diagnosis %v, correction %v\n",
 		safeDiv(st.DiagTime, st.Nodes), safeDiv(st.CorrTime, st.Nodes))
+}
+
+// verification renders the verified-results gate outcome. Zero means the
+// gate was disabled (-no-verify) or no solution reached it; a report never
+// carries a solution the enabled gate rejected.
+func verification(n int) string {
+	if n == 0 {
+		return "off or no solutions reached the gate"
+	}
+	return fmt.Sprintf("%d solution(s) independently re-proven", n)
 }
 
 func safeDiv(d time.Duration, n int) time.Duration {

@@ -214,6 +214,35 @@ func Popcount(row []uint64, n int) int {
 	return t
 }
 
+// PermutePatterns returns copies of the packed rows with the patterns
+// reordered: output pattern j carries input pattern perm[j]. It backs the
+// verified-results gate in diagnose, which re-proves solutions over the same
+// vector set in a different order so a result can never depend on an
+// order-sensitive bug in the incremental engine.
+func PermutePatterns(rows [][]uint64, n int, perm []int) [][]uint64 {
+	w := Words(n)
+	out := make([][]uint64, len(rows))
+	for i, row := range rows {
+		dst := make([]uint64, w)
+		for j, p := range perm {
+			bit := (row[p>>6] >> (uint(p) & 63)) & 1
+			dst[j>>6] |= bit << (uint(j) & 63)
+		}
+		out[i] = dst
+	}
+	return out
+}
+
+// ReversedPerm returns the permutation n-1, n-2, …, 0 — the deterministic
+// "different vector order" the verification gate uses.
+func ReversedPerm(n int) []int {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = n - 1 - i
+	}
+	return perm
+}
+
 // EqualRows reports whether two rows agree on the first n patterns.
 func EqualRows(a, b []uint64, n int) bool {
 	w := Words(n)

@@ -1,0 +1,298 @@
+// Package supervise implements the crash-only execution substrate for the
+// diagnosis service: a bounded-queue worker pool in which any single job may
+// fail, hang, or panic without taking the process — or its neighbours — down
+// with it.
+//
+// The design applies the crash-only school's rules at job granularity:
+//
+//   - Bounded queue, load shedding. Submit never blocks; when the queue is
+//     full the job is rejected with ErrQueueFull and the caller applies
+//     backpressure. An unbounded queue only converts overload into a slower,
+//     memory-exhausting failure later.
+//   - Per-job deadlines. Every job context carries the pool's JobTimeout, so
+//     a wedged job becomes an error, not a stuck worker.
+//   - Panic isolation. A panicking job is recovered, its input quarantined
+//     for post-mortem (ID, panic value, stack), and the worker goroutine is
+//     replaced with a fresh one — nothing initialized by the dead worker is
+//     trusted again. The job is not retried: an input that crashed the code
+//     once is presumed to crash it again (poison-pill semantics).
+//   - Bounded retries with exponential backoff and jitter. Plain errors are
+//     retried up to MaxRetries with doubling, jittered delays, so transient
+//     failures heal without synchronized thundering herds.
+package supervise
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Submission errors.
+var (
+	// ErrQueueFull reports load shedding: the bounded queue is at capacity
+	// and the pool refuses the job rather than buffer unboundedly.
+	ErrQueueFull = errors.New("supervise: queue full, job shed")
+	// ErrDraining reports a Submit after Drain began.
+	ErrDraining = errors.New("supervise: pool is draining")
+)
+
+// Job is one unit of supervised work. The context carries the per-job
+// deadline and the pool's lifetime; jobs are expected to poll it. A returned
+// error marks the attempt failed (and retriable); a panic marks the job's
+// input poisonous.
+type Job func(ctx context.Context) error
+
+// Options configures a Pool. The zero value is usable: 4 workers, a queue of
+// 16, no deadline, no retries.
+type Options struct {
+	// Workers is the number of concurrent workers (default 4).
+	Workers int
+	// QueueDepth bounds the submission queue (default 16). Submissions
+	// beyond it are shed with ErrQueueFull.
+	QueueDepth int
+	// JobTimeout is the per-attempt deadline (0 = none).
+	JobTimeout time.Duration
+	// MaxRetries is how many times a failed (errored, not panicked) job is
+	// re-attempted (default 0: one attempt only).
+	MaxRetries int
+	// BackoffBase is the first retry delay (default 10ms); each subsequent
+	// retry doubles it, capped at BackoffMax (default 1s). A jitter of up to
+	// half the delay is added.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed seeds the jitter source, making retry timing reproducible in
+	// tests. 0 uses a fixed default seed; timing determinism is not a
+	// correctness property, just a debugging nicety.
+	Seed int64
+	// OnDone, when set, observes every job's final outcome (nil err on
+	// success; the last error after retries; a *PanicError after a panic).
+	OnDone func(id string, err error)
+}
+
+// PanicError is the terminal outcome of a job whose execution panicked. It
+// is passed to OnDone and recorded in the quarantine.
+type PanicError struct {
+	ID    string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("supervise: job %q panicked: %v", e.ID, e.Value)
+}
+
+// Stats is a snapshot of the pool's counters.
+type Stats struct {
+	Submitted   int64 // jobs accepted into the queue
+	Shed        int64 // jobs rejected with ErrQueueFull
+	Completed   int64 // jobs that finished successfully
+	Failed      int64 // jobs that exhausted their attempts with an error
+	Retries     int64 // re-attempts performed
+	Panics      int64 // jobs quarantined after a panic
+	WorkersLost int64 // worker goroutines replaced after a panic
+}
+
+type task struct {
+	id  string
+	job Job
+}
+
+// Pool is a supervised worker pool. Create with New, feed with Submit, shut
+// down with Drain.
+type Pool struct {
+	opt   Options
+	queue chan task
+	done  chan struct{} // closed by Drain: interrupts backoff sleeps
+
+	wg sync.WaitGroup
+
+	mu         sync.Mutex
+	draining   bool
+	stats      Stats
+	quarantine []PanicError
+	rng        *rand.Rand
+}
+
+// New starts a pool with opt.Workers workers.
+func New(opt Options) *Pool {
+	if opt.Workers <= 0 {
+		opt.Workers = 4
+	}
+	if opt.QueueDepth <= 0 {
+		opt.QueueDepth = 16
+	}
+	if opt.BackoffBase <= 0 {
+		opt.BackoffBase = 10 * time.Millisecond
+	}
+	if opt.BackoffMax <= 0 {
+		opt.BackoffMax = time.Second
+	}
+	seed := opt.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	p := &Pool{
+		opt:   opt,
+		queue: make(chan task, opt.QueueDepth),
+		done:  make(chan struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+	for i := 0; i < opt.Workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Submit offers a job to the pool without blocking. It returns ErrQueueFull
+// when the queue is at capacity (shed: the caller owns backpressure) and
+// ErrDraining once Drain has begun.
+func (p *Pool) Submit(id string, job Job) error {
+	p.mu.Lock()
+	if p.draining {
+		p.mu.Unlock()
+		return ErrDraining
+	}
+	// Reserve under the lock so Submit/Drain can't race a send on a closed
+	// channel: Drain flips draining before closing the queue.
+	select {
+	case p.queue <- task{id: id, job: job}:
+		p.stats.Submitted++
+		p.mu.Unlock()
+		return nil
+	default:
+		p.stats.Shed++
+		p.mu.Unlock()
+		return ErrQueueFull
+	}
+}
+
+// Drain stops intake and waits for queued and in-flight jobs to finish. It
+// returns ctx.Err() if the context expires first; the pool keeps finishing
+// work in the background regardless. Drain is idempotent only in effect —
+// call it once.
+func (p *Pool) Drain(ctx context.Context) error {
+	p.mu.Lock()
+	already := p.draining
+	p.draining = true
+	p.mu.Unlock()
+	if !already {
+		close(p.queue)
+		close(p.done)
+	}
+	finished := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Quarantine returns the recorded panic post-mortems: one entry per job that
+// crashed a worker, with the panic value and stack at the point of recovery.
+func (p *Pool) Quarantine() []PanicError {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]PanicError(nil), p.quarantine...)
+}
+
+// worker consumes the queue until it closes. It inherits its predecessor's
+// WaitGroup slot when spawned as a panic replacement, so Drain accounting
+// stays exact across worker deaths.
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for t := range p.queue {
+		if p.runSupervised(t) {
+			// The job panicked and this worker is condemned: hand the slot
+			// to a replacement and exit. The replacement re-enters the
+			// queue loop with fresh goroutine state.
+			p.wg.Add(1)
+			go p.worker()
+			return
+		}
+	}
+}
+
+// runSupervised executes one task through its full retry schedule, reporting
+// whether it ended in a panic (condemning the calling worker).
+func (p *Pool) runSupervised(t task) (panicked bool) {
+	var err error
+	for attempt := 0; ; attempt++ {
+		err, panicked = p.attempt(t)
+		if panicked || err == nil || attempt >= p.opt.MaxRetries {
+			break
+		}
+		p.mu.Lock()
+		p.stats.Retries++
+		delay := p.backoff(attempt)
+		p.mu.Unlock()
+		select {
+		case <-time.After(delay):
+		case <-p.done:
+			// Draining: skip the remaining backoff and retry immediately so
+			// shutdown never waits on a healing schedule.
+		}
+	}
+	p.mu.Lock()
+	switch {
+	case panicked:
+		p.stats.Panics++
+		p.stats.WorkersLost++
+	case err == nil:
+		p.stats.Completed++
+	default:
+		p.stats.Failed++
+	}
+	p.mu.Unlock()
+	if p.opt.OnDone != nil {
+		p.opt.OnDone(t.id, err)
+	}
+	return panicked
+}
+
+// attempt runs the job once under the per-job deadline, converting a panic
+// into a quarantine record plus a *PanicError.
+func (p *Pool) attempt(t task) (err error, panicked bool) {
+	ctx := context.Background()
+	if p.opt.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.opt.JobTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			pe := PanicError{ID: t.id, Value: v, Stack: debug.Stack()}
+			p.mu.Lock()
+			p.quarantine = append(p.quarantine, pe)
+			p.mu.Unlock()
+			err, panicked = &pe, true
+		}
+	}()
+	return t.job(ctx), false
+}
+
+// backoff computes the attempt-th retry delay: BackoffBase·2^attempt capped
+// at BackoffMax, plus up to 50% jitter. Callers hold p.mu (for the rng).
+func (p *Pool) backoff(attempt int) time.Duration {
+	d := p.opt.BackoffBase << uint(attempt)
+	if d <= 0 || d > p.opt.BackoffMax {
+		d = p.opt.BackoffMax
+	}
+	return d + time.Duration(p.rng.Int63n(int64(d)/2+1))
+}

@@ -1,0 +1,268 @@
+package supervise
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func drain(t *testing.T, p *Pool) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := p.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+}
+
+func TestAllJobsComplete(t *testing.T) {
+	p := New(Options{Workers: 4, QueueDepth: 128})
+	var done atomic.Int64
+	for i := 0; i < 100; i++ {
+		if err := p.Submit("job", func(context.Context) error {
+			done.Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	drain(t, p)
+	if got := done.Load(); got != 100 {
+		t.Errorf("ran %d jobs, want 100", got)
+	}
+	st := p.Stats()
+	if st.Completed != 100 || st.Submitted != 100 || st.Failed != 0 || st.Panics != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLoadShedding(t *testing.T) {
+	block := make(chan struct{})
+	p := New(Options{Workers: 1, QueueDepth: 1})
+	slow := func(context.Context) error { <-block; return nil }
+	// First job occupies the worker, second fills the queue; the pool must
+	// shed from there on instead of blocking the submitter.
+	if err := p.Submit("a", slow); err != nil {
+		t.Fatal(err)
+	}
+	shed := 0
+	for i := 0; i < 10; i++ {
+		if err := p.Submit("b", slow); errors.Is(err, ErrQueueFull) {
+			shed++
+		}
+	}
+	if shed < 9 {
+		t.Errorf("shed %d of 10 overflow submissions, want >= 9", shed)
+	}
+	close(block)
+	drain(t, p)
+	if st := p.Stats(); st.Shed != int64(shed) {
+		t.Errorf("Stats.Shed = %d, want %d", st.Shed, shed)
+	}
+}
+
+func TestPanicQuarantineAndWorkerReplacement(t *testing.T) {
+	p := New(Options{Workers: 2, QueueDepth: 64})
+	var done atomic.Int64
+	if err := p.Submit("poison", func(context.Context) error {
+		panic("boom")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The pool must keep digesting normal work after the crash.
+	for i := 0; i < 20; i++ {
+		if err := p.Submit("ok", func(context.Context) error {
+			done.Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("Submit after panic: %v", err)
+		}
+	}
+	drain(t, p)
+	if got := done.Load(); got != 20 {
+		t.Errorf("completed %d jobs after the panic, want 20", got)
+	}
+	st := p.Stats()
+	if st.Panics != 1 || st.WorkersLost != 1 || st.Completed != 20 {
+		t.Errorf("stats = %+v", st)
+	}
+	q := p.Quarantine()
+	if len(q) != 1 {
+		t.Fatalf("quarantine holds %d entries, want 1", len(q))
+	}
+	if q[0].ID != "poison" || q[0].Value != "boom" {
+		t.Errorf("quarantined = %q / %v", q[0].ID, q[0].Value)
+	}
+	if !strings.Contains(string(q[0].Stack), "supervise") {
+		t.Error("quarantine entry carries no stack")
+	}
+	if !strings.Contains(q[0].Error(), "poison") {
+		t.Errorf("PanicError.Error() = %q", q[0].Error())
+	}
+}
+
+func TestRetryWithBackoff(t *testing.T) {
+	p := New(Options{Workers: 1, MaxRetries: 5, BackoffBase: time.Millisecond, BackoffMax: 4 * time.Millisecond})
+	var attempts atomic.Int64
+	if err := p.Submit("flaky", func(context.Context) error {
+		if attempts.Add(1) < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, p)
+	st := p.Stats()
+	if attempts.Load() != 3 || st.Retries != 2 || st.Completed != 1 || st.Failed != 0 {
+		t.Errorf("attempts=%d stats=%+v", attempts.Load(), st)
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	var mu sync.Mutex
+	var lastErr error
+	p := New(Options{Workers: 1, MaxRetries: 2, BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond,
+		OnDone: func(id string, err error) {
+			mu.Lock()
+			lastErr = err
+			mu.Unlock()
+		}})
+	sentinel := errors.New("permanent")
+	if err := p.Submit("doomed", func(context.Context) error { return sentinel }); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, p)
+	st := p.Stats()
+	if st.Failed != 1 || st.Retries != 2 || st.Completed != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !errors.Is(lastErr, sentinel) {
+		t.Errorf("OnDone error = %v, want %v", lastErr, sentinel)
+	}
+}
+
+func TestJobDeadline(t *testing.T) {
+	p := New(Options{Workers: 1, JobTimeout: 20 * time.Millisecond})
+	var got error
+	var mu sync.Mutex
+	if err := p.Submit("hang", func(ctx context.Context) error {
+		<-ctx.Done()
+		mu.Lock()
+		got = ctx.Err()
+		mu.Unlock()
+		return ctx.Err()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, p)
+	mu.Lock()
+	defer mu.Unlock()
+	if !errors.Is(got, context.DeadlineExceeded) {
+		t.Errorf("job ctx error = %v, want DeadlineExceeded", got)
+	}
+	if st := p.Stats(); st.Failed != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSubmitAfterDrain(t *testing.T) {
+	p := New(Options{Workers: 1})
+	drain(t, p)
+	if err := p.Submit("late", func(context.Context) error { return nil }); !errors.Is(err, ErrDraining) {
+		t.Errorf("Submit after Drain = %v, want ErrDraining", err)
+	}
+}
+
+func TestDrainDeadline(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	p := New(Options{Workers: 1})
+	if err := p.Submit("stuck", func(context.Context) error { <-release; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := p.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Drain with wedged job = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestOnDoneReceivesPanicError(t *testing.T) {
+	var mu sync.Mutex
+	var got error
+	p := New(Options{Workers: 1, OnDone: func(id string, err error) {
+		mu.Lock()
+		got = err
+		mu.Unlock()
+	}})
+	if err := p.Submit("poison", func(context.Context) error { panic(42) }); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, p)
+	mu.Lock()
+	defer mu.Unlock()
+	var pe *PanicError
+	if !errors.As(got, &pe) || pe.Value != 42 {
+		t.Errorf("OnDone error = %#v, want *PanicError{Value: 42}", got)
+	}
+}
+
+// TestDrainSkipsBackoff: a job deep in its backoff schedule must not hold up
+// shutdown for the full schedule.
+func TestDrainSkipsBackoff(t *testing.T) {
+	p := New(Options{Workers: 1, MaxRetries: 3, BackoffBase: 10 * time.Second, BackoffMax: 10 * time.Second})
+	if err := p.Submit("flaky", func(context.Context) error { return errors.New("x") }); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let the first attempt fail into backoff
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := p.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("Drain took %v; backoff sleeps not interrupted", d)
+	}
+	if st := p.Stats(); st.Failed != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestConcurrentSubmitters(t *testing.T) {
+	p := New(Options{Workers: 8, QueueDepth: 1024})
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	var accepted atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				err := p.Submit("j", func(context.Context) error { done.Add(1); return nil })
+				if err == nil {
+					accepted.Add(1)
+				} else if !errors.Is(err, ErrQueueFull) {
+					t.Errorf("Submit: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	drain(t, p)
+	if done.Load() != accepted.Load() {
+		t.Errorf("ran %d jobs, accepted %d", done.Load(), accepted.Load())
+	}
+	st := p.Stats()
+	if st.Completed != accepted.Load() || st.Submitted != accepted.Load() {
+		t.Errorf("stats = %+v, accepted %d", st, accepted.Load())
+	}
+}

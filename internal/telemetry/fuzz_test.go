@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fuzzSeedJournal emits a small but representative journal — nested spans, a
+// solution event, and a v2 checkpoint with nested attr values — through the
+// real writer, so the fuzz corpus starts from byte-exact production lines.
+func fuzzSeedJournal(tb testing.TB) []byte {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	tick := int64(0)
+	tr := NewTracer(Options{
+		Journal:  j,
+		Registry: NewRegistry(),
+		Now: func() time.Time {
+			tick++
+			return time.Unix(0, tick*int64(time.Millisecond))
+		},
+	})
+	ctx, run := tr.StartSpan(tb.Context(), "run", Int("lines", 42))
+	stepCtx, step := tr.StartSpan(ctx, SpanName("step", 0), Float("h1", 1))
+	tr.Event(stepCtx, EventCheckpoint,
+		Int("step", 0), Int("round", 1),
+		Attr{Key: "frontier", Value: []map[string]any{{"path": []string{"a/0"}, "next": 2}}},
+		Attr{Key: "solutions", Value: [][]string{{"a/0", "b/1"}}},
+		Attr{Key: "seen", Value: []string{"a/0", "a/0|b/1"}},
+		Attr{Key: "stats", Value: map[string]int64{"nodes": 3, "simulations": 17}})
+	tr.Event(stepCtx, "solution", Int("size", 2), Attr{Key: "corrections", Value: []string{"a/0", "b/1"}})
+	step.End(Int("solutions", 1))
+	run.End(String("status", "Complete"))
+	if err := j.Flush(); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzParseEvent fuzzes the journal read path end to end: every input is fed
+// line-wise through ParseEvent and as a whole journal through ReplayJournal
+// in both strict and crash-tolerant modes. The invariant is "no panic, and a
+// successfully parsed event re-validates": whatever bytes a truncated,
+// interleaved or bit-flipped journal contains, readers degrade to errors.
+//
+// The seed corpus covers the real failure shapes: the golden alu4 journal's
+// event stream (when present), a production journal with a checkpoint,
+// truncated lines, duplicate seq, interleaved spans, and a v1 journal
+// containing a v2-only checkpoint event.
+func FuzzParseEvent(f *testing.F) {
+	seed := fuzzSeedJournal(f)
+	f.Add(seed)
+	// Truncation at awkward byte offsets (mid-line, mid-escape).
+	for _, cut := range []int{1, len(seed) / 3, len(seed) / 2, len(seed) - 2} {
+		if cut > 0 && cut < len(seed) {
+			f.Add(seed[:cut])
+		}
+	}
+	// Duplicate seq: the same line twice.
+	lines := bytes.SplitAfter(seed, []byte("\n"))
+	if len(lines) > 1 {
+		f.Add(append(append([]byte{}, lines[0]...), lines[0]...))
+	}
+	// Interleaved spans: end events before their starts.
+	rev := make([]byte, 0, len(seed))
+	for i := len(lines) - 1; i >= 0; i-- {
+		rev = append(rev, lines[i]...)
+	}
+	f.Add(rev)
+	// A checkpoint event claiming schema v1.
+	f.Add([]byte(`{"v":1,"ts":1,"seq":1,"span":"run","event":"checkpoint"}` + "\n"))
+	// The golden alu4 journal (normalized text, exercises non-JSON paths).
+	if golden, err := os.ReadFile(filepath.Join("..", "diagnose", "testdata", "journal_alu4.golden")); err == nil {
+		f.Add(golden)
+	}
+	f.Add([]byte("{}\n"))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, line := range bytes.Split(data, []byte("\n")) {
+			if len(line) == 0 {
+				continue
+			}
+			ev, err := ParseEvent(line)
+			if err != nil {
+				continue
+			}
+			if ev.V < MinSchemaVersion || ev.V > SchemaVersion {
+				t.Fatalf("ParseEvent accepted out-of-range version %d", ev.V)
+			}
+			// A parsed event must survive re-emission and re-parsing.
+			attrs := make([]Attr, 0, len(ev.Attrs))
+			for k, v := range ev.Attrs {
+				attrs = append(attrs, Attr{Key: k, Value: v})
+			}
+			var buf bytes.Buffer
+			j := NewJournal(&buf)
+			j.Emit(Event{Time: time.Unix(0, ev.TS), Seq: ev.Seq, Span: ev.Span, Event: ev.Event, Attrs: attrs})
+			if err := j.Flush(); err != nil {
+				t.Fatalf("re-emit: %v", err)
+			}
+			if _, err := ParseEvent(bytes.TrimSuffix(buf.Bytes(), []byte("\n"))); err != nil {
+				t.Fatalf("re-emitted event fails to parse: %v\n%s", err, buf.Bytes())
+			}
+		}
+		// Whole-journal replay must never panic, in either mode.
+		for _, opt := range []ReplayOptions{{}, {TolerateTruncatedTail: true}} {
+			n, err := ReplayJournal(bytes.NewReader(data), opt, func(ev ParsedEvent) error { return nil })
+			if err == nil && n > 0 && opt.TolerateTruncatedTail {
+				// Tolerant mode must deliver no more events than strict mode
+				// plus the dropped tail.
+				sn, serr := ReplayJournal(bytes.NewReader(data), ReplayOptions{}, nil)
+				if serr == nil && n > sn {
+					t.Fatalf("tolerant replay delivered %d events, strict %d", n, sn)
+				}
+			}
+		}
+	})
+}
+
+// TestReplayJournalStream pins the stream-level validations with hand-built
+// journals (the fuzz target only checks "no panic"; this checks verdicts).
+func TestReplayJournalStream(t *testing.T) {
+	v2 := func(seq int, event string) string {
+		return `{"v":2,"ts":1,"seq":` + itoa(seq) + `,"span":"run","event":"` + event + `"}`
+	}
+	v1 := func(seq int, event string) string {
+		return `{"v":1,"ts":1,"seq":` + itoa(seq) + `,"span":"run","event":"` + event + `"}`
+	}
+	cases := []struct {
+		name    string
+		journal string
+		opt     ReplayOptions
+		events  int
+		wantErr string
+	}{
+		{"clean v2", v2(1, "span_start") + "\n" + v2(2, "span_end") + "\n", ReplayOptions{}, 2, ""},
+		{"clean v1", v1(1, "span_start") + "\n" + v1(2, "span_end") + "\n", ReplayOptions{}, 2, ""},
+		{"dup seq", v2(1, "a") + "\n" + v2(1, "b") + "\n", ReplayOptions{}, 1, "not increasing"},
+		{"v2 event under v1 header", v1(1, "a") + "\n" + v2(2, "b") + "\n", ReplayOptions{}, 1, "v2 event in a v1 journal"},
+		{"checkpoint under v1 header", v1(1, "a") + "\n" + v1(2, "checkpoint") + "\n", ReplayOptions{}, 1, "requires schema v2"},
+		{"checkpoint as first v1 line", v1(1, "checkpoint") + "\n", ReplayOptions{}, 0, "requires schema v2"},
+		{"truncated tail strict", v2(1, "a") + "\n" + `{"v":2,"ts":`, ReplayOptions{}, 1, "journal line 2"},
+		{"truncated tail tolerant", v2(1, "a") + "\n" + `{"v":2,"ts":`, ReplayOptions{TolerateTruncatedTail: true}, 1, ""},
+		{"complete tail without newline tolerant", v2(1, "a") + "\n" + v2(2, "b"), ReplayOptions{TolerateTruncatedTail: true}, 1, ""},
+		{"mid-file garbage stays fatal even tolerant", "garbage\n" + v2(1, "a") + "\n", ReplayOptions{TolerateTruncatedTail: true}, 0, "journal line 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n, err := ReplayJournal(strings.NewReader(tc.journal), tc.opt, nil)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+			} else if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %v, want substring %q", err, tc.wantErr)
+			}
+			if n != tc.events {
+				t.Fatalf("delivered %d events, want %d", n, tc.events)
+			}
+		})
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }

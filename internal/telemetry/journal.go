@@ -13,7 +13,20 @@ import (
 
 // SchemaVersion is the value of the "v" field on every journal line.
 // Bump it on any incompatible change to event names or required fields.
-const SchemaVersion = 1
+//
+// v1: span_start/span_end/solution events with v/ts/seq/span/event fields.
+// v2: adds "checkpoint" events carrying the diagnosis iteration frontier
+// (see internal/diagnose), enabling crash/resume. v2 readers accept v1
+// journals; v1 journals must not contain checkpoint events.
+const SchemaVersion = 2
+
+// MinSchemaVersion is the oldest journal schema readers still accept.
+const MinSchemaVersion = 1
+
+// EventCheckpoint is the v2 event name carrying a resumable search state.
+// Journal flushes through to the underlying writer after each one, so a
+// process killed at any instant leaves its latest checkpoint durable on disk.
+const EventCheckpoint = "checkpoint"
 
 // Event is one journal line. Attrs keep insertion order so the serialized
 // form is byte-stable across runs (encoding/json maps would randomize it).
@@ -76,6 +89,11 @@ func (j *Journal) Emit(e Event) {
 	}
 	buf = append(buf, '}', '\n')
 	_, j.err = j.w.Write(buf)
+	if e.Event == EventCheckpoint && j.err == nil {
+		// Checkpoints are the crash-recovery anchor: make them durable
+		// immediately instead of waiting for the 4KB bufio threshold.
+		j.err = j.w.Flush()
+	}
 }
 
 // Flush writes buffered lines through to the underlying writer.
@@ -186,8 +204,11 @@ type ParsedEvent struct {
 }
 
 // ParseEvent decodes and validates one journal line against the schema:
-// well-formed JSON object with integer "v" matching SchemaVersion, integer
-// "ts" and "seq", and string "span" and "event".
+// well-formed JSON object with integer "v" in the supported range
+// [MinSchemaVersion, SchemaVersion], integer "ts" and "seq", and string
+// "span" and "event". Version-consistency across a whole journal (a v1
+// header forbids v2-only events later on) is a stream property checked by
+// ReplayJournal, not per line.
 func ParseEvent(line []byte) (ParsedEvent, error) {
 	var raw map[string]json.RawMessage
 	if err := json.Unmarshal(line, &raw); err != nil {
@@ -217,8 +238,8 @@ func ParseEvent(line []byte) (ParsedEvent, error) {
 	if err := intField("v", &pe.V); err != nil {
 		return ParsedEvent{}, err
 	}
-	if pe.V != SchemaVersion {
-		return ParsedEvent{}, fmt.Errorf("journal schema version %d, want %d", pe.V, SchemaVersion)
+	if pe.V < MinSchemaVersion || pe.V > SchemaVersion {
+		return ParsedEvent{}, fmt.Errorf("journal schema version %d, supported %d..%d", pe.V, MinSchemaVersion, SchemaVersion)
 	}
 	if err := intField("ts", &pe.TS); err != nil {
 		return ParsedEvent{}, err

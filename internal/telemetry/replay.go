@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// ReplayOptions tunes ReplayJournal's strictness.
+type ReplayOptions struct {
+	// TolerateTruncatedTail accepts a final line that is incomplete or
+	// unparseable — the normal shape of a journal whose writer was killed
+	// mid-write. Earlier malformed lines are still errors (they indicate
+	// corruption, not a crash).
+	TolerateTruncatedTail bool
+}
+
+// ReplayJournal streams a JSONL journal through fn, validating the stream
+// properties a single ParseEvent cannot see:
+//
+//   - every line satisfies the per-line schema (ParseEvent),
+//   - seq is strictly increasing (which also catches duplicates),
+//   - the schema version is consistent: the first line's version is the
+//     journal's header version, and no later line may declare a newer one
+//     (a v1 journal containing v2 events is rejected),
+//   - v2-only events (checkpoint) never appear under a v1 header.
+//
+// fn may be nil. A non-nil error from fn aborts the replay and is returned
+// wrapped with the line number. Returns the number of events delivered.
+func ReplayJournal(r io.Reader, opt ReplayOptions, fn func(ParsedEvent) error) (int, error) {
+	br := bufio.NewReader(r)
+	var (
+		events  int
+		lineNo  int
+		lastSeq int64
+		headerV int64
+	)
+	for {
+		line, err := br.ReadBytes('\n')
+		atEOF := err == io.EOF
+		if err != nil && !atEOF {
+			return events, fmt.Errorf("journal line %d: %w", lineNo+1, err)
+		}
+		if len(line) > 0 && line[len(line)-1] == '\n' {
+			line = line[:len(line)-1]
+		}
+		if len(line) == 0 {
+			if atEOF {
+				return events, nil
+			}
+			lineNo++
+			continue
+		}
+		lineNo++
+		truncated := atEOF // no trailing newline: the write was cut short
+		ev, perr := ParseEvent(line)
+		if perr != nil {
+			if atEOF && opt.TolerateTruncatedTail {
+				return events, nil
+			}
+			return events, fmt.Errorf("journal line %d: %w", lineNo, perr)
+		}
+		if truncated && opt.TolerateTruncatedTail {
+			// Parsed, but we cannot know the line is complete (a longer
+			// original could have been cut at a JSON boundary); a tolerant
+			// replay drops it rather than trust it.
+			return events, nil
+		}
+		if events == 0 {
+			headerV = ev.V
+		} else if ev.V > headerV {
+			return events, fmt.Errorf("journal line %d: schema v%d event in a v%d journal", lineNo, ev.V, headerV)
+		}
+		if headerV < 2 && ev.Event == EventCheckpoint {
+			return events, fmt.Errorf("journal line %d: %q event requires schema v2, journal header says v%d", lineNo, EventCheckpoint, headerV)
+		}
+		if ev.Seq <= lastSeq {
+			return events, fmt.Errorf("journal line %d: seq %d not increasing (previous %d)", lineNo, ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		events++
+		if fn != nil {
+			if err := fn(ev); err != nil {
+				return events, fmt.Errorf("journal line %d: %w", lineNo, err)
+			}
+		}
+		if atEOF {
+			return events, nil
+		}
+	}
+}

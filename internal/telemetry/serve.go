@@ -19,10 +19,11 @@ type DebugServer struct {
 	done chan struct{}
 }
 
-// Serve starts a debug server on addr (host:port; an explicit port 0 picks a
-// free one — read it back with Addr). The registry backs /metrics; expvar
-// and pprof expose whatever the process has published or is doing.
-func Serve(addr string, reg *Registry) (*DebugServer, error) {
+// DebugMux returns the standard debug mux over a registry: /metrics
+// (Prometheus text exposition), /debug/vars (expvar) and /debug/pprof/*.
+// Services that add their own endpoints (cmd/dedcd) build on this mux and
+// serve it with ServeMux.
+func DebugMux(reg *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -34,7 +35,19 @@ func Serve(addr string, reg *Registry) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	return mux
+}
 
+// Serve starts a debug server on addr (host:port; an explicit port 0 picks a
+// free one — read it back with Addr). The registry backs /metrics; expvar
+// and pprof expose whatever the process has published or is doing.
+func Serve(addr string, reg *Registry) (*DebugServer, error) {
+	return ServeMux(addr, DebugMux(reg))
+}
+
+// ServeMux is Serve with a caller-built handler (typically DebugMux plus
+// service endpoints). It binds eagerly and serves until Shutdown.
+func ServeMux(addr string, mux http.Handler) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err

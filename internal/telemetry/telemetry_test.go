@@ -217,7 +217,7 @@ func TestJournalSchema(t *testing.T) {
 		t.Fatal(err)
 	}
 	line := strings.TrimSuffix(buf.String(), "\n")
-	want := "{\"v\":1,\"ts\":42000000007,\"seq\":1,\"span\":\"run/\\\"x\\\"\",\"event\":\"node\"," +
+	want := "{\"v\":2,\"ts\":42000000007,\"seq\":1,\"span\":\"run/\\\"x\\\"\",\"event\":\"node\"," +
 		"\"name\":\"g\\\\17\\u000a\",\"i\":-3,\"score\":0.5,\"ok\":true,\"dur\":3000000," +
 		"\"lines\":[\"a\",\"b\"],\"idx\":[1,2],\"none\":null}"
 	if line != want {
@@ -227,7 +227,7 @@ func TestJournalSchema(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ParseEvent: %v", err)
 	}
-	if pe.V != 1 || pe.TS != 42000000007 || pe.Span != `run/"x"` || pe.Event != "node" {
+	if pe.V != SchemaVersion || pe.TS != 42000000007 || pe.Span != `run/"x"` || pe.Event != "node" {
 		t.Errorf("parsed = %+v", pe)
 	}
 	if pe.Attrs["name"] != "g\\17\n" {

@@ -1,6 +1,7 @@
 package dedc
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"testing"
@@ -69,5 +70,48 @@ func TestFacadeGracefulDegradation(t *testing.T) {
 	short := Vectors{PI: vecs.PI[:1], N: vecs.N}
 	if _, err := RepairContext(context.Background(), bad, specOut, short, Options{}); !errors.Is(err, ErrInvalidVectors) {
 		t.Fatalf("short vectors: %v", err)
+	}
+}
+
+// TestFacadeCrashResume journals a budget-truncated stuck-at diagnosis
+// through the facade, then resumes it and checks the checkpoint plumbing is
+// reachable from the public API.
+func TestFacadeCrashResume(t *testing.T) {
+	spec := Alu(4)
+	device := InjectFaults(spec, Fault{Site: FaultSites(spec)[12], Value: true})
+	vecs := BuildVectors(spec, VectorOptions{Random: 256, Seed: 7, Deterministic: true})
+	devOut := Responses(device, vecs)
+	opt := Options{MaxErrors: 2, Seed: 7}
+
+	var journal bytes.Buffer
+	tr := NewTracer(TracerOptions{Journal: NewJournal(&journal)})
+	ctx := WithTracer(context.Background(), tr)
+	crashOpt := opt
+	crashOpt.Budget = Budget{MaxNodes: 2}
+	crashed, err := DiagnoseStuckAtContext(ctx, spec, devOut, vecs, crashOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crashed.Status != StatusBudgetExhausted {
+		t.Fatalf("status %v, want BudgetExhausted", crashed.Status)
+	}
+
+	cp, err := LatestCheckpoint(bytes.NewReader(journal.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp == nil {
+		t.Fatal("truncated run left no checkpoint")
+	}
+
+	res, err := ResumeStuckAt(context.Background(), bytes.NewReader(journal.Bytes()), spec, devOut, vecs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Status.Solved() || len(res.Tuples) == 0 {
+		t.Fatalf("resume did not converge: status %v, %d tuples", res.Status, len(res.Tuples))
+	}
+	if res.Stats.Verified == 0 {
+		t.Fatal("verified-results gate did not run on the resumed solutions")
 	}
 }
