@@ -10,13 +10,21 @@
 #   make bench           — record the quick perf suite to BENCH_core.json
 #   make bench-compare BASELINE=BENCH_core.json
 #                        — gate the quick suite (>10% + 250µs per phase fails)
+#   make bench-parallel  — engine-pool speedup gate (warn-only on the quick
+#                          suite; SUITE=full enforces ≥ MINSPEEDUP at 4 workers)
 
 GO ?= go
 FUZZTIME ?= 10s
 BASELINE ?= BENCH_core.json
+# The bench suite always measures the engine pool at a fixed worker count so
+# BENCH_core.json phase names (h1rank_w4, screen_w4) don't depend on the
+# recording machine's core count.
+BENCHWORKERS ?= 4
+MINSPEEDUP ?= 1.5
+SUITE ?= quick
 
 .PHONY: all build vet test race fuzz chaos chaos-resume ci check bench-telemetry \
-	journal-check bench bench-compare bench-check clean
+	journal-check bench bench-compare bench-check bench-parallel clean
 
 all: build
 
@@ -78,23 +86,36 @@ journal-check:
 # Core-pipeline benchmark suite (internal/perf via cmd/dedcbench): phase-by-
 # phase ns/op, allocs/op and counter deltas over generated circuits.
 bench:
-	$(GO) run ./cmd/dedcbench -suite quick -o BENCH_core.json
+	$(GO) run ./cmd/dedcbench -suite quick -workers $(BENCHWORKERS) -o BENCH_core.json
 
 # Regression gate against a recorded baseline: a phase more than 10% + 250µs
 # slower (after a confirming re-measure) fails with exit status 2.
 bench-compare:
-	$(GO) run ./cmd/dedcbench -suite quick -q -baseline $(BASELINE)
+	$(GO) run ./cmd/dedcbench -suite quick -q -workers $(BENCHWORKERS) -baseline $(BASELINE)
 
 # The make-check flavor: gate against BENCH_core.json when one is recorded,
 # record it otherwise, so a fresh checkout bootstraps its own baseline.
 bench-check:
 	@if [ -f BENCH_core.json ]; then \
-		$(GO) run ./cmd/dedcbench -suite quick -q -baseline BENCH_core.json; \
+		$(GO) run ./cmd/dedcbench -suite quick -q -workers $(BENCHWORKERS) -baseline BENCH_core.json; \
 	else \
-		$(GO) run ./cmd/dedcbench -suite quick -q -o BENCH_core.json; \
+		$(GO) run ./cmd/dedcbench -suite quick -q -workers $(BENCHWORKERS) -o BENCH_core.json; \
 	fi
 
-check: ci journal-check bench-telemetry bench-check chaos-resume
+# Engine-pool speedup gate: the h1rank/screen pool variants must beat the
+# pinned sequential phases by MINSPEEDUP (geomean across scenarios) at 4
+# workers. Enforced on the full suite (SUITE=full); warn-only on quick, whose
+# circuits are too small for the shards to amortize reliably. dedcbench also
+# demotes the gate to a warning on hosts with fewer CPUs than workers, where
+# no speedup is physically measurable.
+bench-parallel:
+	@if [ "$(SUITE)" = "full" ]; then \
+		$(GO) run ./cmd/dedcbench -suite full -q -workers $(BENCHWORKERS) -min-speedup $(MINSPEEDUP); \
+	else \
+		$(GO) run ./cmd/dedcbench -suite $(SUITE) -q -workers $(BENCHWORKERS) -min-speedup $(MINSPEEDUP) -speedup-warn; \
+	fi
+
+check: ci journal-check bench-telemetry bench-check bench-parallel chaos-resume
 
 clean:
 	$(GO) clean ./...

@@ -74,6 +74,7 @@ func run(args []string) int {
 	noVerify := fs.Bool("no-verify", false, "disable the verified-results gate (skip independent re-simulation of solutions)")
 	certify := fs.Bool("certify", false, "SAT-partition stuck-at tuples into proven equivalence classes")
 	out := fs.String("o", "", "repaired netlist output (DEDC mode; default stdout)")
+	workers := telemetry.WorkersFlag(fs)
 	var obs telemetry.CLI
 	obs.Register(fs)
 	// Flag parse errors are usage errors (exit 1); the flag package's
@@ -187,7 +188,7 @@ func run(args []string) int {
 	}
 	refOut := diagnose.DeviceOutputs(ref, pi, n)
 
-	opt := diagnose.Options{MaxErrors: *maxErrors, NoVerify: *noVerify, Seed: *seed}
+	opt := diagnose.Options{MaxErrors: *maxErrors, NoVerify: *noVerify, Seed: *seed, Workers: *workers}
 
 	start := time.Now()
 	if *stuckat {

@@ -9,25 +9,36 @@
 //	dedcbench -suite quick -o BENCH_core.json      # record a baseline
 //	dedcbench -suite quick -baseline BENCH_core.json   # gate: exit 2 on regression
 //	dedcbench -suite full -best-of 5 -tol 0.05
+//	dedcbench -suite full -workers 4 -min-speedup 1.5  # parallel speedup gate
+//
+// With -workers N (N >= 2) the suite additionally measures the engine-pool
+// variants of the h1rank and screen phases ("h1rank_wN", "screen_wN") on the
+// same circuit × fault × vector cells; the base phases stay pinned to the
+// exact sequential path, so the report carries a w1-vs-wN pair per scenario.
+// -min-speedup gates the geometric-mean speedup of each pair kind; a report
+// recorded with -workers must also be gated with the same -workers, or the
+// baseline's _wN phases count as missing coverage.
 //
 // The JSON report is schema v1: per scenario and phase, ns/op, allocs/op and
 // counter rates (see DESIGN.md "Performance observability"). The regression
 // gate fails a phase when current > baseline·(1+tol) + slack.
 //
-// Exit status: 0 on success, 2 when the baseline gate found regressions,
-// 1 on usage or measurement errors.
+// Exit status: 0 on success, 2 when the baseline gate found regressions or
+// the speedup gate failed, 1 on usage or measurement errors.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"text/tabwriter"
 	"time"
 
 	"dedc/internal/perf"
+	"dedc/internal/telemetry"
 )
 
 func main() {
@@ -43,6 +54,10 @@ func run(args []string) int {
 	tol := fs.Float64("tol", 0.10, "allowed relative slowdown per phase (0.10 = +10%)")
 	slack := fs.Duration("slack", 250*time.Microsecond, "absolute grace per phase on top of -tol")
 	quiet := fs.Bool("q", false, "suppress the phase table")
+	workers := telemetry.WorkersFlag(fs)
+	minSpeedup := fs.Float64("min-speedup", 0,
+		"fail (exit 2) when the geometric-mean h1rank/screen pool speedup at -workers is below this factor (0 = no gate; needs -workers >= 2)")
+	speedupWarn := fs.Bool("speedup-warn", false, "report -min-speedup violations as warnings instead of failing")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
@@ -51,22 +66,62 @@ func run(args []string) int {
 		return 1
 	}
 
+	if *minSpeedup > 0 && *workers < 2 {
+		return fail("-min-speedup needs -workers >= 2 (got %d)", *workers)
+	}
 	scenarios, err := perf.Suite(*suite)
 	if err != nil {
 		return fail("%v", err)
 	}
-	rep, err := perf.Run(*suite, scenarios, perf.Options{
-		BestOf: *bestOf,
+	popt := perf.Options{
+		BestOf:  *bestOf,
+		Workers: *workers,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "dedcbench: "+format+"\n", args...)
 		},
-	})
+	}
+	rep, err := perf.Run(*suite, scenarios, popt)
 	if err != nil {
 		return fail("%v", err)
 	}
 
 	if !*quiet {
 		printTable(rep)
+	}
+	speedupFailed := false
+	if *workers >= 2 {
+		sps := rep.Speedups(*workers)
+		for _, s := range sps {
+			fmt.Fprintf(os.Stderr, "dedcbench: speedup %s\n", s)
+		}
+		if *minSpeedup > 0 {
+			if len(sps) == 0 {
+				return fail("-min-speedup: no w1-vs-w%d phase pairs measured", *workers)
+			}
+			for _, phase := range []string{perf.PhaseH1Rank, perf.PhaseScreen} {
+				g := perf.GeomeanSpeedup(sps, phase)
+				ok := g >= *minSpeedup
+				verdict := "ok"
+				if !ok {
+					verdict = "BELOW MINIMUM"
+					speedupFailed = true
+				}
+				fmt.Fprintf(os.Stderr, "dedcbench: %s geomean speedup at %d workers: %.2fx (min %.2fx) %s\n",
+					phase, *workers, g, *minSpeedup, verdict)
+			}
+			if speedupFailed && runtime.NumCPU() < *workers {
+				// A k-worker shard cannot beat sequential without k cores to
+				// run on; the gate stays meaningful only where the hardware
+				// can express a speedup.
+				fmt.Fprintf(os.Stderr, "dedcbench: speedup gate demoted to warning: %d CPU(s) < %d workers\n",
+					runtime.NumCPU(), *workers)
+				speedupFailed = false
+			}
+			if speedupFailed && *speedupWarn {
+				fmt.Fprintf(os.Stderr, "dedcbench: speedup gate violation reported as warning (-speedup-warn)\n")
+				speedupFailed = false
+			}
+		}
 	}
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -104,7 +159,7 @@ func run(args []string) int {
 			}
 			fmt.Fprintf(os.Stderr, "dedcbench: %d candidate regression(s); re-measuring %d scenario(s) to confirm\n",
 				len(regs), len(affected))
-			again, err := perf.Run(*suite, affected, perf.Options{BestOf: *bestOf})
+			again, err := perf.Run(*suite, affected, perf.Options{BestOf: *bestOf, Workers: *workers})
 			if err != nil {
 				return fail("%v", err)
 			}
@@ -121,6 +176,9 @@ func run(args []string) int {
 		}
 		fmt.Fprintf(os.Stderr, "dedcbench: gate passed against %s (tol +%.0f%%, slack %v)\n",
 			*baseline, *tol*100, *slack)
+	}
+	if speedupFailed {
+		return 2
 	}
 	return 0
 }

@@ -41,6 +41,8 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("dedcd", flag.ContinueOnError)
 	addr := fs.String("addr", "localhost:8080", "listen address")
 	workers := fs.Int("workers", 2, "concurrent diagnosis workers")
+	simWorkers := fs.Int("sim-workers", telemetry.DefaultWorkers(),
+		"default evaluation workers per job's engine fan-outs (1 = sequential; results are identical for any value; requests may override per job)")
 	queue := fs.Int("queue", 8, "bounded job queue depth (overflow is shed with 503)")
 	jobTimeout := fs.Duration("job-timeout", 10*time.Minute, "per-job deadline (0 = none)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight jobs")
@@ -77,6 +79,7 @@ func run(args []string) int {
 		QueueDepth: *queue,
 		JobTimeout: *jobTimeout,
 	})
+	srv.simWorkers = *simWorkers
 	if *journalDir != "" {
 		if err := os.MkdirAll(*journalDir, 0o755); err != nil {
 			log.Error("creating -journal-dir", "err", err)

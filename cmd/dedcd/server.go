@@ -36,6 +36,10 @@ type jobRequest struct {
 	MaxErrors int `json:"max_errors,omitempty"`
 	// NoVerify disables the verified-results gate (on by default).
 	NoVerify bool `json:"no_verify,omitempty"`
+	// Workers sets the evaluation-worker count for this job's engine
+	// fan-outs (results are identical for any value). 0 inherits the
+	// service's -sim-workers default.
+	Workers int `json:"workers,omitempty"`
 }
 
 // jobResult is the terminal payload of GET /v1/jobs/{id}/result.
@@ -122,6 +126,10 @@ type server struct {
 	// by shutdown, cancellation or a crash is resumable with dedc -resume.
 	journalDir string
 
+	// simWorkers is the default per-job evaluation-worker count
+	// (-sim-workers), applied when a request leaves "workers" unset.
+	simWorkers int
+
 	mu     sync.Mutex
 	jobs   map[string]*job
 	nextID int
@@ -129,11 +137,17 @@ type server struct {
 
 func newServer(ctx context.Context, log *slog.Logger, popt supervise.Options) *server {
 	s := &server{
-		log:     log,
-		baseCtx: ctx,
-		jobs:    map[string]*job{},
+		log:        log,
+		baseCtx:    ctx,
+		jobs:       map[string]*job{},
+		simWorkers: telemetry.DefaultWorkers(),
 	}
-	s.run = runDiagnosis
+	s.run = func(ctx context.Context, req jobRequest) (*jobResult, error) {
+		if req.Workers == 0 {
+			req.Workers = s.simWorkers
+		}
+		return runDiagnosis(ctx, req)
+	}
 	// A panicking job never returns through the closure in handleSubmit, so
 	// its terminal state is applied from the pool's outcome hook instead.
 	popt.OnDone = func(id string, err error) {
@@ -339,7 +353,7 @@ func runDiagnosis(ctx context.Context, req jobRequest) (*jobResult, error) {
 	}
 	vecs := tpg.BuildVectorsContext(ctx, impl, tpg.Options{Random: random, Seed: seed, Deterministic: true})
 	refOut := diagnose.DeviceOutputs(ref, vecs.PI, vecs.N)
-	opt := diagnose.Options{MaxErrors: maxErrors, NoVerify: req.NoVerify, Seed: seed}
+	opt := diagnose.Options{MaxErrors: maxErrors, NoVerify: req.NoVerify, Seed: seed, Workers: req.Workers}
 
 	if mode == "stuckat" {
 		res, err := diagnose.DiagnoseStuckAtContext(ctx, impl, refOut, vecs.PI, vecs.N, opt)

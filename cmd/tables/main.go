@@ -37,6 +37,7 @@ func run(args []string) int {
 	vectors := fs.Int("vectors", 2048, "random vectors in V")
 	seed := fs.Int64("seed", 1, "base seed")
 	maxNodes := fs.Int("maxnodes", 0, "node cap per diagnosis run (0 = default)")
+	workers := telemetry.WorkersFlag(fs)
 	var obs telemetry.CLI
 	obs.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -66,7 +67,7 @@ func run(args []string) int {
 
 	cfg := experiment.Config{
 		Trials: *trials, Vectors: *vectors, Seed: *seed,
-		MaxNodes: *maxNodes, Ctx: ctx,
+		MaxNodes: *maxNodes, Workers: *workers, Ctx: ctx,
 	}
 	bms, ok := selectCircuits(*ckts, log)
 	if !ok {

@@ -93,7 +93,9 @@ type (
 
 // Diagnosis engine types.
 type (
-	// Options tunes the incremental search.
+	// Options tunes the incremental search. Options.Workers sets the engine
+	// pool size for the trial fan-outs (0 = GOMAXPROCS, 1 = exact sequential
+	// path); results are bit-identical for every value — see DefaultWorkers.
 	Options = diagnose.Options
 	// Params is one threshold step (h1/h2/h3) of the relaxation schedule.
 	Params = diagnose.Params
@@ -377,6 +379,10 @@ type (
 	// gauges and histograms.
 	MetricsRegistry = telemetry.Registry
 )
+
+// DefaultWorkers is the evaluation-worker count an Options.Workers of zero
+// resolves to: one worker per available CPU.
+func DefaultWorkers() int { return telemetry.DefaultWorkers() }
 
 // NewTracer returns a tracer with the given options.
 func NewTracer(o TracerOptions) *Tracer { return telemetry.NewTracer(o) }

@@ -39,7 +39,7 @@ func SingleFaultMatches(c *circuit.Circuit, deviceOut [][]uint64, pi [][]uint64,
 			changed = e.Trial(f.Line, e.ConstRow(f.Value))
 		} else {
 			g := &c.Gates[f.Reader]
-			changed = e.TrialEvalPins(f.Reader, g.Type, g.Fanin, map[int][]uint64{f.Pin: e.ConstRow(f.Value)})
+			changed = e.TrialEvalPin(f.Reader, g.Type, g.Fanin, f.Pin, e.ConstRow(f.Value))
 		}
 		if matchesDevice(e, changed, diffWanted, poIdx, n) {
 			out = append(out, f)

@@ -49,7 +49,7 @@ func BuildDictionary(c *circuit.Circuit, faults []fault.Fault, pi [][]uint64, n 
 			changed = e.Trial(f.Line, e.ConstRow(f.Value))
 		} else {
 			g := &c.Gates[f.Reader]
-			changed = e.TrialEvalPins(f.Reader, g.Type, g.Fanin, map[int][]uint64{f.Pin: e.ConstRow(f.Value)})
+			changed = e.TrialEvalPin(f.Reader, g.Type, g.Fanin, f.Pin, e.ConstRow(f.Value))
 		}
 		mask := make([]uint64, w)
 		h := uint64(1469598103934665603) // FNV offset basis

@@ -247,6 +247,7 @@ func ExpandRoot(ctx context.Context, netlist *circuit.Circuit, specOut [][]uint6
 		tr:      telemetry.FromContext(ctx),
 	}
 	r.instrument()
+	r.initWorkers()
 	nd := r.expand(nil)
 	return nd.cands, r.res.Stats
 }

@@ -28,6 +28,7 @@
 package diagnose
 
 import (
+	"runtime"
 	"time"
 
 	"dedc/internal/circuit"
@@ -128,6 +129,16 @@ type Options struct {
 	Policy Policy
 	// DisablePathTrace makes every line a suspect (ablation; quadratic).
 	DisablePathTrace bool
+	// Workers sets the number of concurrent evaluation workers used for the
+	// per-node trial loops (heuristic-1 ranking, correction screening) and
+	// the verification gate's batch re-simulation. 0 selects GOMAXPROCS; 1
+	// runs the exact sequential legacy path. Solutions, journals and
+	// Stats.Deterministic are bit-identical for every value: parallel
+	// fan-outs shard work by index and merge results in index order. Runs
+	// with counted budgets (Budget.MaxSimulations / MaxNodes /
+	// MaxCandidates) always take the sequential path so their deterministic
+	// truncation points are preserved.
+	Workers int
 	// NoVerify disables the verified-results gate. By default every solution
 	// is independently re-proven before it is recorded: the corrections are
 	// applied to a fresh clone of the netlist and re-simulated from scratch
@@ -165,6 +176,12 @@ func (o Options) defaults() Options {
 	}
 	if o.Schedule == nil {
 		o.Schedule = DefaultSchedule()
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
 	}
 	return o
 }

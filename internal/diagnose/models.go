@@ -32,7 +32,7 @@ func (s StuckAtCorrection) NewValues(e *sim.Engine, dst []uint64) {
 		return
 	}
 	g := &e.C.Gates[s.F.Reader]
-	e.EvalCandidatePins(dst, g.Type, g.Fanin, map[int][]uint64{s.F.Pin: e.ConstRow(s.F.Value)})
+	e.EvalCandidatePin(dst, g.Type, g.Fanin, s.F.Pin, e.ConstRow(s.F.Value))
 }
 
 // Apply injects the fault into the netlist.
@@ -47,35 +47,50 @@ func (s StuckAtCorrection) String() string { return s.F.String() }
 // candidate stem and on each of its fanout branches.
 type StuckAtModel struct{}
 
-// Enumerate implements Model.
+// Enumerate implements Model. Corrections are handed out as pointers into
+// one slab: boxing each value into the interface separately would make this
+// the dominant allocator of the whole screen phase.
 func (StuckAtModel) Enumerate(c *circuit.Circuit, l circuit.Line) []Correction {
 	t := c.Gates[l].Type
 	if t == circuit.Const0 || t == circuit.Const1 {
 		return nil
 	}
-	var out []Correction
-	add := func(f fault.Fault) { out = append(out, StuckAtCorrection{F: f}) }
+	// The temporary fault list lives on the stack for typical fanout counts.
+	var buf [8]fault.Fault
+	faults := buf[:0]
 	stem := fault.Site{Line: l, Reader: circuit.NoLine}
-	add(fault.Fault{Site: stem, Value: false})
-	add(fault.Fault{Site: stem, Value: true})
+	faults = append(faults,
+		fault.Fault{Site: stem, Value: false},
+		fault.Fault{Site: stem, Value: true})
 	fo := c.Fanout()
 	if len(fo[l]) > 1 {
-		seen := map[[2]int32]bool{}
 		for _, r := range fo[l] {
 			for p, f := range c.Gates[r].Fanin {
 				if f != l {
 					continue
 				}
-				key := [2]int32{int32(r), int32(p)}
-				if seen[key] {
+				br := fault.Site{Line: l, Reader: r, Pin: p}
+				dup := false
+				for _, have := range faults {
+					if have.Site == br {
+						dup = true
+						break
+					}
+				}
+				if dup {
 					continue
 				}
-				seen[key] = true
-				br := fault.Site{Line: l, Reader: r, Pin: p}
-				add(fault.Fault{Site: br, Value: false})
-				add(fault.Fault{Site: br, Value: true})
+				faults = append(faults,
+					fault.Fault{Site: br, Value: false},
+					fault.Fault{Site: br, Value: true})
 			}
 		}
+	}
+	slab := make([]StuckAtCorrection, len(faults))
+	out := make([]Correction, len(faults))
+	for i, f := range faults {
+		slab[i] = StuckAtCorrection{F: f}
+		out[i] = &slab[i]
 	}
 	return out
 }
@@ -138,12 +153,15 @@ func NewErrorModel(c *circuit.Circuit, maxSources int, seed int64) *ErrorModel {
 	return em
 }
 
-// Enumerate implements Model.
+// Enumerate implements Model. As with StuckAtModel, corrections are slab-
+// boxed: one allocation per Enumerate call instead of one per correction.
 func (em *ErrorModel) Enumerate(c *circuit.Circuit, l circuit.Line) []Correction {
 	mods := errmodel.Enumerate(c, l, em.WireSources)
+	slab := make([]modCorrection, len(mods))
 	out := make([]Correction, len(mods))
 	for i, m := range mods {
-		out[i] = modCorrection{m: m}
+		slab[i] = modCorrection{m: m}
+		out[i] = &slab[i]
 	}
 	return out
 }
@@ -151,15 +169,22 @@ func (em *ErrorModel) Enumerate(c *circuit.Circuit, l circuit.Line) []Correction
 // CorrectionMod extracts the errmodel.Mod from a Correction produced by an
 // ErrorModel, with ok=false for stuck-at corrections.
 func CorrectionMod(c Correction) (errmodel.Mod, bool) {
-	if mc, ok := c.(modCorrection); ok {
+	switch mc := c.(type) {
+	case modCorrection:
+		return mc.Mod(), true
+	case *modCorrection:
 		return mc.Mod(), true
 	}
 	return errmodel.Mod{}, false
 }
 
-// CorrectionFault extracts the fault from a stuck-at Correction.
+// CorrectionFault extracts the fault from a stuck-at Correction (boxed by
+// value or handed out as a slab pointer by StuckAtModel.Enumerate).
 func CorrectionFault(c Correction) (fault.Fault, bool) {
-	if sc, ok := c.(StuckAtCorrection); ok {
+	switch sc := c.(type) {
+	case StuckAtCorrection:
+		return sc.F, true
+	case *StuckAtCorrection:
 		return sc.F, true
 	}
 	return fault.Fault{}, false

@@ -57,6 +57,7 @@ func runSearch(ctx context.Context, netlist *circuit.Circuit, specOut [][]uint64
 		tr:      tr,
 	}
 	r.instrument()
+	r.initWorkers()
 	budgetTime := opt.TimeBudget
 	if opt.Budget.Time > 0 && (budgetTime == 0 || opt.Budget.Time < budgetTime) {
 		budgetTime = opt.Budget.Time
@@ -153,11 +154,61 @@ type runState struct {
 	cVerifyFail *telemetry.Counter   // result.verify_failed — solutions dropped by it
 	hRect       *telemetry.Histogram // diagnose.h1_rect — per-suspect rectified bits
 
-	// Scratch buffers reused across node expansions.
-	forced  []uint64
-	cand    []uint64
-	orBad   []uint64
+	// Evaluation workers. pool is nil for Workers=1 runs (the exact legacy
+	// sequential path); parOK records whether this run's budget shape allows
+	// parallel fan-outs at all (counted budgets force sequential execution so
+	// their deterministic truncation points survive). ws holds the per-worker
+	// scratch rows; sequential runs use ws[0].
+	pool      *sim.EnginePool
+	parOK     bool
+	poolBound *sim.Engine // engine the pool is currently bound to
+	ws        []workerRows
+	ws1       [1]workerRows // backing array for the sequential case
+
 	isPOrow map[circuit.Line]int // line -> PO index
+}
+
+// workerRows is the per-worker set of reusable value-row buffers consumed by
+// the per-node trial loops. One worker owns one entry for the duration of a
+// fan-out, so the hot path allocates nothing.
+type workerRows struct {
+	forced []uint64 // H1: inverted-Verr row forced onto a suspect
+	cand   []uint64 // screen: candidate-correction output row
+	orBad  []uint64 // screen: OR of newly-erroneous bits (Vcorr)
+	still  []uint64 // fixedVectors: OR of post-trial diffs
+}
+
+// initWorkers sets up the run's evaluation workers from Options.Workers:
+// the engine pool (only when parallel execution is both requested and
+// deterministic-safe) and the per-worker scratch rows. Counted budgets need
+// the sequential path — they truncate the search at an exact work-item
+// index, which a concurrent fan-out cannot reproduce.
+func (r *runState) initWorkers() {
+	b := r.opt.Budget
+	r.parOK = b.MaxSimulations == 0 && b.MaxNodes == 0 && b.MaxCandidates == 0
+	workers := 1
+	if r.opt.Workers > 1 && r.parOK {
+		workers = r.opt.Workers
+		r.pool = sim.NewEnginePool(workers)
+		r.pool.Instrument(r.tr.Registry())
+	}
+	// All per-worker rows live in one shared slab; the sequential case reuses
+	// the inline backing array, so scratch setup is one allocation.
+	if workers == 1 {
+		r.ws = r.ws1[:]
+	} else {
+		r.ws = make([]workerRows, workers)
+	}
+	rows := make([]uint64, workers*4*r.w)
+	for i := range r.ws {
+		q := rows[i*4*r.w:]
+		r.ws[i] = workerRows{
+			forced: q[0*r.w : 1*r.w],
+			cand:   q[1*r.w : 2*r.w],
+			orBad:  q[2*r.w : 3*r.w],
+			still:  q[3*r.w : 4*r.w],
+		}
+	}
 }
 
 // instrument resolves the run's metric handles from the tracer's registry
@@ -506,11 +557,6 @@ func (r *runState) expand(corrs []Correction) *node {
 	e := sim.NewEngine(ckt, r.pi, r.n)
 	e.CTrials, e.CEvents = r.cTrials, r.cEvents
 	r.res.Stats.Simulations++
-	if r.forced == nil || len(r.forced) < e.W {
-		r.forced = make([]uint64, e.W)
-		r.cand = make([]uint64, e.W)
-		r.orBad = make([]uint64, e.W)
-	}
 
 	// Failing-vector bookkeeping.
 	failMask := make([]uint64, e.W)
@@ -577,34 +623,17 @@ func (r *runState) expand(corrs []Correction) *node {
 		}
 	}
 
-	type scoredLine struct {
-		l         circuit.Line
-		rectified int
+	ec := &expandCtx{
+		e:         e,
+		ckt:       ckt,
+		failMask:  failMask,
+		diff:      diff,
+		poIndex:   poIndex,
+		errBits:   errBits,
+		fails:     nd.fails,
+		passCount: passCount,
 	}
-	var lines []scoredLine
-	for _, l := range suspects {
-		if r.stop() {
-			break
-		}
-		// Invert the line's Verr bit-list (its values on failing vectors)
-		// and propagate: the maximum effect any modification of l can have.
-		r.res.Stats.Simulations++
-		row := e.BaseVal(l)
-		for w := 0; w < e.W; w++ {
-			r.forced[w] = row[w] ^ failMask[w]
-		}
-		changed := e.Trial(l, r.forced[:e.W])
-		rect := 0
-		for _, x := range changed {
-			if i, ok := poIndex[x]; ok {
-				rect += r.rectifiedBits(e, x, diff[i], i)
-			}
-		}
-		r.hRect.Observe(int64(rect))
-		if float64(rect) >= r.params.H1*float64(errBits)-1e-9 {
-			lines = append(lines, scoredLine{l, rect})
-		}
-	}
+	lines := r.rankSuspects(ec, suspects)
 	sort.Slice(lines, func(i, j int) bool {
 		if lines[i].rectified != lines[j].rectified {
 			return lines[i].rectified > lines[j].rectified
@@ -620,95 +649,7 @@ func (r *runState) expand(corrs []Correction) *node {
 	// --- Correction: enumerate, screen (h2 then h3), rank. ---
 	t1 := time.Now()
 	restorePhase = r.tr.Phase(r.ctx, "correction")
-	var cands []RankedCorrection
-	vRatio := float64(nd.fails) / float64(r.n)
-	for _, sl := range lines {
-		if r.halted {
-			break
-		}
-		for _, corr := range r.model.Enumerate(ckt, sl.l) {
-			if r.stop() {
-				break
-			}
-			r.res.Stats.Candidates++
-			target := corr.Target()
-			corr.NewValues(e, r.cand[:e.W])
-			// Theorem-1 screen: the correction must complement at least
-			// h2·|Verr| bits of the target's erroneous bit-list.
-			base := e.BaseVal(target)
-			comp := 0
-			for w := 0; w < e.W; w++ {
-				comp += bits.OnesCount64((r.cand[w] ^ base[w]) & failMask[w])
-			}
-			if float64(comp) < r.params.H2*float64(nd.fails)-1e-9 {
-				r.res.Stats.Screened++
-				continue
-			}
-			// Full trial for the Vcorr screen and the ranking metrics.
-			// Multi-target corrections (bridging faults) force the same
-			// candidate row onto every affected net at once.
-			r.res.Stats.Simulations++
-			var changed []circuit.Line
-			if mt, ok := corr.(interface{ Targets() []circuit.Line }); ok {
-				targets := mt.Targets()
-				rows := make([][]uint64, len(targets))
-				for i := range rows {
-					rows[i] = r.cand[:e.W]
-				}
-				changed = e.TrialMulti(targets, rows)
-			} else {
-				changed = e.Trial(target, r.cand[:e.W])
-			}
-			if len(changed) == 0 {
-				continue
-			}
-			r.res.Stats.Trials++
-			rect, newFails := 0, 0
-			for w := 0; w < e.W; w++ {
-				r.orBad[w] = 0
-			}
-			for _, x := range changed {
-				i, ok := poIndex[x]
-				if !ok {
-					continue
-				}
-				rect += r.rectifiedBits(e, x, diff[i], i)
-				tv := e.TrialVal(x)
-				for w := 0; w < e.W; w++ {
-					r.orBad[w] |= (tv[w] ^ r.specOut[i][w]) &^ failMask[w]
-				}
-			}
-			r.orBad[e.W-1] &= sim.TailMask(r.n)
-			newFails = popcount(r.orBad[:e.W])
-			if float64(newFails) > (1-r.params.H3)*float64(passCount)+1e-9 {
-				continue
-			}
-			// h1score blends the two readings of "erroneous primary outputs
-			// rectified": the fraction of erroneous output bits corrected
-			// and the fraction of failing vectors fully fixed. The vector
-			// term is what makes corrections that complete a repair outrank
-			// partial bit-chasers (the paper's iteration goal is reducing
-			// the number of erroneous vectors).
-			fixes := r.fixedVectors(e, changed, diff, failMask, poIndex)
-			h1s := 0.0
-			if errBits > 0 {
-				h1s = float64(rect) / float64(errBits) / 2
-			}
-			h1s += float64(fixes) / float64(nd.fails) / 2
-			h3s := 1.0
-			if passCount > 0 {
-				h3s = 1 - float64(newFails)/float64(passCount)
-			}
-			cands = append(cands, RankedCorrection{
-				C:        corr,
-				Rank:     (1-vRatio)*h3s + vRatio*h1s,
-				H1Score:  h1s,
-				H3Score:  h3s,
-				NewFails: newFails,
-				Fixes:    fixes,
-			})
-		}
-	}
+	cands := r.screenCorrections(ec, lines)
 	sort.SliceStable(cands, func(i, j int) bool {
 		if cands[i].Rank != cands[j].Rank {
 			return cands[i].Rank > cands[j].Rank
@@ -724,6 +665,267 @@ func (r *runState) expand(corrs []Correction) *node {
 	return nd
 }
 
+// expandCtx bundles the per-node state shared by the diagnosis and
+// correction loops of one expansion: the node's engine, the failing-vector
+// bookkeeping, and the counts the screens and scores are computed against.
+// Everything here is read-only during a fan-out.
+type expandCtx struct {
+	e         *sim.Engine
+	ckt       *circuit.Circuit
+	failMask  []uint64
+	diff      [][]uint64
+	poIndex   map[circuit.Line]int
+	errBits   int
+	fails     int
+	passCount int
+}
+
+type scoredLine struct {
+	l         circuit.Line
+	rectified int
+}
+
+// rankSuspects runs heuristic 1 over the surviving path-trace lines: invert
+// each suspect's Verr bit-list (its values on failing vectors), propagate,
+// and keep the lines whose maximum effect rectifies at least H1·errBits
+// erroneous output bits. Workers>1 runs the trials on the engine pool with
+// results merged in suspect order, bit-identical to the sequential loop.
+func (r *runState) rankSuspects(ec *expandCtx, suspects []circuit.Line) []scoredLine {
+	if r.useParallel(len(suspects)) {
+		return r.rankSuspectsParallel(ec, suspects)
+	}
+	e := ec.e
+	ws := &r.ws[0]
+	var lines []scoredLine
+	for _, l := range suspects {
+		if r.stop() {
+			break
+		}
+		// Invert the line's Verr bit-list (its values on failing vectors)
+		// and propagate: the maximum effect any modification of l can have.
+		r.res.Stats.Simulations++
+		rect := r.h1Trial(e, ws, ec, l)
+		r.hRect.Observe(int64(rect))
+		if float64(rect) >= r.params.H1*float64(ec.errBits)-1e-9 {
+			lines = append(lines, scoredLine{l, rect})
+		}
+	}
+	return lines
+}
+
+// h1Trial forces the inverted-Verr row onto l and counts the erroneous
+// output bits the propagation rectifies. Safe for concurrent use when each
+// worker owns its engine and workerRows.
+func (r *runState) h1Trial(e *sim.Engine, ws *workerRows, ec *expandCtx, l circuit.Line) int {
+	row := e.BaseVal(l)
+	for w := 0; w < e.W; w++ {
+		ws.forced[w] = row[w] ^ ec.failMask[w]
+	}
+	changed := e.Trial(l, ws.forced[:e.W])
+	rect := 0
+	for _, x := range changed {
+		if i, ok := ec.poIndex[x]; ok {
+			rect += r.rectifiedBits(e, x, ec.diff[i], i)
+		}
+	}
+	return rect
+}
+
+// screenOutcome is one candidate's screening verdict, recorded by index so
+// a parallel fan-out can be folded into stats and rankings in exactly the
+// order the sequential loop would have produced.
+type screenOutcome uint8
+
+const (
+	screenNotRun   screenOutcome = iota // stop fired before this candidate
+	screenRejected                      // failed the Theorem-1 complement test
+	screenNoChange                      // trial identical to base: dead candidate
+	screenNewFails                      // failed the Vcorr newly-failing test
+	screenKept                          // survives; rect/newFails/fixes valid
+)
+
+// screenResult carries the per-candidate counts the ranking formula needs.
+type screenResult struct {
+	outcome  screenOutcome
+	rect     int32
+	newFails int32
+	fixes    int32
+}
+
+// screenCorrections enumerates the correction model at every ranked suspect
+// and screens each candidate: the Theorem-1 complement test (one local gate
+// evaluation), then a full trial propagation for the Vcorr screen and the
+// ranking metrics. Workers>1 fans the per-candidate work out across the
+// engine pool; enumeration, stats accounting and ranking stay on the
+// calling goroutine, folding results in enumeration order.
+func (r *runState) screenCorrections(ec *expandCtx, lines []scoredLine) []RankedCorrection {
+	if r.pool != nil {
+		// Enumerate every suspect up front into one flat work list — the
+		// enumeration order is exactly the sequential loop's processing
+		// order, so sharding by index and folding in index order reproduces
+		// the sequential candidate ranking bit for bit.
+		var work []Correction
+		for _, sl := range lines {
+			work = append(work, r.model.Enumerate(ec.ckt, sl.l)...)
+		}
+		if r.useParallel(len(work)) {
+			return r.screenCorrectionsParallel(ec, work)
+		}
+		return r.screenCorrectionsFlat(ec, work)
+	}
+	e := ec.e
+	ws := &r.ws[0]
+	var cands []RankedCorrection
+	for _, sl := range lines {
+		if r.halted {
+			break
+		}
+		for _, corr := range r.model.Enumerate(ec.ckt, sl.l) {
+			if r.stop() {
+				break
+			}
+			r.res.Stats.Candidates++
+			sr := r.screenOne(e, ws, ec, corr)
+			if done, rc := r.foldScreen(ec, corr, sr); done {
+				cands = append(cands, rc)
+			}
+		}
+	}
+	return cands
+}
+
+// screenCorrectionsFlat is the sequential screen over a pre-enumerated work
+// list — the small-batch fallback of pooled runs. It matches the nested
+// sequential loop exactly: same item order, same stop points, same stats.
+func (r *runState) screenCorrectionsFlat(ec *expandCtx, work []Correction) []RankedCorrection {
+	e := ec.e
+	ws := &r.ws[0]
+	var cands []RankedCorrection
+	for _, corr := range work {
+		if r.stop() {
+			break
+		}
+		r.res.Stats.Candidates++
+		sr := r.screenOne(e, ws, ec, corr)
+		if done, rc := r.foldScreen(ec, corr, sr); done {
+			cands = append(cands, rc)
+		}
+	}
+	return cands
+}
+
+// foldScreen accounts one screened candidate into Stats and, for survivors,
+// produces its ranked form. It is the single merge rule shared by the
+// sequential loops and the parallel fold, which is what keeps their stats
+// and rankings identical.
+func (r *runState) foldScreen(ec *expandCtx, corr Correction, sr screenResult) (bool, RankedCorrection) {
+	switch sr.outcome {
+	case screenRejected:
+		r.res.Stats.Screened++
+		return false, RankedCorrection{}
+	case screenNoChange:
+		r.res.Stats.Simulations++
+		return false, RankedCorrection{}
+	case screenNewFails:
+		r.res.Stats.Simulations++
+		r.res.Stats.Trials++
+		return false, RankedCorrection{}
+	}
+	r.res.Stats.Simulations++
+	r.res.Stats.Trials++
+	return true, r.rankCorrection(ec, corr, sr)
+}
+
+// screenOne runs the two screens on a single candidate correction using the
+// given engine and scratch rows. It mutates only the engine's trial state
+// and ws, so distinct workers can screen distinct candidates concurrently.
+func (r *runState) screenOne(e *sim.Engine, ws *workerRows, ec *expandCtx, corr Correction) screenResult {
+	target := corr.Target()
+	corr.NewValues(e, ws.cand[:e.W])
+	// Theorem-1 screen: the correction must complement at least h2·|Verr|
+	// bits of the target's erroneous bit-list.
+	base := e.BaseVal(target)
+	comp := 0
+	for w := 0; w < e.W; w++ {
+		comp += bits.OnesCount64((ws.cand[w] ^ base[w]) & ec.failMask[w])
+	}
+	if float64(comp) < r.params.H2*float64(ec.fails)-1e-9 {
+		return screenResult{outcome: screenRejected}
+	}
+	// Full trial for the Vcorr screen and the ranking metrics. Multi-target
+	// corrections (bridging faults) force the same candidate row onto every
+	// affected net at once.
+	var changed []circuit.Line
+	if mt, ok := corr.(interface{ Targets() []circuit.Line }); ok {
+		targets := mt.Targets()
+		rows := make([][]uint64, len(targets))
+		for i := range rows {
+			rows[i] = ws.cand[:e.W]
+		}
+		changed = e.TrialMulti(targets, rows)
+	} else {
+		changed = e.Trial(target, ws.cand[:e.W])
+	}
+	if len(changed) == 0 {
+		return screenResult{outcome: screenNoChange}
+	}
+	rect := 0
+	for w := 0; w < e.W; w++ {
+		ws.orBad[w] = 0
+	}
+	for _, x := range changed {
+		i, ok := ec.poIndex[x]
+		if !ok {
+			continue
+		}
+		rect += r.rectifiedBits(e, x, ec.diff[i], i)
+		tv := e.TrialVal(x)
+		spec := r.specOut[i]
+		for w := 0; w < e.W; w++ {
+			ws.orBad[w] |= (tv[w] ^ spec[w]) &^ ec.failMask[w]
+		}
+	}
+	ws.orBad[e.W-1] &= sim.TailMask(r.n)
+	newFails := popcount(ws.orBad[:e.W])
+	if float64(newFails) > (1-r.params.H3)*float64(ec.passCount)+1e-9 {
+		return screenResult{outcome: screenNewFails}
+	}
+	fixes := r.fixedVectors(e, ws, ec.failMask)
+	return screenResult{
+		outcome:  screenKept,
+		rect:     int32(rect),
+		newFails: int32(newFails),
+		fixes:    int32(fixes),
+	}
+}
+
+// rankCorrection turns a kept candidate's screen counts into the ranked
+// form. h1score blends the two readings of "erroneous primary outputs
+// rectified": the fraction of erroneous output bits corrected and the
+// fraction of failing vectors fully fixed. The vector term is what makes
+// corrections that complete a repair outrank partial bit-chasers (the
+// paper's iteration goal is reducing the number of erroneous vectors).
+func (r *runState) rankCorrection(ec *expandCtx, corr Correction, sr screenResult) RankedCorrection {
+	vRatio := float64(ec.fails) / float64(r.n)
+	h1s := 0.0
+	if ec.errBits > 0 {
+		h1s = float64(sr.rect) / float64(ec.errBits) / 2
+	}
+	h1s += float64(sr.fixes) / float64(ec.fails) / 2
+	h3s := 1.0
+	if ec.passCount > 0 {
+		h3s = 1 - float64(sr.newFails)/float64(ec.passCount)
+	}
+	return RankedCorrection{
+		C:        corr,
+		Rank:     (1-vRatio)*h3s + vRatio*h1s,
+		H1Score:  h1s,
+		H3Score:  h3s,
+		NewFails: int(sr.newFails),
+		Fixes:    int(sr.fixes),
+	}
+}
+
 // rectifiedBits counts erroneous bits of PO x (diff row d) that the current
 // trial turns correct.
 func (r *runState) rectifiedBits(e *sim.Engine, x circuit.Line, d []uint64, poIdx int) int {
@@ -737,28 +939,21 @@ func (r *runState) rectifiedBits(e *sim.Engine, x circuit.Line, d []uint64, poId
 }
 
 // fixedVectors counts failing vectors that the current trial fully
-// rectifies (all POs correct).
-func (r *runState) fixedVectors(e *sim.Engine, changed []circuit.Line, diff [][]uint64, failMask []uint64, poIndex map[circuit.Line]int) int {
-	changedPO := map[int]bool{}
-	for _, x := range changed {
-		if i, ok := poIndex[x]; ok {
-			changedPO[i] = true
-		}
+// rectifies (all POs correct). It works entirely in ws scratch so the
+// screening hot loop stays allocation-free.
+func (r *runState) fixedVectors(e *sim.Engine, ws *workerRows, failMask []uint64) int {
+	// stillBad = OR over POs of their post-trial diff. TrialVal falls back to
+	// the base row for POs the trial never reached, so tv^spec is the
+	// post-trial diff for changed and unchanged outputs alike.
+	still := ws.still[:e.W]
+	for w := range still {
+		still[w] = 0
 	}
-	// stillBad = OR over POs of their post-trial diff.
-	still := make([]uint64, e.W)
-	for i := range diff {
-		if changedPO[i] {
-			tv := e.TrialVal(e.C.POs[i])
-			spec := r.specOut[i]
-			for w := 0; w < e.W; w++ {
-				still[w] |= tv[w] ^ spec[w]
-			}
-		} else {
-			d := diff[i]
-			for w := 0; w < e.W; w++ {
-				still[w] |= d[w]
-			}
+	for i, po := range e.C.POs {
+		tv := e.TrialVal(po)
+		spec := r.specOut[i]
+		for w := 0; w < e.W; w++ {
+			still[w] |= tv[w] ^ spec[w]
 		}
 	}
 	fixed := 0

@@ -22,7 +22,10 @@ func (r *runState) verifySolution(corrs []Correction) bool {
 	pi := sim.PermutePatterns(r.pi, r.n, perm)
 	spec := sim.PermutePatterns(r.specOut, r.n, perm)
 	r.res.Stats.Simulations++
-	val := sim.Simulate(ckt, pi, r.n)
+	// SimulateParallel shards the pattern words across workers; per-pattern
+	// values are independent, so the result matches Simulate bit for bit and
+	// the gate stays as independent of the search machinery as before.
+	val := sim.SimulateParallel(ckt, pi, r.n, r.opt.Workers)
 	for i, po := range ckt.POs {
 		if !sim.EqualRows(val[po], spec[i], r.n) {
 			return false

@@ -32,6 +32,9 @@ type Config struct {
 	Deterministic bool
 	// MaxNodes caps each diagnosis run's tree (0 = diagnose default).
 	MaxNodes int
+	// Workers sets each diagnosis run's evaluation-worker count
+	// (0 = GOMAXPROCS, 1 = sequential; results are identical for any value).
+	Workers int
 	// RunBudget bounds each diagnosis run's wall-clock time (default 30s).
 	RunBudget time.Duration
 	// Ctx, when non-nil, flows into every vector-generation and diagnosis
@@ -141,6 +144,7 @@ func RunTable1Row(bm gen.Benchmark, faultCounts []int, cfg Config) (Table1Row, e
 				MaxErrors:  k,
 				MaxNodes:   cfg.MaxNodes,
 				TimeBudget: cfg.RunBudget,
+				Workers:    cfg.Workers,
 			})
 			if derr != nil {
 				return Table1Row{}, derr
@@ -240,6 +244,7 @@ func RunTable2Row(bm gen.Benchmark, errorCounts []int, cfg Config) (Table2Row, e
 				MaxErrors:  k + 1,
 				MaxNodes:   cfg.MaxNodes,
 				TimeBudget: cfg.RunBudget,
+				Workers:    cfg.Workers,
 			})
 			elapsed := time.Since(start)
 			cell.Runs++
@@ -286,6 +291,7 @@ func FaultMaskingRate(bm gen.Benchmark, k int, cfg Config) (rate float64, runs i
 			MaxErrors:  k,
 			MaxNodes:   cfg.MaxNodes,
 			TimeBudget: cfg.RunBudget,
+			Workers:    cfg.Workers,
 		})
 		if derr != nil {
 			return 0, 0, derr

@@ -170,7 +170,7 @@ func Detected(c *circuit.Circuit, faults []Fault, pi [][]uint64, n int) []bool {
 			changed = e.Trial(f.Line, row)
 		} else {
 			g := &c.Gates[f.Reader]
-			changed = e.TrialEvalPins(f.Reader, g.Type, g.Fanin, map[int][]uint64{f.Pin: row})
+			changed = e.TrialEvalPin(f.Reader, g.Type, g.Fanin, f.Pin, row)
 		}
 		for _, l := range changed {
 			if !isPO[l] {

@@ -35,6 +35,16 @@ const (
 	PhaseSATCheck  = "satcheck"  // SAT equivalence self-proof (sat.conflicts)
 )
 
+// ParallelPhase names the engine-pool variant of a phase at a worker count,
+// e.g. "screen_w4": the same root expansion as the base phase on the same
+// circuit × fault × vector cell, with the trial fan-outs sharded over the
+// pool. The base h1rank/screen phases are always measured with Workers=1
+// (the exact legacy path), so a report holding both is a w1-vs-wN comparison
+// on identical work — Report.Speedups divides the pairs.
+func ParallelPhase(base string, workers int) string {
+	return fmt.Sprintf("%s_w%d", base, workers)
+}
+
 // Scenario is one suite cell: a generated circuit, a fault multiplicity and
 // a random-vector budget.
 type Scenario struct {
@@ -95,6 +105,12 @@ type Options struct {
 	// MaxConflicts bounds the satcheck phase's SAT proof so array
 	// multipliers can't stall the suite. Zero means 50000.
 	MaxConflicts int64
+	// Workers, when at least 2, adds engine-pool variants of the h1rank and
+	// screen phases (named by ParallelPhase) measured at that worker count.
+	// The base phases stay pinned to the exact sequential path either way,
+	// so the report carries a w1-vs-wN pair per scenario. Zero or 1 measures
+	// the sequential phases only.
+	Workers int
 	// Logf, when set, receives one progress line per scenario.
 	Logf func(format string, args ...any)
 }
@@ -184,7 +200,10 @@ func runScenario(sc Scenario, opt Options) (*ScenarioResult, error) {
 	e := sim.NewEngine(bad, pi, n)
 	vals := e.Values()
 
-	dopt := diagnose.Options{MaxErrors: sc.Faults}
+	// Workers: 1 pins the base h1rank/screen phases to the exact sequential
+	// path, so their timings gate the legacy loop and the _wN variants below
+	// measure the pool against an honest w1 reference.
+	dopt := diagnose.Options{MaxErrors: sc.Faults, Workers: 1}
 	params := diagnose.DefaultSchedule()[0]
 	if sc.Faults > 1 {
 		// Multi-fault nodes only do real work below 1/1/1 (the relaxed
@@ -237,6 +256,18 @@ func runScenario(sc Scenario, opt Options) (*ScenarioResult, error) {
 		_, stats := diagnose.ExpandRoot(ctx, bad, specOut, pi, n, diagnose.StuckAtModel{}, dopt, params)
 		return stats.CorrTime.Nanoseconds(), nil
 	})
+	if opt.Workers > 1 {
+		popt := dopt
+		popt.Workers = opt.Workers
+		run(ParallelPhase(PhaseH1Rank, opt.Workers), func() (int64, error) {
+			_, stats := diagnose.ExpandRoot(ctx, bad, specOut, pi, n, nullModel{}, popt, params)
+			return stats.DiagTime.Nanoseconds(), nil
+		})
+		run(ParallelPhase(PhaseScreen, opt.Workers), func() (int64, error) {
+			_, stats := diagnose.ExpandRoot(ctx, bad, specOut, pi, n, diagnose.StuckAtModel{}, popt, params)
+			return stats.CorrTime.Nanoseconds(), nil
+		})
+	}
 	run(PhaseSATCheck, func() (int64, error) {
 		_, cerr := equiv.Check(good, good, equiv.Options{MaxConflicts: opt.MaxConflicts, Ctx: ctx})
 		return 0, cerr

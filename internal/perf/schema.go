@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"time"
 )
 
@@ -95,6 +96,68 @@ func (s *ScenarioResult) phase(name string) *PhaseResult {
 		}
 	}
 	return nil
+}
+
+// Speedup is one sequential-vs-parallel measurement pair: a scenario whose
+// report holds both a base phase (h1rank or screen, always measured at
+// Workers=1) and its engine-pool variant at a given worker count.
+type Speedup struct {
+	Scenario string
+	Phase    string // base (sequential) phase name
+	Workers  int
+	SeqNs    int64
+	ParNs    int64
+	Factor   float64 // SeqNs / ParNs; >1 means the pool was faster
+}
+
+func (s Speedup) String() string {
+	return fmt.Sprintf("%s/%s: %v -> %v at %d workers (%.2fx)",
+		s.Scenario, s.Phase, time.Duration(s.SeqNs), time.Duration(s.ParNs), s.Workers, s.Factor)
+}
+
+// Speedups extracts the h1rank/screen pool speedups at the given worker
+// count from every scenario that measured both variants. Scenarios without
+// a _wN phase (a report recorded with Workers<2) contribute nothing.
+func (r *Report) Speedups(workers int) []Speedup {
+	var out []Speedup
+	for i := range r.Scenarios {
+		sc := &r.Scenarios[i]
+		for _, base := range []string{PhaseH1Rank, PhaseScreen} {
+			sp := sc.phase(base)
+			pp := sc.phase(ParallelPhase(base, workers))
+			if sp == nil || pp == nil || sp.NsPerOp <= 0 || pp.NsPerOp <= 0 {
+				continue
+			}
+			out = append(out, Speedup{
+				Scenario: sc.Scenario,
+				Phase:    base,
+				Workers:  workers,
+				SeqNs:    sp.NsPerOp,
+				ParNs:    pp.NsPerOp,
+				Factor:   float64(sp.NsPerOp) / float64(pp.NsPerOp),
+			})
+		}
+	}
+	return out
+}
+
+// GeomeanSpeedup aggregates one phase's speedup factors across scenarios as
+// a geometric mean — the gate statistic, so one tiny scenario (whose
+// fan-outs are too short to shard profitably) cannot veto a suite-wide win
+// the way a min would, while a genuine across-the-board loss still shows.
+// It returns 0 when no scenario measured the phase.
+func GeomeanSpeedup(sps []Speedup, phase string) float64 {
+	logSum, n := 0.0, 0
+	for _, s := range sps {
+		if s.Phase == phase && s.Factor > 0 {
+			logSum += math.Log(s.Factor)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
 }
 
 // Regression is one gate violation found by Compare.

@@ -31,6 +31,7 @@ type Engine struct {
 	fanout  [][]circuit.Line
 	buckets [][]circuit.Line // propagation worklist indexed by level
 	faninV  [][]uint64       // reusable fanin gather buffer
+	comp    [][]uint64       // reusable complemented-pin rows (grown on demand)
 
 	zeroRow []uint64
 	onesRow []uint64
@@ -70,12 +71,19 @@ func (e *Engine) ConstRow(v bool) []uint64 {
 // NewEngine simulates the circuit over the given input patterns and returns
 // an engine ready for trials. pi has one row per PI in circuit PI order.
 func NewEngine(c *circuit.Circuit, pi [][]uint64, n int) *Engine {
+	return newEngineVal(c, Simulate(c, pi, n), n)
+}
+
+// newEngineVal builds an engine around an already-simulated base value
+// matrix. It is the shared body of NewEngine and Fork: the former computes
+// the matrix, the latter borrows it.
+func newEngineVal(c *circuit.Circuit, val [][]uint64, n int) *Engine {
 	w := Words(n)
 	e := &Engine{
 		C:      c,
 		N:      n,
 		W:      w,
-		val:    Simulate(c, pi, n),
+		val:    val,
 		stamp:  make([]uint32, c.NumLines()),
 		queued: make([]uint32, c.NumLines()),
 		pinned: make([]uint32, c.NumLines()),
@@ -87,13 +95,53 @@ func NewEngine(c *circuit.Circuit, pi [][]uint64, n int) *Engine {
 	for i := range e.scratch {
 		e.scratch[i] = slab[i*w : (i+1)*w]
 	}
+	e.buckets = make([][]circuit.Line, numLevels(e.levels))
+	return e
+}
+
+func numLevels(levels []int32) int {
 	maxLevel := int32(0)
-	for _, lv := range e.levels {
+	for _, lv := range levels {
 		if lv > maxLevel {
 			maxLevel = lv
 		}
 	}
-	e.buckets = make([][]circuit.Line, maxLevel+1)
+	return int(maxLevel + 1)
+}
+
+// Fork returns a worker view of the engine for concurrent trials: the base
+// value matrix, level table and fanout table are shared read-only with the
+// parent (and with every other fork), while the trial scratch — value rows,
+// epoch stamps, worklist buckets, changed set — is private. Forks of one
+// engine may run trials concurrently with each other and with the parent;
+// none of them may be used concurrently with anything that mutates the base
+// state. The trial counters are shared with the parent (they are atomic).
+func (e *Engine) Fork() *Engine {
+	// Resolve the shared const rows up front so concurrent ConstRow calls on
+	// forks never race on lazy initialisation.
+	zero, ones := e.ConstRow(false), e.ConstRow(true)
+	f := newEngineVal(e.C, e.val, e.N)
+	f.zeroRow, f.onesRow = zero, ones
+	f.CTrials, f.CEvents = e.CTrials, e.CEvents
+	return f
+}
+
+// rebind repoints a fork at a new parent engine, reusing the fork's scratch
+// allocations when the circuit dimensions still match. It backs
+// EnginePool.Bind so a pool can move between per-node engines without
+// reallocating per-worker slabs.
+func (e *Engine) rebind(root *Engine) *Engine {
+	if len(e.stamp) != root.C.NumLines() || e.W != root.W || e.N != root.N {
+		return root.Fork()
+	}
+	e.C, e.val, e.levels, e.fanout = root.C, root.val, root.levels, root.fanout
+	e.zeroRow, e.onesRow = root.ConstRow(false), root.ConstRow(true)
+	e.CTrials, e.CEvents = root.CTrials, root.CEvents
+	if n := numLevels(e.levels); n > len(e.buckets) {
+		e.buckets = append(e.buckets, make([][]circuit.Line, n-len(e.buckets))...)
+	}
+	// Stale epoch stamps are harmless: the next trial bumps e.epoch past
+	// every stamp this fork ever wrote.
 	return e
 }
 
@@ -206,16 +254,17 @@ func (e *Engine) TrialEval(l circuit.Line, t circuit.GateType, fin []circuit.Lin
 	return e.changed
 }
 
-// TrialEvalPins is like TrialEval but substitutes explicit value rows for
-// selected pins (pinVals maps pin index to a row). It models fanout-branch
-// stuck-at faults: pin p of the gate driving l reads a constant while the
-// stem keeps its true value.
-func (e *Engine) TrialEvalPins(l circuit.Line, t circuit.GateType, fin []circuit.Line, pinVals map[int][]uint64) []circuit.Line {
+// TrialEvalPin is like TrialEval but substitutes an explicit value row for
+// one pin. It models fanout-branch stuck-at faults: pin of the gate driving
+// l reads a constant while the stem keeps its true value. The dense
+// (pin, row) form replaces an earlier map-valued argument that allocated on
+// every call of the correction-screening hot loop.
+func (e *Engine) TrialEvalPin(l circuit.Line, t circuit.GateType, fin []circuit.Line, pin int, row []uint64) []circuit.Line {
 	e.epoch++
 	e.changed = e.changed[:0]
 	e.faninV = e.faninV[:0]
 	for p, f := range fin {
-		if row, ok := pinVals[p]; ok {
+		if p == pin {
 			e.faninV = append(e.faninV, row)
 		} else {
 			e.faninV = append(e.faninV, e.TrialVal(f))
@@ -246,18 +295,7 @@ func (e *Engine) EvalCandidate(dst []uint64, t circuit.GateType, fin []circuit.L
 	for _, f := range fin {
 		e.faninV = append(e.faninV, e.val[f])
 	}
-	if finComp != nil {
-		for p, comp := range finComp {
-			if !comp {
-				continue
-			}
-			row := make([]uint64, e.W)
-			for i := 0; i < e.W; i++ {
-				row[i] = ^e.faninV[p][i]
-			}
-			e.faninV[p] = row
-		}
-	}
+	e.complementPins(finComp)
 	EvalGateInto(t, dst, e.W, e.faninV...)
 	if outComp {
 		for i := 0; i < e.W; i++ {
@@ -266,12 +304,37 @@ func (e *Engine) EvalCandidate(dst []uint64, t circuit.GateType, fin []circuit.L
 	}
 }
 
-// EvalCandidatePins is EvalCandidate with explicit value rows substituted
-// for selected pins (the branch stuck-at form).
-func (e *Engine) EvalCandidatePins(dst []uint64, t circuit.GateType, fin []circuit.Line, pinVals map[int][]uint64) {
+// complementPins replaces the faninV rows of complemented pins with engine-
+// owned scratch rows holding the complement. The scratch is reused across
+// calls, keeping candidate screening allocation-free.
+func (e *Engine) complementPins(finComp []bool) {
+	if finComp == nil {
+		return
+	}
+	nc := 0
+	for p, comp := range finComp {
+		if !comp {
+			continue
+		}
+		if nc == len(e.comp) {
+			e.comp = append(e.comp, make([]uint64, e.W))
+		}
+		row := e.comp[nc]
+		nc++
+		src := e.faninV[p]
+		for i := 0; i < e.W; i++ {
+			row[i] = ^src[i]
+		}
+		e.faninV[p] = row
+	}
+}
+
+// EvalCandidatePin is EvalCandidate with an explicit value row substituted
+// for one pin (the branch stuck-at form).
+func (e *Engine) EvalCandidatePin(dst []uint64, t circuit.GateType, fin []circuit.Line, pin int, row []uint64) {
 	e.faninV = e.faninV[:0]
 	for p, f := range fin {
-		if row, ok := pinVals[p]; ok {
+		if p == pin {
 			e.faninV = append(e.faninV, row)
 		} else {
 			e.faninV = append(e.faninV, e.val[f])
@@ -285,20 +348,7 @@ func (e *Engine) evalInto(out []uint64, t circuit.GateType, fin []circuit.Line, 
 	for _, f := range fin {
 		e.faninV = append(e.faninV, e.TrialVal(f))
 	}
-	if finComp != nil {
-		// Complemented pins need private storage; small and rare, so a
-		// transient allocation is acceptable here.
-		for p, comp := range finComp {
-			if !comp {
-				continue
-			}
-			row := make([]uint64, e.W)
-			for i := 0; i < e.W; i++ {
-				row[i] = ^e.faninV[p][i]
-			}
-			e.faninV[p] = row
-		}
-	}
+	e.complementPins(finComp)
 	EvalGateInto(t, out, e.W, e.faninV...)
 	if outComp {
 		for i := 0; i < e.W; i++ {

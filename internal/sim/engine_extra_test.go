@@ -56,12 +56,12 @@ func TestChangedAccessor(t *testing.T) {
 	}
 }
 
-func TestTrialEvalPinsDirect(t *testing.T) {
+func TestTrialEvalPinDirect(t *testing.T) {
 	c, _, b, g := andCircuit()
 	pi, n, _ := ExhaustivePatterns(2)
 	e := NewEngine(c, pi, n)
 	// Pin 0 of g forced to constant 1: g becomes BUF(b).
-	changed := e.TrialEvalPins(g, circuit.And, c.Fanin(g), map[int][]uint64{0: e.ConstRow(true)})
+	changed := e.TrialEvalPin(g, circuit.And, c.Fanin(g), 0, e.ConstRow(true))
 	if len(changed) != 1 {
 		t.Fatalf("changed = %v", changed)
 	}
@@ -70,7 +70,7 @@ func TestTrialEvalPinsDirect(t *testing.T) {
 	}
 	// Forcing the pin to its natural value: no change.
 	natural := append([]uint64(nil), e.BaseVal(c.Fanin(g)[0])...)
-	if got := e.TrialEvalPins(g, circuit.And, c.Fanin(g), map[int][]uint64{0: natural}); len(got) != 0 {
+	if got := e.TrialEvalPin(g, circuit.And, c.Fanin(g), 0, natural); len(got) != 0 {
 		t.Fatalf("no-op pin force changed %v", got)
 	}
 }
@@ -108,12 +108,12 @@ func TestEvalCandidateDirect(t *testing.T) {
 	}
 }
 
-func TestEvalCandidatePinsDirect(t *testing.T) {
+func TestEvalCandidatePinDirect(t *testing.T) {
 	c, _, b, g := andCircuit()
 	pi, n, _ := ExhaustivePatterns(2)
 	e := NewEngine(c, pi, n)
 	dst := make([]uint64, e.W)
-	e.EvalCandidatePins(dst, circuit.And, c.Fanin(g), map[int][]uint64{0: e.ConstRow(true)})
+	e.EvalCandidatePin(dst, circuit.And, c.Fanin(g), 0, e.ConstRow(true))
 	if !EqualRows(dst, e.BaseVal(b), n) {
 		t.Fatal("pin substitution wrong")
 	}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"log/slog"
 	"os"
+	"runtime"
 	"time"
 )
 
@@ -21,6 +22,22 @@ type CLI struct {
 	DebugAddr  string
 	Verbose    bool
 	LogFormat  string
+}
+
+// DefaultWorkers is the default evaluation-worker count for the engine's
+// parallel trial fan-outs: one worker per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// WorkersFlag installs the shared -workers flag on fs and returns the bound
+// value: the number of concurrent evaluation workers the diagnosis engine's
+// trial fan-outs may use. The default is GOMAXPROCS; 1 forces the exact
+// sequential path. Results are bit-identical for every value — the knob
+// trades cores for wall-clock only. Commands whose -workers name is already
+// taken (dedcd's supervise pool) register their own flag around
+// DefaultWorkers instead.
+func WorkersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", DefaultWorkers(),
+		"concurrent evaluation workers for engine trial fan-outs (1 = sequential; results are identical for any value)")
 }
 
 // Register installs the flags on fs.
