@@ -5,6 +5,8 @@
 #   make fuzz            — short fuzzing pass over the .bench parser
 #   make chaos           — fault-injection trials under the race detector
 #   make chaos-resume    — SIGKILL/resume convergence trials (race build)
+#   make chaos-store     — SIGKILL dedcd mid-workload; the durable store must
+#                          lose nothing and finish every job after restart
 #   make bench-telemetry — disabled-telemetry overhead gate (≤2%)
 #   make journal-check   — end-to-end run journal validation
 #   make bench           — record the quick perf suite to BENCH_core.json
@@ -23,8 +25,9 @@ BENCHWORKERS ?= 4
 MINSPEEDUP ?= 1.5
 SUITE ?= quick
 
-.PHONY: all build vet test race fuzz chaos chaos-resume ci check bench-telemetry \
-	journal-check bench bench-compare bench-check bench-parallel clean
+.PHONY: all build vet test race fuzz chaos chaos-resume chaos-store ci check \
+	bench-telemetry journal-check bench bench-compare bench-check \
+	bench-parallel clean
 
 all: build
 
@@ -57,6 +60,18 @@ chaos:
 chaos-resume:
 	CHAOS_RESUME_TRIALS=50 CHAOS_RESUME_RACE=1 \
 		$(GO) test -race -count 1 -run TestChaosResume -timeout 30m ./cmd/dedc
+
+# Durable-store gate: SIGKILL dedcd (race build) at random points mid-workload,
+# restart over the same store directory, and require every accepted job to
+# reach a terminal state with solutions identical to an uninterrupted run.
+# Also scales up the store-corruption trials (damaged log/snapshot must recover
+# cleanly or fail typed — never panic or fabricate state).
+chaos-store:
+	CHAOS_STORE_TRIALS=50 CHAOS_STORE_RACE=1 \
+		$(GO) test -race -count 1 -run 'TestChaosStoreKill|TestRestartResumesFromCheckpoint' \
+		-timeout 30m ./cmd/dedcd
+	CHAOS_STORE_CORRUPT_TRIALS=1000 \
+		$(GO) test -race -count 1 -run TestStoreCorruptionTrials -timeout 30m ./internal/chaos
 
 ci: vet build race fuzz
 
@@ -115,7 +130,7 @@ bench-parallel:
 		$(GO) run ./cmd/dedcbench -suite $(SUITE) -q -workers $(BENCHWORKERS) -min-speedup $(MINSPEEDUP) -speedup-warn; \
 	fi
 
-check: ci journal-check bench-telemetry bench-check bench-parallel chaos-resume
+check: ci journal-check bench-telemetry bench-check bench-parallel chaos-resume chaos-store
 
 clean:
 	$(GO) clean ./...

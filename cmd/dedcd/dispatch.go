@@ -1,0 +1,268 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dedc/internal/diagnose"
+	"dedc/internal/store"
+	"dedc/internal/telemetry"
+)
+
+// This file is the dispatcher: the bridge between the durable job store and
+// the supervised execution pool. It claims queued jobs under TTL leases,
+// renews them while attempts run (heartbeat + checkpoint boundaries), reaps
+// expired leases, and writes every attempt outcome back to the store. The
+// store is the only source of truth — the dispatcher keeps no job state
+// beyond the cancel functions of attempts currently executing here.
+
+// dispatch claims jobs whenever the pool has room, waking on submits and on
+// a coarse ticker (which also picks up jobs whose retry backoff has elapsed).
+func (s *server) dispatch(ctx context.Context) {
+	t := time.NewTicker(25 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.wake:
+		case <-t.C:
+		}
+		s.fill(ctx)
+	}
+}
+
+// fill claims exactly as many ready jobs as the pool can hold right now.
+func (s *server) fill(ctx context.Context) {
+	for ctx.Err() == nil && s.pool.QueueFree() > 0 {
+		j, ok, err := s.st.Claim(s.worker)
+		if err != nil || !ok {
+			return
+		}
+		s.startJob(j)
+	}
+}
+
+// startJob hands one claimed job to the pool. The claim is already recorded;
+// every exit path from here must settle it (run, release, or fail).
+func (s *server) startJob(j store.Job) {
+	var req jobRequest
+	if err := json.Unmarshal(j.Spec, &req); err != nil {
+		// A spec that does not decode will not decode next attempt either.
+		if ferr := s.st.FailTerminal(j.ID, s.worker, fmt.Sprintf("undecodable job spec: %v", err)); ferr != nil {
+			s.log.Warn("failing undecodable job", "id", j.ID, "err", ferr)
+		}
+		return
+	}
+	jctx, cancel := context.WithCancel(s.baseCtx)
+	s.mu.Lock()
+	s.running[j.ID] = cancel
+	s.mu.Unlock()
+	err := s.pool.Submit(j.ID, func(pctx context.Context) error {
+		defer func() {
+			s.mu.Lock()
+			delete(s.running, j.ID)
+			s.mu.Unlock()
+			cancel()
+		}()
+		return s.runAttempt(jctx, pctx, j, req)
+	})
+	if err != nil {
+		// The pool shed or refused the claim before it ran: return it to the
+		// queue without burning an attempt.
+		s.mu.Lock()
+		delete(s.running, j.ID)
+		s.mu.Unlock()
+		cancel()
+		if rerr := s.st.Release(j.ID, s.worker); rerr != nil {
+			s.log.Warn("releasing unexecuted claim", "id", j.ID, "err", rerr)
+		}
+	}
+}
+
+// runAttempt executes one claimed attempt end to end: lease heartbeat,
+// per-attempt journal with checkpoint-boundary lease renewal, resume from the
+// previous attempt's checkpoint when one is recorded, and the terminal write
+// back to the store.
+func (s *server) runAttempt(jctx, pctx context.Context, j store.Job, req jobRequest) error {
+	// The pool context carries the per-attempt deadline; the job context
+	// carries explicit cancellation and process shutdown. Chain them so
+	// either ends the run.
+	cancel := func() { s.cancelRunning(j.ID) }
+	stop := context.AfterFunc(pctx, cancel)
+	defer stop()
+
+	// A cancel can land between claim and execution; don't run a dead job.
+	if cur, p := s.st.Lookup(j.ID); p != store.Found || cur.State != store.StateRunning || cur.Worker != s.worker {
+		return nil
+	}
+
+	// Heartbeat at TTL/3: keeps the lease alive through checkpoint-free
+	// stretches (vector building, verification). A failed renewal means the
+	// lease is lost — the reaper promised the job elsewhere — so the attempt
+	// is abandoned rather than finished twice.
+	hbCtx, hbStop := context.WithCancel(jctx)
+	defer hbStop()
+	go s.heartbeat(hbCtx, j.ID, cancel)
+
+	env := runEnv{}
+	runCtx, closeJournal := s.attemptJournal(jctx, j, &env)
+	defer closeJournal()
+	if j.Ref != "" {
+		if f, err := os.Open(j.Ref); err == nil {
+			defer f.Close()
+			env.Resume = f
+		} else {
+			s.log.Warn("checkpoint journal unavailable; restarting attempt fresh", "id", j.ID, "ref", j.Ref, "err", err)
+		}
+	}
+
+	res, err := s.run(runCtx, req, env)
+
+	switch {
+	case s.baseCtx.Err() != nil:
+		// Shutdown interrupted the attempt: the claim goes back unburned (a
+		// daemon restart is not the job's fault). If the release loses a race
+		// with the store closing, boot recovery requeues the orphan instead.
+		if rerr := s.st.Release(j.ID, s.worker); rerr != nil && !errors.Is(rerr, store.ErrClosed) {
+			s.log.Warn("releasing attempt at shutdown", "id", j.ID, "err", rerr)
+		}
+	case pctx.Err() != nil:
+		s.settleFailure(j.ID, fmt.Sprintf("attempt %d exceeded the job deadline", j.Attempt))
+	case jctx.Err() != nil:
+		// Cancelled via the store (already terminal) or the lease was lost
+		// (another worker owns the job now): nothing to write either way.
+	case err == nil:
+		raw, merr := json.Marshal(res)
+		if merr != nil {
+			s.settleFailure(j.ID, fmt.Sprintf("encoding result: %v", merr))
+			return merr
+		}
+		if cerr := s.st.Complete(j.ID, s.worker, raw); cerr != nil && !ignorableOutcomeErr(cerr) {
+			s.log.Warn("recording completion", "id", j.ID, "err", cerr)
+		}
+	default:
+		s.settleFailure(j.ID, err.Error())
+	}
+	return err
+}
+
+// settleFailure records a failed attempt; the store decides between a
+// backoff-requeue and a terminal failure. Races with cancel (terminal) and
+// lease reassignment are benign.
+func (s *server) settleFailure(id, msg string) {
+	if err := s.st.Fail(id, s.worker, msg); err != nil && !ignorableOutcomeErr(err) {
+		s.log.Warn("recording failure", "id", id, "err", err)
+	}
+	s.kick()
+}
+
+// ignorableOutcomeErr reports outcome-write errors that just mean another
+// actor settled the job first: a cancel made it terminal, the reaper
+// reassigned the lease, or shutdown closed the store.
+func ignorableOutcomeErr(err error) bool {
+	return errors.Is(err, store.ErrTerminal) || errors.Is(err, store.ErrWrongWorker) ||
+		errors.Is(err, store.ErrNotRunning) || errors.Is(err, store.ErrClosed)
+}
+
+// heartbeat renews the lease at TTL/3 until the attempt ends. On any renewal
+// failure the attempt is cancelled: an expired or reassigned lease must not
+// keep computing.
+func (s *server) heartbeat(ctx context.Context, id string, cancel func()) {
+	interval := s.leaseTTL / 3
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if err := s.st.Renew(id, s.worker); err != nil {
+				if !ignorableOutcomeErr(err) && !errors.Is(err, store.ErrLeaseExpired) {
+					s.log.Warn("lease renewal failed; abandoning attempt", "id", id, "err", err)
+				}
+				cancel()
+				return
+			}
+		}
+	}
+}
+
+// attemptJournal attaches a per-attempt run journal (<dir>/<id>.a<N>.jsonl)
+// to ctx and wires the checkpoint hook: every checkpoint records the journal
+// path as the job's resume ref and renews the lease in the same store event.
+// Journal trouble never fails the job — the run proceeds unjournaled — and
+// the returned cleanup is safe to call unconditionally.
+func (s *server) attemptJournal(ctx context.Context, j store.Job, env *runEnv) (context.Context, func()) {
+	if s.journalDir == "" {
+		return ctx, func() {}
+	}
+	path := filepath.Join(s.journalDir, fmt.Sprintf("%s.a%d.jsonl", j.ID, j.Attempt))
+	f, err := os.Create(path)
+	if err != nil {
+		s.log.Warn("attempt journal unavailable; running unjournaled", "id", j.ID, "err", err)
+		return ctx, func() {}
+	}
+	jl := telemetry.NewJournal(f)
+	tr := telemetry.NewTracer(telemetry.Options{Journal: jl})
+	// The engine calls this after the checkpoint is journaled (and the
+	// journal flushes checkpoints through), so by the time the ref lands in
+	// the store the state it points at is already on disk.
+	env.OnCheckpoint = func(*diagnose.Checkpoint) {
+		if err := s.st.SetCheckpoint(j.ID, s.worker, path); err != nil {
+			if !ignorableOutcomeErr(err) && !errors.Is(err, store.ErrLeaseExpired) {
+				s.log.Warn("recording checkpoint ref", "id", j.ID, "err", err)
+			}
+			s.cancelRunning(j.ID)
+		}
+	}
+	return telemetry.WithTracer(ctx, tr), func() {
+		if cerr := jl.Close(); cerr != nil {
+			s.log.Warn("closing attempt journal", "id", j.ID, "err", cerr)
+		}
+		f.Close()
+	}
+}
+
+// reap expires blown leases at TTL/4 — the crashed-worker path. Requeued
+// jobs re-enter the claimable set (after their backoff); jobs out of
+// attempts become terminal failures.
+func (s *server) reap(ctx context.Context) {
+	interval := s.leaseTTL / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			requeued, failed, err := s.st.ExpireLeases()
+			if err != nil {
+				if !errors.Is(err, store.ErrClosed) {
+					s.log.Warn("lease reaper", "err", err)
+				}
+				return
+			}
+			for _, j := range requeued {
+				s.log.Info("lease expired; job requeued", "id", j.ID, "attempt", j.Attempt)
+			}
+			for _, j := range failed {
+				s.log.Warn("lease expired; attempts exhausted", "id", j.ID, "attempt", j.Attempt)
+			}
+			if len(requeued) > 0 {
+				s.kick()
+			}
+		}
+	}
+}

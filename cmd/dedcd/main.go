@@ -1,23 +1,32 @@
-// Command dedcd runs the diagnosis engine as a crash-only HTTP service.
-// Diagnosis requests are submitted as jobs onto a supervised, bounded worker
-// pool (internal/supervise): a job that panics is quarantined and its worker
-// replaced; a full queue sheds load with 503 instead of buffering without
-// bound; SIGTERM drains in-flight jobs before exit.
+// Command dedcd runs the diagnosis engine as a crash-only HTTP service over
+// a durable, event-sourced job store (internal/store). The daemon itself is
+// stateless: every job fact — submission, lease, checkpoint ref, outcome —
+// is an fsync'd event in the store, so a SIGKILL at any instant loses no
+// accepted work. On boot the log is replayed, orphaned leases are requeued,
+// and interrupted jobs resume from their last journaled checkpoint.
+//
+// Jobs execute on a supervised, bounded worker pool (internal/supervise)
+// under TTL leases: a worker renews its lease at checkpoint boundaries (and
+// on a heartbeat), a reaper requeues expired leases with capped retries and
+// jittered exponential backoff, and a panicking job is quarantined and
+// terminally failed (poison-pill semantics) while its worker is replaced.
 //
 // Endpoints (all JSON):
 //
 //	POST /v1/jobs             submit {"impl": "<bench>", "spec"|"device": "<bench>", ...}
-//	GET  /v1/jobs             list jobs + pool counters
-//	GET  /v1/jobs/{id}        job status
+//	GET  /v1/jobs             list retained jobs + pool counters
+//	GET  /v1/jobs/{id}        job status (404 never submitted, 410 evicted)
 //	GET  /v1/jobs/{id}/result terminal result (409 while queued/running)
 //	POST /v1/jobs/{id}/cancel cancel a queued or running job
-//	GET  /healthz             liveness + pool counters
+//	GET  /healthz             liveness + pool counters + job counts
 //
 // The standard telemetry debug endpoints (/metrics, /debug/vars,
 // /debug/pprof/*) share the same listener.
 //
 // Exit status: 0 on clean (signal-initiated) shutdown with all jobs drained,
-// 1 on startup errors or a drain that exceeded -drain-timeout.
+// 1 on startup errors or a drain that exceeded -drain-timeout. Jobs still
+// running at a blown drain deadline are released back to the queue; without
+// even that chance (SIGKILL), boot recovery requeues them as orphans.
 package main
 
 import (
@@ -26,9 +35,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"dedc/internal/store"
 	"dedc/internal/supervise"
 	"dedc/internal/telemetry"
 )
@@ -43,10 +54,15 @@ func run(args []string) int {
 	workers := fs.Int("workers", 2, "concurrent diagnosis workers")
 	simWorkers := fs.Int("sim-workers", telemetry.DefaultWorkers(),
 		"default evaluation workers per job's engine fan-outs (1 = sequential; results are identical for any value; requests may override per job)")
-	queue := fs.Int("queue", 8, "bounded job queue depth (overflow is shed with 503)")
-	jobTimeout := fs.Duration("job-timeout", 10*time.Minute, "per-job deadline (0 = none)")
+	queue := fs.Int("queue", 8, "bounded execution-pool queue depth (claims beyond it wait in the store)")
+	maxQueued := fs.Int("max-queued", 1024, "admission cap on queued jobs; submissions beyond it are shed with 503 (0 = unlimited)")
+	jobTimeout := fs.Duration("job-timeout", 10*time.Minute, "per-attempt deadline (0 = none)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight jobs")
-	journalDir := fs.String("journal-dir", "", "write a per-job run journal (<dir>/<id>.jsonl); interrupted jobs become resumable with dedc -resume")
+	storeDir := fs.String("store-dir", "", "durable job store directory (empty = in-memory store; jobs do not survive restarts)")
+	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "job lease TTL; a worker silent this long forfeits its claim")
+	maxAttempts := fs.Int("max-attempts", 3, "claims per job before it fails terminally")
+	backoff := fs.Duration("retry-backoff", 250*time.Millisecond, "base requeue backoff after a failed attempt (doubles per attempt, jittered)")
+	journalDir := fs.String("journal-dir", "", "per-attempt run journals (<dir>/<id>.a<N>.jsonl); default <store-dir>/journals when -store-dir is set. Requeued jobs resume from these.")
 	var obs telemetry.CLI
 	obs.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -61,6 +77,30 @@ func run(args []string) int {
 	log := rt.Logger
 	telemetry.Default.Publish("dedc.metrics")
 
+	sopt := store.Options{
+		LeaseTTL:    *leaseTTL,
+		MaxAttempts: *maxAttempts,
+		BackoffBase: *backoff,
+	}
+	var st store.JobStore
+	if *storeDir != "" {
+		fst, err := store.Open(*storeDir, sopt)
+		if err != nil {
+			log.Error("opening job store", "dir", *storeDir, "err", err)
+			return 1
+		}
+		st = fst
+		if *journalDir == "" {
+			*journalDir = filepath.Join(*storeDir, "journals")
+		}
+		counts := fst.Counts()
+		log.Info("job store recovered", "dir", *storeDir, "jobs", counts)
+	} else {
+		st = store.NewMemory(sopt)
+		log.Warn("running with in-memory job store; jobs will not survive a restart (set -store-dir)")
+	}
+	defer st.Close()
+
 	// First SIGTERM/SIGINT starts the graceful drain; a second one restores
 	// the default disposition via stop(), so it force-kills the process.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -71,15 +111,18 @@ func run(args []string) int {
 	}()
 
 	// Jobs live on their own context, independent of the signal: a drain lets
-	// in-flight work finish, and only a blown -drain-timeout cancels it.
+	// in-flight work finish, and only a blown -drain-timeout cancels it (the
+	// dispatcher then releases the claims back to the queue).
 	jobsCtx, cancelJobs := context.WithCancel(context.Background())
 	defer cancelJobs()
-	srv := newServer(jobsCtx, log, supervise.Options{
+	srv := newServer(log, st, supervise.Options{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		JobTimeout: *jobTimeout,
 	})
 	srv.simWorkers = *simWorkers
+	srv.maxQueued = *maxQueued
+	srv.leaseTTL = *leaseTTL
 	if *journalDir != "" {
 		if err := os.MkdirAll(*journalDir, 0o755); err != nil {
 			log.Error("creating -journal-dir", "err", err)
@@ -87,12 +130,14 @@ func run(args []string) int {
 		}
 		srv.journalDir = *journalDir
 	}
+	srv.start(jobsCtx)
 	web, err := telemetry.ServeMux(*addr, srv.handler(telemetry.Default))
 	if err != nil {
 		log.Error("listen failed", "addr", *addr, "err", err)
 		return 1
 	}
-	log.Info("dedcd listening", "addr", web.Addr(), "workers", *workers, "queue", *queue)
+	log.Info("dedcd listening", "addr", web.Addr(), "workers", *workers,
+		"queue", *queue, "store", *storeDir, "lease_ttl", *leaseTTL)
 
 	<-ctx.Done()
 	log.Info("shutdown requested; draining", "timeout", *drainTimeout)
@@ -113,8 +158,8 @@ func run(args []string) int {
 		log.Error("job drain incomplete", "err", err, "stats", srv.pool.Stats())
 		code = 1
 	}
-	st := srv.pool.Stats()
-	log.Info("drained", "completed", st.Completed, "failed", st.Failed,
-		"panics", st.Panics, "shed", st.Shed)
+	pst := srv.pool.Stats()
+	log.Info("drained", "completed", pst.Completed, "failed", pst.Failed,
+		"panics", pst.Panics, "shed", pst.Shed, "jobs", srv.st.Counts())
 	return code
 }

@@ -5,23 +5,25 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"os"
-	"path/filepath"
 	"strings"
 	"sync"
 	"time"
 
 	"dedc/internal/bench"
+	"dedc/internal/circuit"
 	"dedc/internal/diagnose"
+	"dedc/internal/store"
 	"dedc/internal/supervise"
 	"dedc/internal/telemetry"
 	"dedc/internal/tpg"
 )
 
 // jobRequest is the submission body of POST /v1/jobs: netlists travel inline
-// as .bench text, so the service holds no filesystem state.
+// as .bench text, so the service holds no filesystem state beyond the store.
 type jobRequest struct {
 	// Impl is the netlist to diagnose/repair (.bench text, required).
 	Impl string `json:"impl"`
@@ -51,109 +53,103 @@ type jobResult struct {
 	Tuples      [][]string     `json:"tuples,omitempty"`      // stuckat mode
 	Repaired    string         `json:"repaired,omitempty"`    // .bench text
 	Verified    int            `json:"verified"`
+	Resumed     bool           `json:"resumed,omitempty"` // attempt resumed a prior checkpoint
 	Stats       diagnose.Stats `json:"stats"`
 }
 
-// jobState is the lifecycle of one submitted job.
-type jobState string
-
-const (
-	stateQueued    jobState = "queued"
-	stateRunning   jobState = "running"
-	stateDone      jobState = "done"
-	stateFailed    jobState = "failed"
-	stateCancelled jobState = "cancelled"
-	statePanicked  jobState = "panicked"
-)
-
-type job struct {
-	mu       sync.Mutex
-	id       string
-	state    jobState
-	err      string
-	result   *jobResult
-	cancel   context.CancelFunc
-	created  time.Time
-	finished time.Time
+// runEnv carries the per-attempt execution context the dispatcher provides:
+// a prior attempt's journal to resume from, and the checkpoint hook that
+// renews the store lease at every checkpoint boundary.
+type runEnv struct {
+	Resume       io.Reader // prior attempt's journal (nil = fresh run)
+	OnCheckpoint func(*diagnose.Checkpoint)
 }
 
-func (j *job) set(s jobState, res *jobResult, err error) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	// Terminal states are sticky: a cancel racing completion keeps whichever
-	// landed first.
-	if j.state == stateDone || j.state == stateFailed || j.state == stateCancelled || j.state == statePanicked {
-		return
-	}
-	j.state = s
-	j.result = res
-	if err != nil {
-		j.err = err.Error()
-	}
-	if s != stateRunning {
-		j.finished = time.Now()
-	}
-}
-
-type jobView struct {
-	ID     string `json:"id"`
-	State  string `json:"state"`
-	Error  string `json:"error,omitempty"`
-	HasRes bool   `json:"has_result"`
-}
-
-func (j *job) view() jobView {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return jobView{ID: j.id, State: string(j.state), Error: j.err, HasRes: j.result != nil}
-}
-
-// runner executes one diagnosis request; the indirection lets tests inject
+// runner executes one diagnosis attempt; the indirection lets tests inject
 // hanging or panicking jobs without forging netlists that crash the engine.
-type runner func(ctx context.Context, req jobRequest) (*jobResult, error)
+type runner func(ctx context.Context, req jobRequest, env runEnv) (*jobResult, error)
 
-// server is the crash-only diagnosis service: jobs run on a supervised pool,
-// so a panicking or wedged diagnosis is quarantined without disturbing its
-// neighbours or the process.
+// jobView is the status representation of GET /v1/jobs[/{id}].
+type jobView struct {
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Attempt int    `json:"attempt"`
+	Error   string `json:"error,omitempty"`
+	HasRes  bool   `json:"has_result"`
+}
+
+func viewOf(j store.Job) jobView {
+	return jobView{ID: j.ID, State: string(j.State), Attempt: j.Attempt,
+		Error: j.Error, HasRes: len(j.Result) > 0}
+}
+
+// server is the stateless HTTP layer of the diagnosis service: every job
+// fact lives in the store (durable when file-backed), execution runs on a
+// supervised pool fed by the dispatcher in dispatch.go. The process can be
+// killed at any instant and a restart resumes the whole workload.
 type server struct {
-	pool    *supervise.Pool
-	log     *slog.Logger
-	run     runner
-	baseCtx context.Context // process lifetime: shutdown cancels all jobs
+	st   store.JobStore
+	pool *supervise.Pool
+	log  *slog.Logger
+	run  runner
 
-	// journalDir, when set, gives every job its own run journal
-	// (<dir>/<id>.jsonl) with flush-on-checkpoint semantics, so a job killed
-	// by shutdown, cancellation or a crash is resumable with dedc -resume.
+	baseCtx context.Context // process job lifetime: shutdown cancels attempts
+	worker  string          // lease holder identity of this process
+
+	// journalDir, when set, gives every attempt its own run journal
+	// (<dir>/<id>.a<attempt>.jsonl) with flush-on-checkpoint semantics; the
+	// journal path is recorded in the store as the job's checkpoint ref, so a
+	// requeued job resumes from its last checkpoint instead of restarting.
 	journalDir string
 
 	// simWorkers is the default per-job evaluation-worker count
 	// (-sim-workers), applied when a request leaves "workers" unset.
 	simWorkers int
 
-	mu     sync.Mutex
-	jobs   map[string]*job
-	nextID int
+	// maxQueued is the admission cap: submissions beyond this many queued
+	// jobs are shed with 503 (the durable queue replaces the pool queue as
+	// the backpressure boundary).
+	maxQueued int
+
+	leaseTTL time.Duration
+
+	wake chan struct{} // nudges the dispatcher after a submit/requeue
+
+	mu      sync.Mutex
+	running map[string]context.CancelFunc // attempts executing in this process
 }
 
-func newServer(ctx context.Context, log *slog.Logger, popt supervise.Options) *server {
+func newServer(log *slog.Logger, st store.JobStore, popt supervise.Options) *server {
 	s := &server{
+		st:         st,
 		log:        log,
-		baseCtx:    ctx,
-		jobs:       map[string]*job{},
+		baseCtx:    context.Background(),
+		worker:     fmt.Sprintf("dedcd-%d", os.Getpid()),
 		simWorkers: telemetry.DefaultWorkers(),
+		maxQueued:  1024,
+		leaseTTL:   30 * time.Second,
+		wake:       make(chan struct{}, 1),
+		running:    map[string]context.CancelFunc{},
 	}
-	s.run = func(ctx context.Context, req jobRequest) (*jobResult, error) {
+	s.run = func(ctx context.Context, req jobRequest, env runEnv) (*jobResult, error) {
 		if req.Workers == 0 {
 			req.Workers = s.simWorkers
 		}
-		return runDiagnosis(ctx, req)
+		return runDiagnosis(ctx, req, env)
 	}
-	// A panicking job never returns through the closure in handleSubmit, so
-	// its terminal state is applied from the pool's outcome hook instead.
+	// Retries are the store's policy now: one pool attempt per claim.
+	popt.MaxRetries = 0
+	// A panicking job never returns through the attempt closure, so its
+	// terminal state is recorded from the pool's outcome hook. Panic means
+	// poison pill: the input is presumed to crash the engine again, so the
+	// failure is terminal regardless of remaining attempts.
 	popt.OnDone = func(id string, err error) {
 		var pe *supervise.PanicError
 		if errors.As(err, &pe) {
-			s.markPanicked(id, err)
+			s.cancelRunning(id)
+			if ferr := s.st.FailTerminal(id, s.worker, err.Error()); ferr != nil {
+				log.Warn("recording panic outcome", "id", id, "err", ferr)
+			}
 			log.Error("job panicked; input quarantined, worker replaced", "id", id, "err", err)
 		}
 	}
@@ -161,12 +157,22 @@ func newServer(ctx context.Context, log *slog.Logger, popt supervise.Options) *s
 	return s
 }
 
+// start launches the dispatcher and the lease reaper. ctx bounds both loops
+// and every attempt's lifetime (shutdown cancellation).
+func (s *server) start(ctx context.Context) {
+	s.baseCtx = ctx
+	go s.dispatch(ctx)
+	go s.reap(ctx)
+}
+
 // handler builds the service mux on top of the standard telemetry debug mux,
 // so /metrics, /debug/vars and /debug/pprof ride along on the same listener.
 func (s *server) handler(reg *telemetry.Registry) http.Handler {
 	mux := telemetry.DebugMux(reg)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "pool": s.pool.Stats()})
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ok": true, "pool": s.pool.Stats(), "jobs": s.st.Counts(),
+		})
 	})
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
@@ -182,141 +188,118 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	s.mu.Lock()
-	s.nextID++
-	j := &job{id: fmt.Sprintf("job-%d", s.nextID), state: stateQueued, created: time.Now()}
-	s.jobs[j.id] = j
-	s.mu.Unlock()
-
-	jctx, cancel := context.WithCancel(s.baseCtx)
-	j.cancel = cancel
-	err := s.pool.Submit(j.id, func(pctx context.Context) error {
-		// The pool context carries the per-attempt deadline; the job context
-		// carries explicit cancellation and process shutdown. Chain them so
-		// either ends the run.
-		stop := context.AfterFunc(pctx, cancel)
-		defer stop()
-		j.set(stateRunning, nil, nil)
-		runCtx, closeJournal := s.jobJournal(jctx, j.id)
-		defer closeJournal()
-		res, err := s.run(runCtx, req)
-		switch {
-		case err == nil:
-			j.set(stateDone, res, nil)
-		case errors.Is(jctx.Err(), context.Canceled):
-			j.set(stateCancelled, nil, err)
-		default:
-			j.set(stateFailed, nil, err)
-		}
-		return err
-	})
-	if err != nil {
-		cancel()
-		s.mu.Lock()
-		delete(s.jobs, j.id)
-		s.mu.Unlock()
-		// 503 + Retry-After is the backpressure contract: the queue is the
-		// bounded buffer, the client is the retry loop.
+	// Admission control: the durable queue is the bounded buffer now, and
+	// 503 + Retry-After remains the backpressure contract.
+	if s.maxQueued > 0 && s.st.Counts()[store.StateQueued] >= s.maxQueued {
 		w.Header().Set("Retry-After", "1")
-		writeErr(w, http.StatusServiceUnavailable, err)
+		writeErr(w, http.StatusServiceUnavailable,
+			fmt.Errorf("job queue is full (%d queued)", s.maxQueued))
 		return
 	}
-	s.log.Info("job accepted", "id", j.id)
-	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id})
+	spec, err := json.Marshal(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.st.Submit(spec)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.kick()
+	s.log.Info("job accepted", "id", j.ID)
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.ID})
 }
 
 func (s *server) handleList(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	views := make([]jobView, 0, len(s.jobs))
-	for _, j := range s.jobs {
-		views = append(views, j.view())
+	jobs := s.st.List()
+	views := make([]jobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = viewOf(j)
 	}
-	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": views, "pool": s.pool.Stats()})
 }
 
-func (s *server) job(w http.ResponseWriter, r *http.Request) *job {
-	s.mu.Lock()
-	j := s.jobs[r.PathValue("id")]
-	s.mu.Unlock()
-	if j == nil {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+// lookup resolves the request's job ID, writing the 404/410 distinction the
+// store makes possible: an ID that was never submitted is unknown; one below
+// the persisted submission counter existed and was evicted (terminal-job
+// pruning at compaction).
+func (s *server) lookup(w http.ResponseWriter, r *http.Request) (store.Job, bool) {
+	id := r.PathValue("id")
+	j, p := s.st.Lookup(id)
+	switch p {
+	case store.Found:
+		return j, true
+	case store.Evicted:
+		writeErr(w, http.StatusGone, fmt.Errorf("job %q was evicted (retention window passed)", id))
+	default:
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
 	}
-	return j
+	return store.Job{}, false
 }
 
 func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	if j := s.job(w, r); j != nil {
-		writeJSON(w, http.StatusOK, j.view())
+	if j, ok := s.lookup(w, r); ok {
+		writeJSON(w, http.StatusOK, viewOf(j))
 	}
 }
 
 func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
-	j := s.job(w, r)
-	if j == nil {
+	j, ok := s.lookup(w, r)
+	if !ok {
 		return
 	}
-	j.mu.Lock()
-	state, res, errStr := j.state, j.result, j.err
-	j.mu.Unlock()
-	switch state {
-	case stateDone:
-		writeJSON(w, http.StatusOK, res)
-	case stateQueued, stateRunning:
-		writeErr(w, http.StatusConflict, fmt.Errorf("job %s is %s", j.id, state))
+	switch j.State {
+	case store.StateDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(j.Result)
+	case store.StateQueued, store.StateRunning:
+		writeErr(w, http.StatusConflict, fmt.Errorf("job %s is %s", j.ID, j.State))
 	default:
-		writeJSON(w, http.StatusOK, map[string]string{"state": string(state), "error": errStr})
+		writeJSON(w, http.StatusOK, map[string]string{"state": string(j.State), "error": j.Error})
 	}
 }
 
 func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	j := s.job(w, r)
-	if j == nil {
+	j, ok := s.lookup(w, r)
+	if !ok {
 		return
 	}
-	j.set(stateCancelled, nil, errors.New("cancelled by request"))
-	if j.cancel != nil {
-		j.cancel()
+	// Record the cancel first (terminal, sticky), then interrupt the attempt
+	// if this process is executing it; a late Complete/Fail from the worker
+	// is rejected by the terminal state.
+	if err := s.st.Cancel(j.ID); err != nil && !errors.Is(err, store.ErrTerminal) {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
 	}
-	writeJSON(w, http.StatusOK, j.view())
+	s.cancelRunning(j.ID)
+	cur, _ := s.st.Lookup(j.ID)
+	writeJSON(w, http.StatusOK, viewOf(cur))
 }
 
-// jobJournal attaches a per-job run journal to ctx when -journal-dir is
-// set. Journal trouble never fails the job — the run proceeds unjournaled —
-// and the returned cleanup is safe to call unconditionally.
-func (s *server) jobJournal(ctx context.Context, id string) (context.Context, func()) {
-	if s.journalDir == "" {
-		return ctx, func() {}
-	}
-	f, err := os.Create(filepath.Join(s.journalDir, id+".jsonl"))
-	if err != nil {
-		s.log.Warn("job journal unavailable; running unjournaled", "id", id, "err", err)
-		return ctx, func() {}
-	}
-	jl := telemetry.NewJournal(f)
-	tr := telemetry.NewTracer(telemetry.Options{Journal: jl})
-	return telemetry.WithTracer(ctx, tr), func() {
-		if cerr := jl.Close(); cerr != nil {
-			s.log.Warn("closing job journal", "id", id, "err", cerr)
-		}
-		f.Close()
+// kick nudges the dispatcher without blocking.
+func (s *server) kick() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
 	}
 }
 
-// markPanicked is the pool OnDone hook's path for panicked jobs: the job
-// closure never returns, so the terminal state is applied here.
-func (s *server) markPanicked(id string, err error) {
+// cancelRunning interrupts an attempt this process is executing, if any.
+func (s *server) cancelRunning(id string) {
 	s.mu.Lock()
-	j := s.jobs[id]
+	cancel := s.running[id]
 	s.mu.Unlock()
-	if j != nil {
-		j.set(statePanicked, nil, err)
+	if cancel != nil {
+		cancel()
 	}
 }
 
 // runDiagnosis is the production runner: parse the inline netlists, build
-// vectors, run the engine.
-func runDiagnosis(ctx context.Context, req jobRequest) (*jobResult, error) {
+// vectors, run the engine — resuming from a prior attempt's journal when the
+// dispatcher provides one.
+func runDiagnosis(ctx context.Context, req jobRequest, env runEnv) (*jobResult, error) {
 	if req.Impl == "" {
 		return nil, errors.New("impl netlist is required")
 	}
@@ -353,36 +336,74 @@ func runDiagnosis(ctx context.Context, req jobRequest) (*jobResult, error) {
 	}
 	vecs := tpg.BuildVectorsContext(ctx, impl, tpg.Options{Random: random, Seed: seed, Deterministic: true})
 	refOut := diagnose.DeviceOutputs(ref, vecs.PI, vecs.N)
-	opt := diagnose.Options{MaxErrors: maxErrors, NoVerify: req.NoVerify, Seed: seed, Workers: req.Workers}
+	opt := diagnose.Options{MaxErrors: maxErrors, NoVerify: req.NoVerify, Seed: seed,
+		Workers: req.Workers, OnCheckpoint: env.OnCheckpoint}
 
 	if mode == "stuckat" {
+		if env.Resume != nil {
+			res, rerr := diagnose.ResumeStuckAtFromJournal(ctx, env.Resume, impl, refOut, vecs.PI, vecs.N, opt)
+			if rerr == nil {
+				out := stuckAtOut(impl, res)
+				out.Resumed = true
+				return out, nil
+			}
+			if ctx.Err() != nil {
+				return nil, rerr
+			}
+			// The journal did not replay (corrupt file, mismatched config):
+			// resume is an optimization, so the attempt restarts fresh.
+		}
 		res, err := diagnose.DiagnoseStuckAtContext(ctx, impl, refOut, vecs.PI, vecs.N, opt)
 		if err != nil {
 			return nil, err
 		}
-		out := &jobResult{
-			Mode:     mode,
-			Status:   res.Status.String(),
-			Solved:   res.Status.Solved() && len(res.Tuples) > 0,
-			Verified: res.Stats.Verified,
-			Stats:    res.Stats,
-		}
-		for _, tu := range res.Tuples {
-			names := make([]string, len(tu))
-			for i, f := range tu {
-				names[i] = fmt.Sprintf("%s/%d", f.Site.Name(impl), b2i(f.Value))
-			}
-			out.Tuples = append(out.Tuples, names)
-		}
-		return out, nil
+		return stuckAtOut(impl, res), nil
 	}
 
+	if env.Resume != nil {
+		rep, rerr := diagnose.ResumeRepairFromJournal(ctx, env.Resume, impl, refOut, vecs.PI, vecs.N, opt)
+		if rerr == nil {
+			out, oerr := repairOut(rep)
+			if oerr != nil {
+				return nil, oerr
+			}
+			out.Resumed = true
+			return out, nil
+		}
+		if ctx.Err() != nil {
+			return nil, rerr
+		}
+	}
 	rep, err := diagnose.RepairContext(ctx, impl, refOut, vecs.PI, vecs.N, opt)
 	if err != nil {
 		return nil, err
 	}
+	return repairOut(rep)
+}
+
+// stuckAtOut converts a stuck-at engine result to the wire form.
+func stuckAtOut(impl *circuit.Circuit, res *diagnose.StuckAtResult) *jobResult {
 	out := &jobResult{
-		Mode:     mode,
+		Mode:     "stuckat",
+		Status:   res.Status.String(),
+		Solved:   res.Status.Solved() && len(res.Tuples) > 0,
+		Verified: res.Stats.Verified,
+		Stats:    res.Stats,
+	}
+	for _, tu := range res.Tuples {
+		names := make([]string, len(tu))
+		for i, f := range tu {
+			names[i] = fmt.Sprintf("%s/%d", f.Site.Name(impl), b2i(f.Value))
+		}
+		out.Tuples = append(out.Tuples, names)
+	}
+	return out
+}
+
+// repairOut converts a repair engine result to the wire form.
+func repairOut(rep *diagnose.RepairResult) (*jobResult, error) {
+	out := &jobResult{
+		Mode:     "repair",
 		Status:   rep.Status.String(),
 		Solved:   rep.Solved(),
 		Verified: rep.Stats.Verified,

@@ -21,24 +21,41 @@ import (
 	"dedc/internal/diagnose"
 	"dedc/internal/fault"
 	"dedc/internal/gen"
+	"dedc/internal/store"
 	"dedc/internal/supervise"
 	"dedc/internal/telemetry"
 	"dedc/internal/tpg"
 )
 
+// testServer builds a server over an in-memory store with fast lease/retry
+// tunings and starts its dispatcher/reaper loops.
 func testServer(t *testing.T, popt supervise.Options, run runner) (*server, *httptest.Server) {
 	t.Helper()
 	log := slog.New(slog.NewTextHandler(io.Discard, nil))
-	s := newServer(context.Background(), log, popt)
+	st := store.NewMemory(store.Options{
+		LeaseTTL:    5 * time.Second,
+		MaxAttempts: 1,
+		BackoffBase: 5 * time.Millisecond,
+		BackoffMax:  20 * time.Millisecond,
+	})
+	s := newServer(log, st, popt)
+	s.leaseTTL = 5 * time.Second
+	if popt.QueueDepth > 0 {
+		s.maxQueued = popt.QueueDepth
+	}
 	if run != nil {
 		s.run = run
 	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.start(ctx)
 	ts := httptest.NewServer(s.handler(telemetry.NewRegistry()))
 	t.Cleanup(func() {
 		ts.Close()
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		s.pool.Drain(ctx)
+		cancel()
+		dctx, dcancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer dcancel()
+		s.pool.Drain(dctx)
+		st.Close()
 	})
 	return s, ts
 }
@@ -75,7 +92,7 @@ func getJSON(t *testing.T, url string) (int, map[string]any) {
 	return resp.StatusCode, m
 }
 
-// waitState polls a job's status until it reaches a terminal state.
+// waitState polls a job's status until it reaches one of the wanted states.
 func waitState(t *testing.T, base, id string, want ...string) string {
 	t.Helper()
 	deadline := time.Now().Add(15 * time.Second)
@@ -88,7 +105,7 @@ func waitState(t *testing.T, base, id string, want ...string) string {
 			}
 		}
 		switch state {
-		case string(stateQueued), string(stateRunning):
+		case "queued", "running":
 			time.Sleep(10 * time.Millisecond)
 		default:
 			t.Fatalf("job %s reached %q, wanted one of %v (err=%v)", id, state, want, m["error"])
@@ -99,7 +116,7 @@ func waitState(t *testing.T, base, id string, want ...string) string {
 }
 
 func TestSubmitStatusResult(t *testing.T) {
-	_, ts := testServer(t, supervise.Options{Workers: 2}, func(context.Context, jobRequest) (*jobResult, error) {
+	_, ts := testServer(t, supervise.Options{Workers: 2}, func(context.Context, jobRequest, runEnv) (*jobResult, error) {
 		return &jobResult{Mode: "repair", Status: "FirstSolution", Solved: true, Corrections: []string{"fix"}}, nil
 	})
 	resp, m := postJSON(t, ts.URL+"/v1/jobs", jobRequest{Impl: "x"})
@@ -107,7 +124,7 @@ func TestSubmitStatusResult(t *testing.T) {
 		t.Fatalf("submit status = %d", resp.StatusCode)
 	}
 	id := m["id"].(string)
-	waitState(t, ts.URL, id, string(stateDone))
+	waitState(t, ts.URL, id, "done")
 	code, res := getJSON(t, ts.URL+"/v1/jobs/"+id+"/result")
 	if code != http.StatusOK || res["solved"] != true || res["mode"] != "repair" {
 		t.Errorf("result = %d %v", code, res)
@@ -119,7 +136,7 @@ func TestSubmitStatusResult(t *testing.T) {
 
 func TestResultConflictWhileRunning(t *testing.T) {
 	release := make(chan struct{})
-	_, ts := testServer(t, supervise.Options{Workers: 1}, func(ctx context.Context, _ jobRequest) (*jobResult, error) {
+	_, ts := testServer(t, supervise.Options{Workers: 1}, func(ctx context.Context, _ jobRequest, _ runEnv) (*jobResult, error) {
 		select {
 		case <-release:
 		case <-ctx.Done():
@@ -129,17 +146,17 @@ func TestResultConflictWhileRunning(t *testing.T) {
 	defer close(release)
 	_, m := postJSON(t, ts.URL+"/v1/jobs", jobRequest{Impl: "x"})
 	id := m["id"].(string)
-	waitState(t, ts.URL, id, string(stateRunning))
+	waitState(t, ts.URL, id, "running")
 	if code, _ := getJSON(t, ts.URL+"/v1/jobs/"+id+"/result"); code != http.StatusConflict {
 		t.Errorf("result while running = %d, want 409", code)
 	}
 }
 
-// TestPanickingJobIsSurvived is the tentpole's acceptance check in unit form:
-// a job that panics is quarantined, the worker replaced, and the service
-// keeps serving.
+// TestPanickingJobIsSurvived: a job that panics is quarantined, terminally
+// failed (poison-pill: retries would panic again), the worker replaced, and
+// the service keeps serving.
 func TestPanickingJobIsSurvived(t *testing.T) {
-	s, ts := testServer(t, supervise.Options{Workers: 1}, func(_ context.Context, req jobRequest) (*jobResult, error) {
+	s, ts := testServer(t, supervise.Options{Workers: 1}, func(_ context.Context, req jobRequest, _ runEnv) (*jobResult, error) {
 		if req.Impl == "poison" {
 			panic("engine exploded")
 		}
@@ -147,11 +164,11 @@ func TestPanickingJobIsSurvived(t *testing.T) {
 	})
 	_, m := postJSON(t, ts.URL+"/v1/jobs", jobRequest{Impl: "poison"})
 	poisonID := m["id"].(string)
-	waitState(t, ts.URL, poisonID, string(statePanicked))
+	waitState(t, ts.URL, poisonID, "failed")
 
 	// The same (replaced) worker must process the next job normally.
 	_, m = postJSON(t, ts.URL+"/v1/jobs", jobRequest{Impl: "fine"})
-	waitState(t, ts.URL, m["id"].(string), string(stateDone))
+	waitState(t, ts.URL, m["id"].(string), "done")
 
 	code, health := getJSON(t, ts.URL+"/healthz")
 	if code != http.StatusOK || health["ok"] != true {
@@ -160,31 +177,34 @@ func TestPanickingJobIsSurvived(t *testing.T) {
 	if q := s.pool.Quarantine(); len(q) != 1 || q[0].ID != poisonID {
 		t.Errorf("quarantine = %+v", q)
 	}
-	// The panicked job's result endpoint reports the terminal state.
+	// The panicked job's result endpoint reports the terminal failure.
 	code, res := getJSON(t, ts.URL+"/v1/jobs/"+poisonID+"/result")
-	if code != http.StatusOK || res["state"] != string(statePanicked) {
+	if code != http.StatusOK || res["state"] != "failed" {
 		t.Errorf("panicked result = %d %v", code, res)
+	}
+	if errStr, _ := res["error"].(string); !strings.Contains(errStr, "panicked") {
+		t.Errorf("panicked job error = %q, want the panic recorded", errStr)
 	}
 }
 
 func TestCancelRunningJob(t *testing.T) {
-	_, ts := testServer(t, supervise.Options{Workers: 1}, func(ctx context.Context, _ jobRequest) (*jobResult, error) {
+	_, ts := testServer(t, supervise.Options{Workers: 1}, func(ctx context.Context, _ jobRequest, _ runEnv) (*jobResult, error) {
 		<-ctx.Done()
 		return nil, ctx.Err()
 	})
 	_, m := postJSON(t, ts.URL+"/v1/jobs", jobRequest{Impl: "x"})
 	id := m["id"].(string)
-	waitState(t, ts.URL, id, string(stateRunning))
+	waitState(t, ts.URL, id, "running")
 	resp, _ := postJSON(t, ts.URL+"/v1/jobs/"+id+"/cancel", struct{}{})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("cancel = %d", resp.StatusCode)
 	}
-	waitState(t, ts.URL, id, string(stateCancelled))
+	waitState(t, ts.URL, id, "cancelled")
 }
 
 func TestLoadSheddingReturns503(t *testing.T) {
 	release := make(chan struct{})
-	_, ts := testServer(t, supervise.Options{Workers: 1, QueueDepth: 1}, func(ctx context.Context, _ jobRequest) (*jobResult, error) {
+	_, ts := testServer(t, supervise.Options{Workers: 1, QueueDepth: 1}, func(ctx context.Context, _ jobRequest, _ runEnv) (*jobResult, error) {
 		select {
 		case <-release:
 		case <-ctx.Done():
@@ -192,17 +212,17 @@ func TestLoadSheddingReturns503(t *testing.T) {
 		return &jobResult{Status: "Complete"}, nil
 	})
 	defer close(release)
-	// One running, one queued; the next submission must be shed.
-	postJSON(t, ts.URL+"/v1/jobs", jobRequest{Impl: "a"})
+	// With the admission cap at 1, submissions keep landing until one finds
+	// the durable queue full; the worker never finishes, so the backlog can
+	// only grow.
 	shed := false
-	for i := 0; i < 10; i++ {
-		resp, _ := postJSON(t, ts.URL+"/v1/jobs", jobRequest{Impl: "b"})
+	for i := 0; i < 20 && !shed; i++ {
+		resp, _ := postJSON(t, ts.URL+"/v1/jobs", jobRequest{Impl: fmt.Sprintf("job-%d", i)})
 		if resp.StatusCode == http.StatusServiceUnavailable {
 			if resp.Header.Get("Retry-After") == "" {
 				t.Error("503 without Retry-After")
 			}
 			shed = true
-			break
 		}
 	}
 	if !shed {
@@ -211,15 +231,107 @@ func TestLoadSheddingReturns503(t *testing.T) {
 }
 
 func TestFailedJobReportsError(t *testing.T) {
-	_, ts := testServer(t, supervise.Options{Workers: 1}, func(context.Context, jobRequest) (*jobResult, error) {
+	_, ts := testServer(t, supervise.Options{Workers: 1}, func(context.Context, jobRequest, runEnv) (*jobResult, error) {
 		return nil, fmt.Errorf("bad input")
 	})
 	_, m := postJSON(t, ts.URL+"/v1/jobs", jobRequest{Impl: "x"})
 	id := m["id"].(string)
-	waitState(t, ts.URL, id, string(stateFailed))
+	waitState(t, ts.URL, id, "failed")
 	_, res := getJSON(t, ts.URL+"/v1/jobs/"+id+"/result")
-	if res["error"] != "bad input" {
+	if errStr, _ := res["error"].(string); !strings.Contains(errStr, "bad input") {
 		t.Errorf("failed result = %v", res)
+	}
+}
+
+// TestFailedAttemptIsRetried: with attempts left, a failing attempt requeues
+// with backoff and runs again — the capped-retry policy end to end.
+func TestFailedAttemptIsRetried(t *testing.T) {
+	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+	st := store.NewMemory(store.Options{
+		LeaseTTL:    5 * time.Second,
+		MaxAttempts: 3,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  2 * time.Millisecond,
+	})
+	s := newServer(log, st, supervise.Options{Workers: 1})
+	attempts := make(chan int, 8)
+	s.run = func(_ context.Context, _ jobRequest, _ runEnv) (*jobResult, error) {
+		select {
+		case attempts <- 1:
+		default:
+		}
+		if len(attempts) < 2 {
+			return nil, fmt.Errorf("transient failure")
+		}
+		return &jobResult{Status: "Complete", Solved: true}, nil
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.start(ctx)
+	ts := httptest.NewServer(s.handler(telemetry.NewRegistry()))
+	t.Cleanup(func() {
+		ts.Close()
+		cancel()
+		dctx, dcancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer dcancel()
+		s.pool.Drain(dctx)
+		st.Close()
+	})
+
+	_, m := postJSON(t, ts.URL+"/v1/jobs", jobRequest{Impl: "flaky"})
+	id := m["id"].(string)
+	waitState(t, ts.URL, id, "done")
+	j, _ := st.Lookup(id)
+	if j.Attempt != 2 {
+		t.Errorf("job completed on attempt %d, want 2 (one retry)", j.Attempt)
+	}
+}
+
+// TestEvictedJobReturns410: after compaction prunes a terminal job, its ID
+// answers 410 Gone — distinguishable from a never-submitted 404.
+func TestEvictedJobReturns410(t *testing.T) {
+	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{RetainTerminal: 1, CompactEvery: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(log, st, supervise.Options{Workers: 1})
+	s.run = func(context.Context, jobRequest, runEnv) (*jobResult, error) {
+		return &jobResult{Status: "Complete"}, nil
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.start(ctx)
+	ts := httptest.NewServer(s.handler(telemetry.NewRegistry()))
+	t.Cleanup(func() {
+		ts.Close()
+		cancel()
+		dctx, dcancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer dcancel()
+		s.pool.Drain(dctx)
+		st.Close()
+	})
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		_, m := postJSON(t, ts.URL+"/v1/jobs", jobRequest{Impl: "x"})
+		id := m["id"].(string)
+		ids = append(ids, id)
+		waitState(t, ts.URL, id, "done")
+	}
+	if err := st.CompactNow(); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := getJSON(t, ts.URL+"/v1/jobs/"+ids[0]); code != http.StatusGone {
+		t.Errorf("evicted job status = %d, want 410", code)
+	}
+	if code, _ := getJSON(t, ts.URL+"/v1/jobs/"+ids[0]+"/result"); code != http.StatusGone {
+		t.Errorf("evicted job result = %d, want 410", code)
+	}
+	if code, _ := getJSON(t, ts.URL+"/v1/jobs/"+ids[2]); code != http.StatusOK {
+		t.Errorf("retained job status = %d, want 200", code)
+	}
+	if code, _ := getJSON(t, ts.URL+"/v1/jobs/job-999"); code != http.StatusNotFound {
+		t.Errorf("never-submitted job status = %d, want 404", code)
 	}
 }
 
@@ -255,7 +367,7 @@ func TestRealStuckAtJob(t *testing.T) {
 		Impl: good.String(), Device: bad.String(), Random: 256, MaxErrors: 2,
 	})
 	id := m["id"].(string)
-	waitState(t, ts.URL, id, string(stateDone))
+	waitState(t, ts.URL, id, "done")
 	code, res := getJSON(t, ts.URL+"/v1/jobs/"+id+"/result")
 	if code != http.StatusOK {
 		t.Fatalf("result = %d %v", code, res)
@@ -272,9 +384,10 @@ func TestRealStuckAtJob(t *testing.T) {
 }
 
 // TestCancelledJobLeavesResumableJournal is the drain contract in unit form:
-// with -journal-dir set, a job interrupted mid-run leaves a per-job journal
-// from which diagnose.ResumeStuckAtFromJournal (the engine behind
-// `dedc -resume`) converges to exactly the uninterrupted solution set.
+// with a journal dir set, a job interrupted mid-run leaves a per-attempt
+// journal from which diagnose.ResumeStuckAtFromJournal (the engine behind
+// `dedc -resume` and requeued-job resume) converges to exactly the
+// uninterrupted solution set.
 func TestCancelledJobLeavesResumableJournal(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a multi-hundred-ms diagnosis twice")
@@ -304,7 +417,7 @@ func TestCancelledJobLeavesResumableJournal(t *testing.T) {
 		Random: 1024, Seed: 1, MaxErrors: 3,
 	})
 	id := m["id"].(string)
-	journal := filepath.Join(s.journalDir, id+".jsonl")
+	journal := filepath.Join(s.journalDir, id+".a1.jsonl")
 
 	// Checkpoints are flushed as they are written, so the first one is
 	// visible on disk while the job is still running; cancel right then.
@@ -314,12 +427,16 @@ func TestCancelledJobLeavesResumableJournal(t *testing.T) {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatal("no checkpoint ever appeared in the job journal")
+			t.Fatal("no checkpoint ever appeared in the attempt journal")
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
+	// The checkpoint hook records the journal path as the job's resume ref.
+	if j, _ := s.st.Lookup(id); j.Ref != journal {
+		t.Errorf("checkpoint ref = %q, want %q", j.Ref, journal)
+	}
 	postJSON(t, ts.URL+"/v1/jobs/"+id+"/cancel", struct{}{})
-	waitState(t, ts.URL, id, string(stateCancelled), string(stateDone))
+	waitState(t, ts.URL, id, "cancelled", "done")
 	// The cancelled state flips before the engine finishes unwinding; drain
 	// the pool so the journal has stopped moving before we read it back.
 	dctx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -350,7 +467,7 @@ func TestCancelledJobLeavesResumableJournal(t *testing.T) {
 	}
 	got, err := diagnose.ResumeStuckAtFromJournal(ctx, bytes.NewReader(data), impl, devOut, vecs.PI, vecs.N, opt)
 	if err != nil {
-		t.Fatalf("resume from job journal: %v", err)
+		t.Fatalf("resume from attempt journal: %v", err)
 	}
 	if gk, wk := stuckAtKeys(impl, got), stuckAtKeys(impl, want); !equalKeys(gk, wk) {
 		t.Errorf("resumed solutions diverge\n got: %v\nwant: %v", gk, wk)

@@ -18,12 +18,20 @@
 // crash artefact, -resume-point tolerates a truncated final line; plain
 // validation stays strict.
 //
+// With -store it validates a durable dedcd job-store directory instead of a
+// run journal: record framing and checksums, snapshot decodability, seq
+// contiguity, legal state transitions, and the submission-counter invariant.
+// A crash-torn final record is reported but tolerated; interior corruption
+// exits non-zero. The pass is read-only — safe on a live store's directory
+// after the daemon stops, and on copies taken for forensics.
+//
 // Usage:
 //
 //	journalcheck run.jsonl
 //	journalcheck -q run.jsonl             # exit status only
 //	journalcheck -phases run.jsonl        # per-phase wall-time summary
 //	journalcheck -resume-point run.jsonl  # last resumable checkpoint
+//	journalcheck -store /var/lib/dedcd    # offline job-store validation
 package main
 
 import (
@@ -36,6 +44,7 @@ import (
 	"time"
 
 	"dedc/internal/diagnose"
+	"dedc/internal/store"
 	"dedc/internal/telemetry"
 )
 
@@ -48,8 +57,30 @@ func run(args []string) int {
 	quiet := fs.Bool("q", false, "suppress the summary; exit status only")
 	phases := fs.Bool("phases", false, "print a per-phase wall-time summary aggregated by span kind")
 	resumePoint := fs.Bool("resume-point", false, "print the last resumable checkpoint; tolerates a crash-truncated final line")
+	storeDir := fs.String("store", "", "validate a durable job-store directory (offline, read-only) instead of a run journal")
 	if err := fs.Parse(args); err != nil {
 		return 1
+	}
+	if *storeDir != "" {
+		if fs.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "usage: journalcheck -store <dir>")
+			return 1
+		}
+		// Validate treats absent files as an empty store (how Open
+		// bootstraps); at the CLI a missing directory is a typo, not a store.
+		if fi, err := os.Stat(*storeDir); err != nil || !fi.IsDir() {
+			fmt.Fprintf(os.Stderr, "journalcheck: %s: not a store directory\n", *storeDir)
+			return 1
+		}
+		rep, err := store.Validate(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "journalcheck: %s: %v\n", *storeDir, err)
+			return 1
+		}
+		if !*quiet {
+			fmt.Printf("journalcheck: %s\n", rep)
+		}
+		return 0
 	}
 	if fs.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: journalcheck [-q] [-phases] [-resume-point] run.jsonl")

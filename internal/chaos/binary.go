@@ -1,0 +1,80 @@
+package chaos
+
+import (
+	"math/rand"
+)
+
+// BinaryCorruptor is a named mutation of a binary file image — the event-log
+// damage model of the store-corruption harness. Operators simulate what
+// crashes and bit rot actually do to an append-only log: truncated tails,
+// flipped bits, zeroed pages, appended garbage, excised interior runs.
+type BinaryCorruptor struct {
+	Name  string
+	Apply func(data []byte, rng *rand.Rand) []byte
+}
+
+// BinaryCorruptors is the operator set for binary logs. Every operator
+// copies its input (callers may retain the original), accepts any input —
+// including empty files and the output of other operators — and never panics.
+var BinaryCorruptors = []BinaryCorruptor{
+	{"truncate", func(data []byte, rng *rand.Rand) []byte {
+		if len(data) == 0 {
+			return nil
+		}
+		return append([]byte(nil), data[:rng.Intn(len(data))]...)
+	}},
+	{"flip-bits", func(data []byte, rng *rand.Rand) []byte {
+		if len(data) == 0 {
+			return nil
+		}
+		out := append([]byte(nil), data...)
+		for i, flips := 0, 1+rng.Intn(4); i < flips; i++ {
+			out[rng.Intn(len(out))] ^= byte(1 << rng.Intn(8))
+		}
+		return out
+	}},
+	{"zero-run", func(data []byte, rng *rand.Rand) []byte {
+		if len(data) == 0 {
+			return nil
+		}
+		out := append([]byte(nil), data...)
+		start := rng.Intn(len(out))
+		n := 1 + rng.Intn(64)
+		for i := start; i < len(out) && i < start+n; i++ {
+			out[i] = 0
+		}
+		return out
+	}},
+	{"append-garbage", func(data []byte, rng *rand.Rand) []byte {
+		out := append([]byte(nil), data...)
+		n := 1 + rng.Intn(32)
+		for i := 0; i < n; i++ {
+			out = append(out, byte(rng.Intn(256)))
+		}
+		return out
+	}},
+	{"excise-run", func(data []byte, rng *rand.Rand) []byte {
+		if len(data) < 2 {
+			return append([]byte(nil), data...)
+		}
+		start := rng.Intn(len(data) - 1)
+		end := start + 1 + rng.Intn(len(data)-start-1)
+		out := make([]byte, 0, len(data)-(end-start))
+		out = append(out, data[:start]...)
+		return append(out, data[end:]...)
+	}},
+}
+
+// CorruptBinary applies between 1 and 3 randomly chosen binary operators and
+// returns the mutated image plus the operator names, for trial-failure
+// diagnostics.
+func CorruptBinary(data []byte, rng *rand.Rand) ([]byte, []string) {
+	rounds := 1 + rng.Intn(3)
+	applied := make([]string, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		op := BinaryCorruptors[rng.Intn(len(BinaryCorruptors))]
+		data = op.Apply(data, rng)
+		applied = append(applied, op.Name)
+	}
+	return data, applied
+}

@@ -50,7 +50,7 @@ type FrontierEntry struct {
 // on disk before any of the round's work begins — a SIGKILL at any later
 // point loses at most one round.
 func (r *runState) emitCheckpoint(round int, frontier []*node, nodesStep int) {
-	if r.tr == nil {
+	if r.tr == nil && r.opt.OnCheckpoint == nil {
 		return
 	}
 	cp := Checkpoint{
@@ -78,10 +78,18 @@ func (r *runState) emitCheckpoint(round int, frontier []*node, nodesStep int) {
 		cp.Seen = append(cp.Seen, k)
 	}
 	sort.Strings(cp.Seen)
-	r.tr.Event(r.ctx, telemetry.EventCheckpoint,
-		telemetry.Int("step", cp.Step),
-		telemetry.Int("round", cp.Round),
-		telemetry.Attr{Key: "state", Value: cp})
+	if r.tr != nil {
+		r.tr.Event(r.ctx, telemetry.EventCheckpoint,
+			telemetry.Int("step", cp.Step),
+			telemetry.Int("round", cp.Round),
+			telemetry.Attr{Key: "state", Value: cp})
+	}
+	// Notify after the journal write: the flush-on-checkpoint policy means
+	// the state is durable by the time the host acts on it (e.g. renews a
+	// lease pointing at this journal).
+	if r.opt.OnCheckpoint != nil {
+		r.opt.OnCheckpoint(&cp)
+	}
 }
 
 // DecodeCheckpoint extracts the Checkpoint payload from a parsed journal

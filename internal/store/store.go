@@ -1,0 +1,793 @@
+// Package store is the durable, event-sourced job store behind the dedcd
+// service: an append-only, CRC-framed, fsync'd event log with periodic
+// snapshots, replayed on boot so the daemon itself holds no job state a
+// restart can lose.
+//
+// Every state change is one appended event (submit, claim, renew,
+// checkpoint_ref, requeue, complete, fail, cancel); the in-memory job table
+// is purely derived. Jobs move through a lease state machine:
+//
+//	            submit                 claim(worker, TTL)
+//	  ───────────────────▶ queued ───────────────────────▶ running
+//	                         ▲                               │ │ │
+//	   requeue (retry,       │     fail (attempts left),     │ │ │
+//	   lease_expired,        └───── lease expiry, release ◀──┘ │ │
+//	   orphaned, released)                                     │ │
+//	                         complete ◀────────────────────────┘ │
+//	                         fail/cancel (terminal) ◀────────────┘
+//
+// A worker claims a job under a TTL lease and renews it at checkpoint
+// boundaries (a checkpoint_ref event both records the attempt's journal and
+// renews the lease). A reaper requeues jobs whose lease expires — the
+// crashed-worker case — with capped retries and jittered exponential
+// backoff; after MaxAttempts the job fails terminally. On Open the log is
+// replayed (tolerating a crash-truncated tail, rejecting interior corruption
+// with ErrCorrupt) and jobs that were running when the process died are
+// requeued immediately as orphans, so a killed daemon resumes its whole
+// workload from the last recorded state.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"dedc/internal/telemetry"
+)
+
+// Typed failures of the store boundary.
+var (
+	// ErrCorrupt reports an event log or snapshot damaged anywhere but the
+	// crash-truncated tail: a CRC mismatch with data after it, a sequence
+	// gap, an illegal state transition. Recovery never silently skips such
+	// damage — it either replays cleanly to the last valid record or fails
+	// with this error.
+	ErrCorrupt = errors.New("store: corrupt event log")
+	// ErrClosed reports an operation on a closed store.
+	ErrClosed = errors.New("store: closed")
+	// ErrUnknownJob reports an ID the store has never seen.
+	ErrUnknownJob = errors.New("store: unknown job")
+	// ErrTerminal reports a mutation of a job already in a terminal state.
+	ErrTerminal = errors.New("store: job is in a terminal state")
+	// ErrNotRunning reports a lease operation on a job with no active claim
+	// (it was requeued, or never claimed).
+	ErrNotRunning = errors.New("store: job is not running")
+	// ErrWrongWorker reports a lease operation by a worker that does not
+	// hold the job's lease (it expired and another worker claimed it).
+	ErrWrongWorker = errors.New("store: lease held by another worker")
+	// ErrLeaseExpired rejects a renewal after the lease TTL has passed: an
+	// expired lease may already have been handed to another worker, so the
+	// late worker must abandon the attempt instead of extending it.
+	ErrLeaseExpired = errors.New("store: lease expired")
+)
+
+// Store-level counters in the process-wide registry.
+var (
+	cReplays     = telemetry.Default.Counter("store.replays")
+	cReplayedEvs = telemetry.Default.Counter("store.replayed_events")
+	cEvents      = telemetry.Default.Counter("store.events")
+	cLeaseExp    = telemetry.Default.Counter("store.lease_expirations")
+	cRetries     = telemetry.Default.Counter("store.retries")
+	cCompactions = telemetry.Default.Counter("store.compactions")
+	cOrphans     = telemetry.Default.Counter("store.orphans_requeued")
+)
+
+// State is a job's position in the lease state machine.
+type State string
+
+// Job states. Done, Failed and Cancelled are terminal and sticky.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state admits no further transitions.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Event types, one per state transition. The log is the source of truth;
+// every field a transition needs is carried on the event so replay is pure.
+const (
+	EvSubmit        = "submit"         // spec
+	EvClaim         = "claim"          // worker, expiry, attempt
+	EvRenew         = "renew"          // worker, expiry
+	EvCheckpointRef = "checkpoint_ref" // worker, ref, expiry (renews the lease)
+	EvRequeue       = "requeue"        // reason, error, not_before
+	EvComplete      = "complete"       // worker, result
+	EvFail          = "fail"           // worker, error (terminal)
+	EvCancel        = "cancel"         // error
+)
+
+// Requeue reasons recorded on EvRequeue events.
+const (
+	ReasonRetry        = "retry"         // attempt returned an error, retries left
+	ReasonLeaseExpired = "lease_expired" // reaper found the lease blown
+	ReasonOrphaned     = "orphaned"      // boot replay found a lease from a dead process
+	ReasonReleased     = "released"      // claim returned unexecuted (pool shed it)
+)
+
+// Event is one record of the append-only log.
+type Event struct {
+	Seq  uint64 `json:"seq"`
+	TS   int64  `json:"ts"` // unix nanoseconds
+	Type string `json:"type"`
+	Job  string `json:"job"`
+
+	Spec      json.RawMessage `json:"spec,omitempty"`       // submit
+	Worker    string          `json:"worker,omitempty"`     // claim/renew/checkpoint_ref/complete/fail
+	Expiry    int64           `json:"expiry,omitempty"`     // lease expiry, unix nanoseconds
+	Attempt   int             `json:"attempt,omitempty"`    // claim
+	Ref       string          `json:"ref,omitempty"`        // checkpoint_ref
+	Reason    string          `json:"reason,omitempty"`     // requeue
+	NotBefore int64           `json:"not_before,omitempty"` // requeue backoff, unix nanoseconds
+	Result    json.RawMessage `json:"result,omitempty"`     // complete
+	Error     string          `json:"error,omitempty"`      // requeue/fail/cancel
+}
+
+// Job is the derived state of one submitted job. QueueSeq orders claims:
+// submits and requeues go to the back of the ready queue, so retries cannot
+// starve fresh work.
+type Job struct {
+	ID          string          `json:"id"`
+	Spec        json.RawMessage `json:"spec,omitempty"`
+	State       State           `json:"state"`
+	Attempt     int             `json:"attempt"` // claims so far; monotone across restarts
+	Worker      string          `json:"worker,omitempty"`
+	LeaseExpiry time.Time       `json:"lease_expiry"`
+	NotBefore   time.Time       `json:"not_before"` // earliest next claim (retry backoff)
+	Ref         string          `json:"ref,omitempty"` // latest checkpoint ref (attempt journal path)
+	Result      json.RawMessage `json:"result,omitempty"`
+	Error       string          `json:"error,omitempty"`
+	Created     time.Time       `json:"created"`
+	Finished    time.Time       `json:"finished"`
+	QueueSeq    uint64          `json:"queue_seq"`
+}
+
+// Presence is the answer of Lookup: a job is known, never existed, or
+// existed but was evicted (terminal-job pruning at compaction, or submitted
+// to a previous incarnation whose counter survived in the snapshot).
+type Presence int
+
+// Lookup outcomes.
+const (
+	Unknown Presence = iota
+	Found
+	Evicted
+)
+
+// Options tunes a Store. The zero value is usable.
+type Options struct {
+	// LeaseTTL is how long a claim lasts without renewal (default 30s).
+	LeaseTTL time.Duration
+	// MaxAttempts caps claims per job; the MaxAttempts-th failed or expired
+	// attempt is terminal (default 3).
+	MaxAttempts int
+	// BackoffBase is the requeue delay after the first failed attempt
+	// (default 250ms), doubling per attempt up to BackoffMax (default 30s),
+	// plus up to 50% jitter.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed seeds the jitter source (0 = fixed default). The resolved delay
+	// is recorded on the requeue event, so replay is exact regardless.
+	Seed int64
+	// CompactEvery triggers a snapshot + log truncation after this many
+	// appended events (default 4096; file-backed stores only).
+	CompactEvery int
+	// RetainTerminal bounds the terminal jobs kept across compactions;
+	// beyond it the oldest-finished are evicted (default 4096).
+	RetainTerminal int
+	// NoSync disables the per-append fsync (tests/benchmarks only).
+	NoSync bool
+	// Now injects a clock for tests (default time.Now).
+	Now func() time.Time
+}
+
+func (o Options) defaults() Options {
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 30 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 250 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 30 * time.Second
+	}
+	if o.CompactEvery <= 0 {
+		o.CompactEvery = 4096
+	}
+	if o.RetainTerminal <= 0 {
+		o.RetainTerminal = 4096
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// JobStore is the storage seam of the service: dedcd is written against this
+// interface, with the in-memory implementation for tests and the file-backed
+// one for production (and, eventually, a shared backend for replica fleets).
+type JobStore interface {
+	// Submit appends a new job and returns it (state queued).
+	Submit(spec json.RawMessage) (Job, error)
+	// Lookup resolves an ID to a job, distinguishing never-seen from
+	// evicted.
+	Lookup(id string) (Job, Presence)
+	// List returns all retained jobs, ordered by ID.
+	List() []Job
+	// Counts returns the number of retained jobs per state.
+	Counts() map[State]int
+	// Claim leases the oldest ready queued job to worker for LeaseTTL.
+	Claim(worker string) (Job, bool, error)
+	// Renew extends worker's lease by LeaseTTL. Renewal after expiry is
+	// rejected with ErrLeaseExpired.
+	Renew(id, worker string) error
+	// SetCheckpoint records the attempt's checkpoint ref (journal path) and
+	// renews the lease — the checkpoint-boundary renewal.
+	SetCheckpoint(id, worker, ref string) error
+	// Complete records the terminal result of worker's attempt.
+	Complete(id, worker string, result json.RawMessage) error
+	// Fail records a failed attempt: requeued with backoff while attempts
+	// remain, terminal failed after MaxAttempts.
+	Fail(id, worker, msg string) error
+	// FailTerminal fails the job immediately (poison pill: a panicking
+	// input is presumed to panic again).
+	FailTerminal(id, worker, msg string) error
+	// Release returns an unexecuted claim to the queue without a backoff
+	// penalty (the claim never ran: pool shed it, or shutdown raced it).
+	Release(id, worker string) error
+	// Cancel terminally cancels a queued or running job.
+	Cancel(id string) error
+	// ExpireLeases requeues (or terminally fails) every running job whose
+	// lease has expired, returning both sets.
+	ExpireLeases() (requeued, failed []Job, err error)
+	// Close releases the backing log. Further mutations fail ErrClosed.
+	Close() error
+}
+
+// Store implements JobStore over a write-ahead log. Create with NewMemory or
+// Open.
+type Store struct {
+	mu     sync.Mutex
+	opt    Options
+	wal    wal
+	jobs   map[string]*Job
+	seq    uint64 // last appended event seq
+	nextID uint64 // last assigned numeric job ID
+	since  int    // events appended since the last snapshot
+	rng    *rand.Rand
+	closed bool
+}
+
+// NewMemory returns a Store with no durable backing: state lives (and dies)
+// with the process. The production file-backed store is returned by Open.
+func NewMemory(opt Options) *Store {
+	s, _ := newStore(memWAL{}, opt)
+	return s
+}
+
+func newStore(w wal, opt Options) (*Store, error) {
+	opt = opt.defaults()
+	seed := opt.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Store{
+		opt:  opt,
+		wal:  w,
+		jobs: map[string]*Job{},
+		rng:  rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+func (s *Store) now() time.Time { return s.opt.Now() }
+
+// append assigns the next seq, persists the event, then applies it. The
+// pre-checks in each operation guarantee apply cannot fail on a live store;
+// a failure here means the process state diverged from the log and is fatal
+// to the operation.
+func (s *Store) append(ev Event) error {
+	ev.Seq = s.seq + 1
+	ev.TS = s.now().UnixNano()
+	rec, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("store: encoding event: %w", err)
+	}
+	if err := s.wal.Append(rec); err != nil {
+		return fmt.Errorf("store: appending event: %w", err)
+	}
+	s.seq = ev.Seq
+	cEvents.Inc()
+	if err := s.apply(ev); err != nil {
+		return err
+	}
+	s.since++
+	if s.since >= s.opt.CompactEvery {
+		if err := s.compactLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// apply folds one event into the derived job table. It is the single
+// transition function shared by live operations, boot replay and offline
+// validation, so an event sequence that replays is by construction one the
+// live store could have produced.
+func (s *Store) apply(ev Event) error {
+	if ev.Job == "" {
+		return fmt.Errorf("%w: %s event (seq %d) without a job ID", ErrCorrupt, ev.Type, ev.Seq)
+	}
+	j := s.jobs[ev.Job]
+	if ev.Type != EvSubmit {
+		if j == nil {
+			return fmt.Errorf("%w: %s event (seq %d) for unknown job %s", ErrCorrupt, ev.Type, ev.Seq, ev.Job)
+		}
+		if j.State.Terminal() {
+			return fmt.Errorf("%w: %s event (seq %d) for terminal job %s", ErrCorrupt, ev.Type, ev.Seq, ev.Job)
+		}
+	}
+	switch ev.Type {
+	case EvSubmit:
+		if j != nil {
+			return fmt.Errorf("%w: duplicate submit (seq %d) for job %s", ErrCorrupt, ev.Seq, ev.Job)
+		}
+		s.jobs[ev.Job] = &Job{
+			ID:       ev.Job,
+			Spec:     ev.Spec,
+			State:    StateQueued,
+			Created:  time.Unix(0, ev.TS),
+			QueueSeq: ev.Seq,
+		}
+		if n, ok := jobNum(ev.Job); ok && n > s.nextID {
+			s.nextID = n
+		}
+	case EvClaim:
+		if j.State != StateQueued {
+			return fmt.Errorf("%w: claim (seq %d) of %s job %s", ErrCorrupt, ev.Seq, j.State, ev.Job)
+		}
+		if ev.Attempt != j.Attempt+1 {
+			return fmt.Errorf("%w: claim (seq %d) of job %s has attempt %d, want %d (retry counts are monotone)",
+				ErrCorrupt, ev.Seq, ev.Job, ev.Attempt, j.Attempt+1)
+		}
+		j.State = StateRunning
+		j.Worker = ev.Worker
+		j.Attempt = ev.Attempt
+		j.LeaseExpiry = time.Unix(0, ev.Expiry)
+	case EvRenew, EvCheckpointRef:
+		if j.State != StateRunning {
+			return fmt.Errorf("%w: %s (seq %d) of %s job %s", ErrCorrupt, ev.Type, ev.Seq, j.State, ev.Job)
+		}
+		if ev.Worker != j.Worker {
+			return fmt.Errorf("%w: %s (seq %d) of job %s by %q, lease held by %q",
+				ErrCorrupt, ev.Type, ev.Seq, ev.Job, ev.Worker, j.Worker)
+		}
+		j.LeaseExpiry = time.Unix(0, ev.Expiry)
+		if ev.Type == EvCheckpointRef {
+			j.Ref = ev.Ref
+		}
+	case EvRequeue:
+		if j.State != StateRunning {
+			return fmt.Errorf("%w: requeue (seq %d) of %s job %s", ErrCorrupt, ev.Seq, j.State, ev.Job)
+		}
+		j.State = StateQueued
+		j.Worker = ""
+		j.LeaseExpiry = time.Time{}
+		j.NotBefore = time.Unix(0, ev.NotBefore)
+		j.QueueSeq = ev.Seq
+		j.Error = ev.Error
+	case EvComplete:
+		if j.State != StateRunning || ev.Worker != j.Worker {
+			return fmt.Errorf("%w: complete (seq %d) of job %s (state %s, lease %q, event worker %q)",
+				ErrCorrupt, ev.Seq, ev.Job, j.State, j.Worker, ev.Worker)
+		}
+		j.State = StateDone
+		j.Result = ev.Result
+		j.Error = ""
+		j.Worker = ""
+		j.Finished = time.Unix(0, ev.TS)
+	case EvFail:
+		if j.State != StateRunning || ev.Worker != j.Worker {
+			return fmt.Errorf("%w: fail (seq %d) of job %s (state %s, lease %q, event worker %q)",
+				ErrCorrupt, ev.Seq, ev.Job, j.State, j.Worker, ev.Worker)
+		}
+		j.State = StateFailed
+		j.Error = ev.Error
+		j.Worker = ""
+		j.Finished = time.Unix(0, ev.TS)
+	case EvCancel:
+		j.State = StateCancelled
+		j.Error = ev.Error
+		j.Worker = ""
+		j.LeaseExpiry = time.Time{}
+		j.Finished = time.Unix(0, ev.TS)
+	default:
+		return fmt.Errorf("%w: unknown event type %q (seq %d)", ErrCorrupt, ev.Type, ev.Seq)
+	}
+	return nil
+}
+
+// Submit appends a new queued job with the next sequential ID.
+func (s *Store) Submit(spec json.RawMessage) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Job{}, ErrClosed
+	}
+	id := "job-" + strconv.FormatUint(s.nextID+1, 10)
+	if err := s.append(Event{Type: EvSubmit, Job: id, Spec: spec}); err != nil {
+		return Job{}, err
+	}
+	return *s.jobs[id], nil
+}
+
+// Lookup resolves id. An ID below the persisted submission counter that is
+// no longer in the table was evicted (compaction pruned it, or it completed
+// before a restart that kept the counter but not the job); an ID above it
+// was never submitted.
+func (s *Store) Lookup(id string) (Job, Presence) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j := s.jobs[id]; j != nil {
+		return *j, Found
+	}
+	if n, ok := jobNum(id); ok && n <= s.nextID {
+		return Job{}, Evicted
+	}
+	return Job{}, Unknown
+}
+
+// List returns every retained job, ordered by numeric ID.
+func (s *Store) List() []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, *j)
+	}
+	sort.Slice(out, func(i, k int) bool {
+		ni, _ := jobNum(out[i].ID)
+		nk, _ := jobNum(out[k].ID)
+		if ni != nk {
+			return ni < nk
+		}
+		return out[i].ID < out[k].ID
+	})
+	return out
+}
+
+// Counts returns retained jobs per state.
+func (s *Store) Counts() map[State]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := map[State]int{}
+	for _, j := range s.jobs {
+		m[j.State]++
+	}
+	return m
+}
+
+// Claim leases the ready queued job with the smallest QueueSeq — FIFO over
+// submits and requeues, so a retried job rejoins behind work that was
+// already waiting.
+func (s *Store) Claim(worker string) (Job, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Job{}, false, ErrClosed
+	}
+	now := s.now()
+	var best *Job
+	for _, j := range s.jobs {
+		if j.State != StateQueued || j.NotBefore.After(now) {
+			continue
+		}
+		if best == nil || j.QueueSeq < best.QueueSeq {
+			best = j
+		}
+	}
+	if best == nil {
+		return Job{}, false, nil
+	}
+	ev := Event{
+		Type:    EvClaim,
+		Job:     best.ID,
+		Worker:  worker,
+		Expiry:  now.Add(s.opt.LeaseTTL).UnixNano(),
+		Attempt: best.Attempt + 1,
+	}
+	if err := s.append(ev); err != nil {
+		return Job{}, false, err
+	}
+	return *best, true, nil
+}
+
+// leaseCheck validates a lease operation without mutating. Callers hold s.mu.
+func (s *Store) leaseCheck(id, worker string, checkExpiry bool) (*Job, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	j := s.jobs[id]
+	if j == nil {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	if j.State.Terminal() {
+		return nil, fmt.Errorf("job %s is %s: %w", id, j.State, ErrTerminal)
+	}
+	if j.State != StateRunning {
+		return nil, fmt.Errorf("job %s: %w", id, ErrNotRunning)
+	}
+	if j.Worker != worker {
+		return nil, fmt.Errorf("job %s held by %q, not %q: %w", id, j.Worker, worker, ErrWrongWorker)
+	}
+	if checkExpiry && s.now().After(j.LeaseExpiry) {
+		return nil, fmt.Errorf("job %s lease expired %v ago: %w", id, s.now().Sub(j.LeaseExpiry), ErrLeaseExpired)
+	}
+	return j, nil
+}
+
+// Renew extends the lease by LeaseTTL from now. A renewal after expiry is
+// rejected: the reaper may already have requeued the job for another worker,
+// so the late holder must stand down.
+func (s *Store) Renew(id, worker string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, err := s.leaseCheck(id, worker, true)
+	if err != nil {
+		return err
+	}
+	return s.append(Event{Type: EvRenew, Job: j.ID, Worker: worker, Expiry: s.now().Add(s.opt.LeaseTTL).UnixNano()})
+}
+
+// SetCheckpoint records ref as the job's resume point and renews the lease:
+// one event per checkpoint boundary carries both facts.
+func (s *Store) SetCheckpoint(id, worker, ref string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, err := s.leaseCheck(id, worker, true)
+	if err != nil {
+		return err
+	}
+	return s.append(Event{Type: EvCheckpointRef, Job: j.ID, Worker: worker, Ref: ref, Expiry: s.now().Add(s.opt.LeaseTTL).UnixNano()})
+}
+
+// Complete records the attempt's terminal result. Expiry is deliberately not
+// checked: results are deterministic and independently re-proven by the
+// verify gate, so a completion that slides in just past its lease — but
+// before the reaper hands the job elsewhere — is identical to what the retry
+// would have produced, and keeping it saves the re-run.
+func (s *Store) Complete(id, worker string, result json.RawMessage) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, err := s.leaseCheck(id, worker, false)
+	if err != nil {
+		return err
+	}
+	return s.append(Event{Type: EvComplete, Job: j.ID, Worker: worker, Result: result})
+}
+
+// Fail records a failed attempt: requeue with jittered exponential backoff
+// while attempts remain, terminal failure at the MaxAttempts cap.
+func (s *Store) Fail(id, worker, msg string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, err := s.leaseCheck(id, worker, false)
+	if err != nil {
+		return err
+	}
+	return s.failAttemptLocked(j, ReasonRetry, msg)
+}
+
+// FailTerminal fails the job immediately, retries notwithstanding.
+func (s *Store) FailTerminal(id, worker, msg string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, err := s.leaseCheck(id, worker, false)
+	if err != nil {
+		return err
+	}
+	return s.append(Event{Type: EvFail, Job: j.ID, Worker: worker, Error: msg})
+}
+
+// Release returns an unexecuted claim to the queue: no backoff, but the job
+// rejoins at the back like any requeue.
+func (s *Store) Release(id, worker string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, err := s.leaseCheck(id, worker, false)
+	if err != nil {
+		return err
+	}
+	return s.append(Event{Type: EvRequeue, Job: j.ID, Reason: ReasonReleased, NotBefore: s.now().UnixNano()})
+}
+
+// Cancel terminally cancels a queued or running job. The caller owns
+// interrupting the worker; a late Complete/Fail from it is rejected by the
+// sticky terminal state.
+func (s *Store) Cancel(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	j := s.jobs[id]
+	if j == nil {
+		return fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	if j.State.Terminal() {
+		return fmt.Errorf("job %s is %s: %w", id, j.State, ErrTerminal)
+	}
+	return s.append(Event{Type: EvCancel, Job: j.ID, Error: "cancelled by request"})
+}
+
+// ExpireLeases requeues every running job whose lease has expired — the
+// crashed- or wedged-worker path — applying the same capped-retry policy as
+// Fail. Call it periodically (the reaper).
+func (s *Store) ExpireLeases() (requeued, failed []Job, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, nil, ErrClosed
+	}
+	now := s.now()
+	var expired []*Job
+	for _, j := range s.jobs {
+		if j.State == StateRunning && now.After(j.LeaseExpiry) {
+			expired = append(expired, j)
+		}
+	}
+	// Deterministic processing order (map iteration is not).
+	sort.Slice(expired, func(i, k int) bool { return expired[i].QueueSeq < expired[k].QueueSeq })
+	for _, j := range expired {
+		cLeaseExp.Inc()
+		msg := fmt.Sprintf("lease expired after attempt %d", j.Attempt)
+		if aerr := s.failAttemptLocked(j, ReasonLeaseExpired, msg); aerr != nil {
+			return requeued, failed, aerr
+		}
+		if j.State == StateQueued {
+			requeued = append(requeued, *j)
+		} else {
+			failed = append(failed, *j)
+		}
+	}
+	return requeued, failed, nil
+}
+
+// failAttemptLocked is the shared retry decision: requeue with backoff while
+// attempts remain, terminal EvFail at the cap. Callers hold s.mu.
+func (s *Store) failAttemptLocked(j *Job, reason, msg string) error {
+	if j.Attempt >= s.opt.MaxAttempts {
+		return s.append(Event{Type: EvFail, Job: j.ID, Worker: j.Worker,
+			Error: fmt.Sprintf("%s; %d/%d attempts exhausted", msg, j.Attempt, s.opt.MaxAttempts)})
+	}
+	cRetries.Inc()
+	return s.append(Event{Type: EvRequeue, Job: j.ID, Reason: reason, Error: msg,
+		NotBefore: s.now().Add(s.backoff(j.Attempt)).UnixNano()})
+}
+
+// backoff computes the delay after the attempt-th failure: base·2^(attempt-1)
+// capped at max, plus up to 50% jitter. The resolved value is persisted on
+// the requeue event, so replay does not re-roll the dice.
+func (s *Store) backoff(attempt int) time.Duration {
+	d := s.opt.BackoffBase << uint(attempt-1)
+	if d <= 0 || d > s.opt.BackoffMax {
+		d = s.opt.BackoffMax
+	}
+	return d + time.Duration(s.rng.Int63n(int64(d)/2+1))
+}
+
+// requeueOrphansLocked handles boot recovery's running jobs: their workers
+// died with the previous process, so each is requeued immediately (no
+// backoff — the daemon crashed, not the job) or terminally failed when its
+// attempts are already spent.
+func (s *Store) requeueOrphansLocked() error {
+	var orphans []*Job
+	for _, j := range s.jobs {
+		if j.State == StateRunning {
+			orphans = append(orphans, j)
+		}
+	}
+	sort.Slice(orphans, func(i, k int) bool { return orphans[i].QueueSeq < orphans[k].QueueSeq })
+	for _, j := range orphans {
+		cOrphans.Inc()
+		if j.Attempt >= s.opt.MaxAttempts {
+			if err := s.append(Event{Type: EvFail, Job: j.ID, Worker: j.Worker,
+				Error: fmt.Sprintf("orphaned by restart; %d/%d attempts exhausted", j.Attempt, s.opt.MaxAttempts)}); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := s.append(Event{Type: EvRequeue, Job: j.ID, Reason: ReasonOrphaned,
+			Error: fmt.Sprintf("orphaned by restart during attempt %d", j.Attempt),
+			NotBefore: s.now().UnixNano()}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CompactNow forces a snapshot + log truncation (normally triggered every
+// CompactEvery events).
+func (s *Store) CompactNow() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	// Evict the oldest terminal jobs beyond the retention bound before the
+	// state is frozen into the snapshot.
+	var terminal []*Job
+	for _, j := range s.jobs {
+		if j.State.Terminal() {
+			terminal = append(terminal, j)
+		}
+	}
+	if excess := len(terminal) - s.opt.RetainTerminal; excess > 0 {
+		sort.Slice(terminal, func(i, k int) bool {
+			if !terminal[i].Finished.Equal(terminal[k].Finished) {
+				return terminal[i].Finished.Before(terminal[k].Finished)
+			}
+			return terminal[i].QueueSeq < terminal[k].QueueSeq
+		})
+		for _, j := range terminal[:excess] {
+			delete(s.jobs, j.ID)
+		}
+	}
+	snap, err := json.Marshal(s.snapshotLocked())
+	if err != nil {
+		return fmt.Errorf("store: encoding snapshot: %w", err)
+	}
+	if err := s.wal.Compact(snap); err != nil {
+		return fmt.Errorf("store: compacting: %w", err)
+	}
+	s.since = 0
+	cCompactions.Inc()
+	return nil
+}
+
+func (s *Store) snapshotLocked() snapshot {
+	jobs := make([]Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, *j)
+	}
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].QueueSeq < jobs[k].QueueSeq })
+	return snapshot{V: snapshotVersion, LastSeq: s.seq, NextID: s.nextID, Jobs: jobs}
+}
+
+// Close releases the backing log (and its lock file).
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.wal.Close()
+}
+
+// jobNum extracts the numeric suffix of a "job-N" ID.
+func jobNum(id string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(rest, 10, 64)
+	return n, err == nil
+}

@@ -171,6 +171,19 @@ func (p *Pool) Submit(id string, job Job) error {
 	}
 }
 
+// QueueFree returns the submission capacity currently unused: the number of
+// Submit calls that would be accepted right now (0 while draining). A
+// dispatcher that claims durable jobs uses it to pull exactly as much work as
+// the pool can hold instead of claiming leases it would immediately shed.
+func (p *Pool) QueueFree() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.draining {
+		return 0
+	}
+	return cap(p.queue) - len(p.queue)
+}
+
 // Drain stops intake and waits for queued and in-flight jobs to finish. It
 // returns ctx.Err() if the context expires first; the pool keeps finishing
 // work in the background regardless. Drain is idempotent only in effect —

@@ -266,3 +266,36 @@ func TestConcurrentSubmitters(t *testing.T) {
 		t.Errorf("stats = %+v, accepted %d", st, accepted.Load())
 	}
 }
+
+func TestQueueFreeTracksCapacity(t *testing.T) {
+	block := make(chan struct{})
+	p := New(Options{Workers: 1, QueueDepth: 2})
+	if got := p.QueueFree(); got != 2 {
+		t.Fatalf("QueueFree on idle pool = %d, want 2", got)
+	}
+	started := make(chan struct{})
+	if err := p.Submit("blocker", func(context.Context) error {
+		close(started)
+		<-block
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started // the worker holds "blocker"; the queue itself is empty again
+	if got := p.QueueFree(); got != 2 {
+		t.Errorf("QueueFree with job in flight = %d, want 2", got)
+	}
+	for i := 0; i < 2; i++ {
+		if err := p.Submit("fill", func(context.Context) error { return nil }); err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+	}
+	if got := p.QueueFree(); got != 0 {
+		t.Errorf("QueueFree on full queue = %d, want 0", got)
+	}
+	close(block)
+	drain(t, p)
+	if got := p.QueueFree(); got != 0 {
+		t.Errorf("QueueFree after drain = %d, want 0 (no intake)", got)
+	}
+}
