@@ -38,9 +38,11 @@ func (s *server) dispatch(ctx context.Context) {
 }
 
 // fill claims exactly as many ready jobs as the pool can hold right now.
+// Each claim runs under its own lease token (claimToken); the claimed job
+// carries it as j.Worker, and every outcome write for the attempt uses it.
 func (s *server) fill(ctx context.Context) {
 	for ctx.Err() == nil && s.pool.QueueFree() > 0 {
-		j, ok, err := s.st.Claim(s.worker)
+		j, ok, err := s.st.Claim(s.claimToken())
 		if err != nil || !ok {
 			return
 		}
@@ -54,51 +56,73 @@ func (s *server) startJob(j store.Job) {
 	var req jobRequest
 	if err := json.Unmarshal(j.Spec, &req); err != nil {
 		// A spec that does not decode will not decode next attempt either.
-		if ferr := s.st.FailTerminal(j.ID, s.worker, fmt.Sprintf("undecodable job spec: %v", err)); ferr != nil {
+		if ferr := s.st.FailTerminal(j.ID, j.Worker, fmt.Sprintf("undecodable job spec: %v", err)); ferr != nil {
 			s.log.Warn("failing undecodable job", "id", j.ID, "err", ferr)
 		}
 		return
 	}
 	jctx, cancel := context.WithCancel(s.baseCtx)
+	att := &attempt{cancel: cancel}
 	s.mu.Lock()
-	s.running[j.ID] = cancel
+	s.running[j.ID] = att
 	s.mu.Unlock()
 	err := s.pool.Submit(j.ID, func(pctx context.Context) error {
 		defer func() {
-			s.mu.Lock()
-			delete(s.running, j.ID)
-			s.mu.Unlock()
+			s.dropAttempt(j.ID, att)
 			cancel()
 		}()
-		return s.runAttempt(jctx, pctx, j, req)
+		// A panicking attempt never returns through runAttempt, so its
+		// terminal state is recorded here — under this attempt's own lease
+		// token — before the pool quarantines the panic and replaces the
+		// worker. Panic means poison pill: the input is presumed to crash
+		// the engine again, so the failure skips the remaining attempts.
+		defer func() {
+			if r := recover(); r != nil {
+				if ferr := s.st.FailTerminal(j.ID, j.Worker, fmt.Sprintf("attempt %d panicked: %v", j.Attempt, r)); ferr != nil && !ignorableOutcomeErr(ferr) {
+					s.log.Warn("recording panic outcome", "id", j.ID, "err", ferr)
+				}
+				panic(r)
+			}
+		}()
+		return s.runAttempt(jctx, pctx, cancel, j, req)
 	})
 	if err != nil {
 		// The pool shed or refused the claim before it ran: return it to the
 		// queue without burning an attempt.
-		s.mu.Lock()
-		delete(s.running, j.ID)
-		s.mu.Unlock()
+		s.dropAttempt(j.ID, att)
 		cancel()
-		if rerr := s.st.Release(j.ID, s.worker); rerr != nil {
+		if rerr := s.st.Release(j.ID, j.Worker); rerr != nil {
 			s.log.Warn("releasing unexecuted claim", "id", j.ID, "err", rerr)
 		}
 	}
+}
+
+// dropAttempt unregisters att, and only att: if the job was requeued and
+// re-claimed by this same process, the map already holds the successor
+// attempt, which a stale attempt's late cleanup must not disturb.
+func (s *server) dropAttempt(id string, att *attempt) {
+	s.mu.Lock()
+	if s.running[id] == att {
+		delete(s.running, id)
+	}
+	s.mu.Unlock()
 }
 
 // runAttempt executes one claimed attempt end to end: lease heartbeat,
 // per-attempt journal with checkpoint-boundary lease renewal, resume from the
 // previous attempt's checkpoint when one is recorded, and the terminal write
 // back to the store.
-func (s *server) runAttempt(jctx, pctx context.Context, j store.Job, req jobRequest) error {
+func (s *server) runAttempt(jctx, pctx context.Context, cancel context.CancelFunc, j store.Job, req jobRequest) error {
 	// The pool context carries the per-attempt deadline; the job context
 	// carries explicit cancellation and process shutdown. Chain them so
-	// either ends the run.
-	cancel := func() { s.cancelRunning(j.ID) }
+	// either ends the run. cancel is this attempt's own cancel func — never
+	// resolved through s.running, which may already hold a successor attempt
+	// for the same job.
 	stop := context.AfterFunc(pctx, cancel)
 	defer stop()
 
 	// A cancel can land between claim and execution; don't run a dead job.
-	if cur, p := s.st.Lookup(j.ID); p != store.Found || cur.State != store.StateRunning || cur.Worker != s.worker {
+	if cur, p := s.st.Lookup(j.ID); p != store.Found || cur.State != store.StateRunning || cur.Worker != j.Worker {
 		return nil
 	}
 
@@ -108,10 +132,10 @@ func (s *server) runAttempt(jctx, pctx context.Context, j store.Job, req jobRequ
 	// is abandoned rather than finished twice.
 	hbCtx, hbStop := context.WithCancel(jctx)
 	defer hbStop()
-	go s.heartbeat(hbCtx, j.ID, cancel)
+	go s.heartbeat(hbCtx, j.ID, j.Worker, cancel)
 
 	env := runEnv{}
-	runCtx, closeJournal := s.attemptJournal(jctx, j, &env)
+	runCtx, closeJournal := s.attemptJournal(jctx, j, cancel, &env)
 	defer closeJournal()
 	if j.Ref != "" {
 		if f, err := os.Open(j.Ref); err == nil {
@@ -129,34 +153,34 @@ func (s *server) runAttempt(jctx, pctx context.Context, j store.Job, req jobRequ
 		// Shutdown interrupted the attempt: the claim goes back unburned (a
 		// daemon restart is not the job's fault). If the release loses a race
 		// with the store closing, boot recovery requeues the orphan instead.
-		if rerr := s.st.Release(j.ID, s.worker); rerr != nil && !errors.Is(rerr, store.ErrClosed) {
+		if rerr := s.st.Release(j.ID, j.Worker); rerr != nil && !errors.Is(rerr, store.ErrClosed) {
 			s.log.Warn("releasing attempt at shutdown", "id", j.ID, "err", rerr)
 		}
 	case pctx.Err() != nil:
-		s.settleFailure(j.ID, fmt.Sprintf("attempt %d exceeded the job deadline", j.Attempt))
+		s.settleFailure(j.ID, j.Worker, fmt.Sprintf("attempt %d exceeded the job deadline", j.Attempt))
 	case jctx.Err() != nil:
 		// Cancelled via the store (already terminal) or the lease was lost
 		// (another worker owns the job now): nothing to write either way.
 	case err == nil:
 		raw, merr := json.Marshal(res)
 		if merr != nil {
-			s.settleFailure(j.ID, fmt.Sprintf("encoding result: %v", merr))
+			s.settleFailure(j.ID, j.Worker, fmt.Sprintf("encoding result: %v", merr))
 			return merr
 		}
-		if cerr := s.st.Complete(j.ID, s.worker, raw); cerr != nil && !ignorableOutcomeErr(cerr) {
+		if cerr := s.st.Complete(j.ID, j.Worker, raw); cerr != nil && !ignorableOutcomeErr(cerr) {
 			s.log.Warn("recording completion", "id", j.ID, "err", cerr)
 		}
 	default:
-		s.settleFailure(j.ID, err.Error())
+		s.settleFailure(j.ID, j.Worker, err.Error())
 	}
 	return err
 }
 
-// settleFailure records a failed attempt; the store decides between a
-// backoff-requeue and a terminal failure. Races with cancel (terminal) and
-// lease reassignment are benign.
-func (s *server) settleFailure(id, msg string) {
-	if err := s.st.Fail(id, s.worker, msg); err != nil && !ignorableOutcomeErr(err) {
+// settleFailure records a failed attempt under the attempt's lease token;
+// the store decides between a backoff-requeue and a terminal failure. Races
+// with cancel (terminal) and lease reassignment are benign.
+func (s *server) settleFailure(id, worker, msg string) {
+	if err := s.st.Fail(id, worker, msg); err != nil && !ignorableOutcomeErr(err) {
 		s.log.Warn("recording failure", "id", id, "err", err)
 	}
 	s.kick()
@@ -170,10 +194,10 @@ func ignorableOutcomeErr(err error) bool {
 		errors.Is(err, store.ErrNotRunning) || errors.Is(err, store.ErrClosed)
 }
 
-// heartbeat renews the lease at TTL/3 until the attempt ends. On any renewal
-// failure the attempt is cancelled: an expired or reassigned lease must not
-// keep computing.
-func (s *server) heartbeat(ctx context.Context, id string, cancel func()) {
+// heartbeat renews the lease (under the attempt's token) at TTL/3 until the
+// attempt ends. On any renewal failure the attempt is cancelled: an expired
+// or reassigned lease must not keep computing.
+func (s *server) heartbeat(ctx context.Context, id, worker string, cancel func()) {
 	interval := s.leaseTTL / 3
 	if interval < 10*time.Millisecond {
 		interval = 10 * time.Millisecond
@@ -185,7 +209,7 @@ func (s *server) heartbeat(ctx context.Context, id string, cancel func()) {
 		case <-ctx.Done():
 			return
 		case <-t.C:
-			if err := s.st.Renew(id, s.worker); err != nil {
+			if err := s.st.Renew(id, worker); err != nil {
 				if !ignorableOutcomeErr(err) && !errors.Is(err, store.ErrLeaseExpired) {
 					s.log.Warn("lease renewal failed; abandoning attempt", "id", id, "err", err)
 				}
@@ -201,7 +225,7 @@ func (s *server) heartbeat(ctx context.Context, id string, cancel func()) {
 // path as the job's resume ref and renews the lease in the same store event.
 // Journal trouble never fails the job — the run proceeds unjournaled — and
 // the returned cleanup is safe to call unconditionally.
-func (s *server) attemptJournal(ctx context.Context, j store.Job, env *runEnv) (context.Context, func()) {
+func (s *server) attemptJournal(ctx context.Context, j store.Job, cancel context.CancelFunc, env *runEnv) (context.Context, func()) {
 	if s.journalDir == "" {
 		return ctx, func() {}
 	}
@@ -217,11 +241,11 @@ func (s *server) attemptJournal(ctx context.Context, j store.Job, env *runEnv) (
 	// journal flushes checkpoints through), so by the time the ref lands in
 	// the store the state it points at is already on disk.
 	env.OnCheckpoint = func(*diagnose.Checkpoint) {
-		if err := s.st.SetCheckpoint(j.ID, s.worker, path); err != nil {
+		if err := s.st.SetCheckpoint(j.ID, j.Worker, path); err != nil {
 			if !ignorableOutcomeErr(err) && !errors.Is(err, store.ErrLeaseExpired) {
 				s.log.Warn("recording checkpoint ref", "id", j.ID, "err", err)
 			}
-			s.cancelRunning(j.ID)
+			cancel()
 		}
 	}
 	return telemetry.WithTracer(ctx, tr), func() {

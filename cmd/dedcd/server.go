@@ -11,6 +11,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dedc/internal/bench"
@@ -94,7 +95,13 @@ type server struct {
 	run  runner
 
 	baseCtx context.Context // process job lifetime: shutdown cancels attempts
-	worker  string          // lease holder identity of this process
+
+	// worker is the base lease identity of this process; every claim extends
+	// it with a per-claim nonce (claimToken), so a stale attempt whose job
+	// this same process re-claimed can never pass the store's lease check
+	// and settle its successor's claim.
+	worker string
+	claims atomic.Uint64
 
 	// journalDir, when set, gives every attempt its own run journal
 	// (<dir>/<id>.a<attempt>.jsonl) with flush-on-checkpoint semantics; the
@@ -116,7 +123,15 @@ type server struct {
 	wake chan struct{} // nudges the dispatcher after a submit/requeue
 
 	mu      sync.Mutex
-	running map[string]context.CancelFunc // attempts executing in this process
+	running map[string]*attempt // attempts executing in this process, by job ID
+}
+
+// attempt is one claim executing in this process. The pointer is the
+// attempt's identity: cleanup removes the map entry only if it still holds
+// this exact attempt, so a stale attempt unwinding late cannot unregister
+// the successor that re-claimed the same job.
+type attempt struct {
+	cancel context.CancelFunc
 }
 
 func newServer(log *slog.Logger, st store.JobStore, popt supervise.Options) *server {
@@ -129,7 +144,7 @@ func newServer(log *slog.Logger, st store.JobStore, popt supervise.Options) *ser
 		maxQueued:  1024,
 		leaseTTL:   30 * time.Second,
 		wake:       make(chan struct{}, 1),
-		running:    map[string]context.CancelFunc{},
+		running:    map[string]*attempt{},
 	}
 	s.run = func(ctx context.Context, req jobRequest, env runEnv) (*jobResult, error) {
 		if req.Workers == 0 {
@@ -139,17 +154,12 @@ func newServer(log *slog.Logger, st store.JobStore, popt supervise.Options) *ser
 	}
 	// Retries are the store's policy now: one pool attempt per claim.
 	popt.MaxRetries = 0
-	// A panicking job never returns through the attempt closure, so its
-	// terminal state is recorded from the pool's outcome hook. Panic means
-	// poison pill: the input is presumed to crash the engine again, so the
-	// failure is terminal regardless of remaining attempts.
+	// The panicking attempt records its own terminal failure (under its own
+	// lease token) on the way out of the pool closure — see startJob; this
+	// hook only reports the quarantine.
 	popt.OnDone = func(id string, err error) {
 		var pe *supervise.PanicError
 		if errors.As(err, &pe) {
-			s.cancelRunning(id)
-			if ferr := s.st.FailTerminal(id, s.worker, err.Error()); ferr != nil {
-				log.Warn("recording panic outcome", "id", id, "err", ferr)
-			}
 			log.Error("job panicked; input quarantined, worker replaced", "id", id, "err", err)
 		}
 	}
@@ -286,14 +296,23 @@ func (s *server) kick() {
 	}
 }
 
-// cancelRunning interrupts an attempt this process is executing, if any.
+// cancelRunning interrupts the attempt currently executing job id in this
+// process, if any.
 func (s *server) cancelRunning(id string) {
 	s.mu.Lock()
-	cancel := s.running[id]
+	att := s.running[id]
 	s.mu.Unlock()
-	if cancel != nil {
-		cancel()
+	if att != nil {
+		att.cancel()
 	}
+}
+
+// claimToken mints the lease identity for one claim: the process identity
+// plus a per-claim nonce. Lease identities must be unique per attempt, not
+// per process — the store's lease check compares worker strings, and a
+// process can legally re-claim a job whose earlier attempt it still hosts.
+func (s *server) claimToken() string {
+	return fmt.Sprintf("%s.c%d", s.worker, s.claims.Add(1))
 }
 
 // runDiagnosis is the production runner: parse the inline netlists, build

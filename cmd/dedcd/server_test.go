@@ -187,6 +187,28 @@ func TestPanickingJobIsSurvived(t *testing.T) {
 	}
 }
 
+// TestClaimTokensAreUniquePerAttempt: lease identity must distinguish two
+// attempts hosted by the same process — with a plain per-process token, a
+// stale attempt of a re-claimed job would pass the store's lease check and
+// settle its successor's claim.
+func TestClaimTokensAreUniquePerAttempt(t *testing.T) {
+	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+	st := store.NewMemory(store.Options{})
+	defer st.Close()
+	s := newServer(log, st, supervise.Options{Workers: 1})
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		tok := s.claimToken()
+		if seen[tok] {
+			t.Fatalf("claimToken minted %q twice", tok)
+		}
+		if !strings.HasPrefix(tok, s.worker) {
+			t.Fatalf("token %q does not extend the process identity %q", tok, s.worker)
+		}
+		seen[tok] = true
+	}
+}
+
 func TestCancelRunningJob(t *testing.T) {
 	_, ts := testServer(t, supervise.Options{Workers: 1}, func(ctx context.Context, _ jobRequest, _ runEnv) (*jobResult, error) {
 		<-ctx.Done()

@@ -51,6 +51,10 @@ var (
 	ErrCorrupt = errors.New("store: corrupt event log")
 	// ErrClosed reports an operation on a closed store.
 	ErrClosed = errors.New("store: closed")
+	// ErrTooLarge rejects a record that would exceed the durable per-record
+	// size bound before it is persisted: a record the recovery reader would
+	// refuse must never reach disk, or the store becomes unopenable.
+	ErrTooLarge = errors.New("store: record exceeds the size bound")
 	// ErrUnknownJob reports an ID the store has never seen.
 	ErrUnknownJob = errors.New("store: unknown job")
 	// ErrTerminal reports a mutation of a job already in a terminal state.
@@ -305,6 +309,13 @@ func (s *Store) append(ev Event) error {
 	rec, err := json.Marshal(ev)
 	if err != nil {
 		return fmt.Errorf("store: encoding event: %w", err)
+	}
+	// Write-side mirror of the read-side maxRecord check: an event the
+	// recovery reader would reject as corrupt is refused here, before it is
+	// persisted or applied, so the log stays replayable.
+	if len(rec) > int(maxRecord) {
+		return fmt.Errorf("%s event for job %s is %d bytes (max %d): %w",
+			ev.Type, ev.Job, len(rec), maxRecord, ErrTooLarge)
 	}
 	if err := s.wal.Append(rec); err != nil {
 		return fmt.Errorf("store: appending event: %w", err)
@@ -739,20 +750,41 @@ func (s *Store) compactLocked() error {
 			terminal = append(terminal, j)
 		}
 	}
+	sort.Slice(terminal, func(i, k int) bool {
+		if !terminal[i].Finished.Equal(terminal[k].Finished) {
+			return terminal[i].Finished.Before(terminal[k].Finished)
+		}
+		return terminal[i].QueueSeq < terminal[k].QueueSeq
+	})
 	if excess := len(terminal) - s.opt.RetainTerminal; excess > 0 {
-		sort.Slice(terminal, func(i, k int) bool {
-			if !terminal[i].Finished.Equal(terminal[k].Finished) {
-				return terminal[i].Finished.Before(terminal[k].Finished)
-			}
-			return terminal[i].QueueSeq < terminal[k].QueueSeq
-		})
 		for _, j := range terminal[:excess] {
 			delete(s.jobs, j.ID)
 		}
+		terminal = terminal[excess:]
 	}
 	snap, err := json.Marshal(s.snapshotLocked())
 	if err != nil {
 		return fmt.Errorf("store: encoding snapshot: %w", err)
+	}
+	// Write-side mirror of the read-side maxSnapshot check: a snapshot the
+	// recovery reader would reject as corrupt must never be written, or the
+	// store becomes permanently unopenable. Terminal jobs are expendable
+	// (oldest evicted first, halving until the snapshot fits); live jobs are
+	// not, so if they alone exceed the bound the compaction fails with the
+	// log intact rather than poisoning the snapshot.
+	for len(snap) > int(maxSnapshot) {
+		if len(terminal) == 0 {
+			return fmt.Errorf("store: snapshot is %d bytes (max %d) with only live jobs left: %w",
+				len(snap), maxSnapshot, ErrTooLarge)
+		}
+		half := (len(terminal) + 1) / 2
+		for _, j := range terminal[:half] {
+			delete(s.jobs, j.ID)
+		}
+		terminal = terminal[half:]
+		if snap, err = json.Marshal(s.snapshotLocked()); err != nil {
+			return fmt.Errorf("store: encoding snapshot: %w", err)
+		}
 	}
 	if err := s.wal.Compact(snap); err != nil {
 		return fmt.Errorf("store: compacting: %w", err)

@@ -102,6 +102,52 @@ func TestDoubleClaimRejected(t *testing.T) {
 	}
 }
 
+// TestStaleAttemptCannotSettleSuccessor reproduces the same-process re-claim
+// hazard: a job whose lease expired is re-claimed — possibly by the same
+// process under a fresh per-attempt token — and the stale attempt's late
+// outcome writes must bounce off the lease check instead of burning the
+// successor's claim.
+func TestStaleAttemptCannotSettleSuccessor(t *testing.T) {
+	clk := newFakeClock()
+	s := memStore(t, clk, Options{
+		LeaseTTL: time.Second, MaxAttempts: 3,
+		BackoffBase: time.Millisecond, BackoffMax: time.Millisecond,
+	})
+	j := submit(t, s, `{}`)
+	stale := mustClaim(t, s, "dedcd-1.c1")
+	clk.Advance(2 * time.Second) // blow the lease
+	if requeued, _, err := s.ExpireLeases(); err != nil || len(requeued) != 1 {
+		t.Fatalf("ExpireLeases = %v requeued, err %v", requeued, err)
+	}
+	clk.Advance(time.Second) // past the retry backoff
+	fresh := mustClaim(t, s, "dedcd-1.c2")
+	if fresh.ID != j.ID || fresh.Attempt != 2 {
+		t.Fatalf("re-claim = %+v, want %s attempt 2", fresh, j.ID)
+	}
+	// The stale attempt unwinds late and reports its outcome under its own
+	// token: every write must be rejected.
+	if err := s.Fail(j.ID, stale.Worker, "late failure"); !errors.Is(err, ErrWrongWorker) {
+		t.Errorf("stale Fail = %v, want ErrWrongWorker", err)
+	}
+	if err := s.FailTerminal(j.ID, stale.Worker, "late panic"); !errors.Is(err, ErrWrongWorker) {
+		t.Errorf("stale FailTerminal = %v, want ErrWrongWorker", err)
+	}
+	if err := s.Complete(j.ID, stale.Worker, nil); !errors.Is(err, ErrWrongWorker) {
+		t.Errorf("stale Complete = %v, want ErrWrongWorker", err)
+	}
+	if err := s.Renew(j.ID, stale.Worker); !errors.Is(err, ErrWrongWorker) {
+		t.Errorf("stale Renew = %v, want ErrWrongWorker", err)
+	}
+	// The successor's claim is intact and settles normally.
+	got, _ := s.Lookup(j.ID)
+	if got.State != StateRunning || got.Worker != fresh.Worker {
+		t.Fatalf("job after stale writes = %+v, want running under %s", got, fresh.Worker)
+	}
+	if err := s.Complete(j.ID, fresh.Worker, json.RawMessage(`"ok"`)); err != nil {
+		t.Errorf("successor Complete = %v", err)
+	}
+}
+
 // TestRenewAfterExpiryRejected: the TTL is a hard boundary for renewal — a
 // worker that went quiet past it must stand down, because the reaper may
 // already have promised the job elsewhere.

@@ -32,12 +32,24 @@ const (
 	lockName = "lock"
 
 	frameHeaderLen = 8
-	// maxRecord bounds a single record (a submit carries the full netlist
-	// inline, so the bound is generous). A length field beyond it is treated
-	// as corruption, not as an enormous torn tail.
-	maxRecord = 64 << 20
 
 	snapshotVersion = 1
+)
+
+// Per-record size bounds, enforced symmetrically: the writer rejects a
+// record before it is persisted (Store.append, Store.compactLocked), so a
+// length field beyond the bound on read is always corruption, never an
+// oversized record a past writer legitimately produced. Vars, not consts,
+// so tests can shrink them.
+var (
+	// maxRecord bounds one event record (a submit carries the full netlist
+	// inline, so the bound is generous).
+	maxRecord uint32 = 64 << 20
+	// maxSnapshot bounds the snapshot record, which aggregates every
+	// retained job and so can legitimately dwarf any single event.
+	// Compaction evicts terminal jobs until the snapshot fits (see
+	// compactLocked), so this bound is never exceeded on disk.
+	maxSnapshot uint32 = 1 << 30
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -75,11 +87,12 @@ func frame(payload []byte) []byte {
 	return buf
 }
 
-// readFrames streams the framed records of r into fn. A frame that cannot
-// complete before EOF — short header, length running past the end, or a
-// checksum mismatch on the final bytes — is reported as a torn tail and ends
-// the scan cleanly; a bad frame with data after it is ErrCorrupt.
-func readFrames(r io.Reader, fn func(payload []byte) error) (torn bool, err error) {
+// readFrames streams the framed records of r into fn, rejecting any record
+// whose declared length exceeds limit. A frame that cannot complete before
+// EOF — short header, length running past the end, or a checksum mismatch on
+// the final bytes — is reported as a torn tail and ends the scan cleanly; a
+// bad frame with data after it is ErrCorrupt.
+func readFrames(r io.Reader, limit uint32, fn func(payload []byte) error) (torn bool, err error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return false, fmt.Errorf("store: reading log: %w", err)
@@ -91,8 +104,8 @@ func readFrames(r io.Reader, fn func(payload []byte) error) (torn bool, err erro
 		}
 		length := binary.LittleEndian.Uint32(data[off : off+4])
 		want := binary.LittleEndian.Uint32(data[off+4 : off+8])
-		if length > maxRecord {
-			return false, fmt.Errorf("%w: record at offset %d declares %d bytes (max %d)", ErrCorrupt, off, length, maxRecord)
+		if length > limit {
+			return false, fmt.Errorf("%w: record at offset %d declares %d bytes (max %d)", ErrCorrupt, off, length, limit)
 		}
 		end := off + frameHeaderLen + int(length)
 		if end > len(data) {
@@ -226,7 +239,7 @@ func loadState(dir string, opt Options) (*Store, loadInfo, error) {
 		// The snapshot is written atomically (tmp + rename), so any framing
 		// or checksum problem — torn tail included — is corruption.
 		var decoded bool
-		if _, ferr := readFrames(bytes.NewReader(data), func(payload []byte) error {
+		if _, ferr := readFrames(bytes.NewReader(data), maxSnapshot, func(payload []byte) error {
 			if decoded {
 				return fmt.Errorf("%w: snapshot holds more than one record", ErrCorrupt)
 			}
@@ -255,12 +268,19 @@ func loadState(dir string, opt Options) (*Store, loadInfo, error) {
 	defer lf.Close()
 	snapSeq := s.seq
 	prevSeq := uint64(0)
-	torn, ferr := readFrames(lf, func(payload []byte) error {
+	first := true
+	torn, ferr := readFrames(lf, maxRecord, func(payload []byte) error {
 		var ev Event
 		if jerr := json.Unmarshal(payload, &ev); jerr != nil {
 			return fmt.Errorf("%w: undecodable event record: %v", ErrCorrupt, jerr)
 		}
-		if prevSeq == 0 {
+		if ev.Seq == 0 {
+			// Seqs start at 1; a zero here is a damaged or forged record, and
+			// letting it through would re-arm the first-record check below.
+			return fmt.Errorf("%w: event record with seq 0", ErrCorrupt)
+		}
+		if first {
+			first = false
 			// First record: either covered by the snapshot (stale, skipped
 			// below) or the direct continuation of it. With contiguity, every
 			// later fresh record then follows in lockstep.
@@ -325,15 +345,19 @@ func (s *Store) loadSnapshot(payload []byte) error {
 // mid-lease by the previous process.
 func Open(dir string, opt Options) (*Store, error) {
 	opt = opt.defaults()
-	loaded, info, err := loadState(dir, opt)
-	if err != nil {
-		return nil, err
-	}
+	// Take the single-writer flock before reading any state: opening a
+	// directory a live writer owns must fail with the lock error, not with a
+	// misleading ErrCorrupt (or torn-tail report) from files read mid-write.
 	w, err := openFileWAL(dir)
 	if err != nil {
 		return nil, err
 	}
 	w.noSync = opt.NoSync
+	loaded, info, err := loadState(dir, opt)
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
 	s, _ := newStore(w, opt)
 	s.jobs = loaded.jobs
 	s.seq = loaded.seq

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -18,7 +19,7 @@ func TestFrameRoundTrip(t *testing.T) {
 		buf.Write(frame(p))
 	}
 	var got [][]byte
-	torn, err := readFrames(&buf, func(p []byte) error {
+	torn, err := readFrames(&buf, maxRecord, func(p []byte) error {
 		got = append(got, append([]byte(nil), p...))
 		return nil
 	})
@@ -52,7 +53,7 @@ func TestReadFramesTornTail(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var n int
-			torn, err := readFrames(bytes.NewReader(tc.data), func([]byte) error { n++; return nil })
+			torn, err := readFrames(bytes.NewReader(tc.data), maxRecord, func([]byte) error { n++; return nil })
 			if err != nil {
 				t.Fatalf("err = %v, want torn tail", err)
 			}
@@ -86,7 +87,7 @@ func TestReadFramesInteriorCorruption(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			_, err := readFrames(bytes.NewReader(tc.data), func([]byte) error { return nil })
+			_, err := readFrames(bytes.NewReader(tc.data), maxRecord, func([]byte) error { return nil })
 			if !errors.Is(err, ErrCorrupt) {
 				t.Errorf("err = %v, want ErrCorrupt", err)
 			}
@@ -309,6 +310,143 @@ func TestSnapshotCorruptionIsTyped(t *testing.T) {
 				t.Errorf("Validate = %v, want ErrCorrupt", err)
 			}
 		})
+	}
+}
+
+// TestSeqZeroIsCorrupt: a record claiming seq 0 must be rejected outright —
+// seqs start at 1, and letting a zero through would re-arm the first-record
+// contiguity check and let a gap after it go unnoticed.
+func TestSeqZeroIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Unix(1_000_000, 0).UnixNano()
+	var buf bytes.Buffer
+	for _, ev := range []Event{
+		{Seq: 0, TS: now, Type: EvSubmit, Job: "job-1", Spec: json.RawMessage(`{}`)},
+		{Seq: 1, TS: now, Type: EvSubmit, Job: "job-2", Spec: json.RawMessage(`{}`)},
+	} {
+		rec, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(frame(rec))
+	}
+	if err := os.WriteFile(filepath.Join(dir, logName), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Open with seq-0 record = %v, want ErrCorrupt", err)
+	}
+	if _, err := Validate(dir); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Validate with seq-0 record = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestOversizedEventRejectedAtWrite: an event the recovery reader would
+// refuse must be rejected before it is persisted or applied — the log stays
+// replayable and the store reopens.
+func TestOversizedEventRejectedAtWrite(t *testing.T) {
+	defer func(old uint32) { maxRecord = old }(maxRecord)
+	maxRecord = 256
+
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := json.RawMessage(`{"impl":"` + strings.Repeat("x", 512) + `"}`)
+	if _, err := s.Submit(big); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized Submit = %v, want ErrTooLarge", err)
+	}
+	// The rejected event never advanced the state: the next submit takes the
+	// first ID, and a reopen replays cleanly.
+	kept := submit(t, s, `{"n":1}`)
+	if kept.ID != "job-1" {
+		t.Errorf("submit after rejection got ID %s, want job-1", kept.ID)
+	}
+	s.wal.Close()
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after rejected append: %v", err)
+	}
+	defer s2.Close()
+	if _, p := s2.Lookup(kept.ID); p != Found {
+		t.Errorf("job %s lost after reopen (presence %d)", kept.ID, p)
+	}
+}
+
+// TestSnapshotEvictsToFitSizeBound: a snapshot that would exceed the
+// reader's bound sheds its oldest terminal jobs until it fits, so the store
+// written by compaction is always reopenable.
+func TestSnapshotEvictsToFitSizeBound(t *testing.T) {
+	defer func(old uint32) { maxSnapshot = old }(maxSnapshot)
+	maxSnapshot = 2048
+
+	dir := t.TempDir()
+	s, err := Open(dir, Options{CompactEvery: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := `{"pad":"` + strings.Repeat("x", 500) + `"}`
+	var ids []string
+	for i := 0; i < 6; i++ {
+		j := submit(t, s, spec)
+		mustClaim(t, s, "w1")
+		if err := s.Complete(j.ID, "w1", nil); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+	if err := s.CompactNow(); err != nil {
+		t.Fatalf("size-bounded compaction: %v", err)
+	}
+	fi, err := os.Stat(filepath.Join(dir, snapName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() > int64(maxSnapshot)+frameHeaderLen {
+		t.Errorf("snapshot on disk is %d bytes, over the %d bound", fi.Size(), maxSnapshot)
+	}
+	s.wal.Close()
+
+	s2, err := Open(dir, Options{CompactEvery: 1 << 20})
+	if err != nil {
+		t.Fatalf("reopen after size-bounded compaction: %v", err)
+	}
+	defer s2.Close()
+	// The oldest-finished terminal jobs were evicted (410 material), the
+	// newest survives.
+	if _, p := s2.Lookup(ids[0]); p != Evicted {
+		t.Errorf("oldest terminal job presence = %d, want Evicted", p)
+	}
+	if _, p := s2.Lookup(ids[len(ids)-1]); p != Found {
+		t.Errorf("newest terminal job presence = %d, want Found", p)
+	}
+}
+
+// TestSnapshotOfOnlyLiveJobsFailsLoudly: live jobs cannot be evicted, so a
+// state that cannot fit the snapshot bound must fail compaction with the log
+// intact — never write a snapshot recovery would reject as corrupt.
+func TestSnapshotOfOnlyLiveJobsFailsLoudly(t *testing.T) {
+	defer func(old uint32) { maxSnapshot = old }(maxSnapshot)
+	maxSnapshot = 1024
+
+	dir := t.TempDir()
+	s, err := Open(dir, Options{CompactEvery: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	spec := `{"pad":"` + strings.Repeat("x", 600) + `"}`
+	a := submit(t, s, spec)
+	b := submit(t, s, spec)
+	if err := s.CompactNow(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("CompactNow over live jobs = %v, want ErrTooLarge", err)
+	}
+	// The failed compaction lost nothing: both jobs are still served.
+	for _, id := range []string{a.ID, b.ID} {
+		if _, p := s.Lookup(id); p != Found {
+			t.Errorf("job %s presence = %d after failed compaction, want Found", id, p)
+		}
 	}
 }
 
