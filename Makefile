@@ -14,6 +14,9 @@
 #                        — gate the quick suite (>10% + 250µs per phase fails)
 #   make bench-parallel  — engine-pool speedup gate (warn-only on the quick
 #                          suite; SUITE=full enforces ≥ MINSPEEDUP at 4 workers)
+#   make bench-service   — service-tier SLO suite (cmd/dedcload drives real
+#                          dedcd processes); gates against BENCH_service.json
+#                          when recorded, records it otherwise
 
 GO ?= go
 FUZZTIME ?= 10s
@@ -27,7 +30,7 @@ SUITE ?= quick
 
 .PHONY: all build vet test race fuzz chaos chaos-resume chaos-store ci check \
 	bench-telemetry journal-check bench bench-compare bench-check \
-	bench-parallel clean
+	bench-parallel bench-service clean
 
 all: build
 
@@ -117,6 +120,23 @@ bench-check:
 		$(GO) run ./cmd/dedcbench -suite quick -q -workers $(BENCHWORKERS) -o BENCH_core.json; \
 	fi
 
+# Service-tier SLO gate: build dedcd and dedcload fresh, drive one daemon per
+# scenario with open-loop Poisson load, and compare per-scenario latency,
+# queue-wait, throughput, shed rate and process ceilings against the recorded
+# baseline (confirm-by-re-measure; exit 2 on a surviving regression). Like
+# bench-check, a missing BENCH_service.json is recorded instead of gated so a
+# fresh checkout bootstraps itself.
+bench-service:
+	rm -rf .bench-service && mkdir .bench-service
+	$(GO) build -o .bench-service/dedcd ./cmd/dedcd
+	$(GO) build -o .bench-service/dedcload ./cmd/dedcload
+	@if [ -f BENCH_service.json ]; then \
+		./.bench-service/dedcload -dedcd ./.bench-service/dedcd -q -baseline BENCH_service.json; \
+	else \
+		./.bench-service/dedcload -dedcd ./.bench-service/dedcd -q -o BENCH_service.json; \
+	fi
+	rm -rf .bench-service
+
 # Engine-pool speedup gate: the h1rank/screen pool variants must beat the
 # pinned sequential phases by MINSPEEDUP (geomean across scenarios) at 4
 # workers. Enforced on the full suite (SUITE=full); warn-only on quick, whose
@@ -130,8 +150,8 @@ bench-parallel:
 		$(GO) run ./cmd/dedcbench -suite $(SUITE) -q -workers $(BENCHWORKERS) -min-speedup $(MINSPEEDUP) -speedup-warn; \
 	fi
 
-check: ci journal-check bench-telemetry bench-check bench-parallel chaos-resume chaos-store
+check: ci journal-check bench-telemetry bench-check bench-parallel bench-service chaos-resume chaos-store
 
 clean:
 	$(GO) clean ./...
-	rm -rf .journal-check
+	rm -rf .journal-check .bench-service

@@ -14,8 +14,8 @@
 // Endpoints (all JSON):
 //
 //	POST /v1/jobs             submit {"impl": "<bench>", "spec"|"device": "<bench>", ...}
-//	GET  /v1/jobs             list retained jobs + pool counters
-//	GET  /v1/jobs/{id}        job status (404 never submitted, 410 evicted)
+//	GET  /v1/jobs             list retained jobs + pool counters (?state=queued&limit=100)
+//	GET  /v1/jobs/{id}        job status + lifecycle timeline (404 never submitted, 410 evicted)
 //	GET  /v1/jobs/{id}/result terminal result (409 while queued/running)
 //	POST /v1/jobs/{id}/cancel cancel a queued or running job
 //	GET  /healthz             liveness + pool counters + job counts
@@ -51,6 +51,7 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("dedcd", flag.ContinueOnError)
 	addr := fs.String("addr", "localhost:8080", "listen address")
+	addrFile := fs.String("addr-file", "", "write the bound listen address to this file once serving (for harnesses using -addr :0)")
 	workers := fs.Int("workers", 2, "concurrent diagnosis workers")
 	simWorkers := fs.Int("sim-workers", telemetry.DefaultWorkers(),
 		"default evaluation workers per job's engine fan-outs (1 = sequential; results are identical for any value; requests may override per job)")
@@ -122,6 +123,7 @@ func run(args []string) int {
 	})
 	srv.simWorkers = *simWorkers
 	srv.maxQueued = *maxQueued
+	srv.retryBackoff = *backoff
 	srv.leaseTTL = *leaseTTL
 	if *journalDir != "" {
 		if err := os.MkdirAll(*journalDir, 0o755); err != nil {
@@ -138,6 +140,14 @@ func run(args []string) int {
 	}
 	log.Info("dedcd listening", "addr", web.Addr(), "workers", *workers,
 		"queue", *queue, "store", *storeDir, "lease_ttl", *leaseTTL)
+	if *addrFile != "" {
+		// Written after the listener is live, so a reader that sees the file
+		// can connect immediately.
+		if err := os.WriteFile(*addrFile, []byte(web.Addr()), 0o644); err != nil {
+			log.Error("writing -addr-file", "path", *addrFile, "err", err)
+			return 1
+		}
+	}
 
 	<-ctx.Done()
 	log.Info("shutdown requested; draining", "timeout", *drainTimeout)

@@ -9,6 +9,7 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -22,6 +23,15 @@ import (
 	"dedc/internal/telemetry"
 	"dedc/internal/tpg"
 )
+
+// HTTP-layer counters: what the service accepted vs shed at admission.
+var (
+	cSubmissions = telemetry.Default.Counter("dedcd.submissions")
+	cSheds       = telemetry.Default.Counter("dedcd.sheds")
+)
+
+// maxListPage bounds one GET /v1/jobs page regardless of the requested limit.
+const maxListPage = 1000
 
 // jobRequest is the submission body of POST /v1/jobs: netlists travel inline
 // as .bench text, so the service holds no filesystem state beyond the store.
@@ -70,18 +80,27 @@ type runEnv struct {
 // hanging or panicking jobs without forging netlists that crash the engine.
 type runner func(ctx context.Context, req jobRequest, env runEnv) (*jobResult, error)
 
-// jobView is the status representation of GET /v1/jobs[/{id}].
+// jobView is the status representation of GET /v1/jobs[/{id}]. The lifecycle
+// timeline rides on single-job lookups only (list pages stay lean).
 type jobView struct {
-	ID      string `json:"id"`
-	State   string `json:"state"`
-	Attempt int    `json:"attempt"`
-	Error   string `json:"error,omitempty"`
-	HasRes  bool   `json:"has_result"`
+	ID       string                `json:"id"`
+	State    string                `json:"state"`
+	Attempt  int                   `json:"attempt"`
+	Error    string                `json:"error,omitempty"`
+	HasRes   bool                  `json:"has_result"`
+	Timeline []store.TimelineEvent `json:"timeline,omitempty"`
 }
 
 func viewOf(j store.Job) jobView {
 	return jobView{ID: j.ID, State: string(j.State), Attempt: j.Attempt,
 		Error: j.Error, HasRes: len(j.Result) > 0}
+}
+
+// detailOf is viewOf plus the machine-readable lifecycle timeline.
+func detailOf(j store.Job) jobView {
+	v := viewOf(j)
+	v.Timeline = j.Timeline
+	return v
 }
 
 // server is the stateless HTTP layer of the diagnosis service: every job
@@ -118,6 +137,11 @@ type server struct {
 	// the backpressure boundary).
 	maxQueued int
 
+	// retryBackoff and poolWorkers feed the 503 Retry-After estimate: how
+	// long one queue "generation" takes to drain ahead of a shed submission.
+	retryBackoff time.Duration
+	poolWorkers  int
+
 	leaseTTL time.Duration
 
 	wake chan struct{} // nudges the dispatcher after a submit/requeue
@@ -135,16 +159,22 @@ type attempt struct {
 }
 
 func newServer(log *slog.Logger, st store.JobStore, popt supervise.Options) *server {
+	workers := popt.Workers
+	if workers <= 0 {
+		workers = 4 // supervise.New's default
+	}
 	s := &server{
-		st:         st,
-		log:        log,
-		baseCtx:    context.Background(),
-		worker:     fmt.Sprintf("dedcd-%d", os.Getpid()),
-		simWorkers: telemetry.DefaultWorkers(),
-		maxQueued:  1024,
-		leaseTTL:   30 * time.Second,
-		wake:       make(chan struct{}, 1),
-		running:    map[string]*attempt{},
+		st:           st,
+		log:          log,
+		baseCtx:      context.Background(),
+		worker:       fmt.Sprintf("dedcd-%d", os.Getpid()),
+		simWorkers:   telemetry.DefaultWorkers(),
+		maxQueued:    1024,
+		retryBackoff: 250 * time.Millisecond,
+		poolWorkers:  workers,
+		leaseTTL:     30 * time.Second,
+		wake:         make(chan struct{}, 1),
+		running:      map[string]*attempt{},
 	}
 	s.run = func(ctx context.Context, req jobRequest, env runEnv) (*jobResult, error) {
 		if req.Workers == 0 {
@@ -200,8 +230,9 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	// Admission control: the durable queue is the bounded buffer now, and
 	// 503 + Retry-After remains the backpressure contract.
-	if s.maxQueued > 0 && s.st.Counts()[store.StateQueued] >= s.maxQueued {
-		w.Header().Set("Retry-After", "1")
+	if queued := s.st.Counts()[store.StateQueued]; s.maxQueued > 0 && queued >= s.maxQueued {
+		cSheds.Inc()
+		w.Header().Set("Retry-After", s.retryAfter(queued))
 		writeErr(w, http.StatusServiceUnavailable,
 			fmt.Errorf("job queue is full (%d queued)", s.maxQueued))
 		return
@@ -216,18 +247,69 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
+	cSubmissions.Inc()
 	s.kick()
 	s.log.Info("job accepted", "id", j.ID)
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.ID})
 }
 
-func (s *server) handleList(w http.ResponseWriter, _ *http.Request) {
-	jobs := s.st.List()
-	views := make([]jobView, len(jobs))
-	for i, j := range jobs {
-		views[i] = viewOf(j)
+// retryAfter estimates when queue pressure may have eased: the retry backoff
+// (one queue "generation" of healing time) scaled by how many pool-widths of
+// work sit ahead of a new submission, clamped to [1s, 5m], in whole seconds.
+func (s *server) retryAfter(queued int) string {
+	workers := s.poolWorkers
+	if workers <= 0 {
+		workers = 1
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": views, "pool": s.pool.Stats()})
+	est := s.retryBackoff * time.Duration(1+queued/workers)
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > 5*time.Minute {
+		est = 5 * time.Minute
+	}
+	return strconv.Itoa(int((est + time.Second - 1) / time.Second))
+}
+
+// handleList enumerates retained jobs, optionally filtered by ?state= and
+// paged by ?limit= (capped at maxListPage). "total" counts every match so a
+// truncated page is detectable.
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var filter store.State
+	if v := q.Get("state"); v != "" {
+		switch st := store.State(v); st {
+		case store.StateQueued, store.StateRunning, store.StateDone, store.StateFailed, store.StateCancelled:
+			filter = st
+		default:
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown state %q", v))
+			return
+		}
+	}
+	limit := maxListPage
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("limit must be a positive integer, got %q", v))
+			return
+		}
+		if n < limit {
+			limit = n
+		}
+	}
+	jobs := s.st.List()
+	views := make([]jobView, 0, min(len(jobs), limit))
+	total := 0
+	for _, j := range jobs {
+		if filter != "" && j.State != filter {
+			continue
+		}
+		total++
+		if len(views) < limit {
+			views = append(views, viewOf(j))
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views, "total": total, "pool": s.pool.Stats()})
 }
 
 // lookup resolves the request's job ID, writing the 404/410 distinction the
@@ -250,7 +332,7 @@ func (s *server) lookup(w http.ResponseWriter, r *http.Request) (store.Job, bool
 
 func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if j, ok := s.lookup(w, r); ok {
-		writeJSON(w, http.StatusOK, viewOf(j))
+		writeJSON(w, http.StatusOK, detailOf(j))
 	}
 }
 

@@ -1,0 +1,300 @@
+// Command dedcload runs the service-tier load suite: for each scenario it
+// starts a fresh dedcd (or drives one already running via -addr), submits an
+// open-loop Poisson arrival stream of mixed diagnosis jobs over HTTP, waits
+// for the work to drain, and folds the server-side lifecycle timelines into
+// per-scenario SLO figures — p50/p95/p99 latency, queue-wait quantiles,
+// throughput, shed rate, and process ceilings (goroutine peak, heap peak)
+// sampled from /debug/vars.
+//
+// Usage:
+//
+//	dedcload -dedcd ./dedcd                          # print the scenario table
+//	dedcload -dedcd ./dedcd -o BENCH_service.json    # record a baseline
+//	dedcload -dedcd ./dedcd -baseline BENCH_service.json  # gate: exit 2 on regression
+//	dedcload -addr 127.0.0.1:8080 -suite quick       # drive a running daemon
+//
+// The JSON report is schema v1 (see DESIGN.md "Service observability &
+// SLOs"). The regression gate compares every scenario's metrics against the
+// baseline with loose, service-appropriate tolerances, and confirms
+// candidate regressions by re-measuring just the implicated scenarios —
+// genuine regressions reproduce, noisy neighbours do not.
+//
+// Exit status: 0 on success, 2 when the baseline gate found regressions,
+// 1 on usage or measurement errors.
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"syscall"
+	"text/tabwriter"
+	"time"
+
+	"dedc/internal/load"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("dedcload", flag.ContinueOnError)
+	suite := fs.String("suite", "quick", "scenario suite: quick")
+	dedcdBin := fs.String("dedcd", "", "path to a dedcd binary; a fresh daemon is started per scenario (in-memory store)")
+	addr := fs.String("addr", "", "drive an already-running dedcd at this host:port instead of spawning one (per-scenario -max-queued is then not applied)")
+	workers := fs.Int("workers", 2, "dedcd -workers for spawned daemons")
+	queue := fs.Int("queue", 8, "dedcd -queue for spawned daemons")
+	scTimeout := fs.Duration("scenario-timeout", 2*time.Minute, "per-scenario deadline (arrivals + drain)")
+	out := fs.String("o", "", "write the JSON report to this file")
+	baseline := fs.String("baseline", "", "compare against this baseline report and gate regressions")
+	tol := fs.Float64("tol", 0.25, "allowed relative latency/queue-wait growth (0.25 = +25%)")
+	slack := fs.Duration("slack", 25*time.Millisecond, "absolute latency grace on top of -tol")
+	shedSlack := fs.Float64("shed-slack", 0.05, "allowed absolute shed-rate growth")
+	quiet := fs.Bool("q", false, "suppress the scenario table")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "dedcload: "+format+"\n", args...)
+		return 1
+	}
+	if (*dedcdBin == "") == (*addr == "") {
+		return fail("exactly one of -dedcd (spawn per scenario) or -addr (running daemon) is required")
+	}
+
+	scenarios, err := load.Suite(*suite)
+	if err != nil {
+		return fail("%v", err)
+	}
+	runner := &suiteRunner{
+		suite:   *suite,
+		bin:     *dedcdBin,
+		addr:    *addr,
+		workers: *workers,
+		queue:   *queue,
+		timeout: *scTimeout,
+		logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "dedcload: "+format+"\n", args...)
+		},
+	}
+	rep, err := runner.run(scenarios)
+	if err != nil {
+		return fail("%v", err)
+	}
+	if !*quiet {
+		printTable(rep)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fail("%v", err)
+		}
+		werr := rep.Write(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fail("writing %s: %v", *out, werr)
+		}
+		fmt.Fprintf(os.Stderr, "dedcload: wrote %s (%d scenarios)\n", *out, len(rep.Scenarios))
+	}
+	if *baseline != "" {
+		f, err := os.Open(*baseline)
+		if err != nil {
+			return fail("%v", err)
+		}
+		base, err := load.ReadReport(f)
+		f.Close()
+		if err != nil {
+			return fail("%v", err)
+		}
+		copt := load.CompareOptions{LatencyTolerance: *tol, LatencySlack: *slack, ShedSlack: *shedSlack}
+		regs := load.Compare(base, rep, copt)
+		// Confirm before failing: re-measure only the implicated scenarios
+		// (each on its own fresh daemon) and keep the better numbers. A real
+		// regression reproduces; a noisy neighbour does not.
+		for retry := 0; retry < 2 && len(regs) > 0; retry++ {
+			affected := affectedScenarios(scenarios, regs)
+			if len(affected) == 0 {
+				break // only coverage regressions; re-running can't help
+			}
+			runner.logf("%d candidate regression(s); re-measuring %d scenario(s) to confirm", len(regs), len(affected))
+			again, err := runner.run(affected)
+			if err != nil {
+				return fail("%v", err)
+			}
+			rep.MergeMin(again)
+			regs = load.Compare(base, rep, copt)
+		}
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "dedcload: %d SLO regression(s) against %s:\n", len(regs), *baseline)
+			for _, g := range regs {
+				fmt.Fprintf(os.Stderr, "  %s\n", g)
+			}
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "dedcload: SLO gate passed against %s (tol +%.0f%%, slack %v)\n",
+			*baseline, *tol*100, *slack)
+	}
+	return 0
+}
+
+// suiteRunner measures scenarios, spawning one daemon per scenario unless a
+// fixed address was given.
+type suiteRunner struct {
+	suite   string
+	bin     string // dedcd binary ("" = use addr)
+	addr    string
+	workers int
+	queue   int
+	timeout time.Duration
+	logf    func(string, ...any)
+}
+
+func (r *suiteRunner) run(scenarios []load.Scenario) (*load.Report, error) {
+	rep := &load.Report{Schema: load.SchemaVersion, Suite: r.suite, Go: runtime.Version()}
+	for _, sc := range scenarios {
+		specs, err := load.Mix(sc.Mix, sc.Seed)
+		if err != nil {
+			return nil, err
+		}
+		base := "http://" + r.addr
+		var d *daemon
+		if r.bin != "" {
+			d, err = startDaemon(r.bin, sc, r.workers, r.queue)
+			if err != nil {
+				return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+			}
+			base = "http://" + d.addr
+		}
+		res, err := load.Run(context.Background(), sc, specs, base, load.Options{Timeout: r.timeout})
+		if d != nil {
+			d.stop()
+		}
+		if err != nil {
+			if d != nil {
+				return nil, fmt.Errorf("%w\ndaemon stderr:\n%s", err, d.stderrTail())
+			}
+			return nil, err
+		}
+		rep.Scenarios = append(rep.Scenarios, *res)
+		r.logf("measured %s: %d submitted, %d shed, p95 %v, %0.1f jobs/s",
+			sc.Name, res.Submitted, res.Shed, time.Duration(res.LatencyP95Ns).Round(time.Millisecond), res.ThroughputHz)
+	}
+	return rep, nil
+}
+
+// daemon is one spawned dedcd under measurement.
+type daemon struct {
+	cmd    *exec.Cmd
+	dir    string
+	addr   string
+	stderr *bytes.Buffer
+}
+
+// startDaemon launches bin with an in-memory store on an ephemeral port and
+// waits for the bound address via -addr-file.
+func startDaemon(bin string, sc load.Scenario, workers, queue int) (*daemon, error) {
+	dir, err := os.MkdirTemp("", "dedcload-*")
+	if err != nil {
+		return nil, err
+	}
+	addrFile := filepath.Join(dir, "addr")
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-addr-file", addrFile,
+		"-workers", strconv.Itoa(workers),
+		"-queue", strconv.Itoa(queue),
+		"-job-timeout", "1m",
+		"-drain-timeout", "2s",
+	}
+	if sc.MaxQueued > 0 {
+		args = append(args, "-max-queued", strconv.Itoa(sc.MaxQueued))
+	}
+	d := &daemon{cmd: exec.Command(bin, args...), dir: dir, stderr: &bytes.Buffer{}}
+	d.cmd.Stderr = d.stderr
+	if err := d.cmd.Start(); err != nil {
+		os.RemoveAll(dir)
+		return nil, fmt.Errorf("starting %s: %w", bin, err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if data, rerr := os.ReadFile(addrFile); rerr == nil && len(data) > 0 {
+			d.addr = string(data)
+			return d, nil
+		}
+		if d.cmd.ProcessState != nil || time.Now().After(deadline) {
+			d.stop()
+			return nil, fmt.Errorf("daemon did not publish its address:\n%s", d.stderrTail())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func (d *daemon) stop() {
+	if d.cmd.Process != nil {
+		d.cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() {
+			d.cmd.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			d.cmd.Process.Kill()
+			<-done
+		}
+	}
+	os.RemoveAll(d.dir)
+}
+
+// stderrTail returns the last few KB of the daemon's stderr for diagnostics.
+func (d *daemon) stderrTail() string {
+	b := d.stderr.Bytes()
+	if len(b) > 4096 {
+		b = b[len(b)-4096:]
+	}
+	return string(b)
+}
+
+// affectedScenarios returns the suite scenarios named by non-missing
+// regressions, in suite order without duplicates.
+func affectedScenarios(suite []load.Scenario, regs []load.Regression) []load.Scenario {
+	names := map[string]bool{}
+	for _, g := range regs {
+		if !g.Missing {
+			names[g.Scenario] = true
+		}
+	}
+	var out []load.Scenario
+	for _, sc := range suite {
+		if names[sc.Name] {
+			out = append(out, sc)
+		}
+	}
+	return out
+}
+
+// printTable renders the human-readable per-scenario table on stdout.
+func printTable(rep *load.Report) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "scenario\trate\tjobs\tshed\tp50\tp95\tp99\tqwait p95\ttput\tgoroutines\theap")
+	for _, sc := range rep.Scenarios {
+		fmt.Fprintf(w, "%s\t%.0f/s\t%d\t%.1f%%\t%v\t%v\t%v\t%v\t%.1f/s\t%d\t%.1fMB\n",
+			sc.Scenario, sc.RateHz, sc.Jobs, sc.ShedRate*100,
+			time.Duration(sc.LatencyP50Ns).Round(100*time.Microsecond),
+			time.Duration(sc.LatencyP95Ns).Round(100*time.Microsecond),
+			time.Duration(sc.LatencyP99Ns).Round(100*time.Microsecond),
+			time.Duration(sc.QueueWaitP95Ns).Round(100*time.Microsecond),
+			sc.ThroughputHz, sc.GoroutinePeak, float64(sc.HeapPeakBytes)/(1<<20))
+	}
+	w.Flush()
+}

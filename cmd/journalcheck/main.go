@@ -23,15 +23,19 @@
 // contiguity, legal state transitions, and the submission-counter invariant.
 // A crash-torn final record is reported but tolerated; interior corruption
 // exits non-zero. The pass is read-only — safe on a live store's directory
-// after the daemon stops, and on copies taken for forensics.
+// after the daemon stops, and on copies taken for forensics. Combined with
+// -phases it folds the persisted job timelines into a lifecycle wall-time
+// table (queue_wait, attempt, end_to_end) — the offline twin of the
+// daemon's live latency histograms.
 //
 // Usage:
 //
 //	journalcheck run.jsonl
-//	journalcheck -q run.jsonl             # exit status only
-//	journalcheck -phases run.jsonl        # per-phase wall-time summary
-//	journalcheck -resume-point run.jsonl  # last resumable checkpoint
-//	journalcheck -store /var/lib/dedcd    # offline job-store validation
+//	journalcheck -q run.jsonl                  # exit status only
+//	journalcheck -phases run.jsonl             # per-phase wall-time summary
+//	journalcheck -resume-point run.jsonl       # last resumable checkpoint
+//	journalcheck -store /var/lib/dedcd         # offline job-store validation
+//	journalcheck -store /var/lib/dedcd -phases # + job lifecycle wall-time table
 package main
 
 import (
@@ -72,13 +76,16 @@ func run(args []string) int {
 			fmt.Fprintf(os.Stderr, "journalcheck: %s: not a store directory\n", *storeDir)
 			return 1
 		}
-		rep, err := store.Validate(*storeDir)
+		rep, jobs, err := store.ValidateJobs(*storeDir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "journalcheck: %s: %v\n", *storeDir, err)
 			return 1
 		}
 		if !*quiet {
 			fmt.Printf("journalcheck: %s\n", rep)
+		}
+		if *phases {
+			printPhases(storePhases(jobs))
 		}
 		return 0
 	}
@@ -199,6 +206,56 @@ func (s *phaseStat) add(d time.Duration) {
 	if d > s.max {
 		s.max = d
 	}
+}
+
+// storePhases folds the replayed jobs' lifecycle timelines into the same
+// wall-time table shape the run-journal -phases path uses: queue_wait is
+// submitted/requeued -> claimed, attempt is claimed -> requeue or terminal,
+// end_to_end is submitted -> terminal. Jobs still queued or running
+// contribute their finished phases only.
+func storePhases(jobs []store.Job) map[string]*phaseStat {
+	perPhase := map[string]*phaseStat{}
+	add := func(kind string, d time.Duration) {
+		if d < 0 {
+			return
+		}
+		st := perPhase[kind]
+		if st == nil {
+			st = &phaseStat{}
+			perPhase[kind] = st
+		}
+		st.add(d)
+	}
+	for _, j := range jobs {
+		var queuedAt, claimedAt, submittedAt time.Time
+		for _, ev := range j.Timeline {
+			switch ev.Type {
+			case store.TLSubmitted:
+				submittedAt, queuedAt = ev.TS, ev.TS
+			case store.TLClaimed:
+				if !queuedAt.IsZero() {
+					add("queue_wait", ev.TS.Sub(queuedAt))
+					queuedAt = time.Time{}
+				}
+				claimedAt = ev.TS
+			case store.TLRequeued:
+				if !claimedAt.IsZero() {
+					add("attempt", ev.TS.Sub(claimedAt))
+					claimedAt = time.Time{}
+				}
+				queuedAt = ev.TS
+			case store.TLCompleted, store.TLFailed, store.TLCancelled:
+				if !claimedAt.IsZero() {
+					add("attempt", ev.TS.Sub(claimedAt))
+					claimedAt = time.Time{}
+				}
+				if !submittedAt.IsZero() {
+					add("end_to_end", ev.TS.Sub(submittedAt))
+				}
+			}
+		}
+	}
+	return perPhase
 }
 
 // spanKindPath strips the per-instance indices from a span path, so

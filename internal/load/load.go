@@ -1,0 +1,369 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Options tunes one scenario run against a live daemon.
+type Options struct {
+	// Client is the HTTP client (default: a fresh client, no global timeout —
+	// per-request deadlines come from the run context).
+	Client *http.Client
+	// Timeout bounds the whole scenario, arrivals plus drain (default 2m).
+	Timeout time.Duration
+	// PollEvery is the terminal-state poll interval (default 25ms).
+	PollEvery time.Duration
+	// SampleEvery is the /debug/vars ceiling sampling interval (default 50ms).
+	SampleEvery time.Duration
+}
+
+func (o Options) defaults() Options {
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Minute
+	}
+	if o.PollEvery <= 0 {
+		o.PollEvery = 25 * time.Millisecond
+	}
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = 50 * time.Millisecond
+	}
+	return o
+}
+
+// jobStatus mirrors dedcd's GET /v1/jobs[/{id}] view, timeline included.
+type jobStatus struct {
+	ID       string          `json:"id"`
+	State    string          `json:"state"`
+	Attempt  int             `json:"attempt"`
+	Timeline []timelineEntry `json:"timeline"`
+}
+
+type timelineEntry struct {
+	Type string    `json:"type"`
+	TS   time.Time `json:"ts"`
+}
+
+func terminalState(s string) bool {
+	return s == "done" || s == "failed" || s == "cancelled"
+}
+
+// Run drives one scenario against the daemon at baseURL: Poisson arrivals at
+// sc.RateHz submitting sc.Jobs jobs drawn round-robin from specs, open-loop
+// (arrivals never wait for completions — that is what makes queueing visible
+// instead of self-throttled), then a drain wait until every accepted job is
+// terminal. Latency and queue-wait are derived from the server-side
+// lifecycle timelines; ceilings are sampled from /debug/vars throughout.
+func Run(ctx context.Context, sc Scenario, specs []JobSpec, baseURL string, opt Options) (*ScenarioResult, error) {
+	opt = opt.defaults()
+	if sc.RateHz <= 0 {
+		return nil, fmt.Errorf("load: scenario %s: rate %v must be positive", sc.Name, sc.RateHz)
+	}
+	if sc.Jobs <= 0 {
+		return nil, fmt.Errorf("load: scenario %s: job count %d must be positive", sc.Name, sc.Jobs)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("load: scenario %s: empty job mix", sc.Name)
+	}
+	ctx, cancel := context.WithTimeout(ctx, opt.Timeout)
+	defer cancel()
+
+	seed := sc.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	// Precomputed exponential inter-arrival gaps: the whole arrival process
+	// is fixed by the seed, independent of service behaviour.
+	rng := rand.New(rand.NewSource(seed))
+	offsets := make([]time.Duration, sc.Jobs)
+	elapsed := 0.0
+	for i := range offsets {
+		elapsed += rng.ExpFloat64() / sc.RateHz
+		offsets[i] = time.Duration(elapsed * float64(time.Second))
+	}
+
+	// Ceiling sampler: poll /debug/vars for the daemon's dedc.runtime expvar
+	// until the run ends, keeping the peaks.
+	var peakMu sync.Mutex
+	var goroutinePeak int
+	var heapPeak int64
+	samplerCtx, stopSampler := context.WithCancel(ctx)
+	defer stopSampler()
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		t := time.NewTicker(opt.SampleEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-samplerCtx.Done():
+				return
+			case <-t.C:
+				rs, err := fetchRuntime(samplerCtx, opt.Client, baseURL)
+				if err != nil {
+					continue
+				}
+				peakMu.Lock()
+				if rs.Goroutines > goroutinePeak {
+					goroutinePeak = rs.Goroutines
+				}
+				if rs.HeapAlloc > heapPeak {
+					heapPeak = rs.HeapAlloc
+				}
+				peakMu.Unlock()
+			}
+		}
+	}()
+
+	res := &ScenarioResult{Scenario: sc.Name, Mix: sc.Mix, RateHz: sc.RateHz, Jobs: sc.Jobs}
+	start := time.Now()
+	var mu sync.Mutex
+	accepted := map[string]bool{}
+	var shed, errored int
+	var wg sync.WaitGroup
+	for i := 0; i < sc.Jobs; i++ {
+		if d := time.Until(start.Add(offsets[i])); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+			}
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("load: scenario %s: cancelled mid-arrivals after %d of %d: %w",
+				sc.Name, i, sc.Jobs, ctx.Err())
+		}
+		body := specs[i%len(specs)].Body
+		// Each submission runs on its own goroutine so a slow accept cannot
+		// delay later arrivals — the open-loop property.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id, code, err := submit(ctx, opt.Client, baseURL, body)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err != nil:
+				errored++
+			case code == http.StatusAccepted:
+				accepted[id] = true
+			case code == http.StatusServiceUnavailable:
+				shed++
+			default:
+				errored++
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	res.Submitted = len(accepted)
+	res.Shed = shed
+	res.ShedRate = float64(shed) / float64(sc.Jobs)
+	mu.Unlock()
+	if errored > 0 {
+		return nil, fmt.Errorf("load: scenario %s: %d submissions errored (daemon unhealthy?)", sc.Name, errored)
+	}
+
+	// Drain: poll the list endpoint until every accepted job is terminal.
+	var wall time.Duration
+	for {
+		views, err := listJobs(ctx, opt.Client, baseURL)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("load: scenario %s: drain timed out: %w", sc.Name, ctx.Err())
+			}
+			return nil, fmt.Errorf("load: scenario %s: listing jobs: %w", sc.Name, err)
+		}
+		terminal := 0
+		for _, v := range views {
+			if accepted[v.ID] && terminalState(v.State) {
+				terminal++
+			}
+		}
+		wall = time.Since(start)
+		if terminal >= len(accepted) {
+			break
+		}
+		select {
+		case <-time.After(opt.PollEvery):
+		case <-ctx.Done():
+			return nil, fmt.Errorf("load: scenario %s: drain timed out with %d of %d jobs terminal: %w",
+				sc.Name, terminal, len(accepted), ctx.Err())
+		}
+	}
+	stopSampler()
+	samplerWG.Wait()
+
+	// Harvest per-job timelines and fold the scenario figures.
+	var latencies, waits []int64
+	for id := range accepted {
+		st, err := getStatus(ctx, opt.Client, baseURL, id)
+		if err != nil {
+			return nil, fmt.Errorf("load: scenario %s: fetching %s: %w", sc.Name, id, err)
+		}
+		switch st.State {
+		case "done":
+			res.Done++
+		default:
+			res.Failed++
+		}
+		var submitted, claimed, terminal time.Time
+		for _, e := range st.Timeline {
+			switch {
+			case e.Type == "submitted" && submitted.IsZero():
+				submitted = e.TS
+			case e.Type == "claimed" && claimed.IsZero():
+				claimed = e.TS
+			case (e.Type == "completed" || e.Type == "failed" || e.Type == "cancelled") && terminal.IsZero():
+				terminal = e.TS
+			}
+		}
+		if !submitted.IsZero() && !terminal.IsZero() {
+			latencies = append(latencies, terminal.Sub(submitted).Nanoseconds())
+		}
+		if !submitted.IsZero() && !claimed.IsZero() {
+			waits = append(waits, claimed.Sub(submitted).Nanoseconds())
+		}
+	}
+	sort.Slice(latencies, func(i, k int) bool { return latencies[i] < latencies[k] })
+	sort.Slice(waits, func(i, k int) bool { return waits[i] < waits[k] })
+	res.LatencyP50Ns = quantileNs(latencies, 0.50)
+	res.LatencyP95Ns = quantileNs(latencies, 0.95)
+	res.LatencyP99Ns = quantileNs(latencies, 0.99)
+	res.QueueWaitP50Ns = quantileNs(waits, 0.50)
+	res.QueueWaitP95Ns = quantileNs(waits, 0.95)
+	res.QueueWaitP99Ns = quantileNs(waits, 0.99)
+	res.WallNs = wall.Nanoseconds()
+	if wall > 0 {
+		res.ThroughputHz = float64(res.Done+res.Failed) / wall.Seconds()
+	}
+	peakMu.Lock()
+	res.GoroutinePeak = goroutinePeak
+	res.HeapPeakBytes = heapPeak
+	peakMu.Unlock()
+	return res, nil
+}
+
+// quantileNs is the nearest-rank quantile of an ascending-sorted slice.
+func quantileNs(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func submit(ctx context.Context, client *http.Client, baseURL string, body json.RawMessage) (string, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return "", 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		ID string `json:"id"`
+	}
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return "", resp.StatusCode, err
+		}
+	}
+	return out.ID, resp.StatusCode, nil
+}
+
+func listJobs(ctx context.Context, client *http.Client, baseURL string) ([]jobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/jobs?limit=1000", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /v1/jobs: status %d", resp.StatusCode)
+	}
+	var out struct {
+		Jobs []jobStatus `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
+}
+
+func getStatus(ctx context.Context, client *http.Client, baseURL, id string) (jobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return jobStatus{}, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return jobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return jobStatus{}, fmt.Errorf("GET /v1/jobs/%s: status %d", id, resp.StatusCode)
+	}
+	var st jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return jobStatus{}, err
+	}
+	return st, nil
+}
+
+// runtimeSample is the daemon's dedc.runtime expvar (see telemetry.DebugMux).
+type runtimeSample struct {
+	Goroutines int   `json:"goroutines"`
+	HeapAlloc  int64 `json:"heap_alloc"`
+}
+
+func fetchRuntime(ctx context.Context, client *http.Client, baseURL string) (runtimeSample, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/debug/vars", nil)
+	if err != nil {
+		return runtimeSample{}, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return runtimeSample{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return runtimeSample{}, fmt.Errorf("GET /debug/vars: status %d", resp.StatusCode)
+	}
+	var all map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&all); err != nil {
+		return runtimeSample{}, err
+	}
+	raw, ok := all["dedc.runtime"]
+	if !ok {
+		return runtimeSample{}, fmt.Errorf("/debug/vars has no dedc.runtime")
+	}
+	var rs runtimeSample
+	if err := json.Unmarshal(raw, &rs); err != nil {
+		return runtimeSample{}, err
+	}
+	return rs, nil
+}

@@ -1,0 +1,307 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQuantileNearestRank(t *testing.T) {
+	sorted := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0.50, 50},
+		{0.95, 100},
+		{0.99, 100},
+		{0.10, 10},
+	}
+	for _, c := range cases {
+		if got := quantileNs(sorted, c.q); got != c.want {
+			t.Errorf("quantile(%.2f) = %d, want %d", c.q, got, c.want)
+		}
+	}
+	if got := quantileNs(nil, 0.5); got != 0 {
+		t.Errorf("quantile of empty = %d, want 0", got)
+	}
+	if got := quantileNs([]int64{42}, 0.99); got != 42 {
+		t.Errorf("quantile of singleton = %d, want 42", got)
+	}
+}
+
+func resultAt(name string, p95 time.Duration, shed, tput float64) ScenarioResult {
+	ns := p95.Nanoseconds()
+	return ScenarioResult{
+		Scenario: name, Jobs: 10,
+		LatencyP50Ns: ns / 2, LatencyP95Ns: ns, LatencyP99Ns: ns,
+		QueueWaitP50Ns: ns / 10, QueueWaitP95Ns: ns / 5, QueueWaitP99Ns: ns / 5,
+		ShedRate: shed, ThroughputHz: tput,
+		GoroutinePeak: 20, HeapPeakBytes: 10 << 20,
+	}
+}
+
+func report(scs ...ScenarioResult) *Report {
+	return &Report{Schema: SchemaVersion, Suite: "quick", Go: "test", Scenarios: scs}
+}
+
+func TestCompareDetectsRegressions(t *testing.T) {
+	base := report(resultAt("a", 100*time.Millisecond, 0.0, 10))
+	opt := CompareOptions{}
+
+	if regs := Compare(base, report(resultAt("a", 100*time.Millisecond, 0.0, 10)), opt); len(regs) != 0 {
+		t.Fatalf("identical reports: %v", regs)
+	}
+	// +25% tolerance + 25ms slack on a 100ms p95: 160ms trips, 140ms passes.
+	if regs := Compare(base, report(resultAt("a", 140*time.Millisecond, 0.0, 10)), opt); len(regs) != 0 {
+		t.Errorf("within-bound latency flagged: %v", regs)
+	}
+	regs := Compare(base, report(resultAt("a", 170*time.Millisecond, 0.0, 10)), opt)
+	var metrics []string
+	for _, g := range regs {
+		metrics = append(metrics, g.Metric)
+	}
+	if !contains(metrics, "latency_p95") {
+		t.Errorf("latency blowup not flagged: %v", regs)
+	}
+	// Shed growth beyond the slack.
+	regs = Compare(base, report(resultAt("a", 100*time.Millisecond, 0.10, 10)), opt)
+	if len(regs) != 1 || regs[0].Metric != "shed_rate" {
+		t.Errorf("shed growth regs = %v, want one shed_rate", regs)
+	}
+	// Throughput collapse (direction-reversed bound).
+	regs = Compare(base, report(resultAt("a", 100*time.Millisecond, 0.0, 5)), opt)
+	if len(regs) != 1 || regs[0].Metric != "throughput" {
+		t.Errorf("throughput collapse regs = %v, want one throughput", regs)
+	}
+	// Missing scenario is a coverage regression.
+	regs = Compare(base, report(), opt)
+	if len(regs) != 1 || !regs[0].Missing {
+		t.Errorf("missing scenario regs = %v", regs)
+	}
+	// Extra scenarios in current are fine.
+	cur := report(resultAt("a", 100*time.Millisecond, 0.0, 10), resultAt("b", time.Second, 0.5, 1))
+	if regs := Compare(base, cur, opt); len(regs) != 0 {
+		t.Errorf("coverage growth flagged: %v", regs)
+	}
+}
+
+func TestMergeMinKeepsBest(t *testing.T) {
+	r := report(resultAt("a", 200*time.Millisecond, 0.2, 5))
+	r.MergeMin(report(resultAt("a", 100*time.Millisecond, 0.1, 8)))
+	sc := r.Scenarios[0]
+	if sc.LatencyP95Ns != (100 * time.Millisecond).Nanoseconds() {
+		t.Errorf("merged p95 = %v", time.Duration(sc.LatencyP95Ns))
+	}
+	if sc.ShedRate != 0.1 || sc.ThroughputHz != 8 {
+		t.Errorf("merged shed/tput = %v/%v, want 0.1/8", sc.ShedRate, sc.ThroughputHz)
+	}
+	// The worse re-measurement must not override the better original.
+	r.MergeMin(report(resultAt("a", 500*time.Millisecond, 0.9, 1)))
+	sc = r.Scenarios[0]
+	if sc.LatencyP95Ns != (100*time.Millisecond).Nanoseconds() || sc.ThroughputHz != 8 {
+		t.Errorf("worse re-measure overrode: p95=%v tput=%v", time.Duration(sc.LatencyP95Ns), sc.ThroughputHz)
+	}
+}
+
+func TestAffectedScenarios(t *testing.T) {
+	regs := []Regression{
+		{Scenario: "a", Metric: "latency_p95"},
+		{Scenario: "b", Missing: true},
+		{Scenario: "a", Metric: "shed_rate"},
+		{Scenario: "c", Metric: "throughput"},
+	}
+	got := AffectedScenarios(regs)
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("affected = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("affected = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestReportRoundTripAndSchemaCheck(t *testing.T) {
+	r := report(resultAt("a", time.Millisecond, 0, 100))
+	var b strings.Builder
+	if err := r.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Scenarios) != 1 || got.Scenarios[0].Scenario != "a" {
+		t.Fatalf("round-trip = %+v", got)
+	}
+	if _, err := ReadReport(strings.NewReader(`{"schema": 99}`)); err == nil {
+		t.Error("future schema accepted")
+	}
+}
+
+// fakeDaemon emulates just enough of dedcd's API for Run: submissions get
+// ids and scripted timelines, the list and status endpoints serve them, an
+// admission cap sheds, and /debug/vars reports a fixed runtime sample.
+type fakeDaemon struct {
+	mu       sync.Mutex
+	nextID   int
+	jobs     map[string]jobStatus
+	capacity int // accept at most this many; shed the rest (0 = unlimited)
+	latency  time.Duration
+	wait     time.Duration
+}
+
+func (f *fakeDaemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.capacity > 0 && len(f.jobs) >= f.capacity {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]string{"error": "queue full"})
+			return
+		}
+		f.nextID++
+		id := fmt.Sprintf("job-%d", f.nextID)
+		// The scripted lifecycle is complete the moment the job is accepted:
+		// the harness only reads it back after the drain loop sees "done".
+		now := time.Now()
+		f.jobs[id] = jobStatus{
+			ID: id, State: "done", Attempt: 1,
+			Timeline: []timelineEntry{
+				{Type: "submitted", TS: now},
+				{Type: "claimed", TS: now.Add(f.wait)},
+				{Type: "completed", TS: now.Add(f.latency)},
+			},
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]string{"id": id})
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		views := make([]jobStatus, 0, len(f.jobs))
+		for _, j := range f.jobs {
+			views = append(views, jobStatus{ID: j.ID, State: j.State, Attempt: j.Attempt})
+		}
+		json.NewEncoder(w).Encode(map[string]any{"jobs": views, "total": len(views)})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		j, ok := f.jobs[r.PathValue("id")]
+		if !ok {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		json.NewEncoder(w).Encode(j)
+	})
+	mux.HandleFunc("GET /debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"dedc.runtime": {"goroutines": 17, "heap_alloc": 12345678}}`)
+	})
+	return mux
+}
+
+func TestRunAgainstFakeDaemon(t *testing.T) {
+	fd := &fakeDaemon{jobs: map[string]jobStatus{}, latency: 80 * time.Millisecond, wait: 30 * time.Millisecond}
+	ts := httptest.NewServer(fd.handler())
+	defer ts.Close()
+
+	sc := Scenario{Name: "fake/r100", Mix: "none", RateHz: 100, Jobs: 20, Seed: 7}
+	specs := []JobSpec{{Name: "stub", Body: json.RawMessage(`{}`)}}
+	res, err := Run(context.Background(), sc, specs, ts.URL, Options{
+		Timeout: 30 * time.Second, PollEvery: 5 * time.Millisecond, SampleEvery: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Submitted != 20 || res.Shed != 0 || res.Done != 20 || res.Failed != 0 {
+		t.Fatalf("counts = %+v", res)
+	}
+	// Every scripted job took exactly latency/wait, so all quantiles match.
+	if res.LatencyP50Ns != fd.latency.Nanoseconds() || res.LatencyP99Ns != fd.latency.Nanoseconds() {
+		t.Errorf("latency quantiles = %v/%v, want %v",
+			time.Duration(res.LatencyP50Ns), time.Duration(res.LatencyP99Ns), fd.latency)
+	}
+	if res.QueueWaitP95Ns != fd.wait.Nanoseconds() {
+		t.Errorf("queue wait p95 = %v, want %v", time.Duration(res.QueueWaitP95Ns), fd.wait)
+	}
+	if res.GoroutinePeak != 17 || res.HeapPeakBytes != 12345678 {
+		t.Errorf("ceilings = %d/%d, want 17/12345678", res.GoroutinePeak, res.HeapPeakBytes)
+	}
+	if res.ThroughputHz <= 0 || res.WallNs <= 0 {
+		t.Errorf("throughput/wall = %v/%v", res.ThroughputHz, res.WallNs)
+	}
+}
+
+func TestRunClassifiesShed(t *testing.T) {
+	fd := &fakeDaemon{jobs: map[string]jobStatus{}, capacity: 5, latency: time.Millisecond}
+	ts := httptest.NewServer(fd.handler())
+	defer ts.Close()
+
+	sc := Scenario{Name: "shed/r200", Mix: "none", RateHz: 200, Jobs: 12, Seed: 3}
+	specs := []JobSpec{{Name: "stub", Body: json.RawMessage(`{}`)}}
+	res, err := Run(context.Background(), sc, specs, ts.URL, Options{
+		Timeout: 30 * time.Second, PollEvery: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Submitted != 5 || res.Shed != 7 {
+		t.Fatalf("submitted/shed = %d/%d, want 5/7", res.Submitted, res.Shed)
+	}
+	if want := 7.0 / 12.0; res.ShedRate != want {
+		t.Errorf("shed rate = %v, want %v", res.ShedRate, want)
+	}
+	if res.Done != 5 {
+		t.Errorf("done = %d, want 5", res.Done)
+	}
+}
+
+func TestMixBuildsSubmittableBodies(t *testing.T) {
+	specs, err := Mix("small", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("small mix = %d specs", len(specs))
+	}
+	for _, sp := range specs {
+		var req struct {
+			Impl      string `json:"impl"`
+			Device    string `json:"device"`
+			Random    int    `json:"random"`
+			MaxErrors int    `json:"max_errors"`
+		}
+		if err := json.Unmarshal(sp.Body, &req); err != nil {
+			t.Fatalf("%s: %v", sp.Name, err)
+		}
+		if req.Impl == "" || req.Device == "" || req.Random <= 0 || req.MaxErrors <= 0 {
+			t.Errorf("%s: incomplete body %+v", sp.Name, req)
+		}
+		if req.Impl == req.Device {
+			t.Errorf("%s: device has no injected fault (identical to impl)", sp.Name)
+		}
+	}
+	if _, err := Mix("nope", 1); err == nil {
+		t.Error("unknown mix accepted")
+	}
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}

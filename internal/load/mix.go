@@ -1,0 +1,111 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"dedc/internal/bench"
+	"dedc/internal/fault"
+	"dedc/internal/gen"
+	"dedc/internal/scan"
+)
+
+// JobSpec is one ready-to-submit job body: a stuck-at diagnosis of a
+// generated circuit with injected observable faults, the same workload shape
+// the perf suite measures engine-side.
+type JobSpec struct {
+	Name string          // e.g. "alu4/f1/v128"
+	Body json.RawMessage // POST /v1/jobs payload
+}
+
+// mixCell is one circuit × fault multiplicity × vector budget cell of a mix.
+type mixCell struct {
+	circuit string
+	faults  int
+	vectors int
+}
+
+// mixes defines the named job mixes. "small" keeps every job in the
+// low-millisecond range (arrival-rate experiments); "mixed" spans two orders
+// of magnitude of job size, the heterogeneous-workload case the SLOs are
+// recorded per scenario for.
+var mixes = map[string][]mixCell{
+	"small": {
+		{"alu4", 1, 128},
+		{"ecc8", 1, 128},
+	},
+	"mixed": {
+		{"alu4", 1, 256},
+		{"ecc8", 1, 256},
+		{"addcmp8", 2, 256},
+		{"mult4", 2, 256},
+		{"rnd300", 1, 512},
+	},
+}
+
+// MixNames lists the available mixes.
+func MixNames() []string { return []string{"small", "mixed"} }
+
+// Mix builds the named job mix: for each cell, a good generated circuit, an
+// observable fault set injected into a device copy, and a submission body
+// asking the service to diagnose the device against the implementation.
+// Arrivals draw from the returned specs round-robin.
+func Mix(name string, seed int64) ([]JobSpec, error) {
+	cells, ok := mixes[name]
+	if !ok {
+		return nil, fmt.Errorf("load: unknown mix %q (want one of %v)", name, MixNames())
+	}
+	specs := make([]JobSpec, 0, len(cells))
+	for _, c := range cells {
+		spec, err := buildJob(c, seed)
+		if err != nil {
+			return nil, fmt.Errorf("load: mix %s: %w", name, err)
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+func buildJob(c mixCell, seed int64) (JobSpec, error) {
+	bm, ok := gen.ByName(c.circuit)
+	if !ok {
+		return JobSpec{}, fmt.Errorf("unknown circuit %q", c.circuit)
+	}
+	good := bm.Build()
+	if bm.Sequential {
+		cv, err := scan.Convert(good)
+		if err != nil {
+			return JobSpec{}, err
+		}
+		good = cv.Comb
+	}
+	faults := fault.PickObservable(good, c.faults, seed)
+	if faults == nil {
+		return JobSpec{}, fmt.Errorf("%s: no observable %d-fault combination", c.circuit, c.faults)
+	}
+	device := fault.Inject(good, faults...)
+
+	var implText, deviceText bytes.Buffer
+	if err := bench.Write(&implText, good); err != nil {
+		return JobSpec{}, err
+	}
+	if err := bench.Write(&deviceText, device); err != nil {
+		return JobSpec{}, err
+	}
+	// Mirrors cmd/dedcd's jobRequest wire format.
+	body, err := json.Marshal(map[string]any{
+		"impl":       implText.String(),
+		"device":     deviceText.String(),
+		"random":     c.vectors,
+		"seed":       seed,
+		"max_errors": c.faults,
+	})
+	if err != nil {
+		return JobSpec{}, err
+	}
+	return JobSpec{
+		Name: fmt.Sprintf("%s/f%d/v%d", c.circuit, c.faults, c.vectors),
+		Body: body,
+	}, nil
+}

@@ -1,0 +1,348 @@
+// Package load is the service-tier observability harness: an open-loop load
+// generator (Poisson arrivals at a configured rate, mixed job sizes drawn
+// from the perf scenario circuits) that drives a live dedcd over HTTP,
+// derives per-job latency and queue-wait from the server-side lifecycle
+// timelines, samples process ceilings (goroutine peak, heap peak) from
+// /debug/vars, and emits a versioned machine-readable report
+// (BENCH_service.json) that later runs are gated against. cmd/dedcload is
+// the CLI front end.
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// SchemaVersion is the value of the report's "schema" field. Bump it on any
+// incompatible change to field names or semantics, and keep ReadReport
+// rejecting versions it does not understand.
+const SchemaVersion = 1
+
+// Scenario is one suite cell: an arrival rate driving a job mix into a fresh
+// daemon, with the admission cap under test.
+type Scenario struct {
+	// Name is the scenario's stable report key, e.g. "small/r8".
+	Name string `json:"name"`
+	// Mix names the job mix (see Mix) arrivals draw from, round-robin.
+	Mix string `json:"mix"`
+	// RateHz is the Poisson arrival rate (jobs per second).
+	RateHz float64 `json:"rate_hz"`
+	// Jobs is the total number of arrivals.
+	Jobs int `json:"jobs"`
+	// MaxQueued, when positive, is the daemon's -max-queued admission cap for
+	// this scenario (scenarios that measure shed rate set it low on purpose).
+	MaxQueued int `json:"max_queued,omitempty"`
+	// Seed seeds the arrival-time RNG.
+	Seed int64 `json:"seed"`
+}
+
+// QuickSuite is the short suite behind `make bench-service`: low arrival
+// rates and small job mixes so a full run (including one daemon per
+// scenario) stays bounded in wall time, plus one deliberately over-driven
+// scenario so the shed path is measured, not just reachable.
+func QuickSuite() []Scenario {
+	return []Scenario{
+		{Name: "small/r8", Mix: "small", RateHz: 8, Jobs: 32, Seed: 1},
+		{Name: "mixed/r4", Mix: "mixed", RateHz: 4, Jobs: 16, Seed: 1},
+		{Name: "burst/r50", Mix: "mixed", RateHz: 50, Jobs: 48, MaxQueued: 8, Seed: 1},
+	}
+}
+
+// Suite resolves a suite name (only "quick" today; the naming leaves room
+// for a paper-scale suite like perf's).
+func Suite(name string) ([]Scenario, error) {
+	if name == "quick" {
+		return QuickSuite(), nil
+	}
+	return nil, fmt.Errorf("load: unknown suite %q (want quick)", name)
+}
+
+// ScenarioResult is one scenario's measurements. Latency and queue-wait come
+// from the server-side lifecycle timelines (terminal − submitted and first
+// claimed − submitted), so client-side poll jitter never pollutes them.
+type ScenarioResult struct {
+	Scenario string  `json:"scenario"`
+	Mix      string  `json:"mix"`
+	RateHz   float64 `json:"rate_hz"`
+
+	Jobs      int `json:"jobs"`      // arrivals attempted
+	Submitted int `json:"submitted"` // accepted (202)
+	Shed      int `json:"shed"`      // rejected 503 at admission
+	Done      int `json:"done"`
+	Failed    int `json:"failed"` // failed + cancelled terminals
+
+	ShedRate     float64 `json:"shed_rate"`     // Shed / Jobs
+	ThroughputHz float64 `json:"throughput_hz"` // terminals per wall second
+	WallNs       int64   `json:"wall_ns"`       // first arrival to last terminal
+
+	LatencyP50Ns int64 `json:"latency_p50_ns"`
+	LatencyP95Ns int64 `json:"latency_p95_ns"`
+	LatencyP99Ns int64 `json:"latency_p99_ns"`
+
+	QueueWaitP50Ns int64 `json:"queue_wait_p50_ns"`
+	QueueWaitP95Ns int64 `json:"queue_wait_p95_ns"`
+	QueueWaitP99Ns int64 `json:"queue_wait_p99_ns"`
+
+	GoroutinePeak int   `json:"goroutine_peak"`
+	HeapPeakBytes int64 `json:"heap_peak_bytes"`
+}
+
+// Report is the BENCH_service.json document.
+type Report struct {
+	Schema    int              `json:"schema"`
+	Suite     string           `json:"suite"`
+	Go        string           `json:"go"`
+	Scenarios []ScenarioResult `json:"scenarios"`
+}
+
+// Write emits the report as indented JSON.
+func (r *Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses and validates a report.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("load: parsing report: %w", err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("load: report schema v%d, this build understands v%d", r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// scenario returns the named scenario result, or nil.
+func (r *Report) scenario(name string) *ScenarioResult {
+	for i := range r.Scenarios {
+		if r.Scenarios[i].Scenario == name {
+			return &r.Scenarios[i]
+		}
+	}
+	return nil
+}
+
+// CompareOptions tunes the SLO regression gate. Service-tier numbers are far
+// noisier than the engine microbenchmarks perf gates, so every default is
+// deliberately loose: the gate exists to catch structural regressions (a
+// dispatcher that stopped filling the pool, a lease storm, a goroutine
+// leak), not 5% scheduling jitter.
+type CompareOptions struct {
+	// LatencyTolerance is the allowed relative growth of latency and
+	// queue-wait quantiles (0.25 = +25%). Zero means 0.25.
+	LatencyTolerance float64
+	// LatencySlack is the absolute grace added on top, so millisecond-scale
+	// quantiles don't trip on scheduler noise. Zero means 25ms; negative
+	// disables.
+	LatencySlack time.Duration
+	// QueueWaitSlack is the absolute grace for queue-wait quantiles. In a
+	// deliberately over-driven scenario the wait of an accepted job is
+	// legitimately anywhere between ~zero and the admission cap times the
+	// largest job, run to run, so the bound is much looser than latency's and
+	// catches only structural regressions (a lease storm parks every job for
+	// its TTL). Zero means 1s; negative disables.
+	QueueWaitSlack time.Duration
+	// ShedSlack is the allowed absolute shed-rate growth (0.02 = +2 points).
+	// Zero means 0.05; negative disables.
+	ShedSlack float64
+	// ThroughputTolerance is the allowed relative throughput loss. Zero
+	// means 0.25.
+	ThroughputTolerance float64
+	// CeilingTolerance is the allowed relative growth of the goroutine and
+	// heap peaks. Zero means 0.50.
+	CeilingTolerance float64
+}
+
+func (o CompareOptions) defaults() CompareOptions {
+	if o.LatencyTolerance == 0 {
+		o.LatencyTolerance = 0.25
+	}
+	if o.LatencySlack == 0 {
+		o.LatencySlack = 25 * time.Millisecond
+	}
+	if o.LatencySlack < 0 {
+		o.LatencySlack = 0
+	}
+	if o.QueueWaitSlack == 0 {
+		o.QueueWaitSlack = time.Second
+	}
+	if o.QueueWaitSlack < 0 {
+		o.QueueWaitSlack = 0
+	}
+	if o.ShedSlack == 0 {
+		o.ShedSlack = 0.05
+	}
+	if o.ShedSlack < 0 {
+		o.ShedSlack = 0
+	}
+	if o.ThroughputTolerance == 0 {
+		o.ThroughputTolerance = 0.25
+	}
+	if o.CeilingTolerance == 0 {
+		o.CeilingTolerance = 0.50
+	}
+	return o
+}
+
+// Regression is one gate violation found by Compare.
+type Regression struct {
+	Scenario string
+	Metric   string
+	// Missing marks a scenario present in the baseline but absent from the
+	// current report — a coverage regression, gated like a slowdown.
+	Missing  bool
+	Baseline float64
+	Current  float64
+}
+
+func (g Regression) String() string {
+	if g.Missing {
+		return fmt.Sprintf("%s: missing from current report", g.Scenario)
+	}
+	return fmt.Sprintf("%s/%s: %s -> %s", g.Scenario, g.Metric,
+		formatMetric(g.Metric, g.Baseline), formatMetric(g.Metric, g.Current))
+}
+
+func formatMetric(metric string, v float64) string {
+	switch metric {
+	case "latency_p50", "latency_p95", "latency_p99", "queue_wait_p50", "queue_wait_p95":
+		return time.Duration(int64(v)).Round(time.Microsecond).String()
+	case "shed_rate":
+		return fmt.Sprintf("%.3f", v)
+	case "throughput":
+		return fmt.Sprintf("%.2f/s", v)
+	case "heap_peak":
+		return fmt.Sprintf("%.1fMB", v/(1<<20))
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// sloMetric is one gated figure of a scenario result.
+type sloMetric struct {
+	name   string
+	get    func(*ScenarioResult) float64
+	higher bool // true: current may not drop below the bound (throughput)
+	// bound computes the acceptance limit from the baseline value.
+	bound func(base float64, o CompareOptions) float64
+}
+
+func relUp(tol func(CompareOptions) float64, slack func(CompareOptions) float64) func(float64, CompareOptions) float64 {
+	return func(base float64, o CompareOptions) float64 {
+		return base*(1+tol(o)) + slack(o)
+	}
+}
+
+func sloMetrics() []sloMetric {
+	latTol := func(o CompareOptions) float64 { return o.LatencyTolerance }
+	latSlack := func(o CompareOptions) float64 { return float64(o.LatencySlack.Nanoseconds()) }
+	qwSlack := func(o CompareOptions) float64 { return float64(o.QueueWaitSlack.Nanoseconds()) }
+	ceilTol := func(o CompareOptions) float64 { return o.CeilingTolerance }
+	return []sloMetric{
+		{name: "latency_p50", get: func(s *ScenarioResult) float64 { return float64(s.LatencyP50Ns) },
+			bound: relUp(latTol, latSlack)},
+		{name: "latency_p95", get: func(s *ScenarioResult) float64 { return float64(s.LatencyP95Ns) },
+			bound: relUp(latTol, latSlack)},
+		{name: "latency_p99", get: func(s *ScenarioResult) float64 { return float64(s.LatencyP99Ns) },
+			bound: relUp(latTol, latSlack)},
+		{name: "queue_wait_p50", get: func(s *ScenarioResult) float64 { return float64(s.QueueWaitP50Ns) },
+			bound: relUp(latTol, qwSlack)},
+		{name: "queue_wait_p95", get: func(s *ScenarioResult) float64 { return float64(s.QueueWaitP95Ns) },
+			bound: relUp(latTol, qwSlack)},
+		{name: "shed_rate", get: func(s *ScenarioResult) float64 { return s.ShedRate },
+			bound: func(base float64, o CompareOptions) float64 { return base + o.ShedSlack }},
+		{name: "throughput", get: func(s *ScenarioResult) float64 { return s.ThroughputHz }, higher: true,
+			bound: func(base float64, o CompareOptions) float64 { return base * (1 - o.ThroughputTolerance) }},
+		{name: "goroutine_peak", get: func(s *ScenarioResult) float64 { return float64(s.GoroutinePeak) },
+			bound: func(base float64, o CompareOptions) float64 { return base*(1+ceilTol(o)) + 32 }},
+		{name: "heap_peak", get: func(s *ScenarioResult) float64 { return float64(s.HeapPeakBytes) },
+			bound: func(base float64, o CompareOptions) float64 { return base*(1+ceilTol(o)) + 16*(1<<20) }},
+	}
+}
+
+// MergeMin folds a re-measurement into r: for every scenario both reports
+// contain, each gated metric keeps whichever run was better (lower latency,
+// waits, shed rate and ceilings; higher throughput). cmd/dedcload uses this
+// to confirm gate failures by re-measuring just the implicated scenarios —
+// a real regression reproduces, a noisy neighbour does not.
+func (r *Report) MergeMin(other *Report) {
+	for i := range r.Scenarios {
+		cur := &r.Scenarios[i]
+		os := other.scenario(cur.Scenario)
+		if os == nil {
+			continue
+		}
+		minI := func(a, b int64) int64 {
+			if b < a {
+				return b
+			}
+			return a
+		}
+		cur.LatencyP50Ns = minI(cur.LatencyP50Ns, os.LatencyP50Ns)
+		cur.LatencyP95Ns = minI(cur.LatencyP95Ns, os.LatencyP95Ns)
+		cur.LatencyP99Ns = minI(cur.LatencyP99Ns, os.LatencyP99Ns)
+		cur.QueueWaitP50Ns = minI(cur.QueueWaitP50Ns, os.QueueWaitP50Ns)
+		cur.QueueWaitP95Ns = minI(cur.QueueWaitP95Ns, os.QueueWaitP95Ns)
+		cur.QueueWaitP99Ns = minI(cur.QueueWaitP99Ns, os.QueueWaitP99Ns)
+		if os.ShedRate < cur.ShedRate {
+			cur.ShedRate = os.ShedRate
+		}
+		if os.ThroughputHz > cur.ThroughputHz {
+			cur.ThroughputHz = os.ThroughputHz
+		}
+		if os.GoroutinePeak < cur.GoroutinePeak {
+			cur.GoroutinePeak = os.GoroutinePeak
+		}
+		if os.HeapPeakBytes < cur.HeapPeakBytes {
+			cur.HeapPeakBytes = os.HeapPeakBytes
+		}
+	}
+}
+
+// Compare gates current against baseline: every scenario in the baseline
+// must exist in current, and every gated metric must stay within its bound
+// (relative tolerance plus absolute slack; direction reversed for
+// throughput). It returns the violations, nil when the gate passes.
+// Scenarios only in current are fine — coverage can grow freely.
+func Compare(baseline, current *Report, opt CompareOptions) []Regression {
+	opt = opt.defaults()
+	var out []Regression
+	for i := range baseline.Scenarios {
+		bs := &baseline.Scenarios[i]
+		cs := current.scenario(bs.Scenario)
+		if cs == nil {
+			out = append(out, Regression{Scenario: bs.Scenario, Missing: true})
+			continue
+		}
+		for _, m := range sloMetrics() {
+			base, cur := m.get(bs), m.get(cs)
+			bound := m.bound(base, opt)
+			bad := cur > bound
+			if m.higher {
+				bad = cur < bound
+			}
+			if bad {
+				out = append(out, Regression{Scenario: bs.Scenario, Metric: m.name, Baseline: base, Current: cur})
+			}
+		}
+	}
+	return out
+}
+
+// AffectedScenarios returns the distinct scenario names implicated in regs,
+// in first-seen order — the re-measure set of the confirm loop.
+func AffectedScenarios(regs []Regression) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, g := range regs {
+		if !seen[g.Scenario] {
+			seen[g.Scenario] = true
+			out = append(out, g.Scenario)
+		}
+	}
+	return out
+}

@@ -7,14 +7,14 @@
 // checkpoint_ref, requeue, complete, fail, cancel); the in-memory job table
 // is purely derived. Jobs move through a lease state machine:
 //
-//	            submit                 claim(worker, TTL)
-//	  ───────────────────▶ queued ───────────────────────▶ running
-//	                         ▲                               │ │ │
-//	   requeue (retry,       │     fail (attempts left),     │ │ │
-//	   lease_expired,        └───── lease expiry, release ◀──┘ │ │
-//	   orphaned, released)                                     │ │
-//	                         complete ◀────────────────────────┘ │
-//	                         fail/cancel (terminal) ◀────────────┘
+//	          submit                 claim(worker, TTL)
+//	───────────────────▶ queued ───────────────────────▶ running
+//	                       ▲                               │ │ │
+//	 requeue (retry,       │     fail (attempts left),     │ │ │
+//	 lease_expired,        └───── lease expiry, release ◀──┘ │ │
+//	 orphaned, released)                                     │ │
+//	                       complete ◀────────────────────────┘ │
+//	                       fail/cancel (terminal) ◀────────────┘
 //
 // A worker claims a job under a TTL lease and renews it at checkpoint
 // boundaries (a checkpoint_ref event both records the attempt's journal and
@@ -80,6 +80,26 @@ var (
 	cRetries     = telemetry.Default.Counter("store.retries")
 	cCompactions = telemetry.Default.Counter("store.compactions")
 	cOrphans     = telemetry.Default.Counter("store.orphans_requeued")
+	cRequeues    = telemetry.Default.Counter("store.requeues")
+	cEvictions   = telemetry.Default.Counter("store.evictions")
+)
+
+// Lifecycle histograms and occupancy gauges, observed on the live append path
+// only: boot replay and offline validation fold events through apply alone,
+// so process metrics reflect this process's traffic, not recovered history.
+// The gauges are process-wide; with several stores in one process (tests) the
+// last writer wins — the daemon owns exactly one store, which is the case
+// they serve.
+var (
+	hQueueWait = telemetry.Default.Histogram("store.queue_wait_ns")
+	hAttempt   = telemetry.Default.Histogram("store.attempt_ns")
+	hE2E       = telemetry.Default.Histogram("store.e2e_ns")
+	gQueued    = telemetry.Default.Gauge("store.jobs_queued")
+	gRunning   = telemetry.Default.Gauge("store.jobs_running")
+	gTerminal  = telemetry.Default.Gauge("store.jobs_terminal")
+	gLeases    = telemetry.Default.Gauge("store.leases_live")
+	gLogBytes  = telemetry.Default.Gauge("store.log_bytes")
+	gSnapBytes = telemetry.Default.Gauge("store.snapshot_bytes")
 )
 
 // State is a job's position in the lease state machine.
@@ -148,13 +168,79 @@ type Job struct {
 	Attempt     int             `json:"attempt"` // claims so far; monotone across restarts
 	Worker      string          `json:"worker,omitempty"`
 	LeaseExpiry time.Time       `json:"lease_expiry"`
-	NotBefore   time.Time       `json:"not_before"` // earliest next claim (retry backoff)
+	NotBefore   time.Time       `json:"not_before"`    // earliest next claim (retry backoff)
 	Ref         string          `json:"ref,omitempty"` // latest checkpoint ref (attempt journal path)
 	Result      json.RawMessage `json:"result,omitempty"`
 	Error       string          `json:"error,omitempty"`
 	Created     time.Time       `json:"created"`
 	Finished    time.Time       `json:"finished"`
 	QueueSeq    uint64          `json:"queue_seq"`
+	Timeline    []TimelineEvent `json:"timeline,omitempty"`
+}
+
+// TimelineEvent is one entry of a job's machine-readable lifecycle timeline,
+// folded from the event log in apply: replay rebuilds it exactly, and
+// snapshots carry it across restarts. Renewals are excluded (heartbeat noise,
+// not lifecycle), and checkpoint entries stop accumulating past maxTimeline —
+// state transitions are bounded by MaxAttempts and always recorded.
+type TimelineEvent struct {
+	Type    string    `json:"type"`
+	TS      time.Time `json:"ts"`
+	Attempt int       `json:"attempt,omitempty"`
+	Worker  string    `json:"worker,omitempty"`
+	Reason  string    `json:"reason,omitempty"`
+}
+
+// Timeline entry types.
+const (
+	TLSubmitted  = "submitted"
+	TLClaimed    = "claimed"
+	TLCheckpoint = "checkpoint"
+	TLRequeued   = "requeued"
+	TLCompleted  = "completed"
+	TLFailed     = "failed"
+	TLCancelled  = "cancelled"
+)
+
+// maxTimeline bounds the checkpoint entries retained per job.
+const maxTimeline = 256
+
+// timelineType maps a log event type to its timeline entry type ("" for
+// events that are not lifecycle transitions).
+func timelineType(evType string) string {
+	switch evType {
+	case EvSubmit:
+		return TLSubmitted
+	case EvClaim:
+		return TLClaimed
+	case EvCheckpointRef:
+		return TLCheckpoint
+	case EvRequeue:
+		return TLRequeued
+	case EvComplete:
+		return TLCompleted
+	case EvFail:
+		return TLFailed
+	case EvCancel:
+		return TLCancelled
+	}
+	return ""
+}
+
+// lastTimeline returns the newest timeline timestamp among types (zero time
+// when the job has none).
+func lastTimeline(j *Job, types ...string) time.Time {
+	if j == nil {
+		return time.Time{}
+	}
+	for i := len(j.Timeline) - 1; i >= 0; i-- {
+		for _, t := range types {
+			if j.Timeline[i].Type == t {
+				return j.Timeline[i].TS
+			}
+		}
+	}
+	return time.Time{}
 }
 
 // Presence is the answer of Lookup: a job is known, never existed, or
@@ -269,9 +355,10 @@ type Store struct {
 	opt    Options
 	wal    wal
 	jobs   map[string]*Job
-	seq    uint64 // last appended event seq
-	nextID uint64 // last assigned numeric job ID
-	since  int    // events appended since the last snapshot
+	counts map[State]int // retained jobs per state, maintained by apply
+	seq    uint64        // last appended event seq
+	nextID uint64        // last assigned numeric job ID
+	since  int           // events appended since the last snapshot
 	rng    *rand.Rand
 	closed bool
 }
@@ -290,10 +377,11 @@ func newStore(w wal, opt Options) (*Store, error) {
 		seed = 1
 	}
 	return &Store{
-		opt:  opt,
-		wal:  w,
-		jobs: map[string]*Job{},
-		rng:  rand.New(rand.NewSource(seed)),
+		opt:    opt,
+		wal:    w,
+		jobs:   map[string]*Job{},
+		counts: map[State]int{},
+		rng:    rand.New(rand.NewSource(seed)),
 	}, nil
 }
 
@@ -322,6 +410,9 @@ func (s *Store) append(ev Event) error {
 	}
 	s.seq = ev.Seq
 	cEvents.Inc()
+	// Observe against the pre-apply state: queue-wait and attempt durations
+	// need the job as it was before this transition mutates it.
+	s.observeLocked(ev)
 	if err := s.apply(ev); err != nil {
 		return err
 	}
@@ -331,7 +422,50 @@ func (s *Store) append(ev Event) error {
 			return err
 		}
 	}
+	s.publishGaugesLocked()
 	return nil
+}
+
+// observeLocked records live-traffic lifecycle metrics for ev, reading the
+// job's pre-apply state. Durations come from the persisted timeline, so they
+// are exact across restarts (a job submitted to a previous incarnation still
+// reports its true end-to-end latency).
+func (s *Store) observeLocked(ev Event) {
+	j := s.jobs[ev.Job]
+	if j == nil {
+		return
+	}
+	switch ev.Type {
+	case EvClaim:
+		if ts := lastTimeline(j, TLSubmitted, TLRequeued); !ts.IsZero() {
+			hQueueWait.Observe(ev.TS - ts.UnixNano())
+		}
+	case EvRequeue:
+		cRequeues.Inc()
+		if ts := lastTimeline(j, TLClaimed); !ts.IsZero() {
+			hAttempt.Observe(ev.TS - ts.UnixNano())
+		}
+	case EvComplete, EvFail, EvCancel:
+		if j.State == StateRunning {
+			if ts := lastTimeline(j, TLClaimed); !ts.IsZero() {
+				hAttempt.Observe(ev.TS - ts.UnixNano())
+			}
+		}
+		if !j.Created.IsZero() {
+			hE2E.Observe(ev.TS - j.Created.UnixNano())
+		}
+	}
+}
+
+// publishGaugesLocked refreshes the occupancy and size gauges from the counts
+// cache and the backing log.
+func (s *Store) publishGaugesLocked() {
+	gQueued.Set(int64(s.counts[StateQueued]))
+	gRunning.Set(int64(s.counts[StateRunning]))
+	gTerminal.Set(int64(s.counts[StateDone] + s.counts[StateFailed] + s.counts[StateCancelled]))
+	logB, snapB := s.wal.Size()
+	gLogBytes.Set(logB)
+	gSnapBytes.Set(snapB)
 }
 
 // apply folds one event into the derived job table. It is the single
@@ -350,6 +484,10 @@ func (s *Store) apply(ev Event) error {
 		if j.State.Terminal() {
 			return fmt.Errorf("%w: %s event (seq %d) for terminal job %s", ErrCorrupt, ev.Type, ev.Seq, ev.Job)
 		}
+	}
+	var prev State
+	if j != nil {
+		prev = j.State
 	}
 	switch ev.Type {
 	case EvSubmit:
@@ -428,6 +566,22 @@ func (s *Store) apply(ev Event) error {
 	default:
 		return fmt.Errorf("%w: unknown event type %q (seq %d)", ErrCorrupt, ev.Type, ev.Seq)
 	}
+	cur := s.jobs[ev.Job]
+	if prev != cur.State {
+		if prev != "" {
+			s.counts[prev]--
+		}
+		s.counts[cur.State]++
+	}
+	if tl := timelineType(ev.Type); tl != "" && (tl != TLCheckpoint || len(cur.Timeline) < maxTimeline) {
+		cur.Timeline = append(cur.Timeline, TimelineEvent{
+			Type:    tl,
+			TS:      time.Unix(0, ev.TS),
+			Attempt: cur.Attempt,
+			Worker:  ev.Worker,
+			Reason:  ev.Reason,
+		})
+	}
 	return nil
 }
 
@@ -469,6 +623,12 @@ func (s *Store) List() []Job {
 	for _, j := range s.jobs {
 		out = append(out, *j)
 	}
+	sortJobsByID(out)
+	return out
+}
+
+// sortJobsByID orders jobs by numeric ID (lexical tiebreak).
+func sortJobsByID(out []Job) {
 	sort.Slice(out, func(i, k int) bool {
 		ni, _ := jobNum(out[i].ID)
 		nk, _ := jobNum(out[k].ID)
@@ -477,16 +637,19 @@ func (s *Store) List() []Job {
 		}
 		return out[i].ID < out[k].ID
 	})
-	return out
 }
 
-// Counts returns retained jobs per state.
+// Counts returns retained jobs per state. O(1) in the job count: the totals
+// are maintained incrementally by apply (the submit admission check calls
+// this on every request).
 func (s *Store) Counts() map[State]int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	m := map[State]int{}
-	for _, j := range s.jobs {
-		m[j.State]++
+	m := make(map[State]int, len(s.counts))
+	for st, n := range s.counts {
+		if n > 0 {
+			m[st] = n
+		}
 	}
 	return m
 }
@@ -655,11 +818,20 @@ func (s *Store) ExpireLeases() (requeued, failed []Job, err error) {
 	}
 	now := s.now()
 	var expired []*Job
+	live := 0
 	for _, j := range s.jobs {
-		if j.State == StateRunning && now.After(j.LeaseExpiry) {
+		if j.State != StateRunning {
+			continue
+		}
+		if now.After(j.LeaseExpiry) {
 			expired = append(expired, j)
+		} else {
+			live++
 		}
 	}
+	// The live-lease gauge refreshes at reaper cadence (TTL/4), the only
+	// place expiry is actually evaluated.
+	gLeases.Set(int64(live))
 	// Deterministic processing order (map iteration is not).
 	sort.Slice(expired, func(i, k int) bool { return expired[i].QueueSeq < expired[k].QueueSeq })
 	for _, j := range expired {
@@ -722,7 +894,7 @@ func (s *Store) requeueOrphansLocked() error {
 			continue
 		}
 		if err := s.append(Event{Type: EvRequeue, Job: j.ID, Reason: ReasonOrphaned,
-			Error: fmt.Sprintf("orphaned by restart during attempt %d", j.Attempt),
+			Error:     fmt.Sprintf("orphaned by restart during attempt %d", j.Attempt),
 			NotBefore: s.now().UnixNano()}); err != nil {
 			return err
 		}
@@ -758,7 +930,7 @@ func (s *Store) compactLocked() error {
 	})
 	if excess := len(terminal) - s.opt.RetainTerminal; excess > 0 {
 		for _, j := range terminal[:excess] {
-			delete(s.jobs, j.ID)
+			s.evictLocked(j)
 		}
 		terminal = terminal[excess:]
 	}
@@ -779,7 +951,7 @@ func (s *Store) compactLocked() error {
 		}
 		half := (len(terminal) + 1) / 2
 		for _, j := range terminal[:half] {
-			delete(s.jobs, j.ID)
+			s.evictLocked(j)
 		}
 		terminal = terminal[half:]
 		if snap, err = json.Marshal(s.snapshotLocked()); err != nil {
@@ -792,6 +964,14 @@ func (s *Store) compactLocked() error {
 	s.since = 0
 	cCompactions.Inc()
 	return nil
+}
+
+// evictLocked removes a terminal job from the retained table (compaction's
+// retention bound). Callers hold s.mu.
+func (s *Store) evictLocked(j *Job) {
+	delete(s.jobs, j.ID)
+	s.counts[j.State]--
+	cEvictions.Inc()
 }
 
 func (s *Store) snapshotLocked() snapshot {

@@ -63,9 +63,17 @@ func formatCounts(m map[State]int) string {
 // ErrCorrupt-wrapped error; a torn tail is reported in the Report, not as an
 // error.
 func Validate(dir string) (*Report, error) {
+	rep, _, err := ValidateJobs(dir)
+	return rep, err
+}
+
+// ValidateJobs is Validate plus the replayed job table itself, ordered by
+// numeric ID — each job carrying its folded lifecycle timeline — for offline
+// tooling that derives per-job figures (journalcheck's queue-wait report).
+func ValidateJobs(dir string) (*Report, []Job, error) {
 	s, info, err := loadState(dir, Options{}.defaults())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rep := &Report{
 		Dir:          dir,
@@ -78,11 +86,14 @@ func Validate(dir string) (*Report, error) {
 		TornTail:     info.TornTail,
 		Jobs:         map[State]int{},
 	}
+	jobs := make([]Job, 0, len(s.jobs))
 	for _, j := range s.jobs {
 		rep.Jobs[j.State]++
 		if n, ok := jobNum(j.ID); !ok || n > s.nextID {
-			return nil, fmt.Errorf("%w: job %s above the submission counter %d", ErrCorrupt, j.ID, s.nextID)
+			return nil, nil, fmt.Errorf("%w: job %s above the submission counter %d", ErrCorrupt, j.ID, s.nextID)
 		}
+		jobs = append(jobs, *j)
 	}
-	return rep, nil
+	sortJobsByID(jobs)
+	return rep, jobs, nil
 }

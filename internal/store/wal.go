@@ -68,6 +68,9 @@ type wal interface {
 	Append(rec []byte) error
 	// Compact durably replaces the snapshot with snap and truncates the log.
 	Compact(snap []byte) error
+	// Size reports the current on-disk log and snapshot byte sizes (framed),
+	// zero for backends with no durable footprint.
+	Size() (logBytes, snapBytes int64)
 	Close() error
 }
 
@@ -76,6 +79,7 @@ type memWAL struct{}
 
 func (memWAL) Append([]byte) error  { return nil }
 func (memWAL) Compact([]byte) error { return nil }
+func (memWAL) Size() (int64, int64) { return 0, 0 }
 func (memWAL) Close() error         { return nil }
 
 // frame wraps payload in the length+CRC header.
@@ -131,10 +135,12 @@ func readFrames(r io.Reader, limit uint32, fn func(payload []byte) error) (torn 
 
 // fileWAL is the production backend: one flock-guarded directory.
 type fileWAL struct {
-	dir    string
-	f      *os.File // events.log, O_APPEND
-	lock   *os.File
-	noSync bool
+	dir      string
+	f        *os.File // events.log, O_APPEND
+	lock     *os.File
+	noSync   bool
+	logSize  int64 // framed bytes in events.log
+	snapSize int64 // framed bytes in the snapshot file
 }
 
 func openFileWAL(dir string) (*fileWAL, error) {
@@ -154,18 +160,31 @@ func openFileWAL(dir string) (*fileWAL, error) {
 		lock.Close()
 		return nil, fmt.Errorf("store: opening event log: %w", err)
 	}
-	return &fileWAL{dir: dir, f: f, lock: lock}, nil
+	w := &fileWAL{dir: dir, f: f, lock: lock}
+	if fi, serr := f.Stat(); serr == nil {
+		w.logSize = fi.Size()
+	}
+	if fi, serr := os.Stat(filepath.Join(dir, snapName)); serr == nil {
+		w.snapSize = fi.Size()
+	}
+	return w, nil
 }
 
 func (w *fileWAL) Append(rec []byte) error {
-	if _, err := w.f.Write(frame(rec)); err != nil {
+	buf := frame(rec)
+	if _, err := w.f.Write(buf); err != nil {
 		return err
 	}
+	w.logSize += int64(len(buf))
 	if w.noSync {
 		return nil
 	}
 	return w.f.Sync()
 }
+
+// Size reports framed bytes on disk. Serialized by the owning Store's mutex,
+// like every other wal call.
+func (w *fileWAL) Size() (int64, int64) { return w.logSize, w.snapSize }
 
 // Compact writes the snapshot to a temp file, fsyncs, renames it into place,
 // fsyncs the directory, then truncates the log. A crash between the rename
@@ -197,6 +216,8 @@ func (w *fileWAL) Compact(snap []byte) error {
 	if err := w.f.Truncate(0); err != nil {
 		return err
 	}
+	w.snapSize = int64(frameHeaderLen + len(snap))
+	w.logSize = 0
 	if w.noSync {
 		return nil
 	}
@@ -333,6 +354,7 @@ func (s *Store) loadSnapshot(payload []byte) error {
 			return fmt.Errorf("%w: snapshot repeats job %s", ErrCorrupt, j.ID)
 		}
 		s.jobs[j.ID] = &j
+		s.counts[j.State]++
 	}
 	s.seq = snap.LastSeq
 	s.nextID = snap.NextID
@@ -360,6 +382,7 @@ func Open(dir string, opt Options) (*Store, error) {
 	}
 	s, _ := newStore(w, opt)
 	s.jobs = loaded.jobs
+	s.counts = loaded.counts
 	s.seq = loaded.seq
 	s.nextID = loaded.nextID
 	s.since = info.LogEvents
@@ -376,6 +399,7 @@ func Open(dir string, opt Options) (*Store, error) {
 		w.Close()
 		return nil, err
 	}
+	s.publishGaugesLocked()
 	return s, nil
 }
 

@@ -29,6 +29,21 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"dedc/internal/telemetry"
+)
+
+// Pool counters in the process-wide registry, mirroring Stats: Stats stays
+// the per-pool snapshot API, these feed the /metrics endpoint without a
+// registry plumbed through every constructor.
+var (
+	cSubmitted   = telemetry.Default.Counter("pool.submitted")
+	cShed        = telemetry.Default.Counter("pool.shed")
+	cCompleted   = telemetry.Default.Counter("pool.completed")
+	cFailed      = telemetry.Default.Counter("pool.failed")
+	cRetries     = telemetry.Default.Counter("pool.retries")
+	cPanics      = telemetry.Default.Counter("pool.panics")
+	cWorkersLost = telemetry.Default.Counter("pool.workers_lost")
 )
 
 // Submission errors.
@@ -163,10 +178,12 @@ func (p *Pool) Submit(id string, job Job) error {
 	case p.queue <- task{id: id, job: job}:
 		p.stats.Submitted++
 		p.mu.Unlock()
+		cSubmitted.Inc()
 		return nil
 	default:
 		p.stats.Shed++
 		p.mu.Unlock()
+		cShed.Inc()
 		return ErrQueueFull
 	}
 }
@@ -255,6 +272,7 @@ func (p *Pool) runSupervised(t task) (panicked bool) {
 		p.stats.Retries++
 		delay := p.backoff(attempt)
 		p.mu.Unlock()
+		cRetries.Inc()
 		select {
 		case <-time.After(delay):
 		case <-p.done:
@@ -273,6 +291,15 @@ func (p *Pool) runSupervised(t task) (panicked bool) {
 		p.stats.Failed++
 	}
 	p.mu.Unlock()
+	switch {
+	case panicked:
+		cPanics.Inc()
+		cWorkersLost.Inc()
+	case err == nil:
+		cCompleted.Inc()
+	default:
+		cFailed.Inc()
+	}
 	if p.opt.OnDone != nil {
 		p.opt.OnDone(t.id, err)
 	}
