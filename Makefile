@@ -7,6 +7,8 @@
 #   make chaos-resume    — SIGKILL/resume convergence trials (race build)
 #   make chaos-store     — SIGKILL dedcd mid-workload; the durable store must
 #                          lose nothing and finish every job after restart
+#   make stream-chaos    — SIGKILL dedcd mid-SSE-stream; resuming clients must
+#                          converge on the exact persisted lifecycle
 #   make bench-telemetry — disabled-telemetry overhead gate (≤2%)
 #   make journal-check   — end-to-end run journal validation
 #   make bench           — record the quick perf suite to BENCH_core.json
@@ -28,9 +30,9 @@ BENCHWORKERS ?= 4
 MINSPEEDUP ?= 1.5
 SUITE ?= quick
 
-.PHONY: all build vet test race fuzz chaos chaos-resume chaos-store ci check \
-	bench-telemetry journal-check bench bench-compare bench-check \
-	bench-parallel bench-service clean
+.PHONY: all build vet test race fuzz chaos chaos-resume chaos-store \
+	stream-chaos ci check bench-telemetry journal-check bench bench-compare \
+	bench-check bench-parallel bench-service clean
 
 all: build
 
@@ -75,6 +77,13 @@ chaos-store:
 		-timeout 30m ./cmd/dedcd
 	CHAOS_STORE_CORRUPT_TRIALS=1000 \
 		$(GO) test -race -count 1 -run TestStoreCorruptionTrials -timeout 30m ./internal/chaos
+
+# Streaming-status gate: SSE clients tail a job while dedcd is SIGKILLed and
+# restarted on the same address/store; every client's Last-Event-ID resume
+# must converge on the persisted timeline exactly once, no holes, no dupes.
+stream-chaos:
+	CHAOS_STREAM_TRIALS=25 \
+		$(GO) test -race -count 1 -run TestChaosStream -timeout 30m ./cmd/dedcd
 
 ci: vet build race fuzz
 
@@ -150,7 +159,7 @@ bench-parallel:
 		$(GO) run ./cmd/dedcbench -suite $(SUITE) -q -workers $(BENCHWORKERS) -min-speedup $(MINSPEEDUP) -speedup-warn; \
 	fi
 
-check: ci journal-check bench-telemetry bench-check bench-parallel bench-service chaos-resume chaos-store
+check: ci journal-check bench-telemetry bench-check bench-parallel bench-service chaos-resume chaos-store stream-chaos
 
 clean:
 	$(GO) clean ./...

@@ -137,6 +137,10 @@ func (s *server) runAttempt(jctx, pctx context.Context, cancel context.CancelFun
 	env := runEnv{}
 	runCtx, closeJournal := s.attemptJournal(jctx, j, cancel, &env)
 	defer closeJournal()
+	// Live progress rides every attempt, journaled or not: the hook wraps
+	// whatever checkpoint callback the journal installed (lease renewal)
+	// with publication to the events bus.
+	env.OnCheckpoint = s.progressHook(j, env.OnCheckpoint)
 	if j.Ref != "" {
 		if f, err := os.Open(j.Ref); err == nil {
 			defer f.Close()
@@ -236,6 +240,9 @@ func (s *server) attemptJournal(ctx context.Context, j store.Job, cancel context
 		return ctx, func() {}
 	}
 	jl := telemetry.NewJournal(f)
+	// Solution events tee to the live event stream as the journal records
+	// them (the mirror sees the exact persisted line).
+	jl.SetMirror(s.mirrorSolutions(j.ID))
 	tr := telemetry.NewTracer(telemetry.Options{Journal: jl})
 	// The engine calls this after the checkpoint is journaled (and the
 	// journal flushes checkpoints through), so by the time the ref lands in

@@ -17,8 +17,11 @@
 //	GET  /v1/jobs             list retained jobs + pool counters (?state=queued&limit=100)
 //	GET  /v1/jobs/{id}        job status + lifecycle timeline (404 never submitted, 410 evicted)
 //	GET  /v1/jobs/{id}/result terminal result (409 while queued/running)
+//	GET  /v1/jobs/{id}/events SSE stream: lifecycle + live search progress (resumable via Last-Event-ID)
 //	POST /v1/jobs/{id}/cancel cancel a queued or running job
+//	GET  /v1/stats            fleet summary: job counts, pool occupancy, latency quantiles, running attempts
 //	GET  /healthz             liveness + pool counters + job counts
+//	GET  /readyz              readiness: 503 while starting or draining
 //
 // The standard telemetry debug endpoints (/metrics, /debug/vars,
 // /debug/pprof/*) share the same listener.
@@ -59,6 +62,7 @@ func run(args []string) int {
 	maxQueued := fs.Int("max-queued", 1024, "admission cap on queued jobs; submissions beyond it are shed with 503 (0 = unlimited)")
 	jobTimeout := fs.Duration("job-timeout", 10*time.Minute, "per-attempt deadline (0 = none)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight jobs")
+	drainGrace := fs.Duration("drain-grace", 250*time.Millisecond, "delay between flipping /readyz to 503 and closing the listener, so balancers stop routing first")
 	storeDir := fs.String("store-dir", "", "durable job store directory (empty = in-memory store; jobs do not survive restarts)")
 	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "job lease TTL; a worker silent this long forfeits its claim")
 	maxAttempts := fs.Int("max-attempts", 3, "claims per job before it fails terminally")
@@ -150,7 +154,14 @@ func run(args []string) int {
 	}
 
 	<-ctx.Done()
-	log.Info("shutdown requested; draining", "timeout", *drainTimeout)
+	// Readiness goes first: /readyz flips to 503 and the grace window lets
+	// balancers drain before the listener stops accepting. In-flight SSE
+	// streams and requests keep completing through Shutdown below.
+	srv.beginDrain()
+	log.Info("shutdown requested; draining", "timeout", *drainTimeout, "grace", *drainGrace)
+	if *drainGrace > 0 {
+		time.Sleep(*drainGrace)
+	}
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	// When the drain deadline hits, cancel the jobs themselves so the engine

@@ -19,6 +19,7 @@ import (
 	"dedc/internal/circuit"
 	"dedc/internal/diagnose"
 	"dedc/internal/store"
+	"dedc/internal/stream"
 	"dedc/internal/supervise"
 	"dedc/internal/telemetry"
 	"dedc/internal/tpg"
@@ -26,8 +27,8 @@ import (
 
 // HTTP-layer counters: what the service accepted vs shed at admission.
 var (
-	cSubmissions = telemetry.Default.Counter("dedcd.submissions")
-	cSheds       = telemetry.Default.Counter("dedcd.sheds")
+	cSubmissions = telemetry.Default.Counter("dedcd.submissions", "Jobs accepted by POST /v1/jobs.")
+	cSheds       = telemetry.Default.Counter("dedcd.sheds", "Submissions shed with 503 at the admission cap.")
 )
 
 // maxListPage bounds one GET /v1/jobs page regardless of the requested limit.
@@ -146,6 +147,22 @@ type server struct {
 
 	wake chan struct{} // nudges the dispatcher after a submit/requeue
 
+	// events fans lifecycle, progress and solution frames out to SSE
+	// streams (see events.go); streamHeartbeat is the idle-stream comment
+	// interval (0 = defaultHeartbeat; tests shrink it).
+	events          *telemetry.Bus[streamItem]
+	streamHeartbeat time.Duration
+
+	// ready/draining back /readyz: ready flips on once the dispatcher is
+	// live, draining flips on at the first shutdown signal.
+	ready    atomic.Bool
+	draining atomic.Bool
+
+	// progress holds the latest checkpoint per running attempt, for the
+	// /v1/stats running table. Cleared on the job's terminal transition.
+	progressMu sync.Mutex
+	progress   map[string]stream.Progress
+
 	mu      sync.Mutex
 	running map[string]*attempt // attempts executing in this process, by job ID
 }
@@ -174,6 +191,8 @@ func newServer(log *slog.Logger, st store.JobStore, popt supervise.Options) *ser
 		poolWorkers:  workers,
 		leaseTTL:     30 * time.Second,
 		wake:         make(chan struct{}, 1),
+		events:       telemetry.NewBus[streamItem](nil),
+		progress:     map[string]stream.Progress{},
 		running:      map[string]*attempt{},
 	}
 	s.run = func(ctx context.Context, req jobRequest, env runEnv) (*jobResult, error) {
@@ -197,12 +216,15 @@ func newServer(log *slog.Logger, st store.JobStore, popt supervise.Options) *ser
 	return s
 }
 
-// start launches the dispatcher and the lease reaper. ctx bounds both loops
-// and every attempt's lifetime (shutdown cancellation).
+// start launches the dispatcher, the lease reaper and the watch pump. ctx
+// bounds all three loops and every attempt's lifetime (shutdown
+// cancellation). After start, /readyz reports ready.
 func (s *server) start(ctx context.Context) {
 	s.baseCtx = ctx
 	go s.dispatch(ctx)
 	go s.reap(ctx)
+	go s.watchPump(ctx)
+	s.ready.Store(true)
 }
 
 // handler builds the service mux on top of the standard telemetry debug mux,
@@ -214,11 +236,14 @@ func (s *server) handler(reg *telemetry.Registry) http.Handler {
 			"ok": true, "pool": s.pool.Stats(), "jobs": s.st.Counts(),
 		})
 	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return mux
 }
 

@@ -73,15 +73,15 @@ var (
 
 // Store-level counters in the process-wide registry.
 var (
-	cReplays     = telemetry.Default.Counter("store.replays")
-	cReplayedEvs = telemetry.Default.Counter("store.replayed_events")
-	cEvents      = telemetry.Default.Counter("store.events")
-	cLeaseExp    = telemetry.Default.Counter("store.lease_expirations")
-	cRetries     = telemetry.Default.Counter("store.retries")
-	cCompactions = telemetry.Default.Counter("store.compactions")
-	cOrphans     = telemetry.Default.Counter("store.orphans_requeued")
-	cRequeues    = telemetry.Default.Counter("store.requeues")
-	cEvictions   = telemetry.Default.Counter("store.evictions")
+	cReplays     = telemetry.Default.Counter("store.replays", "Boot replays of the event log.")
+	cReplayedEvs = telemetry.Default.Counter("store.replayed_events", "Events folded during boot replays.")
+	cEvents      = telemetry.Default.Counter("store.events", "Events appended to the log by live operations.")
+	cLeaseExp    = telemetry.Default.Counter("store.lease_expirations", "Running jobs whose lease the reaper found expired.")
+	cRetries     = telemetry.Default.Counter("store.retries", "Failed attempts requeued with retries remaining.")
+	cCompactions = telemetry.Default.Counter("store.compactions", "Snapshot-and-truncate compactions of the log.")
+	cOrphans     = telemetry.Default.Counter("store.orphans_requeued", "Jobs found running at boot and requeued as orphans.")
+	cRequeues    = telemetry.Default.Counter("store.requeues", "Requeue events for any reason (retry, lease expiry, orphan, release).")
+	cEvictions   = telemetry.Default.Counter("store.evictions", "Terminal jobs pruned by the compaction retention bound.")
 )
 
 // Lifecycle histograms and occupancy gauges, observed on the live append path
@@ -91,15 +91,15 @@ var (
 // last writer wins — the daemon owns exactly one store, which is the case
 // they serve.
 var (
-	hQueueWait = telemetry.Default.Histogram("store.queue_wait_ns")
-	hAttempt   = telemetry.Default.Histogram("store.attempt_ns")
-	hE2E       = telemetry.Default.Histogram("store.e2e_ns")
-	gQueued    = telemetry.Default.Gauge("store.jobs_queued")
-	gRunning   = telemetry.Default.Gauge("store.jobs_running")
-	gTerminal  = telemetry.Default.Gauge("store.jobs_terminal")
-	gLeases    = telemetry.Default.Gauge("store.leases_live")
-	gLogBytes  = telemetry.Default.Gauge("store.log_bytes")
-	gSnapBytes = telemetry.Default.Gauge("store.snapshot_bytes")
+	hQueueWait = telemetry.Default.Histogram("store.queue_wait_ns", "Nanoseconds jobs waited in queue before a claim.")
+	hAttempt   = telemetry.Default.Histogram("store.attempt_ns", "Nanoseconds per attempt, claim to its outcome.")
+	hE2E       = telemetry.Default.Histogram("store.e2e_ns", "Nanoseconds from submission to a terminal state.")
+	gQueued    = telemetry.Default.Gauge("store.jobs_queued", "Retained jobs currently queued.")
+	gRunning   = telemetry.Default.Gauge("store.jobs_running", "Retained jobs currently running under a lease.")
+	gTerminal  = telemetry.Default.Gauge("store.jobs_terminal", "Retained jobs in a terminal state (done, failed, cancelled).")
+	gLeases    = telemetry.Default.Gauge("store.leases_live", "Live leases held by workers.")
+	gLogBytes  = telemetry.Default.Gauge("store.log_bytes", "Bytes in the append-only event log.")
+	gSnapBytes = telemetry.Default.Gauge("store.snapshot_bytes", "Bytes in the latest snapshot file.")
 )
 
 // State is a job's position in the lease state machine.
@@ -344,7 +344,14 @@ type JobStore interface {
 	// ExpireLeases requeues (or terminally fails) every running job whose
 	// lease has expired, returning both sets.
 	ExpireLeases() (requeued, failed []Job, err error)
-	// Close releases the backing log. Further mutations fail ErrClosed.
+	// Watch subscribes to one job's live timeline transitions; WatchAll to
+	// every job's. Transitions are delivered as apply folds them — live
+	// operations only, never boot replay — into a bounded per-subscriber
+	// ring that drops oldest-first instead of ever blocking a mutation.
+	Watch(id string, buf int) *telemetry.Sub[Update]
+	WatchAll(buf int) *telemetry.Sub[Update]
+	// Close releases the backing log and ends every watch subscription.
+	// Further mutations fail ErrClosed.
 	Close() error
 }
 
@@ -360,6 +367,7 @@ type Store struct {
 	nextID uint64        // last assigned numeric job ID
 	since  int           // events appended since the last snapshot
 	rng    *rand.Rand
+	watch  *telemetry.Bus[Update] // live timeline transitions (see Watch)
 	closed bool
 }
 
@@ -382,6 +390,7 @@ func newStore(w wal, opt Options) (*Store, error) {
 		jobs:   map[string]*Job{},
 		counts: map[State]int{},
 		rng:    rand.New(rand.NewSource(seed)),
+		watch:  telemetry.NewBus[Update](nil),
 	}, nil
 }
 
@@ -413,9 +422,17 @@ func (s *Store) append(ev Event) error {
 	// Observe against the pre-apply state: queue-wait and attempt durations
 	// need the job as it was before this transition mutates it.
 	s.observeLocked(ev)
+	tlBefore := 0
+	if j := s.jobs[ev.Job]; j != nil {
+		tlBefore = len(j.Timeline)
+	}
 	if err := s.apply(ev); err != nil {
 		return err
 	}
+	// Watchers see the transition only on this live path — replay and
+	// validation fold through apply alone — and before compaction below can
+	// evict the job.
+	s.publishWatchLocked(ev, tlBefore)
 	s.since++
 	if s.since >= s.opt.CompactEvery {
 		if err := s.compactLocked(); err != nil {
@@ -983,7 +1000,8 @@ func (s *Store) snapshotLocked() snapshot {
 	return snapshot{V: snapshotVersion, LastSeq: s.seq, NextID: s.nextID, Jobs: jobs}
 }
 
-// Close releases the backing log (and its lock file).
+// Close releases the backing log (and its lock file) and ends every watch
+// subscription once its buffered updates drain.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -991,6 +1009,7 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.watch.Close()
 	return s.wal.Close()
 }
 

@@ -1,0 +1,159 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// flakyStream serves events [resume+1 .. limit] then cuts the connection
+// without a clean end, forcing the client to reconnect with Last-Event-ID.
+type flakyStream struct {
+	mu       sync.Mutex
+	conns    int
+	resumes  []string
+	perConn  int // events served per connection before the cut
+	terminal int // ID of the final (terminal) event
+}
+
+func (f *flakyStream) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	f.conns++
+	f.resumes = append(f.resumes, r.Header.Get("Last-Event-ID"))
+	f.mu.Unlock()
+	last := -1
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		last, _ = strconv.Atoi(v)
+	}
+	sw, err := NewWriter(w)
+	if err != nil {
+		return
+	}
+	for i, n := last+1, 0; i <= f.terminal && n < f.perConn; i, n = i+1, n+1 {
+		data := fmt.Sprintf(`{"index":%d,"terminal":%v}`, i, i == f.terminal)
+		if err := sw.Send(Event{ID: strconv.Itoa(i), Type: TypeLifecycle, Data: []byte(data)}); err != nil {
+			return
+		}
+	}
+	// Drop the connection mid-stream (no clean close frame): the panic-free
+	// way to sever is just returning; the client sees EOF and resumes.
+}
+
+// TestClientResumesAcrossDrops: the stream dies every 3 events; the client
+// must collect 0..9 exactly once, reconnecting with the right Last-Event-ID
+// each time.
+func TestClientResumesAcrossDrops(t *testing.T) {
+	fs := &flakyStream{perConn: 3, terminal: 9}
+	srv := httptest.NewServer(fs)
+	defer srv.Close()
+
+	c := &Client{URL: srv.URL, Retry: 10 * time.Millisecond}
+	var got []string
+	err := c.Run(context.Background(), func(e Event) error {
+		got = append(got, e.ID)
+		if e.ID == "9" {
+			return ErrStop
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range got {
+		if id != strconv.Itoa(i) {
+			t.Fatalf("event %d has ID %s; full sequence %v", i, id, got)
+		}
+	}
+	if len(got) != 10 {
+		t.Fatalf("collected %d events %v, want 10", len(got), got)
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.conns != 4 {
+		t.Errorf("server saw %d connections, want 4 (3+3+3+1)", fs.conns)
+	}
+	// Reconnects carried the resume position: "", "2", "5", "8".
+	want := []string{"", "2", "5", "8"}
+	for i, r := range fs.resumes {
+		if i < len(want) && r != want[i] {
+			t.Errorf("connection %d sent Last-Event-ID %q, want %q", i, r, want[i])
+		}
+	}
+}
+
+// TestClientFatalStatus: 4xx responses are terminal, not retried.
+func TestClientFatalStatus(t *testing.T) {
+	var conns int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conns++
+		http.Error(w, "no such job", http.StatusNotFound)
+	}))
+	defer srv.Close()
+	c := &Client{URL: srv.URL, Retry: time.Millisecond}
+	err := c.Run(context.Background(), func(Event) error { return nil })
+	var fatal *fatalStatusError
+	if !errors.As(err, &fatal) || fatal.status != http.StatusNotFound {
+		t.Fatalf("Run = %v, want fatal 404", err)
+	}
+	if conns != 1 {
+		t.Errorf("client retried a 404: %d connections", conns)
+	}
+}
+
+// TestClientHandlerErrorAborts: a handler error other than ErrStop surfaces
+// immediately instead of triggering a reconnect.
+func TestClientHandlerErrorAborts(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw, err := NewWriter(w)
+		if err != nil {
+			return
+		}
+		sw.Send(Event{ID: "0", Data: []byte("x")})
+	}))
+	defer srv.Close()
+	boom := errors.New("boom")
+	c := &Client{URL: srv.URL, Retry: time.Millisecond}
+	if err := c.Run(context.Background(), func(Event) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("Run = %v, want boom", err)
+	}
+}
+
+// TestClientContextCancel ends a blocked stream promptly.
+func TestClientContextCancel(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw, err := NewWriter(w)
+		if err != nil {
+			return
+		}
+		for { // heartbeats only; never an event
+			if err := sw.Comment("hb"); err != nil {
+				return
+			}
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+	}))
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	c := &Client{URL: srv.URL, Retry: time.Millisecond}
+	done := make(chan error, 1)
+	go func() { done <- c.Run(ctx, func(Event) error { return nil }) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("Run = %v, want deadline exceeded", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not end on context cancellation")
+	}
+}

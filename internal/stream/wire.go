@@ -1,0 +1,93 @@
+package stream
+
+import "time"
+
+// SSE event types on /v1/jobs/{id}/events. Lifecycle frames carry an "id:"
+// field (the timeline index) and drive Last-Event-ID resume; progress and
+// solution frames are live-only telemetry teed from the attempt's journal and
+// carry no ID — they cannot be replayed after a restart, and a resuming
+// client's position always references the persisted timeline.
+const (
+	TypeLifecycle = "lifecycle"
+	TypeProgress  = "progress"
+	TypeSolution  = "solution"
+)
+
+// Lifecycle is the data payload of a "lifecycle" frame: one persisted
+// timeline transition. Index is the entry's position in the job's timeline —
+// the frame's SSE ID — and State/Terminal describe the job after the
+// transition, so a client needs no state machine of its own.
+type Lifecycle struct {
+	Job      string    `json:"job"`
+	Index    int       `json:"index"`
+	Type     string    `json:"type"` // timeline entry type (submitted, claimed, ...)
+	TS       time.Time `json:"ts"`
+	Attempt  int       `json:"attempt,omitempty"`
+	Worker   string    `json:"worker,omitempty"`
+	Reason   string    `json:"reason,omitempty"`
+	State    string    `json:"state"`
+	Terminal bool      `json:"terminal,omitempty"`
+	Error    string    `json:"error,omitempty"`
+}
+
+// Progress is the data payload of a "progress" frame: one checkpoint of a
+// running attempt's diagnosis search, straight from the engine's checkpoint
+// callback. SatConflicts is the delta since the attempt started, not the
+// process-lifetime counter.
+type Progress struct {
+	Job          string    `json:"job"`
+	Attempt      int       `json:"attempt"`
+	Step         int       `json:"step"`
+	Round        int       `json:"round"`
+	Frontier     int       `json:"frontier"`
+	Solutions    int       `json:"solutions"`
+	Candidates   int64     `json:"candidates,omitempty"`
+	Simulations  int64     `json:"simulations,omitempty"`
+	SatConflicts int64     `json:"sat_conflicts,omitempty"`
+	TS           time.Time `json:"ts"`
+}
+
+// Quantiles summarizes one latency histogram on /v1/stats. Quantile values
+// are power-of-two bucket upper bounds, matching telemetry.Histogram.
+type Quantiles struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+	Max   int64   `json:"max"`
+}
+
+// PoolStats mirrors the supervised pool's counters plus its occupancy.
+type PoolStats struct {
+	Workers     int   `json:"workers"`
+	QueueFree   int   `json:"queue_free"`
+	Submitted   int64 `json:"submitted"`
+	Completed   int64 `json:"completed"`
+	Failed      int64 `json:"failed"`
+	Retries     int64 `json:"retries"`
+	Panics      int64 `json:"panics"`
+	Shed        int64 `json:"shed"`
+	WorkersLost int64 `json:"workers_lost"`
+}
+
+// StreamStats reports the event-bus side of the daemon: how many live
+// subscribers it is fanning out to and how many frames were dropped to slow
+// consumers instead of blocking the diagnosis hot path.
+type StreamStats struct {
+	Subscribers int   `json:"subscribers"`
+	Dropped     int64 `json:"dropped"`
+}
+
+// Stats is the GET /v1/stats payload: a one-shot fleet summary for dedctop
+// and monitoring scrapes that want structure rather than the Prometheus text
+// on /metrics.
+type Stats struct {
+	TS       time.Time            `json:"ts"`
+	Jobs     map[string]int       `json:"jobs"` // per-state retained job counts
+	Pool     PoolStats            `json:"pool"`
+	Counters map[string]int64     `json:"counters,omitempty"` // daemon counters (submissions, sheds, requeues, ...)
+	Phases   map[string]Quantiles `json:"phases,omitempty"`   // queue_wait/attempt/e2e latency, nanoseconds
+	Stream   StreamStats          `json:"stream"`
+	Running  []Progress           `json:"running,omitempty"` // latest checkpoint per running attempt
+}

@@ -167,6 +167,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	help     map[string]string
 	pubOnce  sync.Once
 }
 
@@ -176,6 +177,7 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		help:     map[string]string{},
 	}
 }
 
@@ -183,8 +185,10 @@ func NewRegistry() *Registry {
 // always-on metrics here; per-run tracers default to it.
 var Default = NewRegistry()
 
-// Counter returns the named counter, creating it if needed.
-func (r *Registry) Counter(name string) *Counter {
+// Counter returns the named counter, creating it if needed. An optional
+// help string registers the metric's Prometheus # HELP text (first writer
+// wins; metrics created without one get a default at exposition time).
+func (r *Registry) Counter(name string, help ...string) *Counter {
 	if r == nil {
 		return nil
 	}
@@ -195,11 +199,13 @@ func (r *Registry) Counter(name string) *Counter {
 		c = &Counter{}
 		r.counters[name] = c
 	}
+	r.setHelpLocked(name, help)
 	return c
 }
 
-// Gauge returns the named gauge, creating it if needed.
-func (r *Registry) Gauge(name string) *Gauge {
+// Gauge returns the named gauge, creating it if needed. An optional help
+// string registers the metric's Prometheus # HELP text.
+func (r *Registry) Gauge(name string, help ...string) *Gauge {
 	if r == nil {
 		return nil
 	}
@@ -210,11 +216,13 @@ func (r *Registry) Gauge(name string) *Gauge {
 		g = &Gauge{}
 		r.gauges[name] = g
 	}
+	r.setHelpLocked(name, help)
 	return g
 }
 
-// Histogram returns the named histogram, creating it if needed.
-func (r *Registry) Histogram(name string) *Histogram {
+// Histogram returns the named histogram, creating it if needed. An optional
+// help string registers the metric's Prometheus # HELP text.
+func (r *Registry) Histogram(name string, help ...string) *Histogram {
 	if r == nil {
 		return nil
 	}
@@ -225,7 +233,15 @@ func (r *Registry) Histogram(name string) *Histogram {
 		h = &Histogram{}
 		r.hists[name] = h
 	}
+	r.setHelpLocked(name, help)
 	return h
+}
+
+// setHelpLocked records the first non-empty help string offered for name.
+func (r *Registry) setHelpLocked(name string, help []string) {
+	if len(help) > 0 && help[0] != "" && r.help[name] == "" {
+		r.help[name] = help[0]
+	}
 }
 
 // Snapshot returns the current value of every metric, keyed by name.

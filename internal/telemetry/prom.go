@@ -53,6 +53,10 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	for name, h := range r.hists {
 		hists[name] = h
 	}
+	help := make(map[string]string, len(r.help))
+	for name, h := range r.help {
+		help[name] = h
+	}
 	r.mu.Unlock()
 
 	names := make([]string, 0, len(counters)+len(gauges)+len(hists))
@@ -70,6 +74,7 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	var b strings.Builder
 	for _, name := range names {
 		pn := PromName(name)
+		b.WriteString("# HELP " + pn + " " + promHelp(name, help[name]) + "\n")
 		switch {
 		case counters[name] != nil:
 			b.WriteString("# TYPE " + pn + " counter\n")
@@ -83,6 +88,18 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// promHelp resolves and escapes a metric's # HELP text. Metrics registered
+// without help get a default naming their origin, so every exposed series
+// still carries a well-formed HELP line. Escaping follows the text
+// exposition format: backslash and newline only.
+func promHelp(name, help string) string {
+	if help == "" {
+		help = "dedc metric " + name + " (no help registered)."
+	}
+	help = strings.ReplaceAll(help, `\`, `\\`)
+	return strings.ReplaceAll(help, "\n", `\n`)
 }
 
 // writePromHist emits one histogram. Bucket i of Histogram holds values v

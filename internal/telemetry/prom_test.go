@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPromHelpLines: every metric is exposed with a # HELP line directly
+// before its # TYPE line — registered text when the creation site supplied
+// one, a default otherwise — and the help text is escaped per the text
+// exposition format.
+func TestPromHelpLines(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("with.help", "Counted things.")
+	reg.Counter("without.help")
+	reg.Gauge("g.help", "Current things.")
+	reg.Histogram("h.help", "Distributed things.").Observe(3)
+	reg.Counter("escaped", "line one\nback\\slash")
+
+	var b strings.Builder
+	if err := reg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for want, follow := range map[string]string{
+		"# HELP with_help Counted things.\n":          "# TYPE with_help counter\n",
+		"# HELP g_help Current things.\n":             "# TYPE g_help gauge\n",
+		"# HELP h_help Distributed things.\n":         "# TYPE h_help histogram\n",
+		`# HELP escaped line one\nback\\slash` + "\n": "# TYPE escaped counter\n",
+	} {
+		i := strings.Index(out, want)
+		if i < 0 {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+		if !strings.HasPrefix(out[i+len(want):], follow) {
+			t.Errorf("HELP line %q not immediately followed by %q", want, follow)
+		}
+	}
+	if !strings.Contains(out, "# HELP without_help dedc metric without.help (no help registered).\n") {
+		t.Errorf("no defaulted HELP line for without.help in:\n%s", out)
+	}
+}
+
+// TestHelpFirstWriterWins: re-creating a metric with different help keeps
+// the original text, and a later registration can fill in missing help.
+func TestHelpFirstWriterWins(t *testing.T) {
+	reg := NewRegistry()
+	c1 := reg.Counter("dup", "first")
+	c2 := reg.Counter("dup", "second")
+	if c1 != c2 {
+		t.Fatal("same name returned different counters")
+	}
+	reg.Counter("late")
+	reg.Counter("late", "filled in")
+	var b strings.Builder
+	if err := reg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "# HELP dup first\n") {
+		t.Errorf("help was overwritten:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "# HELP late filled in\n") {
+		t.Errorf("late help registration ignored:\n%s", b.String())
+	}
+}

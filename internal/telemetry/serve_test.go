@@ -36,15 +36,29 @@ func parseProm(t *testing.T, body string) map[string]bool {
 	t.Helper()
 	names := map[string]bool{}
 	sc := bufio.NewScanner(strings.NewReader(body))
+	lastHelp := ""
 	for sc.Scan() {
 		line := sc.Text()
 		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			f := strings.Fields(line)
+			if len(f) < 4 {
+				t.Fatalf("HELP line without text: %q", line)
+			}
+			lastHelp = f[2]
 			continue
 		}
 		if strings.HasPrefix(line, "# TYPE ") {
 			f := strings.Fields(line)
 			if len(f) != 4 {
 				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			// Exposition correctness: every TYPE is announced by a HELP line
+			// for the same metric immediately before it.
+			if lastHelp != f[2] {
+				t.Fatalf("TYPE line for %q not preceded by its HELP line (last HELP: %q)", f[2], lastHelp)
 			}
 			switch f[3] {
 			case "counter", "gauge", "histogram":
