@@ -1,0 +1,277 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"dedc/internal/bench"
+	"dedc/internal/chaos"
+	"dedc/internal/fault"
+	"dedc/internal/gen"
+	"dedc/internal/store"
+)
+
+// fleetLeaseTTL is the -lease-ttl every fleet replica runs with; the failover
+// budget asserted after an owner kill is twice this.
+const fleetLeaseTTL = 2 * time.Second
+
+// TestChaosFleetKill is the replica-fleet availability gate: three dedcd
+// replicas share one store directory, SIGKILLs land on them mid-workload —
+// biased toward whichever replica holds store ownership — and each victim is
+// restarted as a follower. The fleet must never lose an accepted job, a new
+// owner must emerge within twice the lease TTL of an owner kill, and every
+// job must finish with the solution set of an uninterrupted run.
+//
+// Defaults to a few kills so the regular test run stays quick; the
+// `make chaos-fleet` target scales it up:
+//
+//	CHAOS_FLEET_TRIALS=50 go test -run TestChaosFleetKill ./cmd/dedcd
+//	CHAOS_FLEET_RACE=1 ...   # build the killed binary with -race
+func TestChaosFleetKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos test")
+	}
+	kills := 3
+	if s := os.Getenv("CHAOS_FLEET_TRIALS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			t.Fatalf("bad CHAOS_FLEET_TRIALS=%q", s)
+		}
+		kills = n
+	}
+
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "dedcd")
+	buildArgs := []string{"build", "-o", bin}
+	if os.Getenv("CHAOS_FLEET_RACE") != "" {
+		buildArgs = append(buildArgs, "-race")
+	}
+	if out, err := exec.Command("go", append(buildArgs, ".")...).CombinedOutput(); err != nil {
+		t.Fatalf("building dedcd: %v\n%s", err, out)
+	}
+
+	// Same fixture as the single-process store gate: a 7-bit multiplier with
+	// three injected faults runs long enough that kills land mid-search.
+	impl := gen.ArrayMultiplier(7)
+	sites := fault.Sites(impl)
+	device := fault.Inject(impl,
+		fault.Fault{Site: sites[len(sites)/3], Value: false},
+		fault.Fault{Site: sites[len(sites)/2], Value: true},
+		fault.Fault{Site: sites[2*len(sites)/3], Value: false},
+	)
+	var implText, devText bytes.Buffer
+	if err := bench.Write(&implText, impl); err != nil {
+		t.Fatal(err)
+	}
+	if err := bench.Write(&devText, device); err != nil {
+		t.Fatal(err)
+	}
+	req := jobRequest{
+		Impl: implText.String(), Device: devText.String(),
+		Random: 1024, Seed: 1, MaxErrors: 3,
+	}
+
+	// Uninterrupted reference run: its solution keys are the oracle and its
+	// duration sizes the inter-kill delays.
+	ref := startStoreDaemon(t, bin, filepath.Join(dir, "ref"))
+	start := time.Now()
+	_, m := postJSON(t, ref.base+"/v1/jobs", req)
+	refID, _ := m["id"].(string)
+	if refID == "" {
+		t.Fatalf("reference submit: %v", m)
+	}
+	state, _ := waitTerminal(t, ref.base, refID, time.Now().Add(5*time.Minute))
+	window := time.Since(start)
+	if state != "done" {
+		t.Fatalf("reference job ended %q", state)
+	}
+	refKeys := resultTupleKeys(t, ref.base, refID)
+	ref.stop(t)
+	if len(refKeys) == 0 {
+		t.Fatal("reference run found no solutions; fixture is too easy or broken")
+	}
+	t.Logf("reference: %d solutions in %v", len(refKeys), window)
+
+	storeDir := filepath.Join(dir, "fleet")
+	fleet := chaos.NewFleet(bin, storeDir, 3,
+		"-workers", "2",
+		"-lease-ttl", fleetLeaseTTL.String(), "-max-attempts", "100",
+		"-retry-backoff", "25ms", "-drain-timeout", "15s")
+	defer fleet.StopAll(30 * time.Second)
+	if err := fleet.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fleet.WaitOwner(30 * time.Second); err != nil {
+		t.Fatalf("fleet never elected a first owner: %v", err)
+	}
+
+	// Two jobs up front, then one more after every kill: the fleet is under
+	// submit load the whole campaign, and most submissions land on followers
+	// (two of three replicas), exercising the remote write path.
+	var ids []string
+	ids = append(ids, fleetSubmit(t, fleet, req), fleetSubmit(t, fleet, req))
+
+	rng := rand.New(rand.NewSource(20260808))
+	ownerKills := 0
+	for kill := 0; kill < kills; kill++ {
+		time.Sleep(time.Duration(rng.Int63n(int64(window) + 1)))
+		owner, hasOwner := fleet.Owner()
+		victim := fleet.PickVictim(rng, 0.5)
+		if kill == 0 && hasOwner {
+			// The first kill always takes the owner, so even the quick
+			// default run exercises a real election.
+			victim = owner
+		}
+		if victim < 0 {
+			t.Fatal("no live replica to kill")
+		}
+		wasOwner := hasOwner && victim == owner
+		if err := fleet.Kill(victim); err != nil {
+			t.Fatalf("kill %d (replica %d): %v", kill, victim, err)
+		}
+		if wasOwner {
+			ownerKills++
+			// The availability bound of the design: a surviving follower must
+			// win the flock and promote within twice the lease TTL.
+			if next, err := fleet.WaitOwner(2 * fleetLeaseTTL); err != nil {
+				t.Fatalf("kill %d: owner (replica %d) died and %v\nsurvivor stderr:\n%s",
+					kill, victim, err, fleet.Stderr((victim+1)%fleet.Size()))
+			} else {
+				t.Logf("kill %d: owner replica %d → replica %d", kill, victim, next)
+			}
+		} else {
+			t.Logf("kill %d: follower replica %d", kill, victim)
+		}
+		ids = append(ids, fleetSubmit(t, fleet, req))
+		if err := fleet.Start(victim); err != nil {
+			t.Fatalf("restarting replica %d after kill %d: %v", victim, kill, err)
+		}
+	}
+	t.Logf("%d kills (%d owner kills), %d jobs submitted", kills, ownerKills, len(ids))
+
+	// The fleet is stable now: every accepted job must reach done with the
+	// reference solution set. The deadline scales with the backlog — each
+	// kill orphaned up to six claimed attempts that rerun from scratch or a
+	// checkpoint.
+	deadline := time.Now().Add(5*time.Minute + time.Duration(len(ids))*2*window)
+	for _, id := range ids {
+		state := fleetWaitTerminal(t, fleet, id, deadline)
+		if state != "done" {
+			t.Fatalf("job %s ended %q, want done", id, state)
+		}
+		keys := resultTupleKeys(t, fleet.Bases()[0], id)
+		if !equalKeys(keys, refKeys) {
+			t.Errorf("job %s solutions diverge\n got: %v\nwant: %v", id, keys, refKeys)
+		}
+	}
+
+	// Drain the fleet and audit the surviving directory offline: the log must
+	// validate, and every job must carry exactly one terminal settlement —
+	// kills may multiply attempts, never completions.
+	fleet.StopAll(60 * time.Second)
+	report, jobs, err := store.ValidateJobs(storeDir)
+	if err != nil {
+		t.Fatalf("post-campaign validate: %v\n%+v", err, report)
+	}
+	byID := make(map[string]store.Job, len(jobs))
+	for _, j := range jobs {
+		byID[j.ID] = j
+	}
+	for _, id := range ids {
+		j, ok := byID[id]
+		if !ok {
+			t.Errorf("job %s missing from the validated store", id)
+			continue
+		}
+		terminal := 0
+		for _, e := range j.Timeline {
+			switch e.Type {
+			case store.TLCompleted, store.TLFailed, store.TLCancelled:
+				terminal++
+			}
+		}
+		if terminal != 1 {
+			t.Errorf("job %s has %d terminal timeline entries, want exactly 1\n%+v",
+				id, terminal, j.Timeline)
+		}
+	}
+}
+
+// fleetSubmit posts one job to the fleet, trying every live replica and
+// riding through failover windows (refused connections, 5xx while the new
+// owner settles). Submissions during a kill are the point of the gate, so
+// this retries hard before giving up.
+func fleetSubmit(t *testing.T, f *chaos.Fleet, req jobRequest) string {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc := &http.Client{Timeout: 3 * fleetLeaseTTL}
+	deadline := time.Now().Add(2 * time.Minute)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		for _, base := range f.Bases() {
+			resp, err := hc.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			var m map[string]any
+			err = json.NewDecoder(resp.Body).Decode(&m)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusAccepted && err == nil {
+				if id, _ := m["id"].(string); id != "" {
+					return id
+				}
+			}
+			lastErr = fmt.Errorf("POST %s/v1/jobs: status %d (%v)", base, resp.StatusCode, m)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("no replica accepted the submission in 2m; last error: %v", lastErr)
+	return ""
+}
+
+// fleetWaitTerminal polls the fleet until the job reports a terminal state.
+// Unlike the single-daemon waitTerminal, transient 404s and transport errors
+// are tolerated — a follower's remote lookup degrades to unknown while an
+// election is in flight — and only the deadline decides the job is lost.
+func fleetWaitTerminal(t *testing.T, f *chaos.Fleet, id string, deadline time.Time) string {
+	t.Helper()
+	hc := &http.Client{Timeout: 5 * time.Second}
+	last := "never observed"
+	for time.Now().Before(deadline) {
+		for _, base := range f.Bases() {
+			resp, err := hc.Get(base + "/v1/jobs/" + id)
+			if err != nil {
+				continue
+			}
+			var m map[string]any
+			err = json.NewDecoder(resp.Body).Decode(&m)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK {
+				continue
+			}
+			switch state, _ := m["state"].(string); state {
+			case "done", "failed", "cancelled":
+				return state
+			case "":
+			default:
+				last = state
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state (last seen %s)", id, last)
+	return ""
+}

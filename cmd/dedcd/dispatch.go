@@ -21,6 +21,27 @@ import (
 // store is the only source of truth — the dispatcher keeps no job state
 // beyond the cancel functions of attempts currently executing here.
 
+// cFenced counts the fence in action: attempts cancelled mid-run because a
+// renew or checkpoint write proved their lease dead — stale token (expired,
+// reassigned, job requeued by a new owner's boot replay) or the owner
+// unreachable past the retry window. Fencing frees the worker slot
+// immediately instead of letting a doomed attempt run to completion; its
+// late outcome write would be rejected anyway, so no duplicate settlement
+// is possible either way.
+var cFenced = telemetry.Default.Counter("dedcd.fenced_attempts",
+	"Running attempts cancelled because their lease was lost (stale token, requeue, or store ownership change).")
+
+// leaseLost reports errors that prove this attempt's lease is no longer
+// live: the store rejected the token, the job left the running state, or the
+// fleet lost its owner for longer than the remote retry window (in which
+// case the lease has certainly expired or been orphan-requeued by the new
+// owner's boot replay).
+func leaseLost(err error) bool {
+	return errors.Is(err, store.ErrLeaseExpired) || errors.Is(err, store.ErrWrongWorker) ||
+		errors.Is(err, store.ErrNotRunning) || errors.Is(err, store.ErrTerminal) ||
+		errors.Is(err, store.ErrUnknownJob) || errors.Is(err, store.ErrUnavailable)
+}
+
 // dispatch claims jobs whenever the pool has room, waking on submits and on
 // a coarse ticker (which also picks up jobs whose retry backoff has elapsed).
 func (s *server) dispatch(ctx context.Context) {
@@ -214,7 +235,10 @@ func (s *server) heartbeat(ctx context.Context, id, worker string, cancel func()
 			return
 		case <-t.C:
 			if err := s.st.Renew(id, worker); err != nil {
-				if !ignorableOutcomeErr(err) && !errors.Is(err, store.ErrLeaseExpired) {
+				if leaseLost(err) {
+					cFenced.Inc()
+					s.log.Info("lease lost; fencing attempt", "id", id, "worker", worker, "err", err)
+				} else if !ignorableOutcomeErr(err) {
 					s.log.Warn("lease renewal failed; abandoning attempt", "id", id, "err", err)
 				}
 				cancel()
@@ -249,7 +273,10 @@ func (s *server) attemptJournal(ctx context.Context, j store.Job, cancel context
 	// the store the state it points at is already on disk.
 	env.OnCheckpoint = func(*diagnose.Checkpoint) {
 		if err := s.st.SetCheckpoint(j.ID, j.Worker, path); err != nil {
-			if !ignorableOutcomeErr(err) && !errors.Is(err, store.ErrLeaseExpired) {
+			if leaseLost(err) {
+				cFenced.Inc()
+				s.log.Info("lease lost at checkpoint; fencing attempt", "id", j.ID, "worker", j.Worker, "err", err)
+			} else if !ignorableOutcomeErr(err) {
 				s.log.Warn("recording checkpoint ref", "id", j.ID, "err", err)
 			}
 			cancel()
@@ -280,10 +307,14 @@ func (s *server) reap(ctx context.Context) {
 		case <-t.C:
 			requeued, failed, err := s.st.ExpireLeases()
 			if err != nil {
-				if !errors.Is(err, store.ErrClosed) {
-					s.log.Warn("lease reaper", "err", err)
+				if errors.Is(err, store.ErrClosed) {
+					return
 				}
-				return
+				// Transient in a fleet: a follower's expire RPC fails through
+				// a failover window, then the next tick reaches the new
+				// owner. The reaper must outlive that.
+				s.log.Warn("lease reaper", "err", err)
+				continue
 			}
 			for _, j := range requeued {
 				s.log.Info("lease expired; job requeued", "id", j.ID, "attempt", j.Attempt)

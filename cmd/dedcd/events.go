@@ -299,6 +299,9 @@ var statsCounters = map[string]string{
 	"orphans_requeued":  "store.orphans_requeued",
 	"compactions":       "store.compactions",
 	"evictions":         "store.evictions",
+	"fenced_attempts":   "dedcd.fenced_attempts",
+	"elections_won":     "store.elections_won",
+	"remote_retries":    "store.remote_retries",
 }
 
 // handleStats serves GET /v1/stats: per-state job counts, pool occupancy,
@@ -322,10 +325,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.progressMu.Unlock()
 	sort.Slice(running, func(i, k int) bool { return running[i].Job < running[k].Job })
+	role, owner := s.roleInfo()
 
 	writeJSON(w, http.StatusOK, stream.Stats{
-		TS:   time.Now(),
-		Jobs: jobs,
+		TS:    time.Now(),
+		Role:  role,
+		Owner: owner,
+		Jobs:  jobs,
 		Pool: stream.PoolStats{
 			Workers:     s.poolWorkers,
 			QueueFree:   s.pool.QueueFree(),
@@ -357,13 +363,20 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 // signal on, it returns 503 so load balancers stop routing here while
 // /healthz still reports the process alive.
 func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	body := map[string]any{}
+	if role, owner := s.roleInfo(); role != "" {
+		body["role"], body["owner"] = role, owner
+	}
 	switch {
 	case s.draining.Load():
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "draining"})
+		body["ready"], body["reason"] = false, "draining"
+		writeJSON(w, http.StatusServiceUnavailable, body)
 	case !s.ready.Load():
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "starting"})
+		body["ready"], body["reason"] = false, "starting"
+		writeJSON(w, http.StatusServiceUnavailable, body)
 	default:
-		writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+		body["ready"] = true
+		writeJSON(w, http.StatusOK, body)
 	}
 }
 

@@ -36,9 +36,11 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sync"
 	"syscall"
 	"time"
 
@@ -54,6 +56,7 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("dedcd", flag.ContinueOnError)
 	addr := fs.String("addr", "localhost:8080", "listen address")
+	advertise := fs.String("advertise", "", "address other replicas dial to reach this one (default: the bound listen address; set it when -addr binds a wildcard)")
 	addrFile := fs.String("addr-file", "", "write the bound listen address to this file once serving (for harnesses using -addr :0)")
 	workers := fs.Int("workers", 2, "concurrent diagnosis workers")
 	simWorkers := fs.Int("sim-workers", telemetry.DefaultWorkers(),
@@ -87,19 +90,60 @@ func run(args []string) int {
 		MaxAttempts: *maxAttempts,
 		BackoffBase: *backoff,
 	}
+
+	// Bind before opening the store: a replicated store advertises this
+	// address in the ownership record the instant it wins the election, so
+	// the listener must exist first. Requests arriving before the handler is
+	// attached just wait in the accept backlog.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Error("listen failed", "addr", *addr, "err", err)
+		return 1
+	}
+	if *advertise == "" {
+		*advertise = ln.Addr().String()
+	}
+
+	// srvPtr hands the server to the replica's promotion callback, which can
+	// fire before newServer below has run (an immediately-contested election)
+	// or any time after.
+	var srvMu sync.Mutex
+	var srvPtr *server
+
 	var st store.JobStore
+	var replica *store.Replicated
 	if *storeDir != "" {
-		fst, err := store.Open(*storeDir, sopt)
+		rep, err := store.OpenReplicated(*storeDir, store.ReplicaOptions{
+			Advertise: *advertise,
+			Store:     sopt,
+			OnRole: func(role store.Role, owner string) {
+				log.Info("store ownership changed", "role", role, "owner", owner)
+				srvMu.Lock()
+				sp := srvPtr
+				srvMu.Unlock()
+				if sp != nil {
+					// The boot replay just orphan-requeued every running job,
+					// including this replica's own fenced attempts; get the
+					// dispatcher claiming again immediately.
+					sp.kick()
+				}
+			},
+		})
 		if err != nil {
+			ln.Close()
 			log.Error("opening job store", "dir", *storeDir, "err", err)
 			return 1
 		}
-		st = fst
+		replica = rep
+		st = rep
 		if *journalDir == "" {
 			*journalDir = filepath.Join(*storeDir, "journals")
 		}
-		counts := fst.Counts()
-		log.Info("job store recovered", "dir", *storeDir, "jobs", counts)
+		role, owner := rep.Role()
+		log.Info("joined store fleet", "dir", *storeDir, "role", role, "owner", owner, "advertise", *advertise)
+		if role == store.RoleOwner {
+			log.Info("job store recovered", "dir", *storeDir, "jobs", rep.Counts())
+		}
 	} else {
 		st = store.NewMemory(sopt)
 		log.Warn("running with in-memory job store; jobs will not survive a restart (set -store-dir)")
@@ -125,6 +169,10 @@ func run(args []string) int {
 		QueueDepth: *queue,
 		JobTimeout: *jobTimeout,
 	})
+	srv.replica = replica
+	srvMu.Lock()
+	srvPtr = srv
+	srvMu.Unlock()
 	srv.simWorkers = *simWorkers
 	srv.maxQueued = *maxQueued
 	srv.retryBackoff = *backoff
@@ -137,11 +185,7 @@ func run(args []string) int {
 		srv.journalDir = *journalDir
 	}
 	srv.start(jobsCtx)
-	web, err := telemetry.ServeMux(*addr, srv.handler(telemetry.Default))
-	if err != nil {
-		log.Error("listen failed", "addr", *addr, "err", err)
-		return 1
-	}
+	web := telemetry.ServeMuxListener(ln, srv.handler(telemetry.Default))
 	log.Info("dedcd listening", "addr", web.Addr(), "workers", *workers,
 		"queue", *queue, "store", *storeDir, "lease_ttl", *leaseTTL)
 	if *addrFile != "" {

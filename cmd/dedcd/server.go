@@ -114,6 +114,11 @@ type server struct {
 	log  *slog.Logger
 	run  runner
 
+	// replica is set when the store runs replicated (-store-dir): the same
+	// object as st, kept typed for role introspection and the RPC mount.
+	// Nil on an in-memory store.
+	replica *store.Replicated
+
 	baseCtx context.Context // process job lifetime: shutdown cancels attempts
 
 	// worker is the base lease identity of this process; every claim extends
@@ -244,7 +249,23 @@ func (s *server) handler(reg *telemetry.Registry) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	if s.replica != nil {
+		// The store RPC surface rides the same mux; on a follower it answers
+		// not_owner so a client that dialed a stale address re-resolves.
+		mux.Handle("/v1/store/", s.replica.RPCHandler())
+	}
 	return mux
+}
+
+// roleInfo reports the replica's fleet position for /readyz and /v1/stats:
+// ("", "") on an in-memory store, otherwise the role and the current owner's
+// advertised address.
+func (s *server) roleInfo() (role, owner string) {
+	if s.replica == nil {
+		return "", ""
+	}
+	r, addr := s.replica.Role()
+	return string(r), addr
 }
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,296 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os/exec"
+	"regexp"
+	"sync"
+	"syscall"
+	"time"
+
+	"dedc/internal/telemetry"
+)
+
+// Fleet-harness metrics alongside the trial counters: how many replica
+// processes a chaos campaign SIGKILLed, and how many victim picks landed on
+// the store owner (owner kills force an election; follower kills only
+// exercise the retry path).
+var (
+	cFleetKills      = telemetry.Default.Counter("chaos.fleet_kills")
+	cFleetOwnerKills = telemetry.Default.Counter("chaos.fleet_owner_kills")
+)
+
+// Fleet manages N copies of one daemon binary sharing a single store
+// directory — the process-level half of the replica-kill chaos harness. It
+// starts, SIGKILLs, and restarts replicas, tracks which one currently holds
+// store ownership, and picks kill victims with a configurable owner bias.
+//
+// Like the corruption operators, Fleet contains no test assertions: the
+// chaos tests own the oracle (every job terminal, solutions equal to an
+// uninterrupted run); Fleet owns the process churn.
+type Fleet struct {
+	Bin       string         // daemon binary path
+	StoreDir  string         // shared -store-dir every replica contends for
+	ExtraArgs []string       // appended after -addr/-store-dir on every start
+	AddrRe    *regexp.Regexp // extracts the listen address from stderr (submatch 1)
+	// StartTimeout bounds the wait for a started replica to announce its
+	// listen address. Defaults to 30s: a race-built binary replaying a large
+	// event log can be slow to come up.
+	StartTimeout time.Duration
+	Client       *http.Client // role polls; defaults to a 2s-timeout client
+
+	replicas []*replica
+}
+
+// replica is one managed daemon process. base survives kills (diagnostics
+// reference the last known address) and is replaced on restart, since every
+// start binds a fresh port.
+type replica struct {
+	mu      sync.Mutex
+	cmd     *exec.Cmd
+	stderr  *logBuffer
+	base    string
+	running bool
+}
+
+// logBuffer is a mutex-guarded sink for subprocess stderr: exec.Cmd writes
+// from its copier goroutine while the harness polls String.
+type logBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *logBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *logBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// NewFleet prepares a fleet of n stopped replicas of bin over storeDir.
+// extraArgs are passed to every replica on every start, after the harness's
+// own -addr 127.0.0.1:0 and -store-dir.
+func NewFleet(bin, storeDir string, n int, extraArgs ...string) *Fleet {
+	f := &Fleet{
+		Bin:          bin,
+		StoreDir:     storeDir,
+		ExtraArgs:    extraArgs,
+		AddrRe:       regexp.MustCompile(`listening.*addr=([0-9.:]+)`),
+		StartTimeout: 30 * time.Second,
+		Client:       &http.Client{Timeout: 2 * time.Second},
+	}
+	for i := 0; i < n; i++ {
+		f.replicas = append(f.replicas, &replica{})
+	}
+	return f
+}
+
+// Size returns the fleet's replica count (running or not).
+func (f *Fleet) Size() int { return len(f.replicas) }
+
+// Start launches replica i and blocks until it announces its listen address
+// on stderr. Restarting a killed replica is the same call: the dead process
+// is forgotten and a fresh one binds a fresh port.
+func (f *Fleet) Start(i int) error {
+	r := f.replicas[i]
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.running {
+		return fmt.Errorf("fleet: replica %d already running", i)
+	}
+	args := append([]string{"-addr", "127.0.0.1:0", "-store-dir", f.StoreDir}, f.ExtraArgs...)
+	cmd := exec.Command(f.Bin, args...)
+	stderr := &logBuffer{}
+	cmd.Stderr = stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("fleet: starting replica %d: %w", i, err)
+	}
+	deadline := time.Now().Add(f.StartTimeout)
+	for {
+		if m := f.AddrRe.FindStringSubmatch(stderr.String()); m != nil {
+			r.cmd, r.stderr, r.base, r.running = cmd, stderr, "http://"+m[1], true
+			return nil
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			return fmt.Errorf("fleet: replica %d announced no address within %s:\n%s",
+				i, f.StartTimeout, stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// StartAll starts every stopped replica, failing on the first error.
+func (f *Fleet) StartAll() error {
+	for i := range f.replicas {
+		if f.Alive(i) {
+			continue
+		}
+		if err := f.Start(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Kill SIGKILLs replica i and reaps it — the crash model: no drain, no
+// flock release beyond what the kernel does at process death.
+func (f *Fleet) Kill(i int) error {
+	r := f.replicas[i]
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.running {
+		return fmt.Errorf("fleet: replica %d not running", i)
+	}
+	r.cmd.Process.Signal(syscall.SIGKILL)
+	r.cmd.Wait()
+	r.running = false
+	cFleetKills.Inc()
+	return nil
+}
+
+// StopAll SIGTERMs every live replica and waits up to grace for each to
+// drain, escalating to SIGKILL. Used for teardown, not as a chaos event.
+func (f *Fleet) StopAll(grace time.Duration) {
+	for _, r := range f.replicas {
+		r.mu.Lock()
+		if !r.running {
+			r.mu.Unlock()
+			continue
+		}
+		cmd := r.cmd
+		r.running = false
+		r.mu.Unlock()
+		cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(grace):
+			cmd.Process.Kill()
+			<-done
+		}
+	}
+}
+
+// Alive reports whether replica i has a managed process (it may still be
+// mid-boot or wedged; Alive tracks harness intent, not health).
+func (f *Fleet) Alive(i int) bool {
+	r := f.replicas[i]
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.running
+}
+
+// Base returns replica i's most recent base URL ("" before its first start).
+// After a kill it keeps pointing at the dead address until the restart.
+func (f *Fleet) Base(i int) string {
+	r := f.replicas[i]
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.base
+}
+
+// Bases returns the base URLs of the live replicas, in index order.
+func (f *Fleet) Bases() []string {
+	var bases []string
+	for i, r := range f.replicas {
+		if f.Alive(i) {
+			r.mu.Lock()
+			bases = append(bases, r.base)
+			r.mu.Unlock()
+		}
+	}
+	return bases
+}
+
+// Stderr returns everything replica i has written to stderr across its
+// current (or last) incarnation, for failure diagnostics.
+func (f *Fleet) Stderr(i int) string {
+	r := f.replicas[i]
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stderr == nil {
+		return ""
+	}
+	return r.stderr.String()
+}
+
+// role polls one replica's /v1/stats for its fleet role. Errors degrade to
+// "": a replica mid-boot or mid-failover simply doesn't vote.
+func (f *Fleet) role(base string) string {
+	resp, err := f.Client.Get(base + "/v1/stats")
+	if err != nil {
+		return ""
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ""
+	}
+	var st struct {
+		Role string `json:"role"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return ""
+	}
+	return st.Role
+}
+
+// Owner returns the index of the live replica currently reporting the owner
+// role, or ok=false when none does (mid-election, or all owners dead).
+func (f *Fleet) Owner() (int, bool) {
+	for i := range f.replicas {
+		if f.Alive(i) && f.role(f.Base(i)) == "owner" {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// WaitOwner polls until some live replica reports ownership. This is the
+// failover clock: callers bound it by the convergence budget they are
+// asserting (the chaos gate uses 2× the lease TTL after an owner kill).
+func (f *Fleet) WaitOwner(timeout time.Duration) (int, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		if i, ok := f.Owner(); ok {
+			return i, nil
+		}
+		if time.Now().After(deadline) {
+			return -1, fmt.Errorf("fleet: no replica claimed ownership within %s", timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// PickVictim chooses a live replica to kill: the current owner with
+// probability ownerBias, otherwise uniformly among the live replicas. With
+// no live replicas it returns -1; with no identifiable owner the pick is
+// uniform (an election is in flight — any kill lands on a follower-ish
+// process anyway).
+func (f *Fleet) PickVictim(rng *rand.Rand, ownerBias float64) int {
+	var live []int
+	for i := range f.replicas {
+		if f.Alive(i) {
+			live = append(live, i)
+		}
+	}
+	if len(live) == 0 {
+		return -1
+	}
+	if owner, ok := f.Owner(); ok && rng.Float64() < ownerBias {
+		cFleetOwnerKills.Inc()
+		return owner
+	}
+	return live[rng.Intn(len(live))]
+}

@@ -1,0 +1,465 @@
+package store
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"dedc/internal/telemetry"
+)
+
+// Role is a replica's position in the fleet: the flock holder owns the store
+// files and serves the RPC surface; everyone else follows through Remote.
+type Role string
+
+// Replica roles.
+const (
+	RoleOwner    Role = "owner"
+	RoleFollower Role = "follower"
+)
+
+// Fleet metrics.
+var (
+	cElections = telemetry.Default.Counter("store.elections_won", "Store ownership elections this process has won (including an uncontested first open).")
+	gOwnerRole = telemetry.Default.Gauge("store.replica_owner", "1 while this replica owns the store, 0 while it follows.")
+)
+
+// ReplicaOptions tunes a Replicated store. Advertise is required: it is the
+// address written into the ownership record when this replica wins, and the
+// address other replicas will dial, so it must be reachable before
+// OpenReplicated is called (bind the listener first).
+type ReplicaOptions struct {
+	// Advertise is this replica's reachable host:port — its job API and store
+	// RPC surface share one mux, so one address serves both.
+	Advertise string
+	// Store tunes the local store while this replica owns it.
+	Store Options
+	// ElectionInterval is how often a follower retries the flock
+	// (default LeaseTTL/8, clamped to [25ms, 2s]). Failover time is bounded
+	// by roughly one interval plus boot replay, so the default keeps it well
+	// inside the 2×LeaseTTL failover budget.
+	ElectionInterval time.Duration
+	// HeartbeatInterval is how often the owner restamps the ownership record
+	// (default LeaseTTL/4, clamped to [50ms, 5s]). The restamp is purely
+	// observational — liveness is the flock, not the file.
+	HeartbeatInterval time.Duration
+	// RetryWindow bounds how long a follower's remote operation retries
+	// through owner death before giving up with ErrUnavailable
+	// (default 2×LeaseTTL).
+	RetryWindow time.Duration
+	// Client issues the follower's RPC requests (default http.DefaultClient
+	// with a per-call timeout layered on top).
+	Client *http.Client
+	// OnRole, when set, is called on asynchronous role transitions — today
+	// only follower→owner, since an owner never demotes while alive. It runs
+	// on the election goroutine; keep it quick.
+	OnRole func(role Role, ownerAddr string)
+}
+
+func clampDur(d, lo, hi time.Duration) time.Duration {
+	if d < lo {
+		return lo
+	}
+	if d > hi {
+		return hi
+	}
+	return d
+}
+
+func (o ReplicaOptions) replicaDefaults() ReplicaOptions {
+	o.Store = o.Store.defaults()
+	if o.ElectionInterval <= 0 {
+		o.ElectionInterval = clampDur(o.Store.LeaseTTL/8, 25*time.Millisecond, 2*time.Second)
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = clampDur(o.Store.LeaseTTL/4, 50*time.Millisecond, 5*time.Second)
+	}
+	if o.RetryWindow <= 0 {
+		o.RetryWindow = 2 * o.Store.LeaseTTL
+	}
+	return o
+}
+
+// Replicated is the fleet-facing JobStore: it opens as owner when the flock
+// is free and as follower otherwise, and a follower promotes itself the
+// moment the owner's death releases the flock. Promotion swaps the inner
+// store (Remote → local *Store) under the mutex; operations caught mid-swap
+// see ErrClosed from the retiring inner and retry once against the new one,
+// and watch subscribers ride a republishing bus that survives the swap.
+//
+// An owner never demotes while alive: the flock is held until the process
+// exits, so the only follower→owner edge is another replica's death. The
+// single-writer invariant is therefore exactly the old one — the kernel
+// enforces one flock holder — with election replacing hard failure.
+type Replicated struct {
+	dir string
+	opt ReplicaOptions
+
+	mu        sync.Mutex
+	inner     JobStore // *Store while owner, *Remote while follower
+	role      Role
+	startedAt time.Time // when this replica won (owner only)
+	closed    bool
+
+	done  chan struct{}
+	wg    sync.WaitGroup
+	watch *telemetry.Bus[Update]
+}
+
+// OpenReplicated joins the fleet for dir: it races the flock once, becoming
+// owner (recovering the store exactly as Open does) or follower (remote
+// client plus a background election loop). There is no "standalone" mode — a
+// fleet of one is simply an owner nobody challenges.
+func OpenReplicated(dir string, opt ReplicaOptions) (*Replicated, error) {
+	opt = opt.replicaDefaults()
+	r := &Replicated{
+		dir:   dir,
+		opt:   opt,
+		done:  make(chan struct{}),
+		watch: telemetry.NewBus[Update](nil),
+	}
+	lock, err := acquireLock(dir)
+	switch {
+	case err == nil:
+		st, oerr := openWithLock(dir, lock, opt.Store)
+		if oerr != nil {
+			return nil, oerr
+		}
+		r.inner = st
+		r.role = RoleOwner
+		r.startedAt = time.Now()
+		if werr := r.stampOwner(); werr != nil {
+			st.Close()
+			return nil, werr
+		}
+		cElections.Inc()
+		gOwnerRole.Set(1)
+		r.wg.Add(1)
+		go r.heartbeatLoop()
+	case errors.Is(err, ErrNotOwner):
+		r.inner = NewRemote(dir, RemoteOptions{
+			Client:      opt.Client,
+			RetryWindow: opt.RetryWindow,
+		})
+		r.role = RoleFollower
+		gOwnerRole.Set(0)
+		r.wg.Add(1)
+		go r.electLoop()
+	default:
+		return nil, err
+	}
+	r.wg.Add(1)
+	go r.pump()
+	return r, nil
+}
+
+// Role reports this replica's role and the current owner's advertised
+// address ("" when no owner has ever recorded itself, or the record is
+// unreadable mid-rename).
+func (r *Replicated) Role() (Role, string) {
+	r.mu.Lock()
+	role := r.role
+	r.mu.Unlock()
+	if role == RoleOwner {
+		return role, r.opt.Advertise
+	}
+	rec, err := ReadOwner(r.dir)
+	if err != nil {
+		return role, ""
+	}
+	return role, rec.Addr
+}
+
+// Local returns the local store while this replica owns it, nil while it
+// follows. The RPC surface serves from it; a nil return is the handler's cue
+// to answer not_owner.
+func (r *Replicated) Local() *Store {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.role != RoleOwner {
+		return nil
+	}
+	st, _ := r.inner.(*Store)
+	return st
+}
+
+// stampOwner (re)writes the ownership record for this replica.
+func (r *Replicated) stampOwner() error {
+	return writeOwner(r.dir, OwnerRecord{
+		Addr:        r.opt.Advertise,
+		PID:         os.Getpid(),
+		StartedAt:   r.startedAt,
+		HeartbeatAt: time.Now(),
+	})
+}
+
+// electLoop is the follower's side of the election: poll the flock until the
+// owner's death releases it, then recover the store and promote. Runs until
+// promotion or Close.
+func (r *Replicated) electLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.opt.ElectionInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-t.C:
+		}
+		lock, err := acquireLock(r.dir)
+		if err != nil {
+			continue // still held; keep following
+		}
+		st, oerr := openWithLock(r.dir, lock, r.opt.Store)
+		if oerr != nil {
+			// Recovery failed (ErrCorrupt, I/O): openWithLock released the
+			// lock, so another replica can try. Keep retrying ourselves too —
+			// a transient I/O error should not wedge this replica as a
+			// permanent follower of a dead owner.
+			continue
+		}
+		r.promote(st)
+		return
+	}
+}
+
+// promote installs st as the inner store and takes ownership. Ordering
+// matters: the ownership record is rewritten first so every replica's next
+// re-resolve lands here, then the inner swap, then the old Remote is closed —
+// its in-flight operations surface ErrClosed and the delegation layer retries
+// them against st, and its demise ends the pump's subscription so the pump
+// re-subscribes to st.
+func (r *Replicated) promote(st *Store) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		st.Close()
+		return
+	}
+	r.startedAt = time.Now()
+	old := r.inner
+	r.inner = st
+	r.role = RoleOwner
+	stampErr := r.stampOwner()
+	r.mu.Unlock()
+	_ = stampErr // advisory: followers fall back to dial-and-discover via not_owner answers
+	cElections.Inc()
+	gOwnerRole.Set(1)
+	r.wg.Add(1)
+	go r.heartbeatLoop()
+	old.Close()
+	if r.opt.OnRole != nil {
+		r.opt.OnRole(RoleOwner, r.opt.Advertise)
+	}
+}
+
+// heartbeatLoop restamps the ownership record while this replica owns the
+// store. Observational only; exits on Close.
+func (r *Replicated) heartbeatLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.opt.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-t.C:
+		}
+		r.mu.Lock()
+		closed := r.closed
+		if !closed {
+			_ = r.stampOwner()
+		}
+		r.mu.Unlock()
+		if closed {
+			return
+		}
+	}
+}
+
+// pump republishes the inner store's watch stream onto r.watch, so a
+// subscriber's stream survives the follower→owner swap. When the inner store
+// closes (promotion retired a Remote, or Close ended everything) its bus
+// drains and the subscription ends; the pump then re-subscribes to whatever
+// inner is current, or exits if the Replicated itself closed.
+//
+// Updates the owner folded between its boot replay and this re-subscription
+// are not replayed here — the SSE layer heals such gaps from the persisted
+// timeline, which is the system-wide convention for missed watch updates.
+func (r *Replicated) pump() {
+	defer r.wg.Done()
+	for {
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return
+		}
+		inner := r.inner
+		r.mu.Unlock()
+		sub := inner.WatchAll(1024)
+		for {
+			u, ok := sub.Next(context.Background())
+			if !ok {
+				break
+			}
+			r.watch.Publish(u)
+		}
+	}
+}
+
+// retryStore reports the store to retry err against: non-nil exactly when
+// err is ErrClosed and a promotion has swapped the inner store since the
+// caller picked up prev. A Remote returns ErrClosed only for operations it
+// never issued (or abandoned mid-retry), so the retry cannot double-apply.
+func (r *Replicated) retryStore(prev JobStore, err error) JobStore {
+	if !errors.Is(err, ErrClosed) {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed || r.inner == prev {
+		return nil
+	}
+	return r.inner
+}
+
+func (r *Replicated) store() JobStore {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.inner
+}
+
+// --- JobStore delegation ---
+
+func (r *Replicated) Submit(spec json.RawMessage) (Job, error) {
+	st := r.store()
+	j, err := st.Submit(spec)
+	if st2 := r.retryStore(st, err); st2 != nil {
+		return st2.Submit(spec)
+	}
+	return j, err
+}
+
+func (r *Replicated) Lookup(id string) (Job, Presence) {
+	return r.store().Lookup(id)
+}
+
+func (r *Replicated) List() []Job {
+	return r.store().List()
+}
+
+func (r *Replicated) Counts() map[State]int {
+	return r.store().Counts()
+}
+
+func (r *Replicated) Claim(worker string) (Job, bool, error) {
+	st := r.store()
+	j, ok, err := st.Claim(worker)
+	if st2 := r.retryStore(st, err); st2 != nil {
+		return st2.Claim(worker)
+	}
+	return j, ok, err
+}
+
+func (r *Replicated) Renew(id, worker string) error {
+	st := r.store()
+	err := st.Renew(id, worker)
+	if st2 := r.retryStore(st, err); st2 != nil {
+		return st2.Renew(id, worker)
+	}
+	return err
+}
+
+func (r *Replicated) SetCheckpoint(id, worker, ref string) error {
+	st := r.store()
+	err := st.SetCheckpoint(id, worker, ref)
+	if st2 := r.retryStore(st, err); st2 != nil {
+		return st2.SetCheckpoint(id, worker, ref)
+	}
+	return err
+}
+
+func (r *Replicated) Complete(id, worker string, result json.RawMessage) error {
+	st := r.store()
+	err := st.Complete(id, worker, result)
+	if st2 := r.retryStore(st, err); st2 != nil {
+		return st2.Complete(id, worker, result)
+	}
+	return err
+}
+
+func (r *Replicated) Fail(id, worker, msg string) error {
+	st := r.store()
+	err := st.Fail(id, worker, msg)
+	if st2 := r.retryStore(st, err); st2 != nil {
+		return st2.Fail(id, worker, msg)
+	}
+	return err
+}
+
+func (r *Replicated) FailTerminal(id, worker, msg string) error {
+	st := r.store()
+	err := st.FailTerminal(id, worker, msg)
+	if st2 := r.retryStore(st, err); st2 != nil {
+		return st2.FailTerminal(id, worker, msg)
+	}
+	return err
+}
+
+func (r *Replicated) Release(id, worker string) error {
+	st := r.store()
+	err := st.Release(id, worker)
+	if st2 := r.retryStore(st, err); st2 != nil {
+		return st2.Release(id, worker)
+	}
+	return err
+}
+
+func (r *Replicated) Cancel(id string) error {
+	st := r.store()
+	err := st.Cancel(id)
+	if st2 := r.retryStore(st, err); st2 != nil {
+		return st2.Cancel(id)
+	}
+	return err
+}
+
+func (r *Replicated) ExpireLeases() (requeued, failed []Job, err error) {
+	st := r.store()
+	requeued, failed, err = st.ExpireLeases()
+	if st2 := r.retryStore(st, err); st2 != nil {
+		return st2.ExpireLeases()
+	}
+	return requeued, failed, err
+}
+
+func (r *Replicated) Watch(id string, buf int) *telemetry.Sub[Update] {
+	return r.watch.Subscribe(buf, func(u Update) bool { return u.JobID == id })
+}
+
+func (r *Replicated) WatchAll(buf int) *telemetry.Sub[Update] {
+	return r.watch.Subscribe(buf, nil)
+}
+
+func (r *Replicated) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	r.closed = true
+	inner := r.inner
+	r.mu.Unlock()
+	close(r.done)
+	err := inner.Close()
+	r.wg.Wait()
+	r.watch.Close()
+	gOwnerRole.Set(0)
+	return err
+}
+
+var _ JobStore = (*Replicated)(nil)

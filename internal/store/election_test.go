@@ -1,0 +1,269 @@
+package store
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dedc/internal/telemetry"
+)
+
+// swapHandler lets a test bind a listener (httptest) before the Replicated —
+// whose RPCHandler the listener will serve — exists. Until the handler is
+// installed it answers 503, which a Remote treats as a transport error and
+// retries. This mirrors production: dedcd binds its listener first, opens the
+// replicated store with that address, then attaches the full mux.
+type swapHandler struct{ v atomic.Value }
+
+func (h *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if hh, _ := h.v.Load().(http.Handler); hh != nil {
+		hh.ServeHTTP(w, r)
+		return
+	}
+	http.Error(w, "handler not attached yet", http.StatusServiceUnavailable)
+}
+
+// startReplica opens one in-process replica with its own HTTP frontend.
+// In-process replicas contend like real processes do: flock conflicts across
+// separate open file descriptions even within one process.
+func startReplica(t *testing.T, dir string, onRole func(Role, string)) (*Replicated, string) {
+	t.Helper()
+	h := &swapHandler{}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	addr := srv.Listener.Addr().String()
+	rep, err := OpenReplicated(dir, ReplicaOptions{
+		Advertise: addr,
+		Store:     Options{LeaseTTL: time.Second, MaxAttempts: 5, BackoffBase: time.Millisecond},
+		// Fast elections keep the test snappy; production defaults derive
+		// from the lease TTL.
+		ElectionInterval: 20 * time.Millisecond,
+		RetryWindow:      5 * time.Second,
+		OnRole:           onRole,
+	})
+	if err != nil {
+		t.Fatalf("OpenReplicated(%s): %v", addr, err)
+	}
+	h.v.Store(rep.RPCHandler())
+	return rep, addr
+}
+
+// TestOpenRaceTypedLoser is the election edge at its smallest: two Opens race
+// one directory, exactly one wins, and the loser gets the typed ErrNotOwner —
+// the signal to follow rather than fail.
+func TestOpenRaceTypedLoser(t *testing.T) {
+	dir := t.TempDir()
+	winner, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("first open: %v", err)
+	}
+	defer winner.Close()
+	if _, err := winner.Submit(json.RawMessage(`{"n":1}`)); err != nil {
+		t.Fatalf("winner submit: %v", err)
+	}
+
+	loser, err := Open(dir, Options{})
+	if err == nil {
+		loser.Close()
+		t.Fatal("second open succeeded; the flock admitted two writers")
+	}
+	if !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("loser error = %v, want ErrNotOwner", err)
+	}
+
+	// The loser's probe must not have disturbed the winner: its boot state
+	// stays intact and it keeps writing.
+	if _, err := winner.Submit(json.RawMessage(`{"n":2}`)); err != nil {
+		t.Fatalf("winner submit after contested open: %v", err)
+	}
+	if n := len(winner.List()); n != 2 {
+		t.Fatalf("winner retains %d jobs, want 2", n)
+	}
+}
+
+// TestReplicatedFailover walks the tentpole end to end in one process: an
+// owner and a follower share a directory, the follower works through the
+// owner's RPC surface, the owner dies, the follower promotes itself, boot
+// replay orphan-requeues the dead owner's claimed job, and the fleet's view
+// converges on the new owner.
+func TestReplicatedFailover(t *testing.T) {
+	dir := t.TempDir()
+	repA, addrA := startReplica(t, dir, nil)
+	if role, owner := repA.Role(); role != RoleOwner || owner != addrA {
+		t.Fatalf("first replica role=%s owner=%s, want owner/%s", role, owner, addrA)
+	}
+	rec, err := ReadOwner(dir)
+	if err != nil || rec.Addr != addrA {
+		t.Fatalf("ownership record = %+v (%v), want addr %s", rec, err, addrA)
+	}
+
+	promoted := make(chan string, 1)
+	repB, addrB := startReplica(t, dir, func(role Role, owner string) {
+		if role == RoleOwner {
+			promoted <- owner
+		}
+	})
+	defer repB.Close()
+	if role, owner := repB.Role(); role != RoleFollower || owner != addrA {
+		t.Fatalf("second replica role=%s owner=%s, want follower/%s", role, owner, addrA)
+	}
+
+	// Follower writes route through the owner: the job must be visible on
+	// both replicas, durably recorded in the shared directory.
+	j, err := repB.Submit(json.RawMessage(`{"fixture":true}`))
+	if err != nil {
+		t.Fatalf("follower submit: %v", err)
+	}
+	if got, p := repA.Lookup(j.ID); p != Found || got.State != StateQueued {
+		t.Fatalf("owner sees job as %v/%v, want Found/queued", got.State, p)
+	}
+
+	// A follower watch subscriber must see the owner's transitions.
+	sub := repB.WatchAll(16)
+	defer sub.Cancel()
+	j2, err := repB.Submit(json.RawMessage(`{"fixture":2}`))
+	if err != nil {
+		t.Fatalf("follower second submit: %v", err)
+	}
+	waitUpdate(t, sub, j2.ID, TLSubmitted)
+
+	// The owner claims a job, then dies (Close releases the flock exactly
+	// like process death does). The follower must promote, and its boot
+	// replay must orphan-requeue the dead owner's running attempt.
+	claimed, ok, err := repA.Claim("workerA.c1")
+	if err != nil || !ok {
+		t.Fatalf("owner claim: ok=%v err=%v", ok, err)
+	}
+	if err := repA.Close(); err != nil {
+		t.Fatalf("closing owner: %v", err)
+	}
+	select {
+	case owner := <-promoted:
+		if owner != addrB {
+			t.Fatalf("promoted owner addr = %s, want %s", owner, addrB)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("follower never promoted after owner death")
+	}
+	if role, owner := repB.Role(); role != RoleOwner || owner != addrB {
+		t.Fatalf("post-failover role=%s owner=%s, want owner/%s", role, owner, addrB)
+	}
+	if rec, err := ReadOwner(dir); err != nil || rec.Addr != addrB {
+		t.Fatalf("post-failover ownership record = %+v (%v), want addr %s", rec, err, addrB)
+	}
+
+	// No job lost: both jobs are present and queued (the claimed one was
+	// orphan-requeued by the new owner's boot replay, attempt preserved).
+	counts := repB.Counts()
+	if counts[StateQueued] != 2 {
+		t.Fatalf("post-failover counts = %v, want 2 queued", counts)
+	}
+	requeued := 0
+	for _, job := range repB.List() {
+		for _, e := range job.Timeline {
+			if e.Type == TLRequeued && e.Reason == ReasonOrphaned {
+				requeued++
+			}
+		}
+	}
+	if requeued != 1 {
+		t.Fatalf("found %d orphan requeues after failover, want 1", requeued)
+	}
+
+	// The fencing invariant: the dead owner's claim token is stale — the
+	// requeue cleared the lease — so a late settlement bearing it must be
+	// rejected, not double-applied.
+	if err := repB.Complete(claimed.ID, claimed.Worker, json.RawMessage(`{"stale":true}`)); !errors.Is(err, ErrNotRunning) {
+		t.Fatalf("stale-token complete = %v, want ErrNotRunning", err)
+	}
+
+	// The new owner serves writes locally now: claim and settle everything.
+	for {
+		job, ok, err := repB.Claim("workerB.c1")
+		if err != nil {
+			t.Fatalf("post-failover claim: %v", err)
+		}
+		if !ok {
+			break
+		}
+		if err := repB.Complete(job.ID, job.Worker, json.RawMessage(`{"ok":true}`)); err != nil {
+			t.Fatalf("post-failover complete: %v", err)
+		}
+	}
+	if counts := repB.Counts(); counts[StateDone] != 2 {
+		t.Fatalf("final counts = %v, want 2 done", counts)
+	}
+}
+
+// TestHandoffMidClaim pins the in-flight-RPC half of the election edge: a
+// follower's claim issued against a dying owner must fail over to the
+// follower's own promoted store and claim exactly once.
+func TestHandoffMidClaim(t *testing.T) {
+	dir := t.TempDir()
+	repA, _ := startReplica(t, dir, nil)
+	if _, err := repA.Submit(json.RawMessage(`{"fixture":true}`)); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	repB, _ := startReplica(t, dir, nil)
+	defer repB.Close()
+
+	// The owner dies, and the follower issues a claim before it has learned:
+	// the claim is in flight across the failover window. Its retry loop rides
+	// through — stale-owner answers (closed store, refused connections) are
+	// retriable — and once the follower promotes, the delegation layer
+	// re-runs the claim against the now-local store. The claim call itself
+	// never sees the failover.
+	if err := repA.Close(); err != nil {
+		t.Fatalf("closing owner: %v", err)
+	}
+	job, ok, err := repB.Claim("workerB.c1")
+	if err != nil || !ok {
+		t.Fatalf("claim through failover: ok=%v err=%v", ok, err)
+	}
+	if job.Worker != "workerB.c1" {
+		t.Fatalf("claimed worker = %q, want workerB.c1", job.Worker)
+	}
+	// Exactly once: the job runs under B's token, and no second claimable
+	// copy exists anywhere.
+	if j, p := repB.Lookup(job.ID); p != Found || j.State != StateRunning || j.Worker != "workerB.c1" {
+		t.Fatalf("post-claim job = %+v (%v), want running under workerB.c1", j, p)
+	}
+	if _, ok, err := repB.Claim("workerB.c2"); err != nil || ok {
+		t.Fatalf("second claim = ok=%v err=%v, want empty queue", ok, err)
+	}
+	if err := repB.Complete(job.ID, job.Worker, json.RawMessage(`{"ok":true}`)); err != nil {
+		t.Fatalf("complete: %v", err)
+	}
+	repB.Close()
+
+	// The surviving directory must validate: one terminal settlement, no
+	// double-applied claim.
+	rep, err := Validate(dir)
+	if err != nil {
+		t.Fatalf("post-failover validate: %v\n%+v", err, rep)
+	}
+}
+
+// waitUpdate drains sub until an update for job id with timeline type typ
+// arrives (the remote watch path republishes through an HTTP stream, so
+// delivery trails the write by a few network hops).
+func waitUpdate(t *testing.T, sub *telemetry.Sub[Update], id, typ string) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for {
+		u, ok := sub.Next(ctx)
+		if !ok {
+			t.Fatalf("watch ended before %s/%s arrived", id, typ)
+		}
+		if u.JobID == id && u.Entry.Type == typ {
+			return
+		}
+	}
+}

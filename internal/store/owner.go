@@ -1,0 +1,59 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// ownerName is the ownership record advertised inside the store directory.
+// The flock is the election; this file is the discovery channel riding on the
+// same shared filesystem: the owner writes its reachable RPC address here
+// (atomically, heartbeat-restamped) and followers read it to find who to talk
+// to. A stale record is harmless — a follower that dials a dead address gets
+// a connection error and re-resolves — so the file is advisory, never a lock.
+const ownerName = "owner.json"
+
+// OwnerRecord is the contents of owner.json.
+type OwnerRecord struct {
+	// Addr is the owner's advertised host:port — the base address of its
+	// store RPC surface (and of its public job API; they share a mux).
+	Addr string `json:"addr"`
+	// PID identifies the owning process, for operators diagnosing a fleet.
+	PID int `json:"pid"`
+	// StartedAt is when this process won the election; HeartbeatAt is the
+	// last restamp. A HeartbeatAt far in the past means the owner died
+	// without a successor (or the fleet is one crashed process).
+	StartedAt   time.Time `json:"started_at"`
+	HeartbeatAt time.Time `json:"heartbeat_at"`
+}
+
+// ReadOwner reads the ownership record of a store directory. It reports
+// os.ErrNotExist before any replica has ever owned the store.
+func ReadOwner(dir string) (OwnerRecord, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ownerName))
+	if err != nil {
+		return OwnerRecord{}, err
+	}
+	var rec OwnerRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return OwnerRecord{}, fmt.Errorf("store: undecodable %s: %w", ownerName, err)
+	}
+	return rec, nil
+}
+
+// writeOwner replaces the ownership record atomically (tmp + rename), so a
+// follower never reads a torn record. Only the flock holder may call it.
+func writeOwner(dir string, rec OwnerRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encoding %s: %w", ownerName, err)
+	}
+	tmp := filepath.Join(dir, ownerName+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, ownerName))
+}

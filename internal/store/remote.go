@@ -1,0 +1,407 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"dedc/internal/telemetry"
+)
+
+// errTransport tags a failure below the RPC protocol — dial refused, owner
+// died mid-response, undecodable body. Always retriable: the owner may be
+// dead and a successor electing.
+var errTransport = errors.New("store: transport error")
+
+// remoteCallTimeout bounds one RPC attempt (not the retry window): a
+// SIGKILLed owner refuses connections instantly, so this only matters for a
+// wedged-but-listening owner.
+const remoteCallTimeout = 5 * time.Second
+
+// Remote metrics.
+var (
+	cRemoteRetries   = telemetry.Default.Counter("store.remote_retries", "Remote store operations retried after a retriable failure (owner death, re-election, not-owner answer).")
+	cRemoteResolves  = telemetry.Default.Counter("store.remote_resolves", "Owner address re-resolutions from the ownership record.")
+	cRemoteGiveUps   = telemetry.Default.Counter("store.remote_unavailable", "Remote store operations abandoned with ErrUnavailable after the retry window.")
+	cRemoteWatchDrop = telemetry.Default.Counter("store.remote_watch_reconnects", "Remote watch stream reconnects (each may have lost updates; the SSE layer heals gaps from the timeline).")
+)
+
+// RemoteOptions tunes a Remote client.
+type RemoteOptions struct {
+	// Client issues the RPC requests (default a plain http.Client). Do not
+	// set Client.Timeout — it would sever the long-lived watch stream; per
+	// attempt deadlines are layered per call instead.
+	Client *http.Client
+	// RetryWindow bounds how long one operation retries through owner death
+	// before failing with ErrUnavailable (default 10s; Replicated passes
+	// 2×LeaseTTL).
+	RetryWindow time.Duration
+	// BackoffBase/BackoffMax shape the delay between retries
+	// (default 25ms doubling to 500ms).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+}
+
+func (o RemoteOptions) remoteDefaults() RemoteOptions {
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	if o.RetryWindow <= 0 {
+		o.RetryWindow = 10 * time.Second
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 25 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 500 * time.Millisecond
+	}
+	return o
+}
+
+// Remote implements JobStore against the current owner's RPC surface. It
+// discovers the owner from the store directory's ownership record, caches
+// the address until a retriable failure invalidates it, and retries each
+// operation with backoff through owner death — so a failover shorter than
+// RetryWindow is invisible to callers except as latency. Logical errors
+// (unknown job, wrong worker, terminal, ...) return immediately with the
+// same typed sentinels a local store uses.
+//
+// Reads an exhausted retry window cannot type as an error (Lookup, List,
+// Counts) degrade to their zero answers; callers polling across a failover
+// must tolerate a transiently unknown job.
+type Remote struct {
+	dir string
+	opt RemoteOptions
+
+	mu     sync.Mutex
+	addr   string // cached owner address, "" when unresolved
+	closed bool
+
+	done  chan struct{}
+	wg    sync.WaitGroup
+	watch *telemetry.Bus[Update]
+}
+
+// NewRemote returns a follower-side store client for dir. It starts a
+// background watch pump immediately; Close stops it.
+func NewRemote(dir string, opt RemoteOptions) *Remote {
+	c := &Remote{
+		dir:   dir,
+		opt:   opt.remoteDefaults(),
+		done:  make(chan struct{}),
+		watch: telemetry.NewBus[Update](nil),
+	}
+	c.wg.Add(1)
+	go c.watchLoop()
+	return c
+}
+
+func (c *Remote) isClosed() bool {
+	select {
+	case <-c.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// resolve returns the owner address, reading the ownership record when the
+// cache is empty.
+func (c *Remote) resolve() (string, error) {
+	c.mu.Lock()
+	addr := c.addr
+	c.mu.Unlock()
+	if addr != "" {
+		return addr, nil
+	}
+	rec, err := ReadOwner(c.dir)
+	if err != nil {
+		return "", err
+	}
+	if rec.Addr == "" {
+		return "", errors.New("store: ownership record carries no address")
+	}
+	cRemoteResolves.Inc()
+	c.mu.Lock()
+	c.addr = rec.Addr
+	c.mu.Unlock()
+	return rec.Addr, nil
+}
+
+// invalidate drops the cached address if it still is addr, forcing the next
+// attempt to re-read the ownership record.
+func (c *Remote) invalidate(addr string) {
+	c.mu.Lock()
+	if c.addr == addr {
+		c.addr = ""
+	}
+	c.mu.Unlock()
+}
+
+func retriableRemote(err error) bool {
+	return errors.Is(err, errTransport) || errors.Is(err, ErrNotOwner) || errors.Is(err, ErrClosed)
+}
+
+// sleep waits d or until Close, reporting whether the client is still open.
+func (c *Remote) sleep(d time.Duration) bool {
+	select {
+	case <-c.done:
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// do runs one RPC with owner re-resolution and backoff. On success the 200
+// body is decoded into out (when non-nil); a retriable failure loops until
+// RetryWindow expires, then returns ErrUnavailable wrapping the last cause.
+func (c *Remote) do(method, path string, in, out any) error {
+	deadline := time.Now().Add(c.opt.RetryWindow)
+	backoff := c.opt.BackoffBase
+	for {
+		if c.isClosed() {
+			return ErrClosed
+		}
+		err := c.once(method, path, in, out)
+		if err == nil {
+			return nil
+		}
+		if !retriableRemote(err) {
+			return err
+		}
+		if time.Now().After(deadline) {
+			cRemoteGiveUps.Inc()
+			return fmt.Errorf("store: %s %s after %s: %v: %w", method, path, c.opt.RetryWindow, err, ErrUnavailable)
+		}
+		cRemoteRetries.Inc()
+		if !c.sleep(backoff) {
+			return ErrClosed
+		}
+		if backoff *= 2; backoff > c.opt.BackoffMax {
+			backoff = c.opt.BackoffMax
+		}
+	}
+}
+
+// once issues a single RPC attempt.
+func (c *Remote) once(method, path string, in, out any) error {
+	addr, err := c.resolve()
+	if err != nil {
+		return fmt.Errorf("%w: resolving owner: %v", errTransport, err)
+	}
+	var body io.Reader
+	if in != nil {
+		data, merr := json.Marshal(in)
+		if merr != nil {
+			return fmt.Errorf("store: encoding request: %w", merr)
+		}
+		body = bytes.NewReader(data)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), remoteCallTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, method, "http://"+addr+path, body)
+	if err != nil {
+		return fmt.Errorf("store: building request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.opt.Client.Do(req)
+	if err != nil {
+		c.invalidate(addr)
+		return fmt.Errorf("%w: %v", errTransport, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		var env rpcError
+		if json.Unmarshal(data, &env) == nil && env.Code != "" {
+			rerr := codeToErr(env.Code, env.Error)
+			if retriableRemote(rerr) {
+				c.invalidate(addr)
+			}
+			return rerr
+		}
+		if resp.StatusCode >= 500 {
+			c.invalidate(addr)
+			return fmt.Errorf("%w: status %d: %s", errTransport, resp.StatusCode, bytes.TrimSpace(data))
+		}
+		return fmt.Errorf("store: remote status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		c.invalidate(addr)
+		return fmt.Errorf("%w: decoding response: %v", errTransport, err)
+	}
+	return nil
+}
+
+// watchLoop maintains one streaming /v1/store/watch connection to the
+// current owner, republishing its Updates locally. A broken stream (owner
+// death, network) reconnects to whoever owner.json names next; updates
+// folded between disconnect and reconnect are lost here by design — the SSE
+// layer heals gaps from the persisted timeline.
+func (c *Remote) watchLoop() {
+	defer c.wg.Done()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-c.done
+		cancel()
+	}()
+	first := true
+	for {
+		if c.isClosed() {
+			return
+		}
+		if !first {
+			cRemoteWatchDrop.Inc()
+			if !c.sleep(c.opt.BackoffBase) {
+				return
+			}
+		}
+		first = false
+		addr, err := c.resolve()
+		if err != nil {
+			continue
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/v1/store/watch?buf=1024", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := c.opt.Client.Do(req)
+		if err != nil {
+			c.invalidate(addr)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			c.invalidate(addr)
+			continue
+		}
+		dec := json.NewDecoder(resp.Body)
+		for {
+			var u Update
+			if err := dec.Decode(&u); err != nil {
+				break
+			}
+			c.watch.Publish(u)
+		}
+		resp.Body.Close()
+		c.invalidate(addr)
+	}
+}
+
+// --- JobStore ---
+
+func (c *Remote) Submit(spec json.RawMessage) (Job, error) {
+	var j Job
+	if err := c.do(http.MethodPost, "/v1/store/submit", rpcSubmitReq{Spec: spec}, &j); err != nil {
+		return Job{}, err
+	}
+	return j, nil
+}
+
+func (c *Remote) Lookup(id string) (Job, Presence) {
+	var out rpcLookupResp
+	if err := c.do(http.MethodGet, "/v1/store/jobs/"+id, nil, &out); err != nil {
+		return Job{}, Unknown
+	}
+	return out.Job, presenceFromString(out.Presence)
+}
+
+func (c *Remote) List() []Job {
+	var out []Job
+	if err := c.do(http.MethodGet, "/v1/store/jobs", nil, &out); err != nil {
+		return nil
+	}
+	return out
+}
+
+func (c *Remote) Counts() map[State]int {
+	out := map[State]int{}
+	if err := c.do(http.MethodGet, "/v1/store/counts", nil, &out); err != nil {
+		return map[State]int{}
+	}
+	return out
+}
+
+func (c *Remote) Claim(worker string) (Job, bool, error) {
+	var out rpcClaimResp
+	if err := c.do(http.MethodPost, "/v1/store/claim", rpcClaimReq{Worker: worker}, &out); err != nil {
+		return Job{}, false, err
+	}
+	return out.Job, out.OK, nil
+}
+
+func (c *Remote) Renew(id, worker string) error {
+	return c.do(http.MethodPost, "/v1/store/renew", rpcOpReq{ID: id, Worker: worker}, nil)
+}
+
+func (c *Remote) SetCheckpoint(id, worker, ref string) error {
+	return c.do(http.MethodPost, "/v1/store/checkpoint", rpcOpReq{ID: id, Worker: worker, Ref: ref}, nil)
+}
+
+func (c *Remote) Complete(id, worker string, result json.RawMessage) error {
+	return c.do(http.MethodPost, "/v1/store/complete", rpcOpReq{ID: id, Worker: worker, Result: result}, nil)
+}
+
+func (c *Remote) Fail(id, worker, msg string) error {
+	return c.do(http.MethodPost, "/v1/store/fail", rpcOpReq{ID: id, Worker: worker, Error: msg}, nil)
+}
+
+func (c *Remote) FailTerminal(id, worker, msg string) error {
+	return c.do(http.MethodPost, "/v1/store/fail", rpcOpReq{ID: id, Worker: worker, Error: msg, Terminal: true}, nil)
+}
+
+func (c *Remote) Release(id, worker string) error {
+	return c.do(http.MethodPost, "/v1/store/release", rpcOpReq{ID: id, Worker: worker}, nil)
+}
+
+func (c *Remote) Cancel(id string) error {
+	return c.do(http.MethodPost, "/v1/store/cancel", rpcOpReq{ID: id}, nil)
+}
+
+func (c *Remote) ExpireLeases() (requeued, failed []Job, err error) {
+	var out rpcExpireResp
+	if err := c.do(http.MethodPost, "/v1/store/expire", nil, &out); err != nil {
+		return nil, nil, err
+	}
+	return out.Requeued, out.Failed, nil
+}
+
+func (c *Remote) Watch(id string, buf int) *telemetry.Sub[Update] {
+	return c.watch.Subscribe(buf, func(u Update) bool { return u.JobID == id })
+}
+
+func (c *Remote) WatchAll(buf int) *telemetry.Sub[Update] {
+	return c.watch.Subscribe(buf, nil)
+}
+
+// Close stops the watch pump and fails further operations with ErrClosed.
+// It never touches the owner: a follower's exit is invisible to the fleet.
+func (c *Remote) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.done)
+	c.wg.Wait()
+	c.watch.Close()
+	return nil
+}
+
+var _ JobStore = (*Remote)(nil)

@@ -1,0 +1,198 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestRemoteJobStoreConformance drives every JobStore method through the
+// wire: an owner replica serves the RPC surface and a bare Remote issues the
+// calls, checking that results and typed errors round-trip exactly as a
+// local store would have produced them.
+func TestRemoteJobStoreConformance(t *testing.T) {
+	dir := t.TempDir()
+	owner, _ := startReplica(t, dir, nil)
+	defer owner.Close()
+
+	rc := NewRemote(dir, RemoteOptions{RetryWindow: 5 * time.Second})
+	defer rc.Close()
+
+	// Submit / Lookup / List / Counts.
+	j, err := rc.Submit(json.RawMessage(`{"fixture":1}`))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if got, p := rc.Lookup(j.ID); p != Found || got.State != StateQueued {
+		t.Fatalf("lookup = %v/%v, want Found/queued", got.State, p)
+	}
+	if _, p := rc.Lookup("no-such-job"); p != Unknown {
+		t.Fatalf("lookup of unknown job = %v, want Unknown", p)
+	}
+	if jobs := rc.List(); len(jobs) != 1 || jobs[0].ID != j.ID {
+		t.Fatalf("list = %+v, want the one submitted job", jobs)
+	}
+	if counts := rc.Counts(); counts[StateQueued] != 1 {
+		t.Fatalf("counts = %v, want 1 queued", counts)
+	}
+
+	// Watch over the wire: a subscription through the remote pump sees the
+	// owner's transitions.
+	sub := rc.WatchAll(16)
+	defer sub.Cancel()
+
+	// Claim / Renew / SetCheckpoint under the lease token.
+	cj, ok, err := rc.Claim("w.c1")
+	if err != nil || !ok {
+		t.Fatalf("claim: ok=%v err=%v", ok, err)
+	}
+	if cj.ID != j.ID || cj.Worker != "w.c1" {
+		t.Fatalf("claimed %+v, want job %s under w.c1", cj, j.ID)
+	}
+	if _, ok, err := rc.Claim("w.c2"); err != nil || ok {
+		t.Fatalf("claim on empty queue: ok=%v err=%v", ok, err)
+	}
+	if err := rc.Renew(j.ID, "w.c1"); err != nil {
+		t.Fatalf("renew: %v", err)
+	}
+	if err := rc.SetCheckpoint(j.ID, "w.c1", "/tmp/ref.jsonl"); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+
+	// Typed logical errors cross the wire without losing their identity —
+	// and return immediately, not after the retry window.
+	logicalStart := time.Now()
+	if err := rc.Renew(j.ID, "intruder"); !errors.Is(err, ErrWrongWorker) {
+		t.Fatalf("renew under wrong worker = %v, want ErrWrongWorker", err)
+	}
+	if err := rc.Renew("no-such-job", "w.c1"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("renew of unknown job = %v, want ErrUnknownJob", err)
+	}
+	if elapsed := time.Since(logicalStart); elapsed > 2*time.Second {
+		t.Fatalf("logical errors took %v — they must not burn the retry window", elapsed)
+	}
+
+	// Complete, then confirm terminal stickiness end to end.
+	if err := rc.Complete(j.ID, "w.c1", json.RawMessage(`{"solved":true}`)); err != nil {
+		t.Fatalf("complete: %v", err)
+	}
+	if err := rc.Complete(j.ID, "w.c1", json.RawMessage(`{"again":true}`)); !errors.Is(err, ErrTerminal) {
+		t.Fatalf("double complete = %v, want ErrTerminal", err)
+	}
+	if got, p := rc.Lookup(j.ID); p != Found || got.State != StateDone || string(got.Result) != `{"solved":true}` {
+		t.Fatalf("final job = %+v (%v), want done with result", got, p)
+	}
+	waitUpdate(t, sub, j.ID, TLCompleted)
+
+	// Fail (retry path), FailTerminal, Cancel, ExpireLeases.
+	j2, err := rc.Submit(json.RawMessage(`{"fixture":2}`))
+	if err != nil {
+		t.Fatalf("submit 2: %v", err)
+	}
+	c2, ok, err := rc.Claim("w.c3")
+	if err != nil || !ok || c2.ID != j2.ID {
+		t.Fatalf("claim 2: %+v ok=%v err=%v", c2, ok, err)
+	}
+	if err := rc.Fail(j2.ID, "w.c3", "transient"); err != nil {
+		t.Fatalf("fail: %v", err)
+	}
+	if got, _ := rc.Lookup(j2.ID); got.State != StateQueued {
+		t.Fatalf("failed-with-retries job = %v, want queued", got.State)
+	}
+	if err := rc.Cancel(j2.ID); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	if got, _ := rc.Lookup(j2.ID); got.State != StateCancelled {
+		t.Fatalf("cancelled job = %v, want cancelled", got.State)
+	}
+
+	j3, err := rc.Submit(json.RawMessage(`{"fixture":3}`))
+	if err != nil {
+		t.Fatalf("submit 3: %v", err)
+	}
+	c3, ok, err := rc.Claim("w.c4")
+	if err != nil || !ok || c3.ID != j3.ID {
+		t.Fatalf("claim 3: ok=%v err=%v", ok, err)
+	}
+	if err := rc.FailTerminal(j3.ID, "w.c4", "poison"); err != nil {
+		t.Fatalf("fail terminal: %v", err)
+	}
+	if got, _ := rc.Lookup(j3.ID); got.State != StateFailed {
+		t.Fatalf("terminally failed job = %v, want failed", got.State)
+	}
+
+	if requeued, failed, err := rc.ExpireLeases(); err != nil || len(requeued) != 0 || len(failed) != 0 {
+		t.Fatalf("expire = %v/%v/%v, want empty", requeued, failed, err)
+	}
+
+	// Release round-trips too.
+	j4, err := rc.Submit(json.RawMessage(`{"fixture":4}`))
+	if err != nil {
+		t.Fatalf("submit 4: %v", err)
+	}
+	c4, ok, err := rc.Claim("w.c5")
+	if err != nil || !ok || c4.ID != j4.ID {
+		t.Fatalf("claim 4: ok=%v err=%v", ok, err)
+	}
+	if err := rc.Release(j4.ID, "w.c5"); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	if got, _ := rc.Lookup(j4.ID); got.State != StateQueued || got.Worker != "" {
+		t.Fatalf("released job = %v worker=%q, want queued with lease cleared", got.State, got.Worker)
+	}
+}
+
+// TestRemoteUnavailable pins the give-up contract: with no reachable owner,
+// a write fails with ErrUnavailable only after the retry window, and a
+// closed Remote fails immediately with ErrClosed.
+func TestRemoteUnavailable(t *testing.T) {
+	dir := t.TempDir()
+	// An ownership record pointing at a dead address: the last owner was
+	// SIGKILLed and nobody has won since.
+	if err := writeOwner(dir, OwnerRecord{Addr: "127.0.0.1:1", PID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	rc := NewRemote(dir, RemoteOptions{RetryWindow: 200 * time.Millisecond})
+	start := time.Now()
+	_, err := rc.Submit(json.RawMessage(`{"n":1}`))
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("submit with dead owner = %v, want ErrUnavailable", err)
+	}
+	if elapsed := time.Since(start); elapsed < 200*time.Millisecond {
+		t.Fatalf("gave up after %v, before the retry window", elapsed)
+	}
+	if err := rc.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := rc.Submit(json.RawMessage(`{"n":2}`)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close = %v, want ErrClosed", err)
+	}
+}
+
+// TestRemoteFollowsOwnershipRecord pins re-resolution: a Remote that cached
+// one owner must follow the record to the next one after a failover.
+func TestRemoteFollowsOwnershipRecord(t *testing.T) {
+	dir := t.TempDir()
+	repA, _ := startReplica(t, dir, nil)
+
+	rc := NewRemote(dir, RemoteOptions{RetryWindow: 10 * time.Second})
+	defer rc.Close()
+	if _, err := rc.Submit(json.RawMessage(`{"n":1}`)); err != nil {
+		t.Fatalf("submit via first owner: %v", err)
+	}
+
+	repB, _ := startReplica(t, dir, nil)
+	defer repB.Close()
+	if err := repA.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The cached address now answers with a closed store; the retry loop
+	// must invalidate it, re-read owner.json, and land on B.
+	if _, err := rc.Submit(json.RawMessage(`{"n":2}`)); err != nil {
+		t.Fatalf("submit across failover: %v", err)
+	}
+	if counts := repB.Counts(); counts[StateQueued] != 2 {
+		t.Fatalf("counts after failover = %v, want 2 queued", counts)
+	}
+}

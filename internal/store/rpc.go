@@ -1,0 +1,378 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"dedc/internal/telemetry"
+)
+
+// The store RPC surface: the owner serves these endpoints on the replica
+// fleet's shared mux prefix /v1/store/, and Remote is their only intended
+// client. The surface is deliberately minimal — exactly the JobStore
+// interface, one endpoint per method — so the fleet's correctness story
+// stays the single-writer story: every durable write still happens on one
+// process, behind one mutex, through one append path.
+//
+//	POST /v1/store/submit            {spec}                    → Job
+//	GET  /v1/store/jobs              —                         → []Job
+//	GET  /v1/store/jobs/{id}         —                         → {job, presence}
+//	GET  /v1/store/counts            —                         → {state: n}
+//	POST /v1/store/claim             {worker}                  → {job, ok}
+//	POST /v1/store/renew             {id, worker}              → {}
+//	POST /v1/store/checkpoint        {id, worker, ref}         → {}
+//	POST /v1/store/complete          {id, worker, result}      → {}
+//	POST /v1/store/fail              {id, worker, error, terminal} → {}
+//	POST /v1/store/release           {id, worker}              → {}
+//	POST /v1/store/cancel            {id}                      → {}
+//	POST /v1/store/expire            —                         → {requeued, failed}
+//	GET  /v1/store/watch?job=&buf=   —                         → ndjson Update stream
+//
+// Errors travel as a JSON envelope {error, code}; the code round-trips to
+// the typed sentinel on the client (see codeToErr), so a follower's calls
+// fail with exactly the errors a local store would have returned. A replica
+// that is not the owner answers every endpoint with code "not_owner" — the
+// client's cue to re-read owner.json and re-dial.
+
+// rpcError is the error envelope.
+type rpcError struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// Wire error codes, one per typed store sentinel.
+const (
+	codeUnknownJob   = "unknown_job"
+	codeTerminal     = "terminal"
+	codeWrongWorker  = "wrong_worker"
+	codeNotRunning   = "not_running"
+	codeLeaseExpired = "lease_expired"
+	codeTooLarge     = "too_large"
+	codeCorrupt      = "corrupt"
+	codeClosed       = "closed"
+	codeNotOwner     = "not_owner"
+	codeUnavailable  = "unavailable"
+	codeInternal     = "internal"
+)
+
+// errCode maps a store error to its wire code and HTTP status. The status is
+// advisory (the client dispatches on the code); it exists so curl and access
+// logs tell the truth.
+func errCode(err error) (code string, status int) {
+	switch {
+	case errors.Is(err, ErrUnknownJob):
+		return codeUnknownJob, http.StatusNotFound
+	case errors.Is(err, ErrTerminal):
+		return codeTerminal, http.StatusConflict
+	case errors.Is(err, ErrWrongWorker):
+		return codeWrongWorker, http.StatusConflict
+	case errors.Is(err, ErrNotRunning):
+		return codeNotRunning, http.StatusConflict
+	case errors.Is(err, ErrLeaseExpired):
+		return codeLeaseExpired, http.StatusConflict
+	case errors.Is(err, ErrTooLarge):
+		return codeTooLarge, http.StatusRequestEntityTooLarge
+	case errors.Is(err, ErrCorrupt):
+		return codeCorrupt, http.StatusInternalServerError
+	case errors.Is(err, ErrClosed):
+		return codeClosed, http.StatusServiceUnavailable
+	case errors.Is(err, ErrNotOwner):
+		return codeNotOwner, http.StatusServiceUnavailable
+	case errors.Is(err, ErrUnavailable):
+		return codeUnavailable, http.StatusServiceUnavailable
+	}
+	return codeInternal, http.StatusInternalServerError
+}
+
+// codeToErr rebuilds the typed error from a wire envelope. The message keeps
+// the owner's wording; errors.Is keeps working on the sentinel.
+func codeToErr(code, msg string) error {
+	var base error
+	switch code {
+	case codeUnknownJob:
+		base = ErrUnknownJob
+	case codeTerminal:
+		base = ErrTerminal
+	case codeWrongWorker:
+		base = ErrWrongWorker
+	case codeNotRunning:
+		base = ErrNotRunning
+	case codeLeaseExpired:
+		base = ErrLeaseExpired
+	case codeTooLarge:
+		base = ErrTooLarge
+	case codeCorrupt:
+		base = ErrCorrupt
+	case codeClosed:
+		base = ErrClosed
+	case codeNotOwner:
+		base = ErrNotOwner
+	case codeUnavailable:
+		base = ErrUnavailable
+	default:
+		return fmt.Errorf("store: remote error (%s): %s", code, msg)
+	}
+	return fmt.Errorf("remote: %s: %w", msg, base)
+}
+
+func presenceString(p Presence) string {
+	switch p {
+	case Found:
+		return "found"
+	case Evicted:
+		return "evicted"
+	}
+	return "unknown"
+}
+
+func presenceFromString(s string) Presence {
+	switch s {
+	case "found":
+		return Found
+	case "evicted":
+		return Evicted
+	}
+	return Unknown
+}
+
+// Request/response bodies shared by the server handlers and Remote.
+type (
+	rpcSubmitReq struct {
+		Spec json.RawMessage `json:"spec"`
+	}
+	rpcLookupResp struct {
+		Job      Job    `json:"job"`
+		Presence string `json:"presence"`
+	}
+	rpcClaimReq struct {
+		Worker string `json:"worker"`
+	}
+	rpcClaimResp struct {
+		Job Job  `json:"job"`
+		OK  bool `json:"ok"`
+	}
+	// rpcOpReq covers every per-job lease operation; unused fields stay empty.
+	rpcOpReq struct {
+		ID       string          `json:"id"`
+		Worker   string          `json:"worker,omitempty"`
+		Ref      string          `json:"ref,omitempty"`
+		Result   json.RawMessage `json:"result,omitempty"`
+		Error    string          `json:"error,omitempty"`
+		Terminal bool            `json:"terminal,omitempty"`
+	}
+	rpcExpireResp struct {
+		Requeued []Job `json:"requeued"`
+		Failed   []Job `json:"failed"`
+	}
+)
+
+func writeRPCErr(w http.ResponseWriter, err error) {
+	code, status := errCode(err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(rpcError{Error: err.Error(), Code: code})
+}
+
+func writeRPCJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func readRPCBody(w http.ResponseWriter, req *http.Request, v any) bool {
+	if err := json.NewDecoder(http.MaxBytesReader(w, req.Body, int64(maxRecord))).Decode(v); err != nil {
+		http.Error(w, "undecodable request body: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// RPCHandler returns the store RPC surface. Every replica mounts it (at the
+// root of the shared mux — the patterns carry the /v1/store/ prefix); only
+// the owner serves from a local store, and a follower answers not_owner.
+func (r *Replicated) RPCHandler() http.Handler {
+	mux := http.NewServeMux()
+
+	// local resolves the serving store per request: ownership can be won
+	// between two requests, so it is never cached across them.
+	local := func(w http.ResponseWriter) *Store {
+		st := r.Local()
+		if st == nil {
+			writeRPCErr(w, ErrNotOwner)
+		}
+		return st
+	}
+
+	mux.HandleFunc("POST /v1/store/submit", func(w http.ResponseWriter, req *http.Request) {
+		st := local(w)
+		if st == nil {
+			return
+		}
+		var in rpcSubmitReq
+		if !readRPCBody(w, req, &in) {
+			return
+		}
+		j, err := st.Submit(in.Spec)
+		if err != nil {
+			writeRPCErr(w, err)
+			return
+		}
+		writeRPCJSON(w, j)
+	})
+
+	mux.HandleFunc("GET /v1/store/jobs", func(w http.ResponseWriter, req *http.Request) {
+		st := local(w)
+		if st == nil {
+			return
+		}
+		jobs := st.List()
+		if jobs == nil {
+			jobs = []Job{}
+		}
+		writeRPCJSON(w, jobs)
+	})
+
+	mux.HandleFunc("GET /v1/store/jobs/{id}", func(w http.ResponseWriter, req *http.Request) {
+		st := local(w)
+		if st == nil {
+			return
+		}
+		j, p := st.Lookup(req.PathValue("id"))
+		writeRPCJSON(w, rpcLookupResp{Job: j, Presence: presenceString(p)})
+	})
+
+	mux.HandleFunc("GET /v1/store/counts", func(w http.ResponseWriter, req *http.Request) {
+		st := local(w)
+		if st == nil {
+			return
+		}
+		writeRPCJSON(w, st.Counts())
+	})
+
+	mux.HandleFunc("POST /v1/store/claim", func(w http.ResponseWriter, req *http.Request) {
+		st := local(w)
+		if st == nil {
+			return
+		}
+		var in rpcClaimReq
+		if !readRPCBody(w, req, &in) {
+			return
+		}
+		j, ok, err := st.Claim(in.Worker)
+		if err != nil {
+			writeRPCErr(w, err)
+			return
+		}
+		writeRPCJSON(w, rpcClaimResp{Job: j, OK: ok})
+	})
+
+	// op wires one {id, worker, ...} mutation endpoint.
+	op := func(pattern string, fn func(st *Store, in rpcOpReq) error) {
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, req *http.Request) {
+			st := local(w)
+			if st == nil {
+				return
+			}
+			var in rpcOpReq
+			if !readRPCBody(w, req, &in) {
+				return
+			}
+			if err := fn(st, in); err != nil {
+				writeRPCErr(w, err)
+				return
+			}
+			writeRPCJSON(w, struct{}{})
+		})
+	}
+	op("POST /v1/store/renew", func(st *Store, in rpcOpReq) error {
+		return st.Renew(in.ID, in.Worker)
+	})
+	op("POST /v1/store/checkpoint", func(st *Store, in rpcOpReq) error {
+		return st.SetCheckpoint(in.ID, in.Worker, in.Ref)
+	})
+	op("POST /v1/store/complete", func(st *Store, in rpcOpReq) error {
+		return st.Complete(in.ID, in.Worker, in.Result)
+	})
+	op("POST /v1/store/fail", func(st *Store, in rpcOpReq) error {
+		if in.Terminal {
+			return st.FailTerminal(in.ID, in.Worker, in.Error)
+		}
+		return st.Fail(in.ID, in.Worker, in.Error)
+	})
+	op("POST /v1/store/release", func(st *Store, in rpcOpReq) error {
+		return st.Release(in.ID, in.Worker)
+	})
+	op("POST /v1/store/cancel", func(st *Store, in rpcOpReq) error {
+		return st.Cancel(in.ID)
+	})
+
+	mux.HandleFunc("POST /v1/store/expire", func(w http.ResponseWriter, req *http.Request) {
+		st := local(w)
+		if st == nil {
+			return
+		}
+		requeued, failed, err := st.ExpireLeases()
+		if err != nil {
+			writeRPCErr(w, err)
+			return
+		}
+		if requeued == nil {
+			requeued = []Job{}
+		}
+		if failed == nil {
+			failed = []Job{}
+		}
+		writeRPCJSON(w, rpcExpireResp{Requeued: requeued, Failed: failed})
+	})
+
+	mux.HandleFunc("GET /v1/store/watch", func(w http.ResponseWriter, req *http.Request) {
+		st := local(w)
+		if st == nil {
+			return
+		}
+		buf := 0
+		if b := req.URL.Query().Get("buf"); b != "" {
+			if n, err := strconv.Atoi(b); err == nil && n > 0 {
+				buf = n
+			}
+		}
+		watchStream(w, req, st, req.URL.Query().Get("job"), buf)
+	})
+
+	return mux
+}
+
+// watchStream serves one ndjson watch subscription until the client
+// disconnects or the store closes. Updates lost to the subscriber ring under
+// backpressure are simply absent — the consumer (the SSE layer, ultimately)
+// heals gaps from the persisted timeline.
+func watchStream(w http.ResponseWriter, req *http.Request, st *Store, job string, buf int) {
+	var sub *telemetry.Sub[Update]
+	if job != "" {
+		sub = st.Watch(job, buf)
+	} else {
+		sub = st.WatchAll(buf)
+	}
+	defer sub.Cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+	for {
+		u, ok := sub.Next(req.Context())
+		if !ok {
+			return
+		}
+		if err := enc.Encode(u); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}

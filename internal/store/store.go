@@ -69,6 +69,14 @@ var (
 	// expired lease may already have been handed to another worker, so the
 	// late worker must abandon the attempt instead of extending it.
 	ErrLeaseExpired = errors.New("store: lease expired")
+	// ErrNotOwner reports a write to a store this process does not own: the
+	// single-writer flock is held by another replica. Followers route through
+	// the owner's RPC surface (Remote) instead of touching the files.
+	ErrNotOwner = errors.New("store: not the store owner")
+	// ErrUnavailable reports that no owner could be reached within the remote
+	// retry window — every replica may be mid-election. Callers should back
+	// off and retry; the operation was not durably recorded.
+	ErrUnavailable = errors.New("store: owner unavailable")
 )
 
 // Store-level counters in the process-wide registry.

@@ -83,7 +83,12 @@ type StreamStats struct {
 // and monitoring scrapes that want structure rather than the Prometheus text
 // on /metrics.
 type Stats struct {
-	TS       time.Time            `json:"ts"`
+	TS time.Time `json:"ts"`
+	// Role and Owner describe the replica's fleet position when the daemon
+	// runs replicated: Role is "owner" or "follower", Owner the current
+	// owner's advertised address. Both are empty on an in-memory store.
+	Role     string               `json:"role,omitempty"`
+	Owner    string               `json:"owner,omitempty"`
 	Jobs     map[string]int       `json:"jobs"` // per-state retained job counts
 	Pool     PoolStats            `json:"pool"`
 	Counters map[string]int64     `json:"counters,omitempty"` // daemon counters (submissions, sheds, requeues, ...)

@@ -78,6 +78,14 @@ func ServeMux(addr string, mux http.Handler) (*DebugServer, error) {
 	if err != nil {
 		return nil, err
 	}
+	return ServeMuxListener(ln, mux), nil
+}
+
+// ServeMuxListener is ServeMux over a listener the caller already bound —
+// for services that must know their address before the handler can exist
+// (a store replica advertises the address it will serve RPCs on before it
+// joins the election). The server owns ln from here on.
+func ServeMuxListener(ln net.Listener, mux http.Handler) *DebugServer {
 	s := &DebugServer{
 		ln:   ln,
 		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
@@ -87,7 +95,7 @@ func ServeMux(addr string, mux http.Handler) (*DebugServer, error) {
 		defer close(s.done)
 		s.srv.Serve(ln) // returns http.ErrServerClosed on Shutdown
 	}()
-	return s, nil
+	return s
 }
 
 // Addr returns the bound listen address (useful with port 0).
