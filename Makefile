@@ -19,6 +19,10 @@
 #                        — gate the quick suite (>10% + 250µs per phase fails)
 #   make bench-parallel  — engine-pool speedup gate (warn-only on the quick
 #                          suite; SUITE=full enforces ≥ MINSPEEDUP at 4 workers)
+#   make bench-atpg      — ATPG/SAT reuse gate: the vectors_cached and
+#                          satcheck_inc phases must beat their cold pairs by
+#                          MINATPGSPEEDUP combined (demoted to a warning on
+#                          single-CPU hosts, where the timings are too noisy)
 #   make bench-service   — service-tier SLO suite (cmd/dedcload drives real
 #                          dedcd processes); gates against BENCH_service.json
 #                          when recorded, records it otherwise
@@ -31,11 +35,12 @@ BASELINE ?= BENCH_core.json
 # recording machine's core count.
 BENCHWORKERS ?= 4
 MINSPEEDUP ?= 1.5
+MINATPGSPEEDUP ?= 5
 SUITE ?= quick
 
 .PHONY: all build vet test race fuzz chaos chaos-resume chaos-store \
 	stream-chaos chaos-fleet ci check bench-telemetry journal-check bench \
-	bench-compare bench-check bench-parallel bench-service clean
+	bench-compare bench-check bench-parallel bench-atpg bench-service clean
 
 all: build
 
@@ -171,7 +176,17 @@ bench-parallel:
 		$(GO) run ./cmd/dedcbench -suite $(SUITE) -q -workers $(BENCHWORKERS) -min-speedup $(MINSPEEDUP) -speedup-warn; \
 	fi
 
-check: ci journal-check bench-telemetry bench-check bench-parallel bench-service chaos-resume chaos-store stream-chaos chaos-fleet
+# ATPG/SAT reuse gate: a repeated-circuit workload must see the cache-hit
+# vectors phase and the incremental-SAT re-check beat their cold counterparts
+# by MINATPGSPEEDUP, combined geomean across scenarios. These wins come from
+# reuse, not parallelism, so the bar holds on any core count — but dedcbench
+# still demotes the gate to a warning on single-CPU hosts, where micro-runs
+# share the core with the OS and warm timings get too noisy to enforce.
+bench-atpg:
+	$(GO) run ./cmd/dedcbench -suite quick -q -workers $(BENCHWORKERS) \
+		-min-atpg-speedup $(MINATPGSPEEDUP)
+
+check: ci journal-check bench-telemetry bench-check bench-parallel bench-atpg bench-service chaos-resume chaos-store stream-chaos chaos-fleet
 
 clean:
 	$(GO) clean ./...

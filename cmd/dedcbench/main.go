@@ -57,7 +57,9 @@ func run(args []string) int {
 	workers := telemetry.WorkersFlag(fs)
 	minSpeedup := fs.Float64("min-speedup", 0,
 		"fail (exit 2) when the geometric-mean h1rank/screen pool speedup at -workers is below this factor (0 = no gate; needs -workers >= 2)")
-	speedupWarn := fs.Bool("speedup-warn", false, "report -min-speedup violations as warnings instead of failing")
+	minAtpg := fs.Float64("min-atpg-speedup", 0,
+		"fail (exit 2) when the combined geomean of the vectors/vectors_cached and satcheck/satcheck_inc reuse pairs is below this factor (0 = no gate)")
+	speedupWarn := fs.Bool("speedup-warn", false, "report -min-speedup and -min-atpg-speedup violations as warnings instead of failing")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
@@ -122,6 +124,35 @@ func run(args []string) int {
 				speedupFailed = false
 			}
 		}
+	}
+	if *minAtpg > 0 {
+		sps := rep.AtpgSpeedups()
+		for _, s := range sps {
+			fmt.Fprintf(os.Stderr, "dedcbench: reuse speedup %s\n", s)
+		}
+		if len(sps) == 0 {
+			return fail("-min-atpg-speedup: no cold-vs-warm phase pairs measured")
+		}
+		g := perf.CombinedGeomean(sps)
+		atpgFailed := g < *minAtpg
+		verdict := "ok"
+		if atpgFailed {
+			verdict = "BELOW MINIMUM"
+		}
+		fmt.Fprintf(os.Stderr, "dedcbench: vectors+satcheck reuse geomean speedup: %.1fx (min %.1fx) %s\n",
+			g, *minAtpg, verdict)
+		if atpgFailed && runtime.NumCPU() < 2 {
+			// The reuse wins don't need cores, but their measurement does: on
+			// a single-CPU host the warm micro-runs share that CPU with the
+			// rest of the system and the pair timings are too noisy to gate.
+			fmt.Fprintf(os.Stderr, "dedcbench: ATPG reuse gate demoted to warning: %d CPU(s)\n", runtime.NumCPU())
+			atpgFailed = false
+		}
+		if atpgFailed && *speedupWarn {
+			fmt.Fprintf(os.Stderr, "dedcbench: ATPG reuse gate violation reported as warning (-speedup-warn)\n")
+			atpgFailed = false
+		}
+		speedupFailed = speedupFailed || atpgFailed
 	}
 	if *out != "" {
 		f, err := os.Create(*out)

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"time"
 
+	"dedc/internal/cache"
 	"dedc/internal/diagnose"
 	"dedc/internal/store"
 	"dedc/internal/stream"
@@ -276,6 +277,20 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// cacheStatsOf snapshots the shared parse/ATPG cache for the stats payload;
+// a nil or disabled pipeline reports zeros.
+func cacheStatsOf(p *cache.Pipeline) stream.CacheStats {
+	st := p.Snapshot()
+	return stream.CacheStats{
+		Entries:   st.Entries,
+		Bytes:     st.Bytes,
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Evictions: st.Evictions,
+		HitRate:   st.HitRate(),
+	}
+}
+
 // quantilesOf summarizes one latency histogram for the stats payload.
 func quantilesOf(h *telemetry.Histogram) stream.Quantiles {
 	return stream.Quantiles{
@@ -353,6 +368,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Subscribers: s.events.Subscribers(),
 			Dropped:     telemetry.StreamDropped.Value(),
 		},
+		Cache:   cacheStatsOf(s.cache),
 		Running: running,
 	})
 }

@@ -44,6 +44,7 @@ import (
 	"syscall"
 	"time"
 
+	"dedc/internal/cache"
 	"dedc/internal/store"
 	"dedc/internal/supervise"
 	"dedc/internal/telemetry"
@@ -61,6 +62,8 @@ func run(args []string) int {
 	workers := fs.Int("workers", 2, "concurrent diagnosis workers")
 	simWorkers := fs.Int("sim-workers", telemetry.DefaultWorkers(),
 		"default evaluation workers per job's engine fan-outs (1 = sequential; results are identical for any value; requests may override per job)")
+	cacheBytes := fs.Int64("cache-bytes", 64<<20,
+		"byte budget for the content-addressed parse/ATPG cache shared by all workers (0 disables; results are identical either way)")
 	queue := fs.Int("queue", 8, "bounded execution-pool queue depth (claims beyond it wait in the store)")
 	maxQueued := fs.Int("max-queued", 1024, "admission cap on queued jobs; submissions beyond it are shed with 503 (0 = unlimited)")
 	jobTimeout := fs.Duration("job-timeout", 10*time.Minute, "per-attempt deadline (0 = none)")
@@ -174,6 +177,8 @@ func run(args []string) int {
 	srvPtr = srv
 	srvMu.Unlock()
 	srv.simWorkers = *simWorkers
+	srv.cache = cache.NewPipeline(*cacheBytes)
+	srv.cache.Instrument(telemetry.Default)
 	srv.maxQueued = *maxQueued
 	srv.retryBackoff = *backoff
 	srv.leaseTTL = *leaseTTL

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"dedc/internal/bench"
+	"dedc/internal/cache"
 	"dedc/internal/circuit"
 	"dedc/internal/diagnose"
 	"dedc/internal/store"
@@ -75,6 +76,10 @@ type jobResult struct {
 type runEnv struct {
 	Resume       io.Reader // prior attempt's journal (nil = fresh run)
 	OnCheckpoint func(*diagnose.Checkpoint)
+	// Cache, when non-nil and enabled, lets the attempt reuse parsed
+	// netlists and ATPG vector sets across jobs sharing a circuit
+	// (-cache-bytes). A nil pipeline recomputes everything.
+	Cache *cache.Pipeline
 }
 
 // runner executes one diagnosis attempt; the indirection lets tests inject
@@ -137,6 +142,10 @@ type server struct {
 	// simWorkers is the default per-job evaluation-worker count
 	// (-sim-workers), applied when a request leaves "workers" unset.
 	simWorkers int
+
+	// cache is the shared content-addressed parse/ATPG cache (-cache-bytes);
+	// nil or disabled means every attempt recomputes from scratch.
+	cache *cache.Pipeline
 
 	// maxQueued is the admission cap: submissions beyond this many queued
 	// jobs are shed with 503 (the durable queue replaces the pool queue as
@@ -204,6 +213,7 @@ func newServer(log *slog.Logger, st store.JobStore, popt supervise.Options) *ser
 		if req.Workers == 0 {
 			req.Workers = s.simWorkers
 		}
+		env.Cache = s.cache
 		return runDiagnosis(ctx, req, env)
 	}
 	// Retries are the store's policy now: one pool attempt per claim.
@@ -453,7 +463,7 @@ func runDiagnosis(ctx context.Context, req jobRequest, env runEnv) (*jobResult, 
 	if (req.Spec == "") == (req.Device == "") {
 		return nil, errors.New("exactly one of spec (repair) or device (stuckat) is required")
 	}
-	impl, err := bench.Read(strings.NewReader(req.Impl))
+	impl, err := env.Cache.ParseBench(req.Impl)
 	if err != nil {
 		return nil, fmt.Errorf("impl: %w", err)
 	}
@@ -461,7 +471,7 @@ func runDiagnosis(ctx context.Context, req jobRequest, env runEnv) (*jobResult, 
 	if req.Device != "" {
 		refText, mode = req.Device, "stuckat"
 	}
-	ref, err := bench.Read(strings.NewReader(refText))
+	ref, err := env.Cache.ParseBench(refText)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", mode, err)
 	}
@@ -481,7 +491,7 @@ func runDiagnosis(ctx context.Context, req jobRequest, env runEnv) (*jobResult, 
 	if maxErrors <= 0 {
 		maxErrors = 4
 	}
-	vecs := tpg.BuildVectorsContext(ctx, impl, tpg.Options{Random: random, Seed: seed, Deterministic: true})
+	vecs := env.Cache.Vectors(ctx, impl, tpg.Options{Random: random, Seed: seed, Deterministic: true})
 	refOut := diagnose.DeviceOutputs(ref, vecs.PI, vecs.N)
 	opt := diagnose.Options{MaxErrors: maxErrors, NoVerify: req.NoVerify, Seed: seed,
 		Workers: req.Workers, OnCheckpoint: env.OnCheckpoint}

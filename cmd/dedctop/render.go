@@ -40,6 +40,9 @@ func render(prev, cur *stream.Stats, elapsed time.Duration, plain bool) string {
 	}
 	fmt.Fprintf(&b, "stream    %d subscribers · %d frames dropped to slow consumers\n",
 		cur.Stream.Subscribers, cur.Stream.Dropped)
+	fmt.Fprintf(&b, "cache     %d entries · %s · %.0f%% hits (%d hit, %d miss, %d evicted)\n",
+		cur.Cache.Entries, formatBytes(cur.Cache.Bytes), cur.Cache.HitRate*100,
+		cur.Cache.Hits, cur.Cache.Misses, cur.Cache.Evictions)
 
 	if len(cur.Counters) > 0 {
 		names := make([]string, 0, len(cur.Counters))
@@ -139,6 +142,20 @@ func orDash(s string) string {
 		return "—"
 	}
 	return s
+}
+
+// formatBytes renders a byte count with a binary-unit suffix (KiB/MiB/GiB).
+func formatBytes(n int64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%d B", n)
+	}
+	div, exp := int64(unit), 0
+	for m := n / unit; m >= unit && exp < 2; m /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f %ciB", float64(n)/float64(div), "KMG"[exp])
 }
 
 // formatJobs renders the per-state job counts in lifecycle order (queued →

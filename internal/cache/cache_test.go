@@ -1,0 +1,307 @@
+package cache
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"dedc/internal/bench"
+	"dedc/internal/circuit"
+	"dedc/internal/gen"
+	"dedc/internal/telemetry"
+	"dedc/internal/tpg"
+)
+
+// TestFingerprintStable: the fingerprint is a pure function of circuit
+// structure — identical across calls, across clones, and across line names.
+func TestFingerprintStable(t *testing.T) {
+	c := gen.Alu(4)
+	fp := Fingerprint(c)
+	if fp == "" {
+		t.Fatal("acyclic circuit has no fingerprint")
+	}
+	if got := Fingerprint(c); got != fp {
+		t.Errorf("fingerprint not stable across calls: %s vs %s", got, fp)
+	}
+	if got := Fingerprint(c.Clone()); got != fp {
+		t.Errorf("clone fingerprint differs: %s vs %s", got, fp)
+	}
+
+	// Same structure, different names: two hand-built AND gates.
+	mk := func(an, bn string) *circuit.Circuit {
+		c := circuit.New(4)
+		a := c.AddPI(an)
+		b := c.AddPI(bn)
+		c.MarkPO(c.AddGate(circuit.And, a, b))
+		return c
+	}
+	if Fingerprint(mk("a", "b")) != Fingerprint(mk("x", "long_signal_name")) {
+		t.Error("fingerprint depends on line names")
+	}
+}
+
+// TestFingerprintSensitivity: structurally different circuits — different
+// gate type, different wiring, different PO choice — hash apart.
+func TestFingerprintSensitivity(t *testing.T) {
+	build := func(typ circuit.GateType, po int) *circuit.Circuit {
+		c := circuit.New(8)
+		a := c.AddPI("a")
+		b := c.AddPI("b")
+		g1 := c.AddGate(typ, a, b)
+		g2 := c.AddGate(circuit.Or, g1, b)
+		if po == 0 {
+			c.MarkPO(g1)
+		} else {
+			c.MarkPO(g2)
+		}
+		return c
+	}
+	seen := map[string]string{}
+	for name, c := range map[string]*circuit.Circuit{
+		"and-g1":  build(circuit.And, 0),
+		"nand-g1": build(circuit.Nand, 0),
+		"and-g2":  build(circuit.And, 1),
+	} {
+		fp := Fingerprint(c)
+		if fp == "" {
+			t.Fatalf("%s: empty fingerprint", name)
+		}
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s and %s share a fingerprint", name, prev)
+		}
+		seen[fp] = name
+	}
+}
+
+// TestFingerprintCyclic: a combinational cycle has no topological order and
+// therefore no fingerprint — such circuits bypass the cache.
+func TestFingerprintCyclic(t *testing.T) {
+	c := circuit.New(4)
+	a := c.AddPI("a")
+	g := c.AddGate(circuit.And, a, a)
+	c.Gates[g].Fanin[1] = g // self-loop
+	c.MarkPO(g)
+	if fp := Fingerprint(c); fp != "" {
+		t.Errorf("cyclic circuit fingerprinted: %s", fp)
+	}
+}
+
+// TestStoreLRU pins the store's accounting: hits move entries to the front,
+// eviction walks from the back, re-puts replace in place, and oversized
+// values are rejected outright.
+func TestStoreLRU(t *testing.T) {
+	s := New(100)
+	s.Put("a", "A", 40)
+	s.Put("b", "B", 40)
+	if _, ok := s.Get("a"); !ok { // refresh a: b is now LRU
+		t.Fatal("a missing")
+	}
+	s.Put("c", "C", 40) // 120 > 100: evicts b
+	if _, ok := s.Get("b"); ok {
+		t.Error("b survived eviction")
+	}
+	if _, ok := s.Get("a"); !ok {
+		t.Error("recently-used a evicted instead of b")
+	}
+	s.Put("a", "A2", 10) // replace: size shrinks 40 -> 10
+	if v, _ := s.Get("a"); v != "A2" {
+		t.Errorf("re-put did not replace: %v", v)
+	}
+	s.Put("huge", "X", 101) // larger than the whole budget
+	if _, ok := s.Get("huge"); ok {
+		t.Error("oversized value stored")
+	}
+	st := s.Snapshot()
+	if st.Evictions != 1 || st.Entries != 2 || st.Bytes != 50 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.Hits == 0 || st.Misses == 0 || st.HitRate() <= 0 || st.HitRate() >= 1 {
+		t.Errorf("traffic stats: %+v rate %f", st, st.HitRate())
+	}
+}
+
+// TestStoreDisabled: maxBytes <= 0 (and nil) stores neither hold entries nor
+// count traffic — the -cache-bytes 0 contract.
+func TestStoreDisabled(t *testing.T) {
+	for name, s := range map[string]*Store{"zero": New(0), "nil": nil} {
+		s.Put("k", "v", 1)
+		if _, ok := s.Get("k"); ok {
+			t.Errorf("%s: disabled store returned a value", name)
+		}
+		if st := s.Snapshot(); st != (Stats{}) {
+			t.Errorf("%s: disabled store counted traffic: %+v", name, st)
+		}
+	}
+}
+
+// TestStoreInstrument: the registry mirrors agree with the store's own
+// counters, and HELP text is attached.
+func TestStoreInstrument(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := New(50)
+	s.Instrument(reg)
+	s.Put("a", 1, 30)
+	s.Put("b", 2, 30) // evicts a
+	s.Get("b")
+	s.Get("a")
+	st := s.Snapshot()
+	if got := reg.Counter("cache.hits").Value(); got != st.Hits {
+		t.Errorf("cache.hits = %d, store says %d", got, st.Hits)
+	}
+	if got := reg.Counter("cache.misses").Value(); got != st.Misses {
+		t.Errorf("cache.misses = %d, store says %d", got, st.Misses)
+	}
+	if got := reg.Counter("cache.evictions").Value(); got != st.Evictions {
+		t.Errorf("cache.evictions = %d, store says %d", got, st.Evictions)
+	}
+	if got := reg.Gauge("cache.bytes").Value(); got != st.Bytes {
+		t.Errorf("cache.bytes = %d, store says %d", got, st.Bytes)
+	}
+}
+
+// TestParseBenchDeterminism: a cached parse is observationally identical to a
+// fresh one — same netlist text back out — and the second lookup is a hit.
+func TestParseBenchDeterminism(t *testing.T) {
+	text, err := bench.WriteString(gen.Alu(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPipeline(1 << 20)
+	c1, err := p.ParseBench(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := p.ParseBench(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Snapshot(); st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("hit/miss after two parses: %+v", st)
+	}
+	t1, _ := bench.WriteString(c1)
+	t2, _ := bench.WriteString(c2)
+	if t1 != t2 || t1 != text {
+		t.Error("cached parse not identical to fresh parse")
+	}
+	// The clones are isolated: mutating one must not leak into the next hit.
+	c2.Gates[c2.PIs[0]].Name = "mutated"
+	c3, _ := p.ParseBench(text)
+	if c3.Gates[c3.PIs[0]].Name == "mutated" {
+		t.Error("cache handed out an aliased circuit")
+	}
+}
+
+// TestVectorsCachedVsFresh is the tentpole determinism contract: the vector
+// set coming off a cache hit is bit-identical to a fresh ATPG run — same PI
+// rows, same counts, same coverage.
+func TestVectorsCachedVsFresh(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		c := gen.Random(gen.RandomOptions{PIs: 8, Gates: 60, Seed: seed})
+		opt := tpg.Options{Random: 64, Seed: seed, Deterministic: true}
+		fresh := tpg.BuildVectors(c, opt)
+
+		p := NewPipeline(1 << 20)
+		first := p.Vectors(context.Background(), c, opt)
+		second := p.Vectors(context.Background(), c, opt)
+		if st := p.Snapshot(); st.Hits != 1 || st.Misses != 1 {
+			t.Fatalf("seed %d: hit/miss: %+v", seed, st)
+		}
+		for name, got := range map[string]*tpg.Result{"miss": first, "hit": second} {
+			if !reflect.DeepEqual(got, fresh) {
+				t.Errorf("seed %d: %s result differs from fresh run:\n got %+v\nwant %+v",
+					seed, name, got, fresh)
+			}
+		}
+		// Isolation: scribbling on a returned row must not poison the cache.
+		second.PI[0][0] ^= 0xdeadbeef
+		third := p.Vectors(context.Background(), c, opt)
+		if !reflect.DeepEqual(third, fresh) {
+			t.Errorf("seed %d: cache master aliased by a returned result", seed)
+		}
+	}
+}
+
+// TestVectorsCancelledNotCached: a partial (cancelled) ATPG result is passed
+// through but never stored, so a later caller gets the full set.
+func TestVectorsCancelledNotCached(t *testing.T) {
+	c := gen.Random(gen.RandomOptions{PIs: 8, Gates: 60, Seed: 7})
+	opt := tpg.Options{Random: 64, Seed: 7, Deterministic: true}
+	p := NewPipeline(1 << 20)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := p.Vectors(ctx, c, opt)
+	if !res.Cancelled {
+		t.Skip("cancelled run completed anyway (no undetected faults)")
+	}
+	full := p.Vectors(context.Background(), c, opt)
+	if full.Cancelled {
+		t.Error("full run reported cancelled")
+	}
+	if st := p.Snapshot(); st.Hits != 0 {
+		t.Errorf("partial result was served from cache: %+v", st)
+	}
+}
+
+// TestStoreConcurrentHammer drives Get/Put/Snapshot from many goroutines
+// (meaningful under -race) and then checks the accounting still balances.
+func TestStoreConcurrentHammer(t *testing.T) {
+	s := New(1 << 12)
+	reg := telemetry.NewRegistry()
+	s.Instrument(reg)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (g*31+i)%64)
+				if _, ok := s.Get(key); !ok {
+					s.Put(key, i, int64(64+i%128))
+				}
+				if i%50 == 0 {
+					s.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := s.Snapshot()
+	if st.Bytes > 1<<12 {
+		t.Errorf("byte budget exceeded: %+v", st)
+	}
+	if st.Hits+st.Misses != 8*500 {
+		t.Errorf("lookups leaked: %+v", st)
+	}
+}
+
+// TestPipelineConcurrentVectors: concurrent cache users on the same circuit
+// all see the bit-identical canonical result (meaningful under -race, which
+// also guards the Circuit lazy-derived-data hazard the Pipeline clones
+// around).
+func TestPipelineConcurrentVectors(t *testing.T) {
+	c := gen.Random(gen.RandomOptions{PIs: 8, Gates: 60, Seed: 11})
+	opt := tpg.Options{Random: 64, Seed: 11, Deterministic: true}
+	want := tpg.BuildVectors(c, opt)
+	p := NewPipeline(1 << 20)
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if got := p.Vectors(context.Background(), c, opt); !reflect.DeepEqual(got, want) {
+					errs <- "concurrent cached result differs from fresh run"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

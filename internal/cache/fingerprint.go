@@ -1,0 +1,62 @@
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+
+	"dedc/internal/circuit"
+)
+
+// fpVersion tags the fingerprint encoding; bump it whenever the canonical
+// byte layout below changes so stale persisted keys can never collide with
+// new ones.
+const fpVersion = "dedc-fp-v1\x00"
+
+// Fingerprint computes a content address for a circuit's *structure*: a
+// stable hash over the gates in topological order, with every line renamed
+// to its topological rank. Two circuits that differ only in gate numbering
+// or line names fingerprint identically; any change to a gate type, a fanin
+// edge, the PI order or the PO list changes the hash. Names are deliberately
+// excluded — every cached artifact keyed by a fingerprint (ATPG vector sets,
+// equivalence-session encodings) depends on structure alone.
+//
+// The empty string is returned for circuits without a valid topological
+// order (combinational cycles); callers treat that as "not cacheable".
+// Fingerprint touches the circuit's lazily derived topo order, so it must
+// not race with writers — call it from the goroutine that owns the circuit.
+func Fingerprint(c *circuit.Circuit) string {
+	topo, err := c.TopoChecked()
+	if err != nil {
+		return ""
+	}
+	rank := make([]int32, c.NumLines())
+	for i, l := range topo {
+		rank[l] = int32(i)
+	}
+	h := sha256.New()
+	h.Write([]byte(fpVersion))
+	var buf [binary.MaxVarintLen64]byte
+	writeInt := func(v int64) {
+		n := binary.PutVarint(buf[:], v)
+		h.Write(buf[:n])
+	}
+	writeInt(int64(c.NumLines()))
+	writeInt(int64(len(c.PIs)))
+	for _, pi := range c.PIs {
+		writeInt(int64(rank[pi]))
+	}
+	writeInt(int64(len(c.POs)))
+	for _, po := range c.POs {
+		writeInt(int64(rank[po]))
+	}
+	for _, l := range topo {
+		g := &c.Gates[l]
+		writeInt(int64(g.Type))
+		writeInt(int64(len(g.Fanin)))
+		for _, f := range g.Fanin {
+			writeInt(int64(rank[f]))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -32,6 +32,14 @@ func RepairProven(impl, spec *circuit.Circuit, pi [][]uint64, n int, opt Options
 	}
 	curPI, curN := pi, n
 	res := &ProvenResult{}
+	// One incremental SAT session spans the whole refinement loop: the spec
+	// is encoded once, each iteration's repaired candidate rides its own
+	// activation-literal group, and clauses learnt refuting round k's repair
+	// still prune round k+1's search.
+	session, err := equiv.NewSession(spec)
+	if err != nil {
+		return nil, err
+	}
 	for iter := 1; iter <= maxIters; iter++ {
 		res.Iterations = iter
 		specOut := DeviceOutputs(spec, curPI, curN)
@@ -40,7 +48,7 @@ func RepairProven(impl, spec *circuit.Circuit, pi [][]uint64, n int, opt Options
 			return nil, fmt.Errorf("diagnose: iteration %d: %w", iter, err)
 		}
 		res.RepairResult = rep
-		eq, err := equiv.Check(rep.Repaired, spec, equiv.Options{MaxConflicts: satConflicts})
+		eq, err := session.Check(rep.Repaired, equiv.Options{MaxConflicts: satConflicts})
 		if err != nil {
 			return nil, err
 		}

@@ -10,11 +10,9 @@ package equiv
 
 import (
 	"context"
-	"fmt"
 
 	"dedc/internal/circuit"
 	"dedc/internal/sat"
-	"dedc/internal/telemetry"
 )
 
 // Result is an equivalence verdict.
@@ -44,82 +42,44 @@ type Options struct {
 
 // Check decides whether circuits a and b are functionally equivalent. Both
 // must be combinational with equal PI and PO counts (positional
-// correspondence, as everywhere in this library).
+// correspondence, as everywhere in this library). One-shot callers get a
+// fresh solver per call; callers that check many candidates against one
+// reference should hold a Session instead and let learnt clauses carry
+// across checks.
 func Check(a, b *circuit.Circuit, opt Options) (*Result, error) {
-	if a.IsSequential() || b.IsSequential() {
-		return nil, fmt.Errorf("equiv: sequential circuits; scan-convert or unroll first")
+	ss, err := NewSession(a)
+	if err != nil {
+		return nil, err
 	}
-	if len(a.PIs) != len(b.PIs) {
-		return nil, fmt.Errorf("equiv: PI counts differ (%d vs %d)", len(a.PIs), len(b.PIs))
-	}
-	if len(a.POs) != len(b.POs) {
-		return nil, fmt.Errorf("equiv: PO counts differ (%d vs %d)", len(a.POs), len(b.POs))
-	}
-	s := sat.NewSolver(0)
-	// Shared PI variables.
-	piVars := make([]int, len(a.PIs))
-	for i := range piVars {
-		piVars[i] = s.NewVar()
-	}
-	va := encode(s, a, piVars)
-	vb := encode(s, b, piVars)
-
-	// Miter: OR over outputs of (a_po XOR b_po) must be true.
-	var diffs []sat.Lit
-	for i := range a.POs {
-		la := va[a.POs[i]]
-		lb := vb[b.POs[i]]
-		d := s.NewVar()
-		dl := sat.MkLit(d, true)
-		// d <-> la XOR lb
-		s.AddClause(dl.Neg(), la, lb)
-		s.AddClause(dl.Neg(), la.Neg(), lb.Neg())
-		s.AddClause(dl, la, lb.Neg())
-		s.AddClause(dl, la.Neg(), lb)
-		diffs = append(diffs, dl)
-	}
-	if !s.AddClause(diffs...) {
-		// Trivially no difference possible.
-		return &Result{Equivalent: true}, nil
-	}
-	s.MaxConflicts = opt.MaxConflicts
-	s.Ctx = opt.Ctx
-	if opt.Ctx != nil {
-		s.Instrument(telemetry.FromContext(opt.Ctx).Registry())
-	}
-	st := s.Solve()
-	res := &Result{Conflicts: s.Conflicts, Decisions: s.Decisions}
-	switch st {
-	case sat.Unsat:
-		res.Equivalent = true
-	case sat.Sat:
-		res.Counterexample = make([]bool, len(piVars))
-		for i, v := range piVars {
-			res.Counterexample[i] = s.Value(v)
-		}
-	default:
-		res.Aborted = true
-		res.Cancelled = s.Cancelled
-	}
-	return res, nil
+	return ss.Check(b, opt)
 }
 
 // encode Tseitin-encodes the circuit into the solver, returning one literal
-// per line. piVars supplies shared input variables (positional).
-func encode(s *sat.Solver, c *circuit.Circuit, piVars []int) []sat.Lit {
+// per line. piVars supplies shared input variables (positional). With
+// act >= 0 every emitted clause is gated on the activation literal — it only
+// constrains models where act holds, so the whole group can later be retired
+// by asserting act.Neg() (see Session). constTrue shares the one global
+// constant-true variable across encodes into the same solver; its defining
+// unit clause is never gated.
+func encode(s *sat.Solver, c *circuit.Circuit, piVars []int, act sat.Lit, constTrue *sat.Lit) []sat.Lit {
+	add := func(lits ...sat.Lit) {
+		if act >= 0 {
+			lits = append(lits, act.Neg())
+		}
+		s.AddClause(lits...)
+	}
 	lits := make([]sat.Lit, c.NumLines())
 	piIdx := map[circuit.Line]int{}
 	for i, pi := range c.PIs {
 		piIdx[pi] = i
 	}
-	var constTrue sat.Lit = -1
 	getTrue := func() sat.Lit {
-		if constTrue == -1 {
+		if *constTrue == -1 {
 			v := s.NewVar()
-			constTrue = sat.MkLit(v, true)
-			s.AddClause(constTrue)
+			*constTrue = sat.MkLit(v, true)
+			s.AddClause(*constTrue)
 		}
-		return constTrue
+		return *constTrue
 	}
 	for _, l := range c.Topo() {
 		g := &c.Gates[l]
@@ -155,10 +115,10 @@ func encode(s *sat.Solver, c *circuit.Circuit, piVars []int) []sat.Lit {
 			long := make([]sat.Lit, 0, len(ins)+1)
 			long = append(long, o)
 			for _, in := range ins {
-				s.AddClause(o.Neg(), in) // o -> in
+				add(o.Neg(), in) // o -> in
 				long = append(long, in.Neg())
 			}
-			s.AddClause(long...) // all ins -> o
+			add(long...) // all ins -> o
 		case circuit.Or, circuit.Nor:
 			o := out
 			if g.Type == circuit.Nor {
@@ -167,10 +127,10 @@ func encode(s *sat.Solver, c *circuit.Circuit, piVars []int) []sat.Lit {
 			long := make([]sat.Lit, 0, len(ins)+1)
 			long = append(long, o.Neg())
 			for _, in := range ins {
-				s.AddClause(o, in.Neg()) // in -> o
+				add(o, in.Neg()) // in -> o
 				long = append(long, in)
 			}
-			s.AddClause(long...) // o -> some in
+			add(long...) // o -> some in
 		case circuit.Xor, circuit.Xnor:
 			// Chain binary XORs.
 			acc := ins[0]
@@ -186,10 +146,10 @@ func encode(s *sat.Solver, c *circuit.Circuit, piVars []int) []sat.Lit {
 				}
 				b := ins[i]
 				// t <-> acc XOR b
-				s.AddClause(t.Neg(), acc, b)
-				s.AddClause(t.Neg(), acc.Neg(), b.Neg())
-				s.AddClause(t, acc, b.Neg())
-				s.AddClause(t, acc.Neg(), b)
+				add(t.Neg(), acc, b)
+				add(t.Neg(), acc.Neg(), b.Neg())
+				add(t, acc, b.Neg())
+				add(t, acc.Neg(), b)
 				acc = t
 			}
 			lits[l] = out

@@ -191,7 +191,7 @@ func TestRunQuickScenario(t *testing.T) {
 	if sr.Scenario != "alu4/f1/v64" || sr.Lines == 0 || sr.FailVectors == 0 {
 		t.Fatalf("scenario header: %+v", sr)
 	}
-	wantPhases := []string{PhaseParse, PhaseVectors, PhaseSimulate, PhasePathTrace, PhaseH1Rank, PhaseScreen, PhaseSATCheck}
+	wantPhases := []string{PhaseParse, PhaseVectors, PhaseVectorsCached, PhaseSimulate, PhasePathTrace, PhaseH1Rank, PhaseScreen, PhaseSATCheck, PhaseSATCheckInc}
 	if len(sr.Phases) != len(wantPhases) {
 		t.Fatalf("got %d phases, want %d: %+v", len(sr.Phases), len(wantPhases), sr.Phases)
 	}

@@ -111,6 +111,12 @@ type Speedup struct {
 }
 
 func (s Speedup) String() string {
+	if s.Workers == 0 {
+		// A reuse pair (AtpgSpeedups): cold fresh run vs warm cached or
+		// incremental re-run, parallelism not involved.
+		return fmt.Sprintf("%s/%s: %v cold -> %v warm (%.0fx)",
+			s.Scenario, s.Phase, time.Duration(s.SeqNs), time.Duration(s.ParNs), s.Factor)
+	}
 	return fmt.Sprintf("%s/%s: %v -> %v at %d workers (%.2fx)",
 		s.Scenario, s.Phase, time.Duration(s.SeqNs), time.Duration(s.ParNs), s.Workers, s.Factor)
 }
@@ -139,6 +145,55 @@ func (r *Report) Speedups(workers int) []Speedup {
 		}
 	}
 	return out
+}
+
+// AtpgSpeedups extracts the cold-vs-reuse pairs of the ATPG/SAT hot phases
+// from every scenario that measured both sides: vectors against
+// vectors_cached (content-addressed cache hit) and satcheck against
+// satcheck_inc (incremental SAT session re-check). Factor is cold/warm;
+// Workers is 0 — these wins come from reuse, not parallelism, so they hold
+// on any core count.
+func (r *Report) AtpgSpeedups() []Speedup {
+	pairs := [][2]string{
+		{PhaseVectors, PhaseVectorsCached},
+		{PhaseSATCheck, PhaseSATCheckInc},
+	}
+	var out []Speedup
+	for i := range r.Scenarios {
+		sc := &r.Scenarios[i]
+		for _, pair := range pairs {
+			cold := sc.phase(pair[0])
+			warm := sc.phase(pair[1])
+			if cold == nil || warm == nil || cold.NsPerOp <= 0 || warm.NsPerOp <= 0 {
+				continue
+			}
+			out = append(out, Speedup{
+				Scenario: sc.Scenario,
+				Phase:    pair[0],
+				SeqNs:    cold.NsPerOp,
+				ParNs:    warm.NsPerOp,
+				Factor:   float64(cold.NsPerOp) / float64(warm.NsPerOp),
+			})
+		}
+	}
+	return out
+}
+
+// CombinedGeomean aggregates every pair's factor into one geometric mean —
+// the statistic behind the make bench-atpg gate, spanning both pair kinds so
+// the target is "vectors+satcheck together", as the roadmap phrases it.
+func CombinedGeomean(sps []Speedup) float64 {
+	logSum, n := 0.0, 0
+	for _, s := range sps {
+		if s.Factor > 0 {
+			logSum += math.Log(s.Factor)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
 }
 
 // GeomeanSpeedup aggregates one phase's speedup factors across scenarios as

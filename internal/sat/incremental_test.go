@@ -1,0 +1,145 @@
+package sat
+
+import (
+	"testing"
+
+	"dedc/internal/telemetry"
+)
+
+// gatedPigeonhole builds PHP(n+1, n) — n+1 pigeons into n holes, classically
+// Unsat with real search effort — optionally gating every clause on act so
+// the whole instance can be switched with one assumption.
+func gatedPigeonhole(s *Solver, n int, act Lit) {
+	vars := make([][]Lit, n+1)
+	for p := 0; p <= n; p++ {
+		vars[p] = make([]Lit, n)
+		for h := 0; h < n; h++ {
+			vars[p][h] = MkLit(s.NewVar(), true)
+		}
+	}
+	add := func(lits ...Lit) {
+		if act >= 0 {
+			lits = append(lits, act.Neg())
+		}
+		s.AddClause(lits...)
+	}
+	for p := 0; p <= n; p++ {
+		add(vars[p]...) // each pigeon sits somewhere
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				add(vars[p1][h].Neg(), vars[p2][h].Neg()) // no sharing
+			}
+		}
+	}
+}
+
+// TestInstrumentIdempotent is the regression test for re-instrumenting a
+// reused solver: wiring the same registry again must be a no-op (no reset,
+// no double counting), while a different registry rewires.
+func TestInstrumentIdempotent(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := NewSolver(0)
+	gatedPigeonhole(s, 4, -1)
+	s.Instrument(reg)
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("PHP(5,4) = %v, want UNSAT", st)
+	}
+	after1 := reg.Counter("sat.conflicts").Value()
+	if after1 == 0 || after1 != s.Conflicts {
+		t.Fatalf("counter %d vs solver %d after first solve", after1, s.Conflicts)
+	}
+
+	// Same registry again — as a session does before every check.
+	s.Instrument(reg)
+	s2 := NewSolver(0)
+	gatedPigeonhole(s2, 4, -1)
+	s2.Instrument(reg)
+	if st := s2.Solve(); st != Unsat {
+		t.Fatalf("second PHP = %v", st)
+	}
+	want := s.Conflicts + s2.Conflicts
+	if got := reg.Counter("sat.conflicts").Value(); got != want {
+		t.Errorf("sat.conflicts = %d after two solves, want %d (double or dropped counting)", got, want)
+	}
+
+	// A different registry takes over; the old one stops moving.
+	reg2 := telemetry.NewRegistry()
+	s.Instrument(reg2)
+	old := reg.Counter("sat.conflicts").Value()
+	gatedPigeonhole(s, 3, -1)
+	if st := s.Solve(); st != Unsat {
+		t.Fatal("reused solver lost the pigeonhole clauses")
+	}
+	if got := reg.Counter("sat.conflicts").Value(); got != old {
+		t.Errorf("detached registry still counting: %d -> %d", old, got)
+	}
+	if got := reg2.Counter("sat.conflicts").Value(); got == 0 {
+		t.Error("new registry saw no conflicts")
+	}
+}
+
+// TestSolverReuseAcrossAssumptionGroups exercises the incremental contract
+// equiv.Session relies on: gated constraint groups activated by assumption,
+// retired by asserting the negated activation literal, with the solver —
+// learnt clauses, activity, phase — surviving across calls.
+func TestSolverReuseAcrossAssumptionGroups(t *testing.T) {
+	s := NewSolver(0)
+	act1 := MkLit(s.NewVar(), true)
+	gatedPigeonhole(s, 4, act1)
+	if st := s.SolveUnderAssumptions(act1); st != Unsat {
+		t.Fatalf("gated PHP under act1 = %v, want UNSAT", st)
+	}
+	// Re-solving the same group is pure propagation: the refutation learnt
+	// act1 is impossible at the root.
+	c0 := s.Conflicts
+	if st := s.SolveUnderAssumptions(act1); st != Unsat {
+		t.Fatal("repeat check lost the verdict")
+	}
+	if s.Conflicts != c0 {
+		t.Errorf("repeat check searched again: %d extra conflicts", s.Conflicts-c0)
+	}
+	// Without the assumption the formula is satisfiable (¬act1 switches the
+	// whole group off).
+	if st := s.Solve(); st != Sat {
+		t.Fatal("retired group still constrains the formula")
+	}
+	// A second, satisfiable group on a fresh activation literal.
+	act2 := MkLit(s.NewVar(), true)
+	x := MkLit(s.NewVar(), true)
+	y := MkLit(s.NewVar(), true)
+	s.AddClause(x, y, act2.Neg())
+	s.AddClause(x.Neg(), y.Neg(), act2.Neg())
+	s.AddClause(act1.Neg()) // retire group 1 permanently
+	if st := s.SolveUnderAssumptions(act2); st != Sat {
+		t.Fatalf("group 2 under act2 = %v, want SAT", st)
+	}
+	if s.Value(x.Var()) == s.Value(y.Var()) {
+		t.Error("model violates the XOR group")
+	}
+}
+
+// TestMaxConflictsPerCall: the budget is per Solve call, not cumulative
+// across a session — an early expensive call must not starve later ones.
+func TestMaxConflictsPerCall(t *testing.T) {
+	s := NewSolver(0)
+	gatedPigeonhole(s, 7, -1)
+	s.MaxConflicts = 25
+	if st := s.Solve(); st != Unknown {
+		t.Skipf("PHP(8,7) decided within 25 conflicts (%v); budget not exercised", st)
+	}
+	burned := s.Conflicts
+	if burned < 25 {
+		t.Fatalf("aborted before the budget: %d conflicts", burned)
+	}
+	// A second call under the same cap gets its own fresh slice: it burns
+	// another ~25 conflicts instead of aborting instantly at zero the way a
+	// cumulative cap would.
+	if st := s.Solve(); st != Unknown {
+		t.Skipf("PHP(8,7) decided on the second budget slice (%v)", st)
+	}
+	if s.Conflicts < burned+20 {
+		t.Errorf("second call got only %d conflicts of budget; cap looks cumulative", s.Conflicts-burned)
+	}
+}

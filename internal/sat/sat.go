@@ -104,10 +104,15 @@ type Solver struct {
 	learnt  []Lit
 	toClear []Lit
 
-	// Stats
+	// Stats (cumulative across Solve calls on a reused solver).
 	Conflicts    int64
 	Decisions    int64
 	Propagations int64
+	// Restarts counts Luby restarts (search re-entries after a spent
+	// conflict budget), LearntKept the learnt clauses that survived
+	// clause-database reductions.
+	Restarts   int64
+	LearntKept int64
 
 	// Telemetry sinks for the stats above; nil (the default) no-ops. Solve
 	// records the per-call deltas on return, so the CDCL inner loop never
@@ -115,9 +120,19 @@ type Solver struct {
 	CConflicts    *telemetry.Counter
 	CDecisions    *telemetry.Counter
 	CPropagations *telemetry.Counter
+	CRestarts     *telemetry.Counter
+	CLearntKept   *telemetry.Counter
 
-	// MaxConflicts aborts the search (0 = unlimited) with Unknown.
+	// instrReg remembers the registry Instrument last wired, making
+	// re-registration on a long-lived (incremental) solver idempotent.
+	instrReg *telemetry.Registry
+
+	// MaxConflicts aborts the search with Unknown when a single Solve call
+	// exceeds this many conflicts (0 = unlimited). The budget is per call,
+	// not per solver lifetime, so an incremental session doesn't starve its
+	// later checks on conflicts its earlier ones already paid for.
 	MaxConflicts int64
+	conflBase    int64 // Conflicts at the start of the current Solve
 
 	// Ctx, when non-nil, is polled at bounded intervals during Solve;
 	// cancellation or deadline expiry unwinds the search cleanly (trail
@@ -185,10 +200,16 @@ func (s *Solver) NewVar() int {
 }
 
 // AddClause adds a clause over the given literals. Returns false if the
-// solver is already trivially unsatisfiable.
+// solver is already trivially unsatisfiable. On a reused solver the trail is
+// first unwound to the root, so the top-level simplification below only ever
+// sees root-level (proven) assignments — never leftovers of a previous Sat
+// model.
 func (s *Solver) AddClause(lits ...Lit) bool {
 	if s.unsatNow {
 		return false
+	}
+	if s.decisionLevel() > 0 {
+		s.cancelUntil(0)
 	}
 	// Deduplicate and detect tautologies.
 	sorted := append([]Lit(nil), lits...)
@@ -450,26 +471,44 @@ func luby(i int64) int64 {
 // Solve searches under the given assumptions (may be empty). It returns Sat
 // with the model retrievable via Value, Unsat, or Unknown when
 // MaxConflicts was exceeded.
+//
+// A solver may be solved repeatedly, interleaved with AddClause and NewVar:
+// learnt clauses, VSIDS activity and saved phases all persist, so later
+// calls on the same formula family start from everything earlier calls
+// discovered. SolveUnderAssumptions documents the contract incremental
+// callers rely on.
 func (s *Solver) Solve(assumptions ...Lit) Status {
 	if s.unsatNow {
 		return Unsat
+	}
+	// Unwind a previous call's model before searching again: root-level
+	// implications stay, everything above the root is re-derived under the
+	// new assumptions.
+	if s.decisionLevel() > 0 {
+		s.cancelUntil(0)
 	}
 	s.Cancelled = false
 	if s.ctxDone(true) {
 		return Unknown
 	}
-	c0, d0, p0 := s.Conflicts, s.Decisions, s.Propagations
+	c0, d0, p0, r0, k0 := s.Conflicts, s.Decisions, s.Propagations, s.Restarts, s.LearntKept
 	defer func() {
 		s.CConflicts.Add(s.Conflicts - c0)
 		s.CDecisions.Add(s.Decisions - d0)
 		s.CPropagations.Add(s.Propagations - p0)
+		s.CRestarts.Add(s.Restarts - r0)
+		s.CLearntKept.Add(s.LearntKept - k0)
 	}()
+	s.conflBase = s.Conflicts
 	s.order = newVarHeap(s)
 	restart := int64(0)
 	learntCap := len(s.clauses)/3 + 100
 
 	for {
 		restart++
+		if restart > 1 {
+			s.Restarts++
+		}
 		budget := 64 * luby(restart)
 		st := s.search(assumptions, budget, &learntCap)
 		if st != Unknown {
@@ -477,19 +516,39 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			return st
 		}
 		s.cancelUntil(0)
-		if s.Cancelled || s.MaxConflicts > 0 && s.Conflicts >= s.MaxConflicts {
+		if s.Cancelled || s.MaxConflicts > 0 && s.Conflicts-s.conflBase >= s.MaxConflicts {
 			return Unknown
 		}
 	}
 }
 
+// SolveUnderAssumptions is Solve with the incremental contract spelled out:
+// the solver is reusable across calls, and everything a call learns — learnt
+// clauses, VSIDS activity, saved phases, root-level implications — survives
+// into the next one. Assumptions hold for this call only; the standard
+// activation-literal pattern (gate a clause group on a fresh literal,
+// assume it here, retire the group later with AddClause(act.Neg())) turns
+// that into add/remove of whole constraint groups. package equiv's Session
+// is the in-tree user.
+func (s *Solver) SolveUnderAssumptions(assumptions ...Lit) Status {
+	return s.Solve(assumptions...)
+}
+
 // Instrument wires the solver's per-Solve stat deltas to reg
-// ("sat.conflicts", "sat.decisions", "sat.propagations"). A nil registry
-// detaches them again.
+// ("sat.conflicts", "sat.decisions", "sat.propagations", "sat.restarts",
+// "sat.learnt_kept"). A nil registry detaches them again. Re-instrumenting
+// with the registry already wired is a no-op, so long-lived incremental
+// solvers can be instrumented once per check without double-wiring.
 func (s *Solver) Instrument(reg *telemetry.Registry) {
-	s.CConflicts = reg.Counter("sat.conflicts")
-	s.CDecisions = reg.Counter("sat.decisions")
-	s.CPropagations = reg.Counter("sat.propagations")
+	if reg != nil && reg == s.instrReg {
+		return
+	}
+	s.instrReg = reg
+	s.CConflicts = reg.Counter("sat.conflicts", "CDCL conflicts during SAT solving.")
+	s.CDecisions = reg.Counter("sat.decisions", "CDCL branching decisions during SAT solving.")
+	s.CPropagations = reg.Counter("sat.propagations", "Unit propagations during SAT solving.")
+	s.CRestarts = reg.Counter("sat.restarts", "Luby restarts during SAT solving.")
+	s.CLearntKept = reg.Counter("sat.learnt_kept", "Learnt clauses retained through clause-database reductions.")
 }
 
 // cancelUntilRoot preserves the model for Sat, unwinds for Unsat.
@@ -532,7 +591,7 @@ func (s *Solver) search(assumptions []Lit, budget int64, learntCap *int) Status 
 		if conflicts >= budget {
 			return Unknown
 		}
-		if s.MaxConflicts > 0 && s.Conflicts >= s.MaxConflicts {
+		if s.MaxConflicts > 0 && s.Conflicts-s.conflBase >= s.MaxConflicts {
 			return Unknown
 		}
 		if s.ctxDone(false) {
@@ -594,6 +653,7 @@ func (s *Solver) reduceDB() {
 		}
 	}
 	s.compact()
+	s.LearntKept += int64(s.nLearnt())
 }
 
 func medianActivity(cs []*clause) float64 {

@@ -79,6 +79,18 @@ type StreamStats struct {
 	Dropped     int64 `json:"dropped"`
 }
 
+// CacheStats reports the daemon's content-addressed circuit/ATPG cache on
+// /v1/stats: occupancy against the -cache-bytes budget and lifetime
+// hit/miss/eviction counts (HitRate = hits/(hits+misses), 0 when unused).
+type CacheStats struct {
+	Entries   int64   `json:"entries"`
+	Bytes     int64   `json:"bytes"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
 // Stats is the GET /v1/stats payload: a one-shot fleet summary for dedctop
 // and monitoring scrapes that want structure rather than the Prometheus text
 // on /metrics.
@@ -94,5 +106,6 @@ type Stats struct {
 	Counters map[string]int64     `json:"counters,omitempty"` // daemon counters (submissions, sheds, requeues, ...)
 	Phases   map[string]Quantiles `json:"phases,omitempty"`   // queue_wait/attempt/e2e latency, nanoseconds
 	Stream   StreamStats          `json:"stream"`
+	Cache    CacheStats           `json:"cache"`             // content-addressed parse/ATPG cache
 	Running  []Progress           `json:"running,omitempty"` // latest checkpoint per running attempt
 }

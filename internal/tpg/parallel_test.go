@@ -1,0 +1,67 @@
+package tpg
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"dedc/internal/gen"
+	"dedc/internal/telemetry"
+)
+
+// TestWorkerCountParity is the fault-parallel PODEM determinism contract:
+// the vector set — PI rows, counts, coverage, backtrack total — is
+// bit-identical at every worker count, because per-fault searches are
+// independent and outcomes fold in original fault order.
+func TestWorkerCountParity(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		c := gen.Random(gen.RandomOptions{PIs: 10, Gates: 120, Seed: seed})
+		base := Options{Random: 32, Seed: seed, Deterministic: true}
+		want := BuildVectors(c, base)
+		for _, w := range []int{2, 4, 7} {
+			opt := base
+			opt.Workers = w
+			got := BuildVectors(c.Clone(), opt)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("seed %d: w=%d result differs from sequential:\n got %+v\nwant %+v",
+					seed, w, got, want)
+			}
+		}
+	}
+}
+
+// TestWorkerPoolTelemetry: the parallel driver counts dispatched per-fault
+// generations on tpg.pool.trials and folds per-worker backtracks into the
+// shared tpg.backtracks counter, matching the result's own total.
+func TestWorkerPoolTelemetry(t *testing.T) {
+	c := gen.Random(gen.RandomOptions{PIs: 10, Gates: 120, Seed: 2})
+	reg := telemetry.NewRegistry()
+	ctx := telemetry.WithTracer(context.Background(), telemetry.NewTracer(telemetry.Options{Registry: reg}))
+	res := BuildVectorsContext(ctx, c, Options{Random: 32, Seed: 2, Deterministic: true, Workers: 4})
+	dispatched := res.Generated + res.Untestable + res.Aborted
+	if dispatched == 0 {
+		t.Skip("random pass already covered every fault")
+	}
+	if got := reg.Counter("tpg.pool.trials").Value(); got != int64(dispatched) {
+		t.Errorf("tpg.pool.trials = %d, want %d", got, dispatched)
+	}
+	if got := reg.Counter("tpg.backtracks").Value(); got != res.Backtracks {
+		t.Errorf("tpg.backtracks = %d, result says %d", got, res.Backtracks)
+	}
+}
+
+// TestWorkerCancellation: a cancelled parallel run reports Cancelled and
+// still returns the vectors produced so far, like the sequential path.
+func TestWorkerCancellation(t *testing.T) {
+	c := gen.Random(gen.RandomOptions{PIs: 10, Gates: 120, Seed: 3})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := BuildVectorsContext(ctx, c, Options{Random: 32, Seed: 3, Deterministic: true, Workers: 4})
+	seq := BuildVectorsContext(ctx, c.Clone(), Options{Random: 32, Seed: 3, Deterministic: true})
+	if res.Cancelled != seq.Cancelled {
+		t.Errorf("parallel Cancelled=%v, sequential Cancelled=%v", res.Cancelled, seq.Cancelled)
+	}
+	if res.N < 32 || len(res.PI) != len(c.PIs) {
+		t.Errorf("partial result malformed: N=%d rows=%d", res.N, len(res.PI))
+	}
+}

@@ -48,21 +48,34 @@ type Podem struct {
 
 // NewPodem prepares a generator for the circuit.
 func NewPodem(c *circuit.Circuit) *Podem {
-	p := &Podem{
+	return newPodemWith(c, c.Topo(), piIndex(c), ComputeScoap(c))
+}
+
+// newPodemWith builds a generator around precomputed guidance tables (topo
+// order, PI index, SCOAP measures). The tables are read-only inside
+// Generate, so the fault-parallel driver in parallel.go computes them once
+// and shares them across every worker's generator.
+func newPodemWith(c *circuit.Circuit, topo []circuit.Line, piIdx map[circuit.Line]int, scoap *Scoap) *Podem {
+	return &Podem{
 		C:              c,
 		BacktrackLimit: 2000,
-		topo:           c.Topo(),
-		piIdx:          make(map[circuit.Line]int, len(c.PIs)),
+		topo:           topo,
+		piIdx:          piIdx,
 		goodV:          make([]v3, c.NumLines()),
 		badV:           make([]v3, c.NumLines()),
 		assign:         make([]v3, len(c.PIs)),
 		inCone:         make([]bool, c.NumLines()),
-		scoap:          ComputeScoap(c),
+		scoap:          scoap,
 	}
+}
+
+// piIndex maps each PI line to its position in c.PIs.
+func piIndex(c *circuit.Circuit) map[circuit.Line]int {
+	idx := make(map[circuit.Line]int, len(c.PIs))
 	for i, pi := range c.PIs {
-		p.piIdx[pi] = i
+		idx[pi] = i
 	}
-	return p
+	return idx
 }
 
 type decision struct {
